@@ -1,0 +1,102 @@
+"""Ablation A1 — the polling-interval trade-off (paper §3.2.3).
+
+"Tradeoffs in performance are required because high-frequency polling
+strains the CPU whereas low-frequency polling increases message latency."
+
+Sweeps the GPU polling interval and reports (a) GPU:GPU one-way message
+latency and (b) CPU polling load (PCIe probes issued per simulated
+second), plus the fixed-interval vs adaptive-burst policy comparison.
+
+Run:  pytest benchmarks/bench_ablation_polling.py --benchmark-only -s
+"""
+
+import dataclasses
+
+from conftest import run_artifact
+
+from repro.apps import micro
+from repro.bench.harness import Table, fmt_time
+from repro.hw import HWParams
+from repro.hw.params import DcgnParams
+from repro.sim import us
+
+
+def _params(interval_us: float, kick: bool = True) -> HWParams:
+    base = HWParams()
+    return base.with_(
+        dcgn=dataclasses.replace(
+            base.dcgn,
+            gpu_poll_interval_us=interval_us,
+            gpu_poll_kick=kick,
+        )
+    )
+
+
+def polling_tradeoff_table() -> Table:
+    t = Table(
+        "Ablation A1 — GPU polling interval trade-off",
+        [
+            "Interval",
+            "GPU:GPU 0B latency",
+            "GPU:GPU 64kB latency",
+            "CPU load (probes/ms idle)",
+        ],
+    )
+    for interval in (50.0, 150.0, 300.0, 600.0, 1200.0):
+        params = _params(interval)
+        t0 = micro.dcgn_send_time(0, "gpu", "gpu", iters=4, params=params)
+        t64 = micro.dcgn_send_time(
+            64 * 1024, "gpu", "gpu", iters=4, params=params
+        )
+        # CPU polling load: with sleep-based polling, the poller probes
+        # the GPU once per interval while a kernel runs — the §3.2.3
+        # "high-frequency polling strains the CPU" side of the trade-off.
+        probes_per_ms = 1000.0 / interval
+        t.add(
+            f"{interval:.0f} µs",
+            fmt_time(t0),
+            fmt_time(t64),
+            f"{probes_per_ms:.1f}",
+        )
+    t.note(
+        "Latency grows with the interval (lazy polling); short intervals "
+        "buy latency at the price of PCIe probe traffic (CPU load)."
+    )
+    return t
+
+
+def test_polling_interval_latency_tradeoff(benchmark):
+    table = run_artifact(
+        benchmark, "ablation_polling", polling_tradeoff_table
+    )
+
+    def parse(cell):
+        v, unit = cell.split()
+        return float(v) * {"µs": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+
+    lats = [parse(r[1]) for r in table.rows]
+    # Monotone non-decreasing latency with polling interval.
+    assert all(b >= a * 0.95 for a, b in zip(lats, lats[1:]))
+    assert lats[-1] > 2.5 * lats[0]
+
+
+def test_kick_policy_matters_for_mixed_traffic(benchmark):
+    """Adaptive kick vs fixed interval: CPU→GPU message latency."""
+
+    def compute():
+        t_kick = micro.dcgn_send_time(
+            1024, "cpu", "gpu", iters=4, params=_params(300.0, kick=True)
+        )
+        t_fixed = micro.dcgn_send_time(
+            1024, "cpu", "gpu", iters=4, params=_params(300.0, kick=False)
+        )
+        return t_kick, t_fixed
+
+    t_kick, t_fixed = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(
+        f"[A1] cpu->gpu 1kB: adaptive {t_kick * 1e6:.0f} µs vs "
+        f"fixed {t_fixed * 1e6:.0f} µs"
+    )
+    benchmark.extra_info["kick_us"] = round(t_kick * 1e6, 1)
+    benchmark.extra_info["fixed_us"] = round(t_fixed * 1e6, 1)
+    assert t_kick < t_fixed

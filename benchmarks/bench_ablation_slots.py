@@ -1,0 +1,111 @@
+"""Ablation A2 — slots under skewed workloads (paper §3.1).
+
+The paper motivates slots with a map-reduce-style example: if 0.001% of
+items take 10000× longer, "a single element can then delay an entire
+DPM from communicating results".  With one slot per GPU, a slow item
+blocks the device's only communication target; with several slots,
+other blocks keep streaming work.
+
+This benchmark runs a master/worker item queue over one GPU with a
+heavy-tailed item-cost distribution and sweeps slots_per_gpu.
+
+Run:  pytest benchmarks/bench_ablation_slots.py --benchmark-only -s
+"""
+
+import numpy as np
+from conftest import run_artifact
+
+from repro.bench.harness import Table, fmt_time
+from repro.dcgn import ANY, DcgnConfig, DcgnRuntime, NodeConfig
+from repro.gpusim import LaunchConfig
+from repro.hw import build_cluster, paper_cluster
+from repro.sim import Simulator, us
+
+#: Item costs: mostly cheap, a few pathological stragglers (paper §3.1).
+N_ITEMS = 48
+CHEAP_S = 40e-6
+SLOW_EVERY = 16  #: every 16th item costs 50× more
+SLOW_S = 50 * CHEAP_S
+STOP = -1
+
+
+def _item_cost(i: int) -> float:
+    return SLOW_S if (i % SLOW_EVERY) == SLOW_EVERY - 1 else CHEAP_S
+
+
+def run_skewed_queue(slots: int, seed: int = 0) -> float:
+    """Master (CPU) feeds items to one GPU virtualized into ``slots``."""
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=1, seed=seed))
+    cfg = DcgnConfig(
+        [NodeConfig(cpu_threads=1, gpus=1, slots_per_gpu=slots)]
+    )
+    rt = DcgnRuntime(cluster, cfg)
+    n_workers = slots
+    marks = {}
+
+    def master(ctx):
+        t0 = ctx.sim.now
+        next_item = 0
+        stopped = 0
+        msg = np.zeros(1, dtype=np.int64)
+        while stopped < n_workers:
+            status = yield from ctx.recv(ANY, msg)
+            if next_item < N_ITEMS:
+                reply = np.array([next_item], dtype=np.int64)
+                next_item += 1
+            else:
+                reply = np.array([STOP], dtype=np.int64)
+                stopped += 1
+            yield from ctx.send(status.source, reply)
+        marks["elapsed"] = ctx.sim.now - t0
+
+    def gpu_worker(kctx):
+        comm = kctx.comm
+        slot = kctx.block_idx % comm.n_slots
+        msg = kctx.device.alloc(1, dtype=np.int64, name=f"msg{slot}")
+        while True:
+            msg.data[0] = 0
+            yield from comm.send(slot, 0, msg)
+            yield from comm.recv(slot, 0, msg)
+            item = int(msg.data[0])
+            if item == STOP:
+                break
+            yield from kctx.compute(seconds=_item_cost(item))
+        msg.free()
+
+    rt.launch_cpu(master)
+    rt.launch_gpu(gpu_worker, config=LaunchConfig(grid_blocks=slots))
+    rt.run(max_time=60.0)
+    return marks["elapsed"]
+
+
+def slots_table() -> Table:
+    t = Table(
+        "Ablation A2 — slots per GPU on a heavy-tailed item queue",
+        ["Slots", "Makespan", "vs 1 slot"],
+    )
+    base = None
+    for slots in (1, 2, 4, 8):
+        elapsed = run_skewed_queue(slots)
+        if base is None:
+            base = elapsed
+        t.add(slots, fmt_time(elapsed), f"{base / elapsed:.2f}×")
+    t.note(
+        "More slots let cheap items flow around stragglers (paper §3.1: "
+        "'no single mapping of ranks to DPM resources can match every "
+        "data parallel algorithm')."
+    )
+    return t
+
+
+def test_slots_mitigate_skew(benchmark):
+    table = run_artifact(benchmark, "ablation_slots", slots_table)
+
+    def parse(cell):
+        v, unit = cell.split()
+        return float(v) * {"µs": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+
+    makespans = [parse(r[1]) for r in table.rows]
+    # 4 slots must beat 1 slot decisively on the skewed queue.
+    assert makespans[2] < 0.7 * makespans[0]

@@ -1,0 +1,23 @@
+"""Benchmark S5.1b — Cannon's matrix multiplication (§5.1).
+
+Paper: 1024×1024, 4 GPUs — DCGN efficiency 71% vs GAS 74%
+(DCGN/GAS ≈ 0.96).
+
+Run:  pytest benchmarks/bench_app_cannon.py --benchmark-only -s
+"""
+
+from conftest import run_artifact
+
+from repro.bench import sec51_cannon
+
+
+def test_sec51_cannon(benchmark):
+    table = run_artifact(benchmark, "sec51_cannon", sec51_cannon)
+    rows = {r[0]: r for r in table.rows}
+    eff_gas = float(rows["GAS efficiency"][2].rstrip("%")) / 100
+    eff_dcgn = float(rows["DCGN efficiency"][2].rstrip("%")) / 100
+    ratio = float(rows["DCGN/GAS"][2])
+    # Paper's ordering and closeness: DCGN within ~15% of GAS.
+    assert eff_dcgn < eff_gas
+    assert 0.80 <= ratio <= 1.0, f"DCGN/GAS {ratio}"
+    assert 0.40 <= eff_gas <= 0.90

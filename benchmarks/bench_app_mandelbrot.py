@@ -1,0 +1,31 @@
+"""Benchmark S5.1a — the paper's Mandelbrot results (§5.1).
+
+Paper (8 GPUs): GAS 17 Mpix/s, speedup 3.08×, efficiency 38%; DCGN
+15 Mpix/s, 2.72×, 34% — DCGN/GAS ≈ 0.88.
+
+Run:  pytest benchmarks/bench_app_mandelbrot.py --benchmark-only -s
+"""
+
+from conftest import run_artifact
+
+from repro.bench import sec51_mandelbrot
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_sec51_mandelbrot(benchmark):
+    table = run_artifact(
+        benchmark, "sec51_mandelbrot", sec51_mandelbrot
+    )
+    rows = {r[0]: r for r in table.rows}
+    sp = rows["speedup (8 GPUs)"]
+    gas_speedup = float(sp[2].rstrip("×"))
+    dcgn_speedup = float(sp[4].rstrip("×"))
+    # Paper's ordering: both parallel versions beat one GPU; GAS > DCGN.
+    assert gas_speedup > 1.5
+    assert dcgn_speedup > 1.2
+    assert dcgn_speedup < gas_speedup
+    # GAS speedup within the paper's ballpark (3.08×).
+    assert 2.2 <= gas_speedup <= 4.5

@@ -1,0 +1,35 @@
+"""Benchmark S5.1c — the N-body efficiency curve (§5.1).
+
+Paper (8 GPUs): efficiency ≈ 28% at 4k bodies, 64% at 16k, >90% at 32k;
+DCGN and GAS equal.  Our GAS curve matches closely; DCGN trails at small
+N (deviation D3 in EXPERIMENTS.md) and converges as N grows.
+
+Run:  pytest benchmarks/bench_app_nbody.py --benchmark-only -s
+"""
+
+from conftest import run_artifact
+
+from repro.bench import sec51_nbody
+
+
+def test_sec51_nbody_efficiency_curve(benchmark):
+    table = run_artifact(
+        benchmark,
+        "sec51_nbody",
+        sec51_nbody,
+        body_counts=(4096, 16384, 32768, 65536),
+        steps=3,
+    )
+    gas = [float(r[2].rstrip("%")) / 100 for r in table.rows]
+    dcgn = [float(r[3].rstrip("%")) / 100 for r in table.rows]
+    ratio = [float(r[4]) for r in table.rows]
+    # Efficiency rises with body count for both models.
+    assert gas == sorted(gas)
+    assert dcgn == sorted(dcgn)
+    # Paper bands for GAS at the three published points.
+    assert 0.20 <= gas[0] <= 0.40   # 4k  (paper 28%)
+    assert 0.50 <= gas[1] <= 0.75   # 16k (paper 64%)
+    assert 0.65 <= gas[2] <= 0.95   # 32k (paper >90%)
+    # DCGN converges toward GAS as computation dominates.
+    assert ratio == sorted(ratio)
+    assert ratio[-1] >= 0.85

@@ -1,0 +1,46 @@
+"""Benchmark F6 — regenerate the paper's Figure 6 (send time vs size).
+
+Five series: MVAPICH2 baseline and DCGN {CPU:CPU, CPU:GPU, GPU:CPU,
+GPU:GPU}, sizes 0 B → 1 MB.  Key shape anchors (§5.2): 0 B CPU:CPU ≈
+28× MPI, 0 B GPU:GPU ≈ 564× MPI, 1 MB CPU:CPU ≈ 1.04× MPI.
+
+Run:  pytest benchmarks/bench_fig6_send.py --benchmark-only -s
+"""
+
+from conftest import run_artifact
+
+from repro.apps import micro
+from repro.bench import fig6_send
+
+
+def test_fig6_send_sweep(benchmark):
+    table = run_artifact(benchmark, "fig6_send", fig6_send, iters=4)
+    assert len(table.rows) == 6  # six sizes
+
+
+def test_fig6_anchor_ratios(benchmark):
+    """The §5.2 ratio anchors, asserted as bands."""
+
+    def compute():
+        t_mpi0 = micro.mpi_send_time(0, iters=4)
+        t_cc0 = micro.dcgn_send_time(0, "cpu", "cpu", iters=4)
+        t_gg0 = micro.dcgn_send_time(0, "gpu", "gpu", iters=4)
+        mb = 1 << 20
+        t_mpi1 = micro.mpi_send_time(mb, iters=4)
+        t_cc1 = micro.dcgn_send_time(mb, "cpu", "cpu", iters=4)
+        return {
+            "r0_cpu": t_cc0 / t_mpi0,
+            "r0_gpu": t_gg0 / t_mpi0,
+            "r1_cpu": t_cc1 / t_mpi1,
+        }
+
+    ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(
+        f"[fig6 anchors] 0B cpu:cpu {ratios['r0_cpu']:.1f}x (paper 28x), "
+        f"0B gpu:gpu {ratios['r0_gpu']:.1f}x (paper 564x), "
+        f"1MB cpu:cpu {ratios['r1_cpu']:.2f}x (paper 1.04x)"
+    )
+    benchmark.extra_info.update({k: round(v, 2) for k, v in ratios.items()})
+    assert 10.0 <= ratios["r0_cpu"] <= 60.0
+    assert 100.0 <= ratios["r0_gpu"] <= 700.0
+    assert 1.0 <= ratios["r1_cpu"] <= 1.25

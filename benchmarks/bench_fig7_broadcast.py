@@ -1,0 +1,33 @@
+"""Benchmark F7 — regenerate the paper's Figure 7 (broadcast vs size).
+
+Three series over 8 ranks on 4 nodes: MVAPICH2 CPUs, DCGN CPUs, DCGN
+GPUs.  Shape claims: DCGN-CPU competitive with (and in the paper's
+medium range faster than) MVAPICH2 because its underlying MPI bcast runs
+with half as many ranks + local memcpy; DCGN-GPU slower throughout (two
+PCIe trips per payload).
+
+Run:  pytest benchmarks/bench_fig7_broadcast.py --benchmark-only -s
+"""
+
+from conftest import run_artifact
+
+from repro.bench import fig7_broadcast
+
+
+def _parse(cell: str) -> float:
+    value, unit = cell.split()
+    return float(value) * {"µs": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+
+
+def test_fig7_broadcast_sweep(benchmark):
+    table = run_artifact(
+        benchmark, "fig7_broadcast", fig7_broadcast, iters=8
+    )
+    assert len(table.rows) == 4
+    for row in table.rows:
+        t_mpi, t_cpu, t_gpu = _parse(row[1]), _parse(row[2]), _parse(row[3])
+        # GPU series slower than the CPU series at every size.
+        assert t_gpu > t_cpu, f"GPU bcast must trail CPU at {row[0]}"
+    # Large sizes: DCGN-CPU within 25% of MVAPICH2 (paper: equal-to-faster).
+    big = table.rows[-1]
+    assert _parse(big[2]) <= 1.25 * _parse(big[1])

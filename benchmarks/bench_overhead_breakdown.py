@@ -1,0 +1,39 @@
+"""Benchmark — the abstract's promise: where DCGN overhead accumulates.
+
+Instruments one 0-byte send end-to-end on the CPU:CPU and GPU:GPU paths
+and prints the per-stage waterfall (request bookkeeping, queue waits,
+polling waits, PCIe conversations, MPI time).
+
+Run:  pytest benchmarks/bench_overhead_breakdown.py --benchmark-only -s
+"""
+
+from conftest import run_artifact
+
+from repro.bench.breakdown import overhead_breakdown, send_lifecycle
+
+
+def test_overhead_breakdown_waterfall(benchmark):
+    table = run_artifact(
+        benchmark, "overhead_breakdown", overhead_breakdown
+    )
+    rows = {(r[0], r[1]): float(r[2]) for r in table.rows}
+    cpu_total = rows[("CPU send", "TOTAL")]
+    gpu_total = rows[("GPU send", "TOTAL")]
+    # The GPU path's polling wait is its dominant stage (paper §5.2).
+    gpu_poll = rows[("GPU send", "mailbox poll wait (PCIe probe cadence)")]
+    assert gpu_poll > 0.4 * gpu_total
+    # And the GPU path dwarfs the CPU path.
+    assert gpu_total > 3 * cpu_total
+
+
+def test_lifecycle_marks_are_ordered(benchmark):
+    def compute():
+        return send_lifecycle("gpu", nbytes=1024)
+
+    marks = benchmark.pedantic(compute, rounds=1, iterations=1)
+    send = marks["send"]
+    order = ["posted", "harvested", "enqueued", "picked", "completed",
+             "written_back"]
+    times = [send[k] for k in order if k in send]
+    assert times == sorted(times)
+    assert len(times) >= 5

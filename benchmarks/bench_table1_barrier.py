@@ -1,0 +1,35 @@
+"""Benchmark T1 — regenerate the paper's Table 1 (barrier timings).
+
+Rows: 1/2/4 nodes × {CPU-only, GPU-only, mixed} kernel configurations,
+with the MVAPICH2 equal-kernel-count baseline and the DCGN/MPI ratio.
+
+Run:  pytest benchmarks/bench_table1_barrier.py --benchmark-only -s
+"""
+
+from conftest import run_artifact
+
+from repro.bench import table1_barriers
+from repro.sim import us
+
+
+def test_table1_barriers(benchmark):
+    table = run_artifact(
+        benchmark, "table1_barriers", table1_barriers, iters=8
+    )
+    # Structural checks: every paper row present with a measurement.
+    assert len(table.rows) == 10
+    # Shape assertions mirroring the paper's ordering claims.
+    by_config = {
+        (r[0], r[1]): r for r in table.rows
+    }
+    gpu_1node = by_config[("1", "0C/2G per node")]
+    cpu_1node = by_config[("1", "2C/0G per node")]
+
+    def parse_us(cell: str) -> float:
+        value, unit = cell.split()
+        scale = {"µs": 1.0, "ms": 1e3, "s": 1e6}[unit]
+        return float(value) * scale
+
+    t_gpu = parse_us(gpu_1node[5])
+    t_cpu = parse_us(cpu_1node[5])
+    assert t_gpu > 3 * t_cpu, "GPU-only barrier must dwarf CPU-only"

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one artifact of the paper's evaluation
+(a table or a figure), saves the rendered table under
+``benchmarks/out/``, and records headline numbers in
+``benchmark.extra_info`` so they appear in pytest-benchmark's JSON.
+
+Simulations are deterministic; a single round measures the (wall-clock)
+cost of regenerating the artifact while the artifact itself carries the
+simulated-time results.
+"""
+
+import pytest
+
+
+def run_artifact(benchmark, name, builder, **kwargs):
+    """Run ``builder(**kwargs)`` under the benchmark fixture and persist it."""
+    from repro.bench import save_table
+
+    holder = {}
+
+    def job():
+        holder["table"] = builder(**kwargs)
+        return holder["table"]
+
+    benchmark.pedantic(job, rounds=1, iterations=1)
+    table = holder["table"]
+    path = save_table(name, table)
+    benchmark.extra_info["artifact"] = name
+    benchmark.extra_info["saved_to"] = path
+    for note in table.notes:
+        print(f"[{name}] {note}")
+    print(table.render())
+    return table

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Cannon's matrix multiplication on 4 GPUs (paper §4, §5.1).
+
+The "simultaneous communication" workload: after each local block
+multiply, every target rotates its A-block left and its B-block up.
+The DCGN version performs the rotation *inside the GPU kernel* with the
+fused sendrecv_replace — no CPU mediation — while the GAS version must
+pull blocks to the host, exchange over MPI, and push them back.
+
+The result matrix is verified against NumPy in every variant.
+
+Run:  python examples/cannon_matmul.py [--n 1024]
+"""
+
+import argparse
+
+from repro.apps import cannon, efficiency, speedup
+from repro.hw import build_cluster, paper_cluster
+from repro.sim import Simulator
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--n", type=int, default=1024, help="matrix dimension")
+    args = ap.parse_args()
+
+    cfg = cannon.CannonConfig(n=args.n, grid=2)
+
+    sim = Simulator()
+    single = cannon.run_single_gpu(
+        build_cluster(sim, paper_cluster(nodes=1, gpus_per_node=1)), cfg
+    )
+    sim = Simulator()
+    gas = cannon.run_gas(build_cluster(sim, paper_cluster(nodes=2)), cfg)
+    sim = Simulator()
+    dcgn = cannon.run_dcgn(build_cluster(sim, paper_cluster(nodes=2)), cfg)
+
+    print(f"Cannon {cfg.n}x{cfg.n} on {cfg.p} GPUs (grid {cfg.grid}x{cfg.grid})")
+    print(f"  single GPU : {single.elapsed * 1e3:8.2f} ms")
+    for res in (gas, dcgn):
+        eff = efficiency(single.elapsed, res.elapsed, cfg.p)
+        print(
+            f"  {res.model:10s}: {res.elapsed * 1e3:8.2f} ms  "
+            f"speedup {speedup(single.elapsed, res.elapsed):4.2f}x  "
+            f"efficiency {eff:5.1%}"
+        )
+    print()
+    print("Paper (§5.1): DCGN 71% vs GAS 74% efficiency — the fused")
+    print("send/recv keeps DCGN within a few percent of the GAS model.")
+    print("All results verified against numpy (A @ B).")
+
+
+if __name__ == "__main__":
+    main()

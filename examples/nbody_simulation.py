@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Brute-force N-body simulation with per-target broadcasts (paper §4).
+
+Sweeps the body count and prints the parallel-efficiency curve on
+8 GPUs — the paper's §5.1 result: efficiency climbs from ~28% (4k
+bodies) to >90% (32k) as O(N²) computation outgrows O(N) communication.
+
+Small runs integrate real softened gravity and verify positions against
+a NumPy reference; large runs model timing only (--no-verify).
+
+Run:  python examples/nbody_simulation.py [--bodies 1024 4096 16384]
+"""
+
+import argparse
+
+from repro.apps import efficiency, nbody
+from repro.hw import build_cluster, paper_cluster
+from repro.sim import Simulator
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument(
+        "--bodies", type=int, nargs="+", default=[1024, 4096, 16384]
+    )
+    ap.add_argument("--steps", type=int, default=3)
+    ap.add_argument("--verify", action="store_true",
+                    help="run real physics + verification (slow for big N)")
+    args = ap.parse_args()
+
+    print(f"N-body on 8 simulated GPUs, {args.steps} steps per run")
+    print(f"{'bodies':>8} | {'single':>10} | {'GAS':>16} | {'DCGN':>16}")
+    for n in args.bodies:
+        verify = args.verify and n <= 2048
+        cfg = nbody.NBodyConfig(n_bodies=n, steps=args.steps, verify=verify)
+        sim = Simulator()
+        single = nbody.run_single_gpu(
+            build_cluster(sim, paper_cluster(nodes=1, gpus_per_node=1)), cfg
+        )
+        sim = Simulator()
+        gas = nbody.run_gas(build_cluster(sim, paper_cluster(nodes=4)), cfg)
+        sim = Simulator()
+        dcgn = nbody.run_dcgn(build_cluster(sim, paper_cluster(nodes=4)), cfg)
+        eff_g = efficiency(single.elapsed, gas.elapsed, gas.units)
+        eff_d = efficiency(single.elapsed, dcgn.elapsed, dcgn.units)
+        tag = " (verified)" if verify else ""
+        print(
+            f"{n:>8} | {single.elapsed * 1e3:8.2f} ms"
+            f" | {gas.elapsed * 1e3:8.2f} ms {eff_g:5.1%}"
+            f" | {dcgn.elapsed * 1e3:8.2f} ms {eff_d:5.1%}{tag}"
+        )
+    print()
+    print("Paper (§5.1): efficiency 28% @4k -> 64% @16k -> >90% @32k;")
+    print("computation (O(N^2)) outgrows communication (O(N)).")
+
+
+if __name__ == "__main__":
+    main()

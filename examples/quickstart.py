@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's ping-pong on a simulated two-node GPU cluster.
+
+Reproduces Figures 1 and 3 of the paper: the same ping-pong written
+against plain MPI (top of Fig. 3), against DCGN's CPU API (bottom of
+Fig. 3), and against DCGN's GPU API from *inside a kernel* (Fig. 1).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.dcgn import DcgnConfig, DcgnRuntime
+from repro.hw import build_cluster, paper_cluster
+from repro.mpi import MpiJob
+from repro.sim import Simulator, us
+
+
+def mpi_pingpong() -> float:
+    """Figure 3 (top): MPI_Send / MPI_Recv between two CPU ranks."""
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=2))
+    job = MpiJob(cluster, placement=[0, 1])
+    marks = {}
+
+    def prog(ctx):
+        x = np.zeros(1, dtype=np.int32)
+        if ctx.rank == 0:
+            t0 = ctx.sim.now
+            yield from ctx.send(x, dest=1)      # send ping
+            yield from ctx.recv(x, source=1)    # recv pong
+            marks["rtt"] = ctx.sim.now - t0
+        else:
+            yield from ctx.recv(x, source=0)    # recv ping
+            yield from ctx.send(x, dest=0)      # send pong
+
+    job.start(prog)
+    job.run()
+    return marks["rtt"]
+
+
+def dcgn_cpu_pingpong() -> float:
+    """Figure 3 (bottom): dcgn::send / dcgn::recv between CPU kernels."""
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=2))
+    rt = DcgnRuntime(
+        cluster, DcgnConfig.homogeneous(2, cpu_threads=1)
+    )
+    marks = {}
+
+    def kernel(ctx):
+        x = np.zeros(1, dtype=np.int32)
+        if ctx.rank == 0:
+            t0 = ctx.sim.now
+            yield from ctx.send(1, x)
+            yield from ctx.recv(1, x)
+            marks["rtt"] = ctx.sim.now - t0
+        else:
+            yield from ctx.recv(0, x)
+            yield from ctx.send(0, x)
+
+    rt.launch_cpu(kernel)
+    rt.run()
+    return marks["rtt"]
+
+
+def dcgn_gpu_pingpong() -> float:
+    """Figure 1: dcgn::gpu::send / recv issued from inside GPU kernels.
+
+    Note the paper's comment reproduced faithfully: communication must
+    use *global memory* (a DeviceBuffer), and requests name a SLOT_INDEX.
+    """
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=2))
+    rt = DcgnRuntime(
+        cluster, DcgnConfig.homogeneous(2, gpus=1, slots_per_gpu=1)
+    )
+    marks = {}
+    SLOT_INDEX = 0
+
+    def gpu_kernel(ctx):
+        comm = ctx.comm
+        # note that for communication, we have to use global memory.
+        gpu_mem = ctx.device.alloc(1, dtype=np.int32, name="gpuMem")
+        if comm.rank(SLOT_INDEX) == 0:
+            t0 = ctx.sim.now
+            yield from comm.send(SLOT_INDEX, 1, gpu_mem)
+            stat = yield from comm.recv(SLOT_INDEX, 1, gpu_mem)
+            marks["rtt"] = ctx.sim.now - t0
+        elif comm.rank(SLOT_INDEX) == 1:
+            yield from comm.recv(SLOT_INDEX, 0, gpu_mem)
+            yield from comm.send(SLOT_INDEX, 0, gpu_mem)
+        yield from ctx.syncthreads()  # barrier for all threads in block
+        gpu_mem.free()
+
+    rt.launch_gpu(gpu_kernel)
+    rt.run()
+    return marks["rtt"]
+
+
+def main() -> None:
+    t_mpi = mpi_pingpong()
+    t_cpu = dcgn_cpu_pingpong()
+    t_gpu = dcgn_gpu_pingpong()
+    print("Ping-pong round-trip times (simulated 2-node cluster):")
+    print(f"  MPI  CPU<->CPU : {t_mpi / us(1):9.1f} µs")
+    print(f"  DCGN CPU<->CPU : {t_cpu / us(1):9.1f} µs "
+          f"({t_cpu / t_mpi:5.1f}x MPI)")
+    print(f"  DCGN GPU<->GPU : {t_gpu / us(1):9.1f} µs "
+          f"({t_gpu / t_mpi:5.1f}x MPI)")
+    print()
+    print("The ordering MPI < DCGN-CPU << DCGN-GPU is the paper's core")
+    print("small-message finding (Section 5.2): thread-safe queues add")
+    print("tens of microseconds, GPU mailbox polling adds hundreds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Slots: virtualizing one GPU into several communication targets (§3.1).
+
+The paper motivates slots with a skewed map-reduce example: when 0.001%
+of work items cost 10000× more, "a single element can then delay an
+entire DPM from communicating results" — unless the GPU exposes several
+slots so other blocks keep talking to the master.
+
+This example runs a master/worker item queue over ONE simulated GPU
+and sweeps slots_per_gpu, showing the makespan improvement.
+
+Run:  python examples/slots_virtualization.py
+"""
+
+import numpy as np
+
+from repro.dcgn import ANY, DcgnConfig, DcgnRuntime, NodeConfig
+from repro.gpusim import LaunchConfig
+from repro.hw import build_cluster, paper_cluster
+from repro.sim import Simulator
+
+N_ITEMS = 48
+CHEAP_S = 40e-6
+SLOW_S = 50 * CHEAP_S
+STOP = -1
+
+
+def item_cost(i: int) -> float:
+    # Every 16th item is a straggler.
+    return SLOW_S if i % 16 == 15 else CHEAP_S
+
+
+def run(slots: int) -> float:
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=1))
+    rt = DcgnRuntime(
+        cluster,
+        DcgnConfig([NodeConfig(cpu_threads=1, gpus=1, slots_per_gpu=slots)]),
+    )
+    marks = {}
+
+    def master(ctx):
+        t0 = ctx.sim.now
+        next_item, stopped = 0, 0
+        msg = np.zeros(1, dtype=np.int64)
+        while stopped < slots:
+            status = yield from ctx.recv(ANY, msg)
+            if next_item < N_ITEMS:
+                reply = np.array([next_item], dtype=np.int64)
+                next_item += 1
+            else:
+                reply = np.array([STOP], dtype=np.int64)
+                stopped += 1
+            yield from ctx.send(status.source, reply)
+        marks["makespan"] = ctx.sim.now - t0
+
+    def gpu_worker(kctx):
+        comm = kctx.comm
+        slot = kctx.block_idx % comm.n_slots
+        msg = kctx.device.alloc(1, dtype=np.int64)
+        while True:
+            yield from comm.send(slot, 0, msg)
+            yield from comm.recv(slot, 0, msg)
+            item = int(msg.data[0])
+            if item == STOP:
+                break
+            yield from kctx.compute(seconds=item_cost(item))
+        msg.free()
+
+    rt.launch_cpu(master)
+    rt.launch_gpu(gpu_worker, config=LaunchConfig(grid_blocks=slots))
+    rt.run(max_time=60.0)
+    return marks["makespan"]
+
+
+def main() -> None:
+    print(f"Skewed item queue ({N_ITEMS} items, every 16th costs 50x) on ONE GPU:")
+    base = None
+    for slots in (1, 2, 4, 8):
+        t = run(slots)
+        base = base or t
+        print(f"  slots_per_gpu={slots}:  makespan {t * 1e3:7.2f} ms  "
+              f"({base / t:4.2f}x vs 1 slot)")
+    print()
+    print("One slot serializes behind stragglers; more slots let cheap")
+    print("items stream around them (paper §3.1: no single rank mapping")
+    print("fits every data-parallel algorithm).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of *Message Passing on Data-Parallel Architectures*
+(Stuart & Owens, IPDPS 2009).
+
+The package implements DCGN — an MPI-like message-passing library in which
+GPUs are first-class communication targets via *slots* — together with
+every substrate it needs, all running on a deterministic discrete-event
+simulation of a GPU cluster:
+
+``repro.sim``
+    Generator-coroutine discrete-event kernel.
+``repro.hw``
+    Hardware cost models: PCIe, NIC, InfiniBand interconnect, nodes,
+    clusters, calibration presets.
+``repro.gpusim``
+    Data-parallel machine (GPU) simulator: SIMT grid/block execution,
+    run-to-completion block scheduling, device memory, driver API.
+``repro.mpi``
+    A simulated MPI implementation (the "MVAPICH2" baseline).
+``repro.dcgn``
+    The paper's contribution: slots, rank virtualization, the
+    communication thread, sleep-based GPU polling, and MPI-like
+    point-to-point + collective APIs callable from CPU and GPU kernels.
+``repro.gas``
+    The conventional GPU-as-slave + MPI baseline runtime.
+``repro.apps``
+    The paper's test applications (ping-pong, send/broadcast/barrier
+    micro-benchmarks, Mandelbrot, Cannon's matrix multiply, N-body).
+``repro.bench``
+    Harness regenerating every table and figure of the evaluation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

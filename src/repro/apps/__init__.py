@@ -1,0 +1,15 @@
+"""The paper's test applications (§4) in DCGN, GAS, and single-GPU form."""
+
+from . import cannon, mandelbrot, micro, nbody, pingpong
+from .common import AppResult, efficiency, speedup
+
+__all__ = [
+    "AppResult",
+    "speedup",
+    "efficiency",
+    "mandelbrot",
+    "cannon",
+    "nbody",
+    "micro",
+    "pingpong",
+]

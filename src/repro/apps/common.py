@@ -1,0 +1,40 @@
+"""Shared infrastructure for the test applications (paper §4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["AppResult", "speedup", "efficiency"]
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    #: Simulated wall-clock of the timed section (seconds).
+    elapsed: float
+    #: Number of computational units (paper's definition for efficiency).
+    units: int
+    #: Model used ("dcgn" | "gas" | "single").
+    model: str
+    #: Application-specific extras (pixels/s, strip owners, checksums...).
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def rate(self, work_items: float) -> float:
+        """Work items per simulated second."""
+        return work_items / self.elapsed if self.elapsed > 0 else float("inf")
+
+
+def speedup(t_single: float, t_parallel: float) -> float:
+    """Classic speedup T1/TN."""
+    if t_parallel <= 0:
+        raise ValueError("parallel time must be positive")
+    return t_single / t_parallel
+
+
+def efficiency(t_single: float, t_parallel: float, units: int) -> float:
+    """Paper §5.1: speedup with N units divided by N."""
+    if units < 1:
+        raise ValueError("units must be >= 1")
+    return speedup(t_single, t_parallel) / units

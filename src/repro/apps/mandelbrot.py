@@ -1,0 +1,369 @@
+"""Mandelbrot fractal generation with a dynamic work queue (paper §4).
+
+"Calculating the Mandelbrot set is an excellent candidate for testing
+dynamic and unpredictable communication. ... As GPU processors become
+available they contact the master thread (target 0) and request a strip
+of the output image to generate."
+
+Three implementations share the same pixel mathematics:
+
+* :func:`run_single_gpu` — one GPU computes the whole image (the
+  baseline for speedup/efficiency);
+* :func:`run_gas` — master/worker over plain MPI, CPU-mediated
+  (the GAS+MPI comparison);
+* :func:`run_dcgn` — the paper's version: the master is a DCGN CPU
+  kernel, workers are *GPU kernels* requesting strips from inside the
+  kernel via DCGN sends/recvs.
+
+All three verify their output against :func:`mandelbrot_reference`.
+Figure 5 (different runs → different strip ownership) is reproduced by
+running :func:`run_dcgn` with different cluster seeds and timing jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dcgn import ANY, DcgnConfig, DcgnRuntime
+from ..gas import GasJob
+from ..gpusim import LaunchConfig
+from ..hw.cluster import Cluster
+from ..sim.core import Simulator
+from .common import AppResult
+
+__all__ = [
+    "MandelbrotConfig",
+    "mandelbrot_reference",
+    "strip_iteration_counts",
+    "run_single_gpu",
+    "run_gas",
+    "run_dcgn",
+]
+
+#: Sentinel strip id meaning "no more work".
+STOP = -1
+
+
+@dataclass(frozen=True)
+class MandelbrotConfig:
+    """Workload parameters.
+
+    ``flops_per_iter`` calibrates the arithmetic intensity of one inner
+    escape-time iteration on the device (complex multiply-add, compare,
+    bookkeeping).
+    """
+
+    width: int = 1024
+    height: int = 1024
+    strip_height: int = 64
+    max_iter: int = 512
+    x0: float = -2.5
+    x1: float = 1.0
+    y0: float = -1.25
+    y1: float = 1.25
+    flops_per_iter: float = 38.0
+
+    def __post_init__(self) -> None:
+        if self.height % self.strip_height != 0:
+            raise ValueError("strip_height must divide height")
+
+    @property
+    def n_strips(self) -> int:
+        return self.height // self.strip_height
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def strip_nbytes(self) -> int:
+        """Result bytes per strip (int32 iteration counts)."""
+        return self.width * self.strip_height * 4
+
+
+@lru_cache(maxsize=8)
+def _reference_cached(
+    width, height, max_iter, x0, x1, y0, y1
+) -> np.ndarray:
+    """Vectorized escape-time iteration counts for the full image."""
+    xs = np.linspace(x0, x1, width, dtype=np.float64)
+    ys = np.linspace(y0, y1, height, dtype=np.float64)
+    c = xs[None, :] + 1j * ys[:, None]
+    z = np.zeros_like(c)
+    counts = np.full(c.shape, max_iter, dtype=np.int32)
+    alive = np.ones(c.shape, dtype=bool)
+    for it in range(max_iter):
+        z[alive] = z[alive] * z[alive] + c[alive]
+        escaped = alive & (z.real * z.real + z.imag * z.imag > 4.0)
+        counts[escaped] = it
+        alive &= ~escaped
+        if not alive.any():
+            break
+    return counts
+
+
+def mandelbrot_reference(cfg: MandelbrotConfig) -> np.ndarray:
+    """Iteration counts of the full image (height × width, int32)."""
+    return _reference_cached(
+        cfg.width, cfg.height, cfg.max_iter, cfg.x0, cfg.x1, cfg.y0, cfg.y1
+    )
+
+
+def strip_iteration_counts(cfg: MandelbrotConfig) -> np.ndarray:
+    """Total escape-time iterations per strip (the compute-cost driver)."""
+    ref = mandelbrot_reference(cfg)
+    per_row = ref.sum(axis=1, dtype=np.int64)
+    return per_row.reshape(cfg.n_strips, cfg.strip_height).sum(axis=1)
+
+
+def _strip_seconds(cfg: MandelbrotConfig, device, strip_id: int) -> float:
+    """Device time to compute one strip (full-device throughput)."""
+    iters = float(strip_iteration_counts(cfg)[strip_id])
+    return iters * cfg.flops_per_iter / (device.params.gflops * 1e9)
+
+
+def _strip_pixels(cfg: MandelbrotConfig, strip_id: int) -> np.ndarray:
+    ref = mandelbrot_reference(cfg)
+    r0 = strip_id * cfg.strip_height
+    return ref[r0 : r0 + cfg.strip_height, :]
+
+
+def _verify(cfg: MandelbrotConfig, image: np.ndarray) -> None:
+    if not np.array_equal(image, mandelbrot_reference(cfg)):
+        raise AssertionError("mandelbrot output does not match reference")
+
+
+# ---------------------------------------------------------------------------
+# Single-GPU baseline
+# ---------------------------------------------------------------------------
+
+def run_single_gpu(
+    cluster: Cluster, cfg: MandelbrotConfig
+) -> AppResult:
+    """One GPU computes the whole image in one kernel (no messaging)."""
+    sim = cluster.sim
+    device = cluster.nodes[0].gpus[0]
+    image = np.zeros((cfg.height, cfg.width), dtype=np.int32)
+    marks = {}
+
+    def kernel(ctx):
+        total_iters = float(strip_iteration_counts(cfg).sum())
+        yield from ctx.compute(
+            seconds=total_iters
+            * cfg.flops_per_iter
+            / (device.params.gflops * 1e9)
+        )
+
+    def host():
+        from ..gpusim.driver import launch, memcpy_d2h
+
+        t0 = sim.now
+        dbuf = device.alloc(
+            (cfg.height, cfg.width), dtype=np.int32, name="mandel.image"
+        )
+        handle = yield from launch(
+            device, kernel, LaunchConfig(grid_blocks=1)
+        )
+        yield handle.done
+        dbuf.data[...] = mandelbrot_reference(cfg)
+        yield from memcpy_d2h(device, image, dbuf)
+        marks["elapsed"] = sim.now - t0
+        dbuf.free()
+
+    sim.process(host(), name="mandel.single")
+    sim.run()
+    _verify(cfg, image)
+    return AppResult(
+        elapsed=marks["elapsed"],
+        units=1,
+        model="single",
+        extras={"pixels_per_s": cfg.pixels / marks["elapsed"]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# GAS + MPI master/worker
+# ---------------------------------------------------------------------------
+
+def run_gas(cluster: Cluster, cfg: MandelbrotConfig) -> AppResult:
+    """Master (CPU rank 0) + one MPI worker process per GPU."""
+    job = GasJob.all_gpus(cluster, with_master=True)
+    n_workers = job.size - 1
+    image = np.zeros((cfg.height, cfg.width), dtype=np.int32)
+    owners = np.full(cfg.n_strips, -1, dtype=np.int32)
+    marks = {}
+
+    strip_words = cfg.strip_height * cfg.width
+
+    def master(ctx):
+        t0 = ctx.sim.now
+        next_strip = 0
+        stopped = 0
+        # Combined message: [0] = finished strip id (or -1), [1:] pixels.
+        combined = np.zeros(1 + strip_words, dtype=np.int32)
+        while stopped < n_workers:
+            status = yield from ctx.mpi.recv(combined, tag=1)
+            worker = status.source
+            finished = int(combined[0])
+            if finished >= 0:
+                r0 = finished * cfg.strip_height
+                image[r0 : r0 + cfg.strip_height, :] = combined[1:].reshape(
+                    cfg.strip_height, cfg.width
+                )
+                owners[finished] = worker
+            if next_strip < cfg.n_strips:
+                assignment = np.array([next_strip], dtype=np.int64)
+                next_strip += 1
+            else:
+                assignment = np.array([STOP], dtype=np.int64)
+                stopped += 1
+            yield from ctx.mpi.send(assignment, dest=worker, tag=3)
+        marks["elapsed"] = ctx.sim.now - t0
+
+    def worker(ctx):
+        assignment = np.zeros(1, dtype=np.int64)
+        dbuf = ctx.alloc(
+            (cfg.strip_height, cfg.width), dtype=np.int32, name="strip"
+        )
+        combined = np.zeros(1 + strip_words, dtype=np.int32)
+        combined[0] = -1  # first request carries no finished strip
+        while True:
+            yield from ctx.mpi.send(combined, dest=0, tag=1)
+            yield from ctx.mpi.recv(assignment, source=0, tag=3)
+            strip_id = int(assignment[0])
+            if strip_id == STOP:
+                break
+
+            def kernel(kctx, sid=strip_id):
+                yield from kctx.compute(
+                    seconds=_strip_seconds(cfg, kctx.device, sid)
+                )
+
+            yield from ctx.run_kernel(
+                kernel, LaunchConfig(grid_blocks=1), name=f"strip{strip_id}"
+            )
+            dbuf.data[...] = _strip_pixels(cfg, strip_id)
+            yield from ctx.pull(
+                combined[1:].reshape(cfg.strip_height, cfg.width), dbuf
+            )
+            combined[0] = strip_id
+        dbuf.free()
+
+    job.start(master, ranks=[0])
+    job.start(worker, ranks=range(1, job.size))
+    job.run()
+    _verify(cfg, image)
+    elapsed = marks["elapsed"]
+    return AppResult(
+        elapsed=elapsed,
+        units=n_workers,
+        model="gas",
+        extras={
+            "pixels_per_s": cfg.pixels / elapsed,
+            "owners": owners.copy(),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# DCGN: master CPU kernel + GPU worker kernels with in-kernel messaging
+# ---------------------------------------------------------------------------
+
+def run_dcgn(
+    cluster: Cluster,
+    cfg: MandelbrotConfig,
+    slots_per_gpu: int = 1,
+) -> AppResult:
+    """The paper's dynamic work queue: GPU kernels request strips
+    directly from the master via dcgn::gpu::send/recv."""
+    sim = cluster.sim
+    n_nodes = cluster.n_nodes
+    gpus_per_node = len(cluster.nodes[0].gpus)
+    # Node 0 hosts the master CPU kernel; all nodes contribute GPUs.
+    node_cfgs = []
+    from ..dcgn import NodeConfig
+
+    for n in range(n_nodes):
+        node_cfgs.append(
+            NodeConfig(
+                cpu_threads=1 if n == 0 else 0,
+                gpus=gpus_per_node,
+                slots_per_gpu=slots_per_gpu,
+            )
+        )
+    rt = DcgnRuntime(cluster, DcgnConfig(node_cfgs))
+    n_workers = len(rt.rankmap.gpu_ranks())
+    image = np.zeros((cfg.height, cfg.width), dtype=np.int32)
+    owners = np.full(cfg.n_strips, -1, dtype=np.int32)
+    marks = {}
+
+    strip_words = cfg.strip_height * cfg.width
+
+    def master(ctx):
+        t0 = ctx.sim.now
+        next_strip = 0
+        stopped = 0
+        combined = np.zeros(1 + strip_words, dtype=np.int32)
+        while stopped < n_workers:
+            status = yield from ctx.recv(ANY, combined)
+            worker = status.source
+            finished = int(combined[0])
+            if finished >= 0:
+                r0 = finished * cfg.strip_height
+                image[r0 : r0 + cfg.strip_height, :] = combined[1:].reshape(
+                    cfg.strip_height, cfg.width
+                )
+                owners[finished] = worker
+            if next_strip < cfg.n_strips:
+                assignment = np.array([next_strip], dtype=np.int64)
+                next_strip += 1
+            else:
+                assignment = np.array([STOP], dtype=np.int64)
+                stopped += 1
+            yield from ctx.send(worker, assignment)
+        marks["elapsed"] = ctx.sim.now - t0
+
+    def gpu_worker(kctx):
+        comm = kctx.comm
+        slot = kctx.block_idx % comm.n_slots
+        device = kctx.device
+        assignment = device.alloc(1, dtype=np.int64, name="assign")
+        # Combined strip+request buffer in global memory: one
+        # dcgn::gpu::send per cycle instead of two (the paper's workers
+        # return the finished strip and request the next in one exchange).
+        combined = device.alloc(1 + strip_words, dtype=np.int32, name="combined")
+        combined.data[0] = -1
+        while True:
+            yield from comm.send(slot, 0, combined)
+            yield from comm.recv(slot, 0, assignment)
+            strip_id = int(assignment.data[0])
+            if strip_id == STOP:
+                break
+            yield from kctx.compute(
+                seconds=_strip_seconds(cfg, device, strip_id)
+            )
+            combined.data[1:] = _strip_pixels(cfg, strip_id).reshape(-1)
+            combined.data[0] = strip_id
+        assignment.free()
+        combined.free()
+
+    rt.launch_cpu(master, ranks=[rt.rankmap.cpu_ranks()[0]])
+    rt.launch_gpu(
+        gpu_worker, config=LaunchConfig(grid_blocks=slots_per_gpu)
+    )
+    rt.run(max_time=300.0)
+    _verify(cfg, image)
+    elapsed = marks["elapsed"]
+    return AppResult(
+        elapsed=elapsed,
+        units=n_workers,
+        model="dcgn",
+        extras={
+            "pixels_per_s": cfg.pixels / elapsed,
+            "owners": owners.copy(),
+        },
+    )

@@ -1,0 +1,135 @@
+"""Ping-pong latency test (paper Figures 1 and 3).
+
+Sends a buffer A→B then B→A, over every endpoint combination the paper
+exercises (CPU↔CPU, CPU↔GPU, GPU↔GPU), in both the DCGN and plain-MPI
+models.  Used by the quickstart example and the latency tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..dcgn import DcgnConfig, DcgnRuntime, NodeConfig
+from ..hw import build_cluster, paper_cluster
+from ..hw.params import HWParams
+from ..mpi import MpiJob
+from ..sim.core import Simulator
+
+__all__ = ["mpi_pingpong", "dcgn_pingpong"]
+
+
+def mpi_pingpong(
+    nbytes: int = 4,
+    rounds: int = 10,
+    params: Optional[HWParams] = None,
+) -> Dict[str, float]:
+    """MPI ping-pong between two ranks on two nodes.
+
+    Returns round-trip seconds (mean) and verifies payload integrity.
+    """
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=2, params=params))
+    job = MpiJob(cluster, [0, 1])
+    marks = {}
+
+    def prog(ctx):
+        x = np.zeros(max(nbytes // 8, 1), dtype=np.int64)
+        if ctx.rank == 0:
+            x[0] = 1
+            t0 = ctx.sim.now
+            for _ in range(rounds):
+                yield from ctx.send(x, dest=1)
+                yield from ctx.recv(x, source=1)
+            marks["rtt"] = (ctx.sim.now - t0) / rounds
+            marks["final"] = int(x[0])
+        else:
+            for _ in range(rounds):
+                yield from ctx.recv(x, source=0)
+                x[0] += 1
+                yield from ctx.send(x, dest=0)
+
+    job.start(prog)
+    job.run()
+    assert marks["final"] == rounds + 1
+    return marks
+
+
+def dcgn_pingpong(
+    nbytes: int = 4,
+    rounds: int = 10,
+    endpoints: str = "cpu-cpu",
+    params: Optional[HWParams] = None,
+) -> Dict[str, float]:
+    """DCGN ping-pong; ``endpoints`` ∈ {cpu-cpu, gpu-gpu, cpu-gpu}."""
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=2, params=params))
+    a_kind, b_kind = endpoints.split("-")
+    cfg = DcgnConfig(
+        [
+            NodeConfig(
+                cpu_threads=1 if a_kind == "cpu" else 0,
+                gpus=1 if a_kind == "gpu" else 0,
+            ),
+            NodeConfig(
+                cpu_threads=1 if b_kind == "cpu" else 0,
+                gpus=1 if b_kind == "gpu" else 0,
+            ),
+        ]
+    )
+    rt = DcgnRuntime(cluster, cfg)
+    a_rank = rt.rankmap.local_ranks(0)[0]
+    b_rank = rt.rankmap.local_ranks(1)[0]
+    marks: Dict[str, float] = {}
+    count = max(nbytes // 8, 1)
+
+    def cpu_a(ctx):
+        x = np.zeros(count, dtype=np.int64)
+        x[0] = 1
+        t0 = ctx.sim.now
+        for _ in range(rounds):
+            yield from ctx.send(b_rank, x)
+            yield from ctx.recv(b_rank, x)
+        marks["rtt"] = (ctx.sim.now - t0) / rounds
+        marks["final"] = int(x[0])
+
+    def cpu_b(ctx):
+        x = np.zeros(count, dtype=np.int64)
+        for _ in range(rounds):
+            yield from ctx.recv(a_rank, x)
+            x[0] += 1
+            yield from ctx.send(a_rank, x)
+
+    def gpu_a(kctx):
+        comm = kctx.comm
+        dbuf = kctx.device.alloc(count, dtype=np.int64)
+        dbuf.data[0] = 1
+        t0 = kctx.sim.now
+        for _ in range(rounds):
+            yield from comm.send(0, b_rank, dbuf)
+            yield from comm.recv(0, b_rank, dbuf)
+        marks["rtt"] = (kctx.sim.now - t0) / rounds
+        marks["final"] = int(dbuf.data[0])
+        dbuf.free()
+
+    def gpu_b(kctx):
+        comm = kctx.comm
+        dbuf = kctx.device.alloc(count, dtype=np.int64)
+        for _ in range(rounds):
+            yield from comm.recv(0, a_rank, dbuf)
+            dbuf.data[0] += 1
+            yield from comm.send(0, a_rank, dbuf)
+        dbuf.free()
+
+    if a_kind == "cpu":
+        rt.launch_cpu(cpu_a, ranks=[a_rank])
+    else:
+        rt.launch_gpu(gpu_a, gpus=[(0, 0)])
+    if b_kind == "cpu":
+        rt.launch_cpu(cpu_b, ranks=[b_rank])
+    else:
+        rt.launch_gpu(gpu_b, gpus=[(1, 0)])
+    rt.run(max_time=120.0)
+    assert marks["final"] == rounds + 1
+    return marks

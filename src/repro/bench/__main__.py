@@ -1,0 +1,79 @@
+"""Regenerate every evaluation artifact from the command line.
+
+Usage::
+
+    python -m repro.bench              # everything (several minutes)
+    python -m repro.bench table1 fig6  # selected artifacts
+
+Tables are printed and saved under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    fig5_mandelbrot_distribution,
+    fig6_send,
+    fig7_broadcast,
+    future_hw_table,
+    overhead_breakdown,
+    sec51_cannon,
+    sec51_mandelbrot,
+    sec51_nbody,
+    table1_barriers,
+)
+from .harness import save_table
+
+ARTIFACTS = {
+    "table1": ("Table 1 (barriers)", table1_barriers),
+    "fig5": ("Figure 5 (Mandelbrot distribution)",
+             fig5_mandelbrot_distribution),
+    "fig6": ("Figure 6 (sends)", fig6_send),
+    "fig7": ("Figure 7 (broadcasts)", fig7_broadcast),
+    "mandelbrot": ("§5.1 Mandelbrot", sec51_mandelbrot),
+    "cannon": ("§5.1 Cannon", sec51_cannon),
+    "nbody": ("§5.1 N-body", sec51_nbody),
+    "breakdown": ("Overhead breakdown", overhead_breakdown),
+    "future": ("Future hardware (§7)", future_hw_table),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        help=f"which artifacts to regenerate: {', '.join(ARTIFACTS)}, "
+        "or 'all' (default)",
+    )
+    args = parser.parse_args(argv)
+    unknown = [a for a in args.artifacts if a != "all" and a not in ARTIFACTS]
+    if unknown:
+        parser.error(
+            f"unknown artifact(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(ARTIFACTS)}, all)"
+        )
+    wanted = (
+        list(ARTIFACTS)
+        if "all" in args.artifacts or not args.artifacts
+        else args.artifacts
+    )
+    for key in wanted:
+        label, builder = ARTIFACTS[key]
+        print(f"\n--- {label} ---")
+        t0 = time.time()
+        table = builder()
+        print(table.render())
+        path = save_table(key, table)
+        print(f"  [saved to {path}; {time.time() - t0:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

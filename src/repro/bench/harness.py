@@ -1,0 +1,91 @@
+"""Benchmark harness: tables, formatting, and result persistence.
+
+Every benchmark regenerates one of the paper's artifacts and renders it
+in the same shape the paper reports (rows of a table, series of a
+figure), alongside the paper's numbers for comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["fmt_time", "fmt_ratio", "Table", "results_dir", "save_table"]
+
+
+def fmt_time(seconds: Optional[float]) -> str:
+    """Human-readable simulated time (µs/ms/s)."""
+    if seconds is None:
+        return "—"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds:.3f} s"
+
+
+def fmt_ratio(x: Optional[float]) -> str:
+    if x is None:
+        return "—"
+    return f"{x:.2f}×"
+
+
+@dataclass
+class Table:
+    """A paper-style results table."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = " | ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def results_dir() -> str:
+    """Directory where benchmark tables are persisted."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    out = os.path.join(here, "benchmarks", "out")
+    os.makedirs(out, exist_ok=True)
+    return out
+
+
+def save_table(name: str, table: Table) -> str:
+    """Persist a rendered table under benchmarks/out; returns the path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(table.render() + "\n")
+    return path

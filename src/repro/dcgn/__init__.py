@@ -1,0 +1,73 @@
+"""DCGN — Distributed Computing on GPU Networks (the paper's system).
+
+Quick tour::
+
+    from repro.sim import Simulator
+    from repro.hw import build_cluster, paper_cluster
+    from repro.dcgn import DcgnConfig, DcgnRuntime
+
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=2))
+    cfg = DcgnConfig.homogeneous(2, cpu_threads=1, gpus=1, slots_per_gpu=1)
+    rt = DcgnRuntime(cluster, cfg)
+
+    def cpu_kernel(ctx):
+        ...  # ctx.send / ctx.recv / ctx.barrier / ...
+        yield from ctx.barrier()
+
+    def gpu_kernel(ctx):
+        comm = ctx.comm  # GpuCommApi: slot-indexed dcgn::gpu::* calls
+        yield from comm.barrier(slot=0)
+
+    rt.launch_cpu(cpu_kernel)
+    rt.launch_gpu(gpu_kernel)
+    report = rt.run()
+"""
+
+from .comm_thread import CommThread
+from .config import DcgnConfig, NodeConfig
+from .cpu_api import CpuKernelContext, DcgnRequestHandle
+from .errors import (
+    CollectiveMismatch,
+    CommViolation,
+    DcgnConfigError,
+    DcgnError,
+    DcgnTimeout,
+)
+from .gpu_api import GpuCommApi
+from .mpi_compat import DcgnMpiAdapter
+from .gpu_thread import GpuKernelThread
+from .polling import AdaptiveBurstPolicy, FixedIntervalPolicy, PollPolicy
+from .queues import WorkQueue, sleep_poll_wait
+from .ranks import ANY, CpuRank, GpuSlotRank, RankMap
+from .requests import CommRequest, CommStatus
+from .runtime import DcgnReport, DcgnRuntime
+
+__all__ = [
+    "DcgnConfig",
+    "NodeConfig",
+    "RankMap",
+    "CpuRank",
+    "GpuSlotRank",
+    "ANY",
+    "CommRequest",
+    "CommStatus",
+    "WorkQueue",
+    "sleep_poll_wait",
+    "PollPolicy",
+    "FixedIntervalPolicy",
+    "AdaptiveBurstPolicy",
+    "CommThread",
+    "GpuKernelThread",
+    "CpuKernelContext",
+    "DcgnRequestHandle",
+    "GpuCommApi",
+    "DcgnMpiAdapter",
+    "DcgnRuntime",
+    "DcgnReport",
+    "DcgnError",
+    "DcgnConfigError",
+    "DcgnTimeout",
+    "CollectiveMismatch",
+    "CommViolation",
+]

@@ -1,0 +1,105 @@
+"""DCGN job configuration: CPU-kernel threads, GPUs, and slots per node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..hw.cluster import Cluster
+from .errors import DcgnConfigError
+
+__all__ = ["NodeConfig", "DcgnConfig"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Resources one node contributes to a DCGN job.
+
+    Paper §3.2.3: "Every Node_n is given Cn + (Gn × Sn) ranks, where Cn is
+    the number of CPU-kernel threads requested, Gn is the number of GPUs
+    requested, and Sn is the number of slots per GPU requested."
+    """
+
+    cpu_threads: int = 0
+    gpus: int = 0
+    slots_per_gpu: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cpu_threads < 0:
+            raise DcgnConfigError("cpu_threads must be >= 0")
+        if self.gpus < 0:
+            raise DcgnConfigError("gpus must be >= 0")
+        if self.gpus > 0 and self.slots_per_gpu < 1:
+            raise DcgnConfigError("each requested GPU needs at least 1 slot")
+        if self.cpu_threads == 0 and self.gpus == 0:
+            raise DcgnConfigError("node contributes no ranks")
+
+    @property
+    def ranks(self) -> int:
+        """Cn + Gn*Sn."""
+        return self.cpu_threads + self.gpus * self.slots_per_gpu
+
+
+@dataclass(frozen=True)
+class DcgnConfig:
+    """Per-node configuration of a whole DCGN job."""
+
+    nodes: tuple
+
+    def __init__(self, nodes: Sequence[NodeConfig]) -> None:
+        if not nodes:
+            raise DcgnConfigError("job needs at least one node")
+        object.__setattr__(self, "nodes", tuple(nodes))
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_nodes: int,
+        cpu_threads: int = 0,
+        gpus: int = 0,
+        slots_per_gpu: int = 1,
+    ) -> "DcgnConfig":
+        """Same configuration on every node (the paper's usual setup)."""
+        return cls(
+            [
+                NodeConfig(
+                    cpu_threads=cpu_threads,
+                    gpus=gpus,
+                    slots_per_gpu=slots_per_gpu,
+                )
+            ]
+            * n_nodes
+        )
+
+    @property
+    def total_ranks(self) -> int:
+        return sum(nc.ranks for nc in self.nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def validate_against(self, cluster: Cluster) -> None:
+        """Check the cluster can host this configuration."""
+        if len(self.nodes) > cluster.n_nodes:
+            raise DcgnConfigError(
+                f"config names {len(self.nodes)} nodes; cluster has "
+                f"{cluster.n_nodes}"
+            )
+        for i, nc in enumerate(self.nodes):
+            node = cluster.nodes[i]
+            if nc.gpus > len(node.gpus):
+                raise DcgnConfigError(
+                    f"node {i}: requested {nc.gpus} GPUs, has {len(node.gpus)}"
+                )
+            if nc.gpus > 0:
+                # Slots are bounded by concurrently executing blocks
+                # (paper §3.1: "The maximum number of slots is equal to the
+                # maximum number of threads that are simultaneously
+                # executed" — at our block granularity, resident blocks).
+                max_slots = node.gpus[0].max_resident_blocks
+                if nc.slots_per_gpu > max_slots:
+                    raise DcgnConfigError(
+                        f"node {i}: {nc.slots_per_gpu} slots/GPU exceeds "
+                        f"max resident blocks {max_slots}"
+                    )

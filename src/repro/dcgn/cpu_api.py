@@ -1,0 +1,453 @@
+"""The DCGN API available inside CPU kernels (paper Figure 3, bottom).
+
+CPU kernels are generator functions ``fn(ctx, *args)`` receiving a
+:class:`CpuKernelContext`.  Communication calls funnel requests into the
+node's communication thread through the thread-safe work queue and wait
+for completion with sleep-based polling — the two cost sources the paper
+blames for DCGN's small-message overhead (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Union
+
+import numpy as np
+
+from ..hw.memory import HostBuffer
+from ..mpi.datatypes import payload_array
+from ..sim.core import Event, Simulator, us
+from .comm_thread import CommThread
+from .errors import CommViolation
+from .queues import sleep_poll_wait
+from .ranks import ANY, RankMap
+from .requests import CommRequest, CommStatus
+
+__all__ = ["CpuKernelContext", "DcgnRequestHandle"]
+
+HostPayload = Union[np.ndarray, HostBuffer]
+
+
+class DcgnRequestHandle:
+    """Handle for an asynchronous DCGN operation (dcgn async send/recv).
+
+    The paper (§5.1) mentions DCGN exposes "asynchronous sends and
+    receives" beneath the fused send/recv.  ``wait`` observes completion
+    through the same sleep-based polling as the blocking calls; ``test``
+    is a cheap flag check.
+    """
+
+    def __init__(self, ctx: "CpuKernelContext", req: CommRequest) -> None:
+        self._ctx = ctx
+        self.req = req
+
+    def test(self) -> bool:
+        """True once the runtime completed the operation."""
+        return self.req.done is not None and self.req.done.triggered
+
+    def wait(self) -> Generator[Event, Any, Any]:
+        """``yield from`` until complete; returns the CommStatus."""
+        result = yield from sleep_poll_wait(
+            self._ctx.sim,
+            self.req.done,
+            self._ctx._params.dcgn.cpu_wait_poll_us,
+        )
+        self.req.stamp("returned", self._ctx.sim.now)
+        return result
+
+
+class CpuKernelContext:
+    """Execution context of one CPU-kernel thread (one virtual rank)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vrank: int,
+        comm: CommThread,
+        rankmap: RankMap,
+    ) -> None:
+        self.sim = sim
+        self.vrank = vrank
+        self._comm = comm
+        self._rankmap = rankmap
+        self._params = comm.params
+        self._coll_seq = 0
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This kernel's virtual rank (dcgn::getRank())."""
+        return self.vrank
+
+    @property
+    def size(self) -> int:
+        """Total virtual ranks in the job."""
+        return self._rankmap.size
+
+    @property
+    def node_id(self) -> int:
+        return self._comm.node.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CpuKernelContext vrank={self.vrank}>"
+
+    # -- local work ---------------------------------------------------------
+    def compute(self, seconds: float) -> Generator[Event, Any, None]:
+        """Model CPU-kernel computation time."""
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    # -- plumbing ----------------------------------------------------------
+    def _issue(self, req: CommRequest) -> Generator[Event, Any, Any]:
+        """Charge request overhead, enqueue, and sleep-poll for completion."""
+        req.done = self.sim.event(name=f"req{req.req_id}.done")
+        req.stamp("issued", self.sim.now)
+        yield self.sim.timeout(us(self._params.cpu.request_overhead_us))
+        yield from self._comm.enqueue_from_cpu(req)
+        req.stamp("enqueued", self.sim.now)
+        result = yield from sleep_poll_wait(
+            self.sim, req.done, self._params.dcgn.cpu_wait_poll_us
+        )
+        req.stamp("returned", self.sim.now)
+        return result
+
+    @staticmethod
+    def _array(buf: HostPayload, what: str) -> np.ndarray:
+        arr = payload_array(buf)
+        if arr is None:
+            raise CommViolation(f"{what} requires an array payload")
+        return arr
+
+    def _check_peer(self, peer: int) -> None:
+        if peer != ANY:
+            self._rankmap.info(peer)  # raises if out of range
+
+    # -- point-to-point ------------------------------------------------------
+    def send(
+        self,
+        dest: int,
+        buf: HostPayload,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::send — blocking send of host memory to a virtual rank."""
+        self._check_peer(dest)
+        arr = self._array(buf, "send")
+        n = int(nbytes) if nbytes is not None else int(arr.nbytes)
+        req = CommRequest(
+            op="send",
+            src_vrank=self.vrank,
+            peer=dest,
+            nbytes=n,
+            data=arr.copy(),
+        )
+        yield from self._issue(req)
+
+    def recv(
+        self,
+        source: int,
+        buf: HostPayload,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, CommStatus]:
+        """dcgn::recv — blocking receive; ``source`` may be ``ANY``."""
+        self._check_peer(source)
+        arr = self._array(buf, "recv")
+        n = int(nbytes) if nbytes is not None else int(arr.nbytes)
+
+        def deliver(data: np.ndarray) -> None:
+            dview = arr.view(np.uint8).reshape(-1)
+            sview = data.view(np.uint8).reshape(-1)
+            m = min(dview.size, sview.size)
+            dview[:m] = sview[:m]
+
+        req = CommRequest(
+            op="recv",
+            src_vrank=self.vrank,
+            peer=source,
+            nbytes=n,
+            deliver=deliver,
+        )
+        status = yield from self._issue(req)
+        return status
+
+    # -- asynchronous point-to-point (paper §5.1) --------------------------
+    def _issue_async(
+        self, req: CommRequest
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        req.done = self.sim.event(name=f"req{req.req_id}.done")
+        req.stamp("issued", self.sim.now)
+        yield self.sim.timeout(us(self._params.cpu.request_overhead_us))
+        yield from self._comm.enqueue_from_cpu(req)
+        req.stamp("enqueued", self.sim.now)
+        return DcgnRequestHandle(self, req)
+
+    def isend(
+        self,
+        dest: int,
+        buf: HostPayload,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Asynchronous send; payload snapshotted at issue time."""
+        self._check_peer(dest)
+        arr = self._array(buf, "isend")
+        n = int(nbytes) if nbytes is not None else int(arr.nbytes)
+        req = CommRequest(
+            op="send",
+            src_vrank=self.vrank,
+            peer=dest,
+            nbytes=n,
+            data=arr.copy(),
+        )
+        handle = yield from self._issue_async(req)
+        return handle
+
+    def irecv(
+        self,
+        source: int,
+        buf: HostPayload,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Asynchronous receive into ``buf``."""
+        self._check_peer(source)
+        arr = self._array(buf, "irecv")
+        n = int(nbytes) if nbytes is not None else int(arr.nbytes)
+
+        def deliver(data: np.ndarray) -> None:
+            dview = arr.view(np.uint8).reshape(-1)
+            sview = data.view(np.uint8).reshape(-1)
+            m = min(dview.size, sview.size)
+            dview[:m] = sview[:m]
+
+        req = CommRequest(
+            op="recv",
+            src_vrank=self.vrank,
+            peer=source,
+            nbytes=n,
+            deliver=deliver,
+        )
+        handle = yield from self._issue_async(req)
+        return handle
+
+    def sendrecv(
+        self,
+        dest: int,
+        sendbuf: HostPayload,
+        source: int,
+        recvbuf: HostPayload,
+    ) -> Generator[Event, Any, CommStatus]:
+        """Combined send+recv: both requests enqueued before waiting.
+
+        The paper notes (§5.1, matrix multiplication) that a fused
+        send/recv beats two separate calls because the runtime needs only
+        one round of polling for the pair.
+        """
+        self._check_peer(dest)
+        self._check_peer(source)
+        sarr = self._array(sendbuf, "sendrecv")
+        rarr = self._array(recvbuf, "sendrecv")
+        sreq = CommRequest(
+            op="send",
+            src_vrank=self.vrank,
+            peer=dest,
+            nbytes=int(sarr.nbytes),
+            data=sarr.copy(),
+            done=self.sim.event(),
+        )
+
+        def deliver(data: np.ndarray) -> None:
+            dview = rarr.view(np.uint8).reshape(-1)
+            sview = data.view(np.uint8).reshape(-1)
+            m = min(dview.size, sview.size)
+            dview[:m] = sview[:m]
+
+        rreq = CommRequest(
+            op="recv",
+            src_vrank=self.vrank,
+            peer=source,
+            nbytes=int(rarr.nbytes),
+            deliver=deliver,
+            done=self.sim.event(),
+        )
+        yield self.sim.timeout(us(self._params.cpu.request_overhead_us))
+        yield from self._comm.enqueue_from_cpu(sreq)
+        yield from self._comm.enqueue_from_cpu(rreq)
+        yield from sleep_poll_wait(
+            self.sim, sreq.done, self._params.dcgn.cpu_wait_poll_us
+        )
+        status = yield from sleep_poll_wait(
+            self.sim, rreq.done, self._params.dcgn.cpu_wait_poll_us
+        )
+        return status
+
+    # -- collectives -------------------------------------------------------
+    def _next_coll(self) -> int:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return seq
+
+    def barrier(self) -> Generator[Event, Any, None]:
+        """dcgn::barrier across every virtual rank in the job."""
+        req = CommRequest(
+            op="barrier",
+            src_vrank=self.vrank,
+            extra={"coll_seq": self._next_coll()},
+        )
+        yield from self._issue(req)
+
+    def broadcast(
+        self,
+        root: int,
+        buf: HostPayload,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::broadcast from virtual rank ``root``."""
+        self._check_peer(root)
+        arr = self._array(buf, "broadcast")
+        n = int(nbytes) if nbytes is not None else int(arr.nbytes)
+        extra = {"coll_seq": self._next_coll()}
+        if self.vrank == root:
+            req = CommRequest(
+                op="bcast",
+                src_vrank=self.vrank,
+                root=root,
+                nbytes=n,
+                data=arr.copy(),
+                extra=extra,
+            )
+        else:
+
+            def deliver(data: np.ndarray) -> None:
+                dview = arr.view(np.uint8).reshape(-1)
+                sview = data.view(np.uint8).reshape(-1)
+                m = min(dview.size, sview.size)
+                dview[:m] = sview[:m]
+
+            req = CommRequest(
+                op="bcast",
+                src_vrank=self.vrank,
+                root=root,
+                nbytes=n,
+                deliver=deliver,
+                extra=extra,
+            )
+        yield from self._issue(req)
+
+    def allreduce(
+        self,
+        sendbuf: HostPayload,
+        recvbuf: HostPayload,
+        op: str = "sum",
+    ) -> Generator[Event, Any, None]:
+        """dcgn::allReduce with elementwise ``op``."""
+        sarr = self._array(sendbuf, "allreduce")
+        rarr = self._array(recvbuf, "allreduce")
+
+        def deliver(data: np.ndarray) -> None:
+            rarr[...] = data.reshape(rarr.shape)
+
+        req = CommRequest(
+            op="allreduce",
+            src_vrank=self.vrank,
+            nbytes=int(sarr.nbytes),
+            data=sarr.copy(),
+            deliver=deliver,
+            extra={"coll_seq": self._next_coll(), "reduce_op": op},
+        )
+        yield from self._issue(req)
+
+    def reduce(
+        self,
+        root: int,
+        sendbuf: HostPayload,
+        recvbuf: Optional[HostPayload] = None,
+        op: str = "sum",
+    ) -> Generator[Event, Any, None]:
+        """dcgn::reduce to virtual rank ``root``."""
+        self._check_peer(root)
+        sarr = self._array(sendbuf, "reduce")
+        deliver = None
+        if self.vrank == root:
+            if recvbuf is None:
+                raise CommViolation("root needs a recv buffer for reduce")
+            rarr = self._array(recvbuf, "reduce")
+
+            def deliver(data: np.ndarray) -> None:
+                rarr[...] = data.reshape(rarr.shape)
+
+        req = CommRequest(
+            op="reduce",
+            src_vrank=self.vrank,
+            root=root,
+            nbytes=int(sarr.nbytes),
+            data=sarr.copy(),
+            deliver=deliver,
+            extra={"coll_seq": self._next_coll(), "reduce_op": op},
+        )
+        yield from self._issue(req)
+
+    def gather(
+        self,
+        root: int,
+        sendbuf: HostPayload,
+        recvbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gather — equal chunks from every rank to ``root``."""
+        self._check_peer(root)
+        sarr = self._array(sendbuf, "gather")
+        chunk = int(sarr.nbytes)
+        deliver = None
+        if self.vrank == root:
+            if recvbuf is None:
+                raise CommViolation("root needs a recv buffer for gather")
+            rarr = self._array(recvbuf, "gather")
+
+            def deliver(data: np.ndarray) -> None:
+                dview = rarr.view(np.uint8).reshape(-1)
+                sview = data.view(np.uint8).reshape(-1)
+                m = min(dview.size, sview.size)
+                dview[:m] = sview[:m]
+
+        req = CommRequest(
+            op="gather",
+            src_vrank=self.vrank,
+            root=root,
+            nbytes=chunk,
+            data=sarr.copy(),
+            deliver=deliver,
+            extra={"coll_seq": self._next_coll(), "chunk": chunk},
+        )
+        yield from self._issue(req)
+
+    def scatter(
+        self,
+        root: int,
+        recvbuf: HostPayload,
+        sendbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::scatter — equal chunks from ``root`` to every rank."""
+        self._check_peer(root)
+        rarr = self._array(recvbuf, "scatter")
+        chunk = int(rarr.nbytes)
+
+        def deliver(data: np.ndarray) -> None:
+            dview = rarr.view(np.uint8).reshape(-1)
+            sview = data.view(np.uint8).reshape(-1)
+            m = min(dview.size, sview.size)
+            dview[:m] = sview[:m]
+
+        data = None
+        if self.vrank == root:
+            if sendbuf is None:
+                raise CommViolation("root needs a send buffer for scatter")
+            sarr = self._array(sendbuf, "scatter")
+            data = sarr.copy()
+        req = CommRequest(
+            op="scatter",
+            src_vrank=self.vrank,
+            root=root,
+            nbytes=chunk,
+            data=data,
+            deliver=deliver,
+            extra={"coll_seq": self._next_coll(), "chunk": chunk},
+        )
+        yield from self._issue(req)

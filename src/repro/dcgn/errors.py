@@ -1,0 +1,37 @@
+"""DCGN runtime error types."""
+
+from __future__ import annotations
+
+__all__ = [
+    "DcgnError",
+    "DcgnConfigError",
+    "DcgnTimeout",
+    "CollectiveMismatch",
+    "CommViolation",
+]
+
+
+class DcgnError(Exception):
+    """Base class for DCGN runtime errors."""
+
+
+class DcgnConfigError(DcgnError):
+    """Invalid job configuration (slots, threads, placement)."""
+
+
+class DcgnTimeout(DcgnError):
+    """The runtime watchdog expired before all kernels completed.
+
+    Usually indicates a communication deadlock — e.g. the paper's §3.2.4
+    block-scheduling hazard, or mismatched collective participation.
+    """
+
+
+class CollectiveMismatch(DcgnError):
+    """Participants disagreed on the collective's kind, root, or size."""
+
+
+class CommViolation(DcgnError):
+    """API misuse: e.g. host memory passed to a GPU-sourced send
+    (paper: GPU communication must use global memory), or a user thread
+    that DCGN doesn't know about issuing communication."""

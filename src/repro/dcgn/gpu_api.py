@@ -1,0 +1,216 @@
+"""The DCGN API available inside GPU kernels (paper Figure 1).
+
+A GPU kernel block receives this object as ``ctx.comm``.  All calls are
+*slot-indexed*: the kernel explicitly names which of the GPU's virtual
+ranks sources the communication ("Kernels pass this slot-identifier to
+enforce explicit mappings of GPU-sourced communication requests to
+slots", §3.2).
+
+Buffers must live in GPU global memory (:class:`DeviceBuffer`); passing
+host memory raises :class:`CommViolation` — mirroring the paper's note
+that "for communication, we have to use global memory".
+
+Mechanically, each call writes a request descriptor into the slot's
+mailbox and spins on the completion flag; the host-side GPU-kernel
+thread does the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+import numpy as np
+
+from ..gpusim.kernel import BlockContext
+from ..gpusim.mailbox import SlotMailboxes
+from ..gpusim.memory import DeviceBuffer
+from ..sim.core import Event
+from .errors import CommViolation
+from .ranks import ANY, RankMap
+from .requests import CommStatus
+
+__all__ = ["GpuCommApi"]
+
+
+class GpuCommApi:
+    """Slot-based communication interface bound to one kernel block."""
+
+    def __init__(
+        self,
+        block_ctx: BlockContext,
+        mailboxes: SlotMailboxes,
+        rankmap: RankMap,
+        node_id: int,
+        gpu_index: int,
+        coll_counters: Dict[int, int],
+    ) -> None:
+        self._ctx = block_ctx
+        self._mbox = mailboxes
+        self._rankmap = rankmap
+        self._node_id = node_id
+        self._gpu_index = gpu_index
+        #: Per-slot collective counters, shared across blocks and launches
+        #: (owned by the GPU-kernel thread).
+        self._coll_counters = coll_counters
+
+    # -- identity --------------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return self._mbox.n_slots
+
+    @property
+    def size(self) -> int:
+        """Total virtual ranks in the job."""
+        return self._rankmap.size
+
+    def rank(self, slot: int) -> int:
+        """dcgn::gpu::getRank(slot) — the slot's virtual rank."""
+        return self._rankmap.slot_rank(self._node_id, self._gpu_index, slot)
+
+    # -- helpers ------------------------------------------------------------
+    def _check_buf(self, buf: DeviceBuffer, what: str) -> np.ndarray:
+        if not isinstance(buf, DeviceBuffer):
+            raise CommViolation(
+                f"gpu::{what} requires GPU global memory, got "
+                f"{type(buf).__name__} (paper §3.2: communication must "
+                f"use global memory)"
+            )
+        dev = self._ctx.device
+        if not dev.owns(buf):
+            raise CommViolation(
+                f"gpu::{what}: buffer {buf.name!r} lives on another device"
+            )
+        buf.check_usable()
+        return buf.data
+
+    def _check_peer(self, peer: int) -> None:
+        if peer != ANY:
+            self._rankmap.info(peer)
+
+    def _next_coll(self, slot: int) -> int:
+        seq = self._coll_counters.get(slot, 0)
+        self._coll_counters[slot] = seq + 1
+        return seq
+
+    # -- point-to-point ------------------------------------------------------
+    def send(
+        self,
+        slot: int,
+        dest: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gpu::send(slot, dest, buf, size)."""
+        self._check_buf(buf, "send")
+        self._check_peer(dest)
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._mbox.post(
+            slot, "send", dest=dest, buf=buf, nbytes=n
+        )
+        yield from self._mbox.wait(req)
+
+    def recv(
+        self,
+        slot: int,
+        source: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, CommStatus]:
+        """dcgn::gpu::recv(slot, source, buf, size, &stat)."""
+        self._check_buf(buf, "recv")
+        self._check_peer(source)
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._mbox.post(
+            slot, "recv", source=source, buf=buf, nbytes=n
+        )
+        status = yield from self._mbox.wait(req)
+        return status
+
+    def sendrecv(
+        self,
+        slot: int,
+        dest: int,
+        sendbuf: DeviceBuffer,
+        source: int,
+        recvbuf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, CommStatus]:
+        """Fused send+recv: both descriptors posted before waiting.
+
+        The paper (§5.1, matrix multiplication) credits this fusion for
+        Cannon's DCGN performance: one mailbox polling round services
+        both requests instead of two.
+        """
+        self._check_buf(sendbuf, "sendrecv")
+        self._check_buf(recvbuf, "sendrecv")
+        self._check_peer(dest)
+        self._check_peer(source)
+        sn = int(nbytes) if nbytes is not None else sendbuf.nbytes
+        rn = int(nbytes) if nbytes is not None else recvbuf.nbytes
+        sreq = yield from self._mbox.post(
+            slot, "send", dest=dest, buf=sendbuf, nbytes=sn
+        )
+        rreq = yield from self._mbox.post(
+            slot, "recv", source=source, buf=recvbuf, nbytes=rn
+        )
+        yield from self._mbox.wait(sreq)
+        status = yield from self._mbox.wait(rreq)
+        return status
+
+    def sendrecv_replace(
+        self,
+        slot: int,
+        dest: int,
+        source: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, CommStatus]:
+        """In-place fused exchange (the MPI_Sendrecv_replace analogue).
+
+        Safe because the GPU-kernel thread snapshots the outgoing payload
+        (PCIe read) before any incoming payload is written back.
+        """
+        status = yield from self.sendrecv(
+            slot, dest, buf, source, buf, nbytes=nbytes
+        )
+        return status
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self, slot: int) -> Generator[Event, Any, None]:
+        """dcgn::gpu::barrier(slot) — job-wide barrier."""
+        seq = self._next_coll(slot)
+        req = yield from self._mbox.post(slot, "barrier", coll_seq=seq)
+        yield from self._mbox.wait(req)
+
+    def broadcast(
+        self,
+        slot: int,
+        root: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gpu::broadcast(slot, root, buf, size)."""
+        self._check_buf(buf, "broadcast")
+        self._check_peer(root)
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        seq = self._next_coll(slot)
+        req = yield from self._mbox.post(
+            slot, "bcast", root=root, buf=buf, nbytes=n, coll_seq=seq
+        )
+        yield from self._mbox.wait(req)
+
+    def allreduce(
+        self,
+        slot: int,
+        buf: DeviceBuffer,
+        op: str = "sum",
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gpu::allReduce(slot, buf, op) — in-place result."""
+        self._check_buf(buf, "allreduce")
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        seq = self._next_coll(slot)
+        req = yield from self._mbox.post(
+            slot, "allreduce", buf=buf, nbytes=n, coll_seq=seq, reduce_op=op
+        )
+        yield from self._mbox.wait(req)

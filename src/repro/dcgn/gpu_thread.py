@@ -1,0 +1,410 @@
+"""The GPU-kernel thread: launch, poll, relay, complete (paper §3.2.3).
+
+"DCGN threads that control a GPU execute kernels on the GPU, monitor the
+GPU for communication requests, transfer memory between the CPU and GPU,
+and funnel communication requests from GPU kernels to the communication
+thread."
+
+The polling loop is the paper's sleep-based polling system.  One
+iteration:
+
+1. sleep per the polling policy (a *kick* — host-side request activity —
+   may cut the sleep short when the adaptive policy is active);
+2. PCIe **probe** of the mailbox region (status flags);
+3. if requests are posted: PCIe **read** of the descriptors, then for
+   payload-bearing requests a PCIe read of the payload, then relay into
+   the comm thread's work queue;
+4. for each in-flight request whose completion fired: PCIe **write** of
+   the result payload (receives) and of the completion flag.
+
+This is exactly the "three separate communications with the source GPU"
+of §5.2 that make GPU-sourced messaging expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..gpusim.device import GpuDevice
+from ..gpusim.kernel import BlockContext, KernelHandle, LaunchConfig, launch_kernel
+from ..gpusim.mailbox import MailboxRequest, SlotMailboxes
+from ..gpusim.memory import DeviceBuffer
+from ..sim.core import Event, Simulator, us
+from ..sim.primitives import AnyOf
+from ..sim.sync import Signal
+from .comm_thread import CommThread
+from .errors import DcgnError
+from .gpu_api import GpuCommApi
+from .polling import PollPolicy, make_policy
+from .ranks import ANY, RankMap
+from .requests import CommRequest, CommStatus
+
+__all__ = ["GpuKernelThread"]
+
+#: Bytes written over PCIe to flip one completion flag.
+_FLAG_BYTES = 8
+
+
+@dataclass
+class _Inflight:
+    """A harvested mailbox request awaiting comm-thread completion."""
+
+    mbox: SlotMailboxes
+    mreq: MailboxRequest
+    creq: CommRequest
+    #: Device buffer to write results into (recv/bcast/allreduce).
+    dbuf: Optional[DeviceBuffer]
+
+
+class GpuKernelThread:
+    """Host thread owning one GPU of a DCGN job."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        comm: CommThread,
+        device: GpuDevice,
+        rankmap: RankMap,
+        gpu_index: int,
+        slots: int,
+        kick: Signal,
+        policy: Optional[PollPolicy] = None,
+    ) -> None:
+        self.sim = sim
+        self.comm = comm
+        self.device = device
+        self.rankmap = rankmap
+        self.gpu_index = gpu_index
+        self.slots = slots
+        self.kick = kick
+        self.params = comm.params
+        self.policy = policy if policy is not None else make_policy(
+            self.params.dcgn
+        )
+        self.name = f"dcgn.gpu{device.node_id}.{gpu_index}"
+        self._mailboxes: List[SlotMailboxes] = []
+        self._handles: List[KernelHandle] = []
+        self._inflight: List[_Inflight] = []
+        #: Per-slot collective sequence counters (persist across launches).
+        self._coll_counters: Dict[int, int] = {}
+        self._shutdown = False
+        #: Fired when the comm thread completes one of our in-flight
+        #: requests (paper §3.2.2: the comm thread "signals CPU- and
+        #: GPU-controlling threads as communications complete").
+        self._completion_sig = Signal(sim, name=f"{self.name}.comp")
+        #: Fired on kernel launches and shutdown so a fully idle thread
+        #: can block instead of burning poll ticks.
+        self._activity_sig = Signal(sim, name=f"{self.name}.act")
+        #: Polling-load accounting (ablation A1).
+        self.polls = 0
+        self.empty_polls = 0
+        self.proc = sim.process(self._run(), name=self.name)
+
+    # -- host-side API ------------------------------------------------------
+    def launch(
+        self,
+        fn,
+        config: Optional[LaunchConfig] = None,
+        args: tuple = (),
+        name: str = "",
+    ) -> Generator[Event, Any, KernelHandle]:
+        """Launch a communicating kernel on this GPU.
+
+        Must be driven from a simulated host process (the runtime does
+        this); charges the kernel-launch overhead.
+        """
+        cfg = config if config is not None else LaunchConfig(
+            grid_blocks=self.slots
+        )
+        notify = None
+        if self.params.dcgn.future_gpu_signaling:
+            # Future hardware: the GPU raises an interrupt-like signal on
+            # every mailbox post, waking the poller immediately.
+            notify = self._activity_sig.fire
+        mbox = SlotMailboxes(
+            self.sim,
+            n_slots=self.slots,
+            spin_check_us=self.params.dcgn.gpu_spin_check_us,
+            desc_bytes=self.params.dcgn.mailbox_desc_bytes,
+            notify=notify,
+        )
+        self._mailboxes.append(mbox)
+
+        def comm_factory(block_ctx: BlockContext) -> GpuCommApi:
+            return GpuCommApi(
+                block_ctx,
+                mbox,
+                self.rankmap,
+                node_id=self.device.node_id,
+                gpu_index=self.gpu_index,
+                coll_counters=self._coll_counters,
+            )
+
+        yield self.sim.timeout(us(self.device.params.kernel_launch_us))
+        handle = launch_kernel(
+            self.device,
+            fn,
+            cfg,
+            args=args,
+            name=name or f"{self.name}.kernel",
+            comm_factory=comm_factory,
+        )
+        self._handles.append(handle)
+        self._activity_sig.fire()
+        return handle
+
+    def shutdown(self) -> None:
+        """Exit the polling loop once all work has drained."""
+        self._shutdown = True
+        self._activity_sig.fire()
+
+    @property
+    def busy(self) -> bool:
+        """True while kernels are running or requests are in flight."""
+        return bool(self._inflight) or any(
+            not h.finished for h in self._handles
+        )
+
+    def describe_state(self) -> str:
+        """Diagnostics for the runtime watchdog."""
+        parts = [h.describe_blocked() for h in self._handles if not h.finished]
+        parts.append(f"{len(self._inflight)} in-flight requests")
+        return f"{self.name}: " + "; ".join(parts)
+
+    # -- polling loop ------------------------------------------------------
+    def _run(self):
+        # Threads start at a deterministic pseudo-random phase of the
+        # polling period (real pollers are never synchronized); this is
+        # what makes detection latency behave like U(0, interval) and the
+        # multi-GPU barrier cost grow with the max over pollers.
+        phase = float(
+            self.device.rng.stream(f"{self.name}.phase").uniform(
+                0.0, us(self.params.dcgn.gpu_poll_interval_us)
+            )
+        )
+        if phase > 0:
+            if self.policy.supports_kick:
+                kick_ev = self.kick.wait()
+                fired = yield AnyOf(
+                    self.sim, [self.sim.timeout(phase), kick_ev]
+                )
+                if kick_ev in fired:
+                    self.policy.kicked()
+            else:
+                yield self.sim.timeout(phase)
+        future_signaling = self.params.dcgn.future_gpu_signaling
+        while True:
+            delay = us(self.policy.next_delay_us())
+            waits = [self.sim.timeout(delay), self._completion_sig.wait()]
+            comp_ev = waits[1]
+            kick_ev = None
+            if self.policy.supports_kick:
+                kick_ev = self.kick.wait()
+                waits.append(kick_ev)
+            post_ev = None
+            if future_signaling:
+                # Future hardware: a mailbox post interrupts the sleep.
+                post_ev = self._activity_sig.wait()
+                waits.append(post_ev)
+            fired = yield AnyOf(self.sim, waits)
+            if kick_ev is not None and kick_ev in fired:
+                self.policy.kicked()
+            if post_ev is not None and post_ev in fired:
+                yield self.sim.timeout(
+                    us(self.params.cpu.thread_signal_us)
+                )
+                found = yield from self._poll_once()
+                self.policy.observe(found)
+                if self._shutdown and not self.busy:
+                    break
+                continue
+            if comp_ev in fired:
+                # Signalled completion: handle write-backs immediately
+                # (thread wake-up cost), skip the mailbox probe.
+                yield self.sim.timeout(
+                    us(self.params.cpu.thread_signal_us)
+                )
+                yield from self._handle_completions()
+                if self._shutdown and not self.busy:
+                    break
+                continue
+            if self._shutdown and not self.busy:
+                break
+            if not self.busy:
+                # Fully idle: block until a launch / kick / completion /
+                # shutdown instead of burning empty poll ticks.
+                self.policy.observe(False)
+                idle_waits = [
+                    self._activity_sig.wait(),
+                    self._completion_sig.wait(),
+                ]
+                if self.policy.supports_kick:
+                    idle_waits.append(self.kick.wait())
+                yield AnyOf(self.sim, idle_waits)
+                if self._shutdown and not self.busy:
+                    break
+                continue
+            found = yield from self._poll_once()
+            self.policy.observe(found)
+        self._prune()
+
+    def _handle_completions(self) -> Generator[Event, Any, bool]:
+        """Write back results for completed in-flight requests."""
+        found = False
+        for entry in [e for e in self._inflight if e.creq.done.triggered]:
+            self._inflight.remove(entry)
+            yield from self._complete(entry)
+            found = True
+        self._prune()
+        return found
+
+    def _poll_once(self) -> Generator[Event, Any, bool]:
+        """One full poll: probe, harvest, relay, complete."""
+        self.polls += 1
+        found = False
+        # 1. Probe the mailbox status region.
+        yield from self.device.pcie.probe()
+        self.sim.trace("gpu_thread.poll", thread=self.name)
+        pending = any(m.has_pending() for m in self._mailboxes)
+        if pending:
+            # 2. Read all descriptor regions in one transaction.
+            region = sum(m.region_bytes() for m in self._mailboxes)
+            yield from self.device.pcie.read(region)
+            self.sim.trace("gpu_thread.harvest", thread=self.name)
+            for mbox in list(self._mailboxes):
+                for mreq in mbox.harvest():
+                    yield from self._ingest(mbox, mreq)
+                    found = True
+        # 3. Handle any completions that raced with this poll.
+        done_now = yield from self._handle_completions()
+        found = found or done_now
+        if not found:
+            self.empty_polls += 1
+        return found
+
+    def _vrank(self, slot: int) -> int:
+        return self.rankmap.slot_rank(
+            self.device.node_id, self.gpu_index, slot
+        )
+
+    def _ingest(
+        self, mbox: SlotMailboxes, mreq: MailboxRequest
+    ) -> Generator[Event, Any, None]:
+        """Translate a mailbox request into a comm-thread request."""
+        vrank = self._vrank(mreq.slot)
+        op = mreq.op
+        args = mreq.args
+        dbuf: Optional[DeviceBuffer] = args.get("buf")
+        nbytes = int(args.get("nbytes", 0))
+        needs_payload_read = op == "send" or (
+            op == "bcast" and args.get("root") == vrank
+        ) or op == "allreduce"
+        data: Optional[np.ndarray] = None
+        if needs_payload_read:
+            if dbuf is None:
+                raise DcgnError(f"{op} request without device buffer")
+            if not self.params.dcgn.future_gpu_direct:
+                yield from self.device.pcie.read(nbytes)
+            # else: future hardware — the GPU pushes payload bytes
+            # straight toward the NIC; no host-bounce PCIe charge.
+            # Typed snapshot so reductions see real dtypes.
+            flat = dbuf.data.reshape(-1)
+            count = nbytes // dbuf.data.itemsize
+            data = flat[:count].copy()
+        done = self.sim.event(name=f"{self.name}.creq")
+        if op == "send":
+            creq = CommRequest(
+                op="send",
+                src_vrank=vrank,
+                peer=int(args["dest"]),
+                nbytes=nbytes,
+                data=data,
+                done=done,
+            )
+            writeback = None
+        elif op == "recv":
+            creq = CommRequest(
+                op="recv",
+                src_vrank=vrank,
+                peer=int(args["source"]),
+                nbytes=nbytes,
+                done=done,
+            )
+            writeback = dbuf
+        elif op == "barrier":
+            creq = CommRequest(
+                op="barrier",
+                src_vrank=vrank,
+                done=done,
+                extra={"coll_seq": int(args["coll_seq"])},
+            )
+            writeback = None
+        elif op == "bcast":
+            root = int(args["root"])
+            creq = CommRequest(
+                op="bcast",
+                src_vrank=vrank,
+                root=root,
+                nbytes=nbytes,
+                data=data,
+                done=done,
+                extra={"coll_seq": int(args["coll_seq"])},
+            )
+            writeback = dbuf if root != vrank else None
+        elif op == "allreduce":
+            creq = CommRequest(
+                op="allreduce",
+                src_vrank=vrank,
+                nbytes=nbytes,
+                data=data,
+                done=done,
+                extra={
+                    "coll_seq": int(args["coll_seq"]),
+                    "reduce_op": args.get("reduce_op", "sum"),
+                },
+            )
+            writeback = dbuf
+        else:
+            raise DcgnError(f"unknown GPU mailbox op {op!r}")
+        creq.stamp("posted", mreq.posted_at)
+        creq.stamp("harvested", self.sim.now)
+        self._inflight.append(_Inflight(mbox, mreq, creq, writeback))
+        done.add_callback(lambda _e: self._completion_sig.fire())
+        yield from self.comm.enqueue_from_gpu_thread(creq)
+        creq.stamp("enqueued", self.sim.now)
+        self.sim.trace(
+            "gpu_thread.relay", thread=self.name, op=op, vrank=vrank
+        )
+
+    def _complete(self, entry: _Inflight) -> Generator[Event, Any, None]:
+        """Write results back to the device and release the kernel."""
+        creq = entry.creq
+        if entry.dbuf is not None and creq.data is not None:
+            # Payload write (recv / bcast non-root / allreduce result).
+            n = min(creq.status.nbytes if creq.status else creq.nbytes,
+                    creq.nbytes)
+            if not self.params.dcgn.future_gpu_direct:
+                yield from self.device.pcie.write(n)
+            # else: future hardware — incoming payloads land in device
+            # memory directly from the NIC.
+            dview = entry.dbuf.bytes_view()
+            sview = creq.data.view(np.uint8).reshape(-1)
+            m = min(dview.size, sview.size, n if n > 0 else sview.size)
+            dview[:m] = sview[:m]
+        # Completion flag write.
+        yield from self.device.pcie.write(_FLAG_BYTES)
+        creq.stamp("written_back", self.sim.now)
+        self.sim.trace(
+            "gpu_thread.writeback", thread=self.name, op=creq.op
+        )
+        entry.mbox.complete(entry.mreq, result=creq.status)
+
+    def _prune(self) -> None:
+        self._handles = [h for h in self._handles if not h.finished]
+        if not self._handles:
+            # Keep mailboxes of running kernels only; finished launches
+            # can't post anymore.
+            self._mailboxes = [m for m in self._mailboxes if m.has_pending()]

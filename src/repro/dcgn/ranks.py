@@ -1,0 +1,124 @@
+"""Virtual-rank assignment: the slots paradigm (paper §3.1, §3.2.3).
+
+Ranks are assigned consecutively within a node — CPU-kernel threads
+first, then (GPU 0, slot 0), (GPU 0, slot 1), …, (GPU 1, slot 0), … —
+and in increasing order across successive nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from .config import DcgnConfig
+from .errors import DcgnConfigError
+
+__all__ = ["RankKind", "CpuRank", "GpuSlotRank", "RankMap"]
+
+#: Wildcard source for DCGN receives.
+ANY = -1
+
+
+@dataclass(frozen=True)
+class CpuRank:
+    """A virtual rank bound to a CPU-kernel thread."""
+
+    vrank: int
+    node: int
+    cpu_index: int  #: which CPU-kernel thread on the node
+
+
+@dataclass(frozen=True)
+class GpuSlotRank:
+    """A virtual rank bound to one slot of one GPU."""
+
+    vrank: int
+    node: int
+    gpu_index: int
+    slot: int
+
+
+RankKind = Union[CpuRank, GpuSlotRank]
+
+
+class RankMap:
+    """Bidirectional mapping between virtual ranks and resources."""
+
+    def __init__(self, config: DcgnConfig) -> None:
+        self.config = config
+        self._info: List[RankKind] = []
+        self._cpu_lookup: Dict[Tuple[int, int], int] = {}
+        self._slot_lookup: Dict[Tuple[int, int, int], int] = {}
+        vrank = 0
+        for node_id, nc in enumerate(config.nodes):
+            for c in range(nc.cpu_threads):
+                self._info.append(CpuRank(vrank, node_id, c))
+                self._cpu_lookup[(node_id, c)] = vrank
+                vrank += 1
+            for g in range(nc.gpus):
+                for s in range(nc.slots_per_gpu):
+                    self._info.append(GpuSlotRank(vrank, node_id, g, s))
+                    self._slot_lookup[(node_id, g, s)] = vrank
+                    vrank += 1
+        self.size = vrank
+
+    # -- queries -----------------------------------------------------------
+    def info(self, vrank: int) -> RankKind:
+        """Resource behind ``vrank``."""
+        self._check(vrank)
+        return self._info[vrank]
+
+    def node_of(self, vrank: int) -> int:
+        self._check(vrank)
+        return self._info[vrank].node
+
+    def is_cpu(self, vrank: int) -> bool:
+        self._check(vrank)
+        return isinstance(self._info[vrank], CpuRank)
+
+    def is_gpu(self, vrank: int) -> bool:
+        return not self.is_cpu(vrank)
+
+    def cpu_rank(self, node: int, cpu_index: int) -> int:
+        """vrank of a CPU-kernel thread."""
+        try:
+            return self._cpu_lookup[(node, cpu_index)]
+        except KeyError:
+            raise DcgnConfigError(
+                f"no CPU-kernel thread {cpu_index} on node {node}"
+            ) from None
+
+    def slot_rank(self, node: int, gpu_index: int, slot: int) -> int:
+        """vrank of (node, gpu, slot)."""
+        try:
+            return self._slot_lookup[(node, gpu_index, slot)]
+        except KeyError:
+            raise DcgnConfigError(
+                f"no slot {slot} on GPU {gpu_index} of node {node}"
+            ) from None
+
+    def local_ranks(self, node: int) -> List[int]:
+        """All vranks resident on ``node`` in ascending order."""
+        return [r.vrank for r in self._info if r.node == node]
+
+    def cpu_ranks(self, node: int | None = None) -> List[int]:
+        """All CPU vranks (optionally restricted to one node)."""
+        return [
+            r.vrank
+            for r in self._info
+            if isinstance(r, CpuRank) and (node is None or r.node == node)
+        ]
+
+    def gpu_ranks(self, node: int | None = None) -> List[int]:
+        """All GPU-slot vranks (optionally restricted to one node)."""
+        return [
+            r.vrank
+            for r in self._info
+            if isinstance(r, GpuSlotRank) and (node is None or r.node == node)
+        ]
+
+    def _check(self, vrank: int) -> None:
+        if not (0 <= vrank < self.size):
+            raise DcgnConfigError(
+                f"virtual rank {vrank} out of range [0,{self.size})"
+            )

@@ -1,0 +1,83 @@
+"""Communication-request descriptors flowing through DCGN's queues."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..sim.core import Event
+
+__all__ = ["CommRequest", "CommStatus", "P2P_OPS", "COLLECTIVE_OPS"]
+
+P2P_OPS = frozenset({"send", "recv"})
+COLLECTIVE_OPS = frozenset(
+    {"barrier", "bcast", "scatter", "gather", "allreduce", "reduce"}
+)
+
+_req_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class CommStatus:
+    """Completion record handed back to kernels (dcgn::CommStatus)."""
+
+    source: int
+    nbytes: int
+
+
+@dataclass
+class CommRequest:
+    """One communication request from a kernel to the comm thread.
+
+    ``data`` carries a snapshot of the payload for sends (taken at request
+    creation for CPU kernels, at mailbox harvest — after the PCIe read —
+    for GPU kernels).  For receives, ``deliver`` is invoked by the
+    machinery that lands the payload in the requester's buffer.
+    """
+
+    op: str
+    src_vrank: int
+    #: Destination (sends) or source (recvs; ANY = -1).  Root for rooted
+    #: collectives.
+    peer: int = -1
+    nbytes: int = 0
+    data: Optional[np.ndarray] = None
+    #: Callable(data: ndarray) that writes into the requester's buffer.
+    #: For CPU ranks this copies into host memory; for GPU slots the GPU
+    #: thread performs the PCIe write instead and this stays None.
+    deliver: Optional[Callable[[np.ndarray], None]] = None
+    #: Completion event fired by the comm thread (or GPU thread).
+    done: Optional[Event] = None
+    #: Status/result for the requester (set at completion).
+    status: Optional[CommStatus] = None
+    #: Collective op this request participates in (kind consistency check).
+    root: int = -1
+    #: Free-form extras (e.g. reduce op name).
+    extra: Dict[str, Any] = field(default_factory=dict)
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+    #: Simulated time the request entered the work queue.
+    enqueued_at: float = 0.0
+    #: Lifecycle timestamps for the overhead-breakdown report
+    #: (issued / enqueued / picked / completed / returned, plus the
+    #: GPU-side posted / harvested / written stages).
+    marks: Dict[str, float] = field(default_factory=dict)
+
+    def stamp(self, stage: str, t: float) -> None:
+        """Record a lifecycle timestamp (first write wins)."""
+        self.marks.setdefault(stage, t)
+
+    def complete(self, status: Optional[CommStatus] = None) -> None:
+        """Mark the request done (idempotence is an error by design)."""
+        self.status = status
+        if self.done is not None:
+            self.stamp("completed", self.done.sim.now)
+            self.done.succeed(status)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CommRequest #{self.req_id} {self.op} src={self.src_vrank} "
+            f"peer={self.peer} n={self.nbytes}>"
+        )

@@ -1,0 +1,7 @@
+"""GPU-as-slave + MPI baseline runtime (the paper's comparison model)."""
+
+from .errors import GasError
+from .pipeline import GasPipeline, PipelineStage
+from .runtime import GasContext, GasJob
+
+__all__ = ["GasContext", "GasJob", "GasError", "GasPipeline", "PipelineStage"]

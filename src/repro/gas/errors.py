@@ -1,0 +1,9 @@
+"""GAS-runtime error types."""
+
+from __future__ import annotations
+
+__all__ = ["GasError"]
+
+
+class GasError(Exception):
+    """Errors from the GPU-as-slave baseline runtime."""

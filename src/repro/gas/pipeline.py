@@ -1,0 +1,148 @@
+"""Static pipelining — the second conventional GAS pattern (paper §2.3).
+
+"Another GAS method involves dividing the task domain into N parts and
+then connecting those N parts into a pipeline.  Data is given to the
+first set of GPUs, which then all perform the same stage of a pipeline.
+When the first set finishes a piece of data, the data is shipped to the
+second set of GPUs for processing ...  this method does not extend well
+to problems poorly suited to pipelining."
+
+:class:`GasPipeline` implements that pattern over the simulated cluster:
+each stage owns one GPU; items flow stage→stage over MPI with explicit
+push/pull around each kernel.  It exists as the contrast case for
+DCGN's dynamic model (and to measure pipeline fill/drain costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gpusim.kernel import LaunchConfig
+from ..hw.cluster import Cluster
+from ..sim.core import Event
+from .errors import GasError
+from .runtime import GasContext, GasJob
+
+__all__ = ["PipelineStage", "GasPipeline"]
+
+#: Wire tag for inter-stage item transfer.
+_ITEM_TAG = 77
+_DONE = -1
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage: a transform + its device cost.
+
+    ``transform(item_array) -> item_array`` runs on real data;
+    ``seconds_per_item`` is the modelled kernel time.
+    """
+
+    name: str
+    transform: Callable[[np.ndarray], np.ndarray]
+    seconds_per_item: float
+
+
+class GasPipeline:
+    """A linear pipeline of GPU stages over MPI (one GPU per stage)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        stages: Sequence[PipelineStage],
+        item_shape: Tuple[int, ...],
+        dtype=np.float64,
+    ) -> None:
+        if not stages:
+            raise GasError("pipeline needs at least one stage")
+        total_gpus = sum(len(n.gpus) for n in cluster.nodes)
+        if total_gpus < len(stages):
+            raise GasError(
+                f"{len(stages)} stages need {len(stages)} GPUs; "
+                f"cluster has {total_gpus}"
+            )
+        self.cluster = cluster
+        self.stages = list(stages)
+        self.item_shape = tuple(item_shape)
+        self.dtype = np.dtype(dtype)
+        assignments: List[Optional[Tuple[int, int]]] = []
+        i = 0
+        for n, node in enumerate(cluster.nodes):
+            for g in range(len(node.gpus)):
+                if i < len(stages):
+                    assignments.append((n, g))
+                    i += 1
+        self.job = GasJob(cluster, assignments)
+        self.results: List[np.ndarray] = []
+        self.elapsed: float = 0.0
+
+    def _stage_proc(self, ctx: GasContext, items: List[np.ndarray]):
+        stage_idx = ctx.rank
+        stage = self.stages[stage_idx]
+        n_stages = len(self.stages)
+        first = stage_idx == 0
+        last = stage_idx == n_stages - 1
+        item = np.zeros(self.item_shape, dtype=self.dtype)
+        header = np.zeros(1, dtype=np.int64)
+        dbuf = ctx.alloc(self.item_shape, dtype=self.dtype,
+                         name=f"stage{stage_idx}")
+        t0 = ctx.sim.now
+
+        def kernel(kctx):
+            yield from kctx.compute(seconds=stage.seconds_per_item)
+
+        count = len(items) if first else None
+        idx = 0
+        while True:
+            if first:
+                if idx >= len(items):
+                    break
+                item[...] = items[idx]
+                idx += 1
+            else:
+                yield from ctx.mpi.recv(header, source=stage_idx - 1,
+                                        tag=_ITEM_TAG)
+                if int(header[0]) == _DONE:
+                    break
+                yield from ctx.mpi.recv(item, source=stage_idx - 1,
+                                        tag=_ITEM_TAG + 1)
+            # GPU-as-slave: push, kernel (transforms device memory), pull.
+            yield from ctx.push(dbuf, item)
+            yield from ctx.run_kernel(kernel, LaunchConfig(grid_blocks=1))
+            dbuf.data[...] = stage.transform(dbuf.data)
+            yield from ctx.pull(item, dbuf)
+            if last:
+                self.results.append(item.copy())
+            else:
+                header[0] = 1
+                yield from ctx.mpi.send(header, dest=stage_idx + 1,
+                                        tag=_ITEM_TAG)
+                yield from ctx.mpi.send(item, dest=stage_idx + 1,
+                                        tag=_ITEM_TAG + 1)
+        if not last:
+            header[0] = _DONE
+            yield from ctx.mpi.send(header, dest=stage_idx + 1,
+                                    tag=_ITEM_TAG)
+        if last:
+            self.elapsed = ctx.sim.now - t0
+        dbuf.free()
+
+    def run(self, items: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Push ``items`` through the pipeline; returns transformed items.
+
+        Output order is preserved (linear pipeline, FIFO links).
+        """
+        items = [np.asarray(x, dtype=self.dtype) for x in items]
+        for x in items:
+            if x.shape != self.item_shape:
+                raise GasError(
+                    f"item shape {x.shape} != pipeline {self.item_shape}"
+                )
+        self.job.start(
+            self._stage_proc, list(items), ranks=range(len(self.stages))
+        )
+        self.job.run()
+        return self.results

@@ -1,0 +1,186 @@
+"""The GAS (GPU-as-slave) + MPI baseline runtime (paper §2.3).
+
+This is the conventional model DCGN is evaluated against: one MPI
+process per computational unit, each driving its GPU directly —
+kernels are split at communication points, and the CPU explicitly
+pushes/pulls device memory around kernel launches.  There are no comm
+threads, no polling, and no GPU-sourced communication; consequently no
+DCGN overhead — but also no dynamic communication from inside kernels.
+
+``GasContext`` combines an MPI rank with (optionally) a dedicated GPU
+and the push/pull helpers the model is named after.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gpusim.device import GpuDevice
+from ..gpusim.driver import launch as driver_launch
+from ..gpusim.driver import memcpy_d2h, memcpy_h2d
+from ..gpusim.kernel import KernelFn, KernelHandle, LaunchConfig
+from ..gpusim.memory import DeviceBuffer
+from ..hw.cluster import Cluster
+from ..mpi.communicator import MpiContext
+from ..mpi.job import MpiJob
+from ..sim.core import Event, Process
+from .errors import GasError
+
+__all__ = ["GasContext", "GasJob"]
+
+
+class GasContext:
+    """One GAS process: an MPI context plus an optional owned GPU."""
+
+    def __init__(self, mpi_ctx: MpiContext, gpu: Optional[GpuDevice]) -> None:
+        self.mpi = mpi_ctx
+        self.gpu = gpu
+        self.sim = mpi_ctx.sim
+
+    @property
+    def rank(self) -> int:
+        return self.mpi.rank
+
+    @property
+    def size(self) -> int:
+        return self.mpi.size
+
+    def _need_gpu(self) -> GpuDevice:
+        if self.gpu is None:
+            raise GasError(f"rank {self.rank} owns no GPU")
+        return self.gpu
+
+    # -- GPU-as-slave primitives -------------------------------------------
+    def alloc(self, shape, dtype=np.float64, name: str = "") -> DeviceBuffer:
+        """Allocate device memory on the owned GPU."""
+        return self._need_gpu().alloc(shape, dtype=dtype, name=name)
+
+    def push(
+        self,
+        dbuf: DeviceBuffer,
+        src: np.ndarray,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, int]:
+        """Host→device copy (the "push" of the push/pull paradigm)."""
+        n = yield from memcpy_h2d(self._need_gpu(), dbuf, src, nbytes=nbytes)
+        return n
+
+    def pull(
+        self,
+        dst: np.ndarray,
+        dbuf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, int]:
+        """Device→host copy (the "pull")."""
+        n = yield from memcpy_d2h(self._need_gpu(), dst, dbuf, nbytes=nbytes)
+        return n
+
+    def launch(
+        self,
+        fn: KernelFn,
+        config: LaunchConfig,
+        args: Sequence[Any] = (),
+        name: str = "",
+    ) -> Generator[Event, Any, KernelHandle]:
+        """Launch a (non-communicating) kernel on the owned GPU."""
+        handle = yield from driver_launch(
+            self._need_gpu(), fn, config, args=args, name=name
+        )
+        return handle
+
+    def run_kernel(
+        self,
+        fn: KernelFn,
+        config: LaunchConfig,
+        args: Sequence[Any] = (),
+        name: str = "",
+    ) -> Generator[Event, Any, KernelHandle]:
+        """Launch and wait — the GAS pattern of splitting at comm points."""
+        handle = yield from self.launch(fn, config, args=args, name=name)
+        yield handle.done
+        return handle
+
+
+class GasJob:
+    """A set of GAS processes with dedicated GPUs.
+
+    ``gpu_ranks`` maps rank → (node, gpu_index) or None for CPU-only
+    ranks (e.g. a master).  The MPI placement is derived from it.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        assignments: Sequence[Optional[Tuple[int, int]]],
+        master_node: int = 0,
+    ) -> None:
+        if not assignments:
+            raise GasError("job needs at least one rank")
+        placement: List[int] = []
+        gpus: List[Optional[GpuDevice]] = []
+        for a in assignments:
+            if a is None:
+                placement.append(master_node)
+                gpus.append(None)
+            else:
+                node, g = a
+                if not (0 <= node < cluster.n_nodes):
+                    raise GasError(f"bad node {node}")
+                if not (0 <= g < len(cluster.nodes[node].gpus)):
+                    raise GasError(f"node {node} has no GPU {g}")
+                placement.append(node)
+                gpus.append(cluster.nodes[node].gpus[g])
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.mpi_job = MpiJob(cluster, placement)
+        self._gpus = gpus
+        self._procs: List[Process] = []
+
+    @classmethod
+    def all_gpus(
+        cls, cluster: Cluster, with_master: bool = False
+    ) -> "GasJob":
+        """One rank per GPU in the cluster (optionally + a CPU master).
+
+        The master, when present, is rank 0.
+        """
+        assignments: List[Optional[Tuple[int, int]]] = []
+        if with_master:
+            assignments.append(None)
+        for n, node in enumerate(cluster.nodes):
+            for g in range(len(node.gpus)):
+                assignments.append((n, g))
+        return cls(cluster, assignments)
+
+    @property
+    def size(self) -> int:
+        return self.mpi_job.size
+
+    def context(self, rank: int) -> GasContext:
+        return GasContext(self.mpi_job.comm.ctx(rank), self._gpus[rank])
+
+    def start(
+        self,
+        fn: Callable[..., Generator[Event, Any, Any]],
+        *args: Any,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> List[Process]:
+        """Spawn ``fn(gas_ctx, *args)`` on each rank."""
+        targets = range(self.size) if ranks is None else ranks
+        procs = []
+        for r in targets:
+            ctx = self.context(r)
+            p = self.sim.process(fn(ctx, *args), name=f"gas.rank{r}")
+            procs.append(p)
+        self._procs.extend(procs)
+        return procs
+
+    def run(self, until: Optional[float] = None) -> List[Any]:
+        """Run to completion; returns per-process results."""
+        self.sim.run(until=until)
+        for p in self._procs:
+            if p.is_alive:
+                raise GasError(f"{p} still alive after run()")
+        return [p.value for p in self._procs]

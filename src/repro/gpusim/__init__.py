@@ -1,0 +1,35 @@
+"""Data-parallel machine (GPU) simulator."""
+
+from .device import GpuDevice
+from .driver import launch, memcpy_d2d, memcpy_d2h, memcpy_h2d
+from .errors import (
+    GpuCommDeadlock,
+    GpuError,
+    GpuOutOfMemory,
+    InvalidMemorySpace,
+    LaunchConfigError,
+)
+from .kernel import BlockContext, KernelHandle, LaunchConfig, launch_kernel
+from .mailbox import MailboxRequest, SlotMailboxes
+from .memory import DeviceAllocator, DeviceBuffer
+
+__all__ = [
+    "GpuDevice",
+    "DeviceBuffer",
+    "DeviceAllocator",
+    "LaunchConfig",
+    "BlockContext",
+    "KernelHandle",
+    "launch_kernel",
+    "launch",
+    "memcpy_h2d",
+    "memcpy_d2h",
+    "memcpy_d2d",
+    "SlotMailboxes",
+    "MailboxRequest",
+    "GpuError",
+    "GpuOutOfMemory",
+    "LaunchConfigError",
+    "GpuCommDeadlock",
+    "InvalidMemorySpace",
+]

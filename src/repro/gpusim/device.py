@@ -1,0 +1,117 @@
+"""The simulated GPU device: SMs, memory, PCIe endpoint, cost model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hw.params import GpuParams, PcieParams
+from ..hw.pcie import PcieLink
+from ..sim.core import Simulator, us
+from ..sim.resources import Resource
+from ..sim.rng import RngStreams
+from .memory import DeviceAllocator, DeviceBuffer
+
+__all__ = ["GpuDevice"]
+
+
+class GpuDevice:
+    """One data-parallel machine (paper terminology: DPM).
+
+    Architectural properties the reproduction depends on:
+
+    * blocks are scheduled onto multiprocessors and **run to completion**
+      — no time-slicing (modelled with an SM-slot :class:`Resource`);
+    * the device cannot initiate PCIe traffic — all host interaction is
+      through memory the host reads/writes (the mailbox pattern);
+    * compute throughput is shared: each block executes on one SM at
+      ``gflops / num_sms``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: GpuParams,
+        pcie_params: PcieParams,
+        node_id: int,
+        device_id: int,
+        rng: RngStreams,
+        jitter_us: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.device_id = device_id
+        self.rng = rng
+        self.jitter_us = jitter_us
+        self.label = f"gpu{node_id}.{device_id}"
+        self.pcie = PcieLink(sim, pcie_params, name=f"{self.label}.pcie")
+        self.sm_slots = Resource(
+            sim,
+            capacity=params.num_sms * params.blocks_per_sm,
+            name=f"{self.label}.sms",
+        )
+        self.allocator = DeviceAllocator(params.mem_bytes, label=self.label)
+        #: Number of kernels ever launched (accounting).
+        self.kernels_launched = 0
+
+    # -- memory -----------------------------------------------------------
+    def alloc(
+        self,
+        shape,
+        dtype=np.float64,
+        name: str = "",
+        fill=None,
+    ) -> DeviceBuffer:
+        """Allocate global memory on this device."""
+        return self.allocator.allocate(
+            shape,
+            dtype,
+            node_id=self.node_id,
+            device_id=self.device_id,
+            name=name,
+            fill=fill,
+        )
+
+    def owns(self, buf: DeviceBuffer) -> bool:
+        """True if ``buf`` lives on this device."""
+        return (
+            isinstance(buf, DeviceBuffer)
+            and buf.node_id == self.node_id
+            and buf.device_id == self.device_id
+        )
+
+    # -- scheduling capacity ----------------------------------------------
+    @property
+    def max_resident_blocks(self) -> int:
+        """How many blocks can be co-resident (run-to-completion limit)."""
+        return self.params.num_sms * self.params.blocks_per_sm
+
+    # -- cost model ---------------------------------------------------------
+    @property
+    def sm_flops_per_s(self) -> float:
+        """Per-SM compute throughput (flop/s)."""
+        return self.params.gflops * 1e9 / self.params.num_sms
+
+    @property
+    def sm_mem_Bps(self) -> float:
+        """Per-SM share of device-memory bandwidth (B/s)."""
+        return self.params.mem_bw_GBps * 1e9 / self.params.num_sms
+
+    def block_compute_time(
+        self, flops: float = 0.0, membytes: float = 0.0
+    ) -> float:
+        """Roofline time for one block doing ``flops`` and ``membytes``."""
+        t_flop = flops / self.sm_flops_per_s if flops else 0.0
+        t_mem = membytes / self.sm_mem_Bps if membytes else 0.0
+        return max(t_flop, t_mem)
+
+    def jitter(self, stream: str) -> float:
+        """A timing-jitter sample for this device (0 when disabled)."""
+        if self.jitter_us <= 0.0:
+            return 0.0
+        return self.rng.jitter(f"{self.label}.{stream}", us(self.jitter_us))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<GpuDevice {self.label} sms={self.params.num_sms}>"

@@ -1,0 +1,36 @@
+"""GPU-simulator error types."""
+
+from __future__ import annotations
+
+__all__ = [
+    "GpuError",
+    "GpuOutOfMemory",
+    "LaunchConfigError",
+    "GpuCommDeadlock",
+    "InvalidMemorySpace",
+]
+
+
+class GpuError(Exception):
+    """Base class for GPU-simulator errors."""
+
+
+class GpuOutOfMemory(GpuError):
+    """Device memory allocation exceeded capacity."""
+
+
+class LaunchConfigError(GpuError):
+    """Invalid kernel launch configuration."""
+
+
+class GpuCommDeadlock(GpuError):
+    """Communicating kernel deadlocked on block scheduling.
+
+    Reproduces the paper's §3.2.4 limitation: blocks are scheduled
+    run-to-completion, so if a kernel needs more co-resident blocks than
+    the device supports for a collective to complete, it deadlocks.
+    """
+
+
+class InvalidMemorySpace(GpuError):
+    """Host pointer used where a device pointer is required (or vice versa)."""

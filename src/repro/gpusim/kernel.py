@@ -1,0 +1,192 @@
+"""Kernel launch machinery: grids, blocks, and run-to-completion scheduling.
+
+A *kernel* is a Python generator function ``fn(ctx, *args)`` executed once
+per block with a :class:`BlockContext`.  Inside, the block charges compute
+time (:meth:`BlockContext.compute`), synchronizes its (implicit) threads
+(:meth:`BlockContext.syncthreads`), and — when wrapped by the DCGN layer —
+issues communication requests through slot mailboxes.
+
+Blocks wait for a free SM slot, then run **to completion**; this is the
+property behind the paper's §3.2.4 deadlock limitation, which the test
+suite reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..sim.core import Event, Process, Simulator, us
+from ..sim.sync import Latch
+from .device import GpuDevice
+from .errors import LaunchConfigError
+
+__all__ = ["LaunchConfig", "BlockContext", "KernelHandle", "launch_kernel"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry of a kernel launch (1-D, as the paper's apps use)."""
+
+    grid_blocks: int
+    threads_per_block: int = 128
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 1:
+            raise LaunchConfigError(
+                f"grid_blocks must be >= 1, got {self.grid_blocks}"
+            )
+        if self.threads_per_block < 1:
+            raise LaunchConfigError(
+                f"threads_per_block must be >= 1, got {self.threads_per_block}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.threads_per_block
+
+
+class BlockContext:
+    """Execution context handed to the kernel body for one block."""
+
+    def __init__(
+        self,
+        device: GpuDevice,
+        block_idx: int,
+        config: LaunchConfig,
+        handle: "KernelHandle",
+    ) -> None:
+        self.device = device
+        self.sim = device.sim
+        self.block_idx = block_idx
+        self.config = config
+        self.handle = handle
+        #: Set by the DCGN layer: per-launch GPU communication API.
+        self.comm: Any = None
+
+    @property
+    def grid_blocks(self) -> int:
+        return self.config.grid_blocks
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.config.threads_per_block
+
+    def thread_range(self, total_items: int) -> range:
+        """Grid-stride partition: the item indices this block owns."""
+        return range(self.block_idx, total_items, self.config.grid_blocks)
+
+    def compute(
+        self,
+        flops: float = 0.0,
+        membytes: float = 0.0,
+        seconds: Optional[float] = None,
+    ) -> Generator[Event, Any, float]:
+        """Charge block compute time (roofline of flops vs memory traffic).
+
+        ``seconds`` overrides the model with an explicit duration.
+        Returns the charged time.
+        """
+        if seconds is not None:
+            t = float(seconds)
+        else:
+            t = self.device.block_compute_time(flops=flops, membytes=membytes)
+        t += self.device.jitter("compute")
+        if t > 0:
+            yield self.sim.timeout(t)
+        return t
+
+    def syncthreads(self) -> Generator[Event, Any, None]:
+        """Intra-block barrier.
+
+        Threads within a block are executed as one SIMD unit in this
+        model, so the barrier only charges a small fixed cost.
+        """
+        yield self.sim.timeout(us(0.05))
+
+
+class KernelHandle:
+    """Host-visible state of a running kernel launch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: GpuDevice,
+        config: LaunchConfig,
+        name: str,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.config = config
+        self.name = name
+        self._latch = Latch(sim, config.grid_blocks, name=f"{name}.blocks")
+        self.block_results: List[Any] = [None] * config.grid_blocks
+        self._processes: List[Process] = []
+
+    @property
+    def done(self) -> Event:
+        """Fires when every block has finished."""
+        return self._latch.wait()
+
+    @property
+    def finished(self) -> bool:
+        return self._latch.done.triggered
+
+    @property
+    def blocks_remaining(self) -> int:
+        return self._latch.remaining
+
+    def describe_blocked(self) -> str:
+        """Human-readable schedule state (used in deadlock diagnostics)."""
+        running = sum(1 for p in self._processes if p.is_alive)
+        return (
+            f"kernel {self.name!r}: {self.blocks_remaining}/"
+            f"{self.config.grid_blocks} blocks unfinished, "
+            f"{running} block processes alive, device allows "
+            f"{self.device.max_resident_blocks} resident blocks"
+        )
+
+
+KernelFn = Callable[..., Generator[Event, Any, Any]]
+
+
+def launch_kernel(
+    device: GpuDevice,
+    fn: KernelFn,
+    config: LaunchConfig,
+    args: Sequence[Any] = (),
+    name: str = "",
+    comm_factory: Optional[Callable[[BlockContext], Any]] = None,
+) -> KernelHandle:
+    """Start a kernel on ``device``; returns immediately with a handle.
+
+    ``comm_factory``, when given, builds the per-block communication API
+    object attached as ``ctx.comm`` (the DCGN layer uses this hook).
+
+    The host-side launch overhead (``kernel_launch_us``) is *not* charged
+    here — the driver/runtime layer charges it, because launches issued
+    by different host threads contend differently.
+    """
+    sim = device.sim
+    device.kernels_launched += 1
+    kname = name or f"{device.label}.k{device.kernels_launched}"
+    handle = KernelHandle(sim, device, config, kname)
+
+    def block_proc(block_idx: int):
+        # Wait for a free multiprocessor slot; blocks run to completion.
+        yield device.sm_slots.request()
+        try:
+            ctx = BlockContext(device, block_idx, config, handle)
+            if comm_factory is not None:
+                ctx.comm = comm_factory(ctx)
+            result = yield from fn(ctx, *args)
+            handle.block_results[block_idx] = result
+            return result
+        finally:
+            device.sm_slots.release()
+            handle._latch.arrive()
+
+    for b in range(config.grid_blocks):
+        p = sim.process(block_proc(b), name=f"{kname}.b{b}")
+        handle._processes.append(p)
+    return handle

@@ -1,0 +1,45 @@
+"""Hardware cost models for the simulated GPU cluster."""
+
+from .cluster import Cluster, build_cluster
+from .interconnect import Interconnect
+from .memory import HostBuffer, MemcpyEngine, as_bytes_view, nbytes_of
+from .node import Node
+from .params import (
+    GB,
+    KB,
+    MB,
+    ClusterSpec,
+    CpuParams,
+    DcgnParams,
+    GpuParams,
+    HWParams,
+    IbParams,
+    PcieParams,
+    paper_cluster,
+    single_node,
+)
+from .pcie import PcieLink
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "CpuParams",
+    "PcieParams",
+    "IbParams",
+    "GpuParams",
+    "DcgnParams",
+    "HWParams",
+    "ClusterSpec",
+    "paper_cluster",
+    "single_node",
+    "PcieLink",
+    "Interconnect",
+    "HostBuffer",
+    "MemcpyEngine",
+    "as_bytes_view",
+    "nbytes_of",
+    "Node",
+    "Cluster",
+    "build_cluster",
+]

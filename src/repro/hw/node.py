@@ -1,0 +1,77 @@
+"""A cluster node: cores, host memory, NIC endpoint, attached GPUs."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional
+
+import numpy as np
+
+from ..sim.core import Simulator
+from ..sim.rng import RngStreams
+from .memory import HostBuffer, MemcpyEngine
+from .params import HWParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gpusim.device import GpuDevice
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine in the simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: HWParams,
+        cores: int,
+        rng: RngStreams,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.cores = cores
+        self.rng = rng
+        self.memcpy = MemcpyEngine(
+            sim,
+            lat_us=params.cpu.memcpy_lat_us,
+            bw_GBps=params.cpu.memcpy_bw_GBps,
+            name=f"node{node_id}.memcpy",
+        )
+        #: GPUs attached to this node (populated by the cluster builder).
+        self.gpus: List["GpuDevice"] = []
+        self._buf_seq = 0
+
+    def alloc(
+        self,
+        shape,
+        dtype=np.float64,
+        name: str = "",
+        fill: Optional[Any] = None,
+    ) -> HostBuffer:
+        """Allocate a host buffer on this node."""
+        arr = np.zeros(shape, dtype=dtype)
+        if fill is not None:
+            arr[...] = fill
+        self._buf_seq += 1
+        return HostBuffer(
+            arr,
+            node_id=self.node_id,
+            name=name or f"n{self.node_id}.buf{self._buf_seq}",
+        )
+
+    def wrap(self, arr: np.ndarray, name: str = "") -> HostBuffer:
+        """Wrap an existing array as a host buffer on this node."""
+        self._buf_seq += 1
+        return HostBuffer(
+            np.ascontiguousarray(arr),
+            node_id=self.node_id,
+            name=name or f"n{self.node_id}.buf{self._buf_seq}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Node {self.node_id}: {self.cores} cores, "
+            f"{len(self.gpus)} GPUs>"
+        )

@@ -1,0 +1,27 @@
+"""Simulated MPI (the MVAPICH2-like baseline library)."""
+
+from .communicator import HEADER_BYTES, Communicator, MpiContext, Request
+from .datatypes import ReduceOp, payload_array, snapshot
+from .errors import MpiError, RankError, TagError, TruncationError
+from .job import MpiJob, block_placement, round_robin_placement
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = [
+    "Communicator",
+    "MpiContext",
+    "Request",
+    "HEADER_BYTES",
+    "ReduceOp",
+    "payload_array",
+    "snapshot",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiJob",
+    "block_placement",
+    "round_robin_placement",
+    "MpiError",
+    "RankError",
+    "TagError",
+    "TruncationError",
+]

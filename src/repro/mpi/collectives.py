@@ -1,0 +1,307 @@
+"""Collective algorithms over the simulated point-to-point layer.
+
+The algorithm choices match what MVAPICH2-era implementations used and are
+what give the baseline its performance *shape*:
+
+* barrier — dissemination (⌈log2 P⌉ rounds of 0-byte messages);
+* bcast — binomial tree (⌈log2 P⌉ message hops on the critical path);
+* reduce — binomial tree with elementwise operator combination;
+* allreduce — reduce to root + binomial bcast;
+* gather/scatter — linear at the root;
+* allgather — ring (P−1 steps, bandwidth-optimal);
+* alltoall — pairwise exchange rounds.
+
+Every collective call consumes one slot of the internal tag space, kept
+consistent across ranks by the requirement (as in real MPI) that all
+ranks invoke collectives in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.core import Event
+from .datatypes import Payload, ReduceOp, payload_array
+from .errors import MpiError, RankError
+from .status import ANY_TAG
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+]
+
+from .communicator import INTERNAL_TAG_BASE, MpiContext
+
+#: Stride between the tag blocks of successive collective calls.
+_TAG_STRIDE = 8
+
+
+def _next_tag(ctx: MpiContext) -> int:
+    comm = ctx.comm
+    seq = comm._coll_seq[ctx.rank]
+    comm._coll_seq[ctx.rank] += 1
+    return INTERNAL_TAG_BASE + (seq * _TAG_STRIDE)
+
+
+def _isend_internal(ctx: MpiContext, buf: Payload, dest: int, tag: int):
+    """Internal isend that bypasses the user-tag check."""
+    from .communicator import Request
+
+    comm = ctx.comm
+    comm._check_rank(dest)
+
+    def runner():
+        yield from comm._send_impl(ctx.rank, dest, buf, tag)
+
+    return Request(
+        ctx.sim.process(runner(), name=f"coll.isend(r{ctx.rank}->r{dest})")
+    )
+
+
+def _send_internal(
+    ctx: MpiContext, buf: Payload, dest: int, tag: int
+) -> Generator[Event, Any, None]:
+    yield from ctx.comm._send_impl(ctx.rank, dest, buf, tag)
+
+
+def _recv_internal(
+    ctx: MpiContext, buf: Payload, source: int, tag: int
+) -> Generator[Event, Any, Any]:
+    status = yield from ctx.comm._recv_impl(ctx.rank, source, buf, tag)
+    return status
+
+
+def barrier(ctx: MpiContext) -> Generator[Event, Any, None]:
+    """Dissemination barrier."""
+    ctx.comm._count("barrier")
+    tag = _next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        yield ctx.comm._sw()
+        return
+    k = 1
+    while k < size:
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        req = _isend_internal(ctx, None, dst, tag)
+        yield from _recv_internal(ctx, None, src, tag)
+        yield from req.wait()
+        k <<= 1
+
+
+def bcast(
+    ctx: MpiContext, buf: Payload, root: int = 0
+) -> Generator[Event, Any, None]:
+    """Binomial-tree broadcast of ``buf`` (in place for non-roots)."""
+    ctx.comm._count("bcast")
+    ctx.comm._check_rank(root)
+    tag = _next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        yield ctx.comm._sw()
+        return
+    vrank = (rank - root) % size
+    # Phase 1 — non-roots receive from their parent.  ``mask`` stops at
+    # the lowest set bit of vrank (or the first power of two >= size for
+    # the root).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            yield from _recv_internal(ctx, buf, parent, tag)
+            break
+        mask <<= 1
+    # Phase 2 — forward to children: vrank + m for each m below mask.
+    mask >>= 1
+    while mask > 0:
+        child_v = vrank + mask
+        if child_v < size:
+            child = (child_v + root) % size
+            yield from _send_internal(ctx, buf, child, tag)
+        mask >>= 1
+
+
+def reduce(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+    root: int = 0,
+) -> Generator[Event, Any, None]:
+    """Binomial-tree reduction to ``root``."""
+    ctx.comm._count("reduce")
+    ctx.comm._check_rank(root)
+    tag = _next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    src_arr = payload_array(sendbuf)
+    if src_arr is None:
+        raise MpiError("reduce requires an array payload")
+    acc = src_arr.copy()
+    if size > 1:
+        vrank = (rank - root) % size
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                dst = ((vrank & ~mask) + root) % size
+                yield from _send_internal(ctx, acc, dst, tag)
+                break
+            partner_v = vrank | mask
+            if partner_v < size:
+                tmp = np.empty_like(acc)
+                partner = (partner_v + root) % size
+                yield from _recv_internal(ctx, tmp, partner, tag)
+                acc = op.combine(acc, tmp)
+            mask <<= 1
+    else:
+        yield ctx.comm._sw()
+    if rank == root:
+        out = payload_array(recvbuf)
+        if out is None:
+            raise MpiError("root needs a recv buffer for reduce")
+        out[...] = acc.reshape(out.shape)
+
+
+def allreduce(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+) -> Generator[Event, Any, None]:
+    """Reduce to rank 0, then broadcast (MVAPICH2 general-case algorithm)."""
+    ctx.comm._count("allreduce")
+    out = payload_array(recvbuf)
+    if out is None:
+        raise MpiError("allreduce requires a recv buffer on every rank")
+    if ctx.rank == 0:
+        yield from reduce(ctx, sendbuf, recvbuf, op=op, root=0)
+    else:
+        yield from reduce(ctx, sendbuf, None, op=op, root=0)
+    yield from bcast(ctx, recvbuf, root=0)
+
+
+def gather(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbufs: Optional[Sequence[Payload]],
+    root: int = 0,
+) -> Generator[Event, Any, None]:
+    """Linear gather: every rank sends its buffer to the root.
+
+    At the root, ``recvbufs`` is a sequence of per-rank destination
+    buffers (the vector variant — MPI_Gatherv — falls out naturally since
+    the buffers may have different sizes).
+    """
+    ctx.comm._count("gather")
+    ctx.comm._check_rank(root)
+    tag = _next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    if rank == root:
+        if recvbufs is None or len(recvbufs) != size:
+            raise MpiError("root needs one recv buffer per rank")
+        reqs = []
+        for src in range(size):
+            if src == root:
+                continue
+            reqs.append(
+                ctx.sim.process(
+                    _recv_internal(ctx, recvbufs[src], src, tag),
+                    name=f"gather.recv({src})",
+                )
+            )
+        # Local contribution via direct copy.
+        own = payload_array(recvbufs[root])
+        mine = payload_array(sendbuf)
+        if own is not None and mine is not None:
+            own[...] = mine.reshape(own.shape)
+        for r in reqs:
+            yield r
+    else:
+        yield from _send_internal(ctx, sendbuf, root, tag)
+
+
+def scatter(
+    ctx: MpiContext,
+    sendbufs: Optional[Sequence[Payload]],
+    recvbuf: Payload,
+    root: int = 0,
+) -> Generator[Event, Any, None]:
+    """Linear scatter from the root (vector variant included)."""
+    ctx.comm._count("scatter")
+    ctx.comm._check_rank(root)
+    tag = _next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    if rank == root:
+        if sendbufs is None or len(sendbufs) != size:
+            raise MpiError("root needs one send buffer per rank")
+        reqs = []
+        for dst in range(size):
+            if dst == root:
+                continue
+            reqs.append(_isend_internal(ctx, sendbufs[dst], dst, tag))
+        own = payload_array(recvbuf)
+        mine = payload_array(sendbufs[root])
+        if own is not None and mine is not None:
+            own[...] = mine.reshape(own.shape)
+        for r in reqs:
+            yield from r.wait()
+    else:
+        yield from _recv_internal(ctx, recvbuf, root, tag)
+
+
+def allgather(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbufs: Sequence[Payload],
+) -> Generator[Event, Any, None]:
+    """Ring allgather: P−1 steps, each forwarding one block."""
+    ctx.comm._count("allgather")
+    tag = _next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    if len(recvbufs) != size:
+        raise MpiError("allgather needs one recv buffer per rank")
+    own = payload_array(recvbufs[rank])
+    mine = payload_array(sendbuf)
+    if own is not None and mine is not None:
+        own[...] = mine.reshape(own.shape)
+    if size == 1:
+        yield ctx.comm._sw()
+        return
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        send_block = (rank - step) % size
+        recv_block = (rank - step - 1) % size
+        req = _isend_internal(ctx, recvbufs[send_block], right, tag + step % 4)
+        yield from _recv_internal(ctx, recvbufs[recv_block], left, tag + step % 4)
+        yield from req.wait()
+
+
+def alltoall(
+    ctx: MpiContext,
+    sendbufs: Sequence[Payload],
+    recvbufs: Sequence[Payload],
+) -> Generator[Event, Any, None]:
+    """Pairwise-exchange all-to-all."""
+    ctx.comm._count("alltoall")
+    tag = _next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    if len(sendbufs) != size or len(recvbufs) != size:
+        raise MpiError("alltoall needs one send and recv buffer per rank")
+    own = payload_array(recvbufs[rank])
+    mine = payload_array(sendbufs[rank])
+    if own is not None and mine is not None:
+        own[...] = mine.reshape(own.shape)
+    for k in range(1, size):
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        req = _isend_internal(ctx, sendbufs[dst], dst, tag)
+        yield from _recv_internal(ctx, recvbufs[src], src, tag)
+        yield from req.wait()

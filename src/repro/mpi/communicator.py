@@ -1,0 +1,422 @@
+"""The simulated MPI library: communicator, contexts, point-to-point.
+
+Semantics follow MPI (and mpi4py's buffer interface) closely:
+
+* ``send``/``recv`` are blocking; ``isend``/``irecv`` return
+  :class:`Request` objects with ``wait``/``test``.
+* Small messages use the **eager** protocol (one wire transfer, sender
+  completes on injection); large messages use **rendezvous**
+  (RTS → CTS → payload), with the threshold taken from
+  :class:`~repro.hw.params.IbParams` — this is what produces the
+  characteristic small/large message behaviour of MVAPICH2 in Figure 6.
+* Matching is FIFO per (source, tag) with ``ANY_SOURCE``/``ANY_TAG``
+  wildcards; non-overtaking order is preserved.
+* Payloads are real NumPy arrays, snapshotted at send time and copied
+  into the receive buffer at completion.
+
+The communicator is deliberately *process-agnostic*: any simulated
+process (a plain MPI rank, a DCGN communication thread, a GAS master)
+may drive a rank's :class:`MpiContext`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..hw.cluster import Cluster
+from ..hw.memory import HostBuffer, nbytes_of
+from ..sim.core import Event, Process, Simulator, us
+from ..sim.stores import FilterStore
+from .datatypes import Payload, ReduceOp, payload_array, snapshot
+from .errors import MpiError, RankError, TagError, TruncationError
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["Communicator", "MpiContext", "Request", "HEADER_BYTES"]
+
+#: Size of protocol headers on the wire (match/envelope data).
+HEADER_BYTES = 64
+
+#: User tags must be below this; collectives use the space above it.
+INTERNAL_TAG_BASE = 1 << 20
+
+
+@dataclass
+class _WireMsg:
+    """A message (or RTS) sitting in a rank's matching queue."""
+
+    kind: str  # "eager" | "rts"
+    src: int
+    tag: int
+    nbytes: int
+    data: Optional[np.ndarray] = None
+    #: rendezvous: receiver fires this to grant the clear-to-send.
+    cts: Optional[Event] = None
+    #: rendezvous: sender fires this (with the data) after the payload lands.
+    payload_arrived: Optional[Event] = None
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, proc: Process) -> None:
+        self._proc = proc
+
+    def wait(self) -> Generator[Event, Any, Any]:
+        """``yield from`` until complete; returns the operation's value."""
+        value = yield self._proc
+        return value
+
+    def test(self) -> bool:
+        """True once the operation has completed."""
+        return not self._proc.is_alive
+
+    @property
+    def event(self) -> Event:
+        """The completion event (the underlying process)."""
+        return self._proc
+
+
+class Communicator:
+    """COMM_WORLD for one job: rank→node placement + matching state."""
+
+    def __init__(self, cluster: Cluster, placement: Sequence[int]) -> None:
+        if not placement:
+            raise MpiError("placement must name at least one rank")
+        for node in placement:
+            if not (0 <= node < cluster.n_nodes):
+                raise RankError(f"placement node {node} out of range")
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.placement = list(placement)
+        self.size = len(placement)
+        self._match: List[FilterStore] = [
+            FilterStore(self.sim, name=f"mpi.match[{r}]")
+            for r in range(self.size)
+        ]
+        self._coll_seq = [0] * self.size
+        #: Operation counters for reports/tests.
+        self.stats: Dict[str, int] = {}
+        self._ib = cluster.spec.params.ib
+
+    # -- helpers -----------------------------------------------------------
+    def ctx(self, rank: int) -> "MpiContext":
+        """The context a process uses to act as ``rank``."""
+        self._check_rank(rank)
+        return MpiContext(self, rank)
+
+    def contexts(self) -> List["MpiContext"]:
+        """One context per rank, in rank order."""
+        return [self.ctx(r) for r in range(self.size)]
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self.placement[rank]
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise RankError(f"rank {rank} out of range [0,{self.size})")
+
+    def _check_tag(self, tag: int) -> None:
+        if tag < 0 or tag >= INTERNAL_TAG_BASE:
+            raise TagError(f"user tag {tag} out of range")
+
+    def _count(self, op: str) -> None:
+        self.stats[op] = self.stats.get(op, 0) + 1
+
+    def _sw(self) -> Event:
+        """Per-call software overhead."""
+        return self.sim.timeout(us(self._ib.sw_overhead_us))
+
+    # -- wire primitives -----------------------------------------------------
+    def _wire(
+        self, src_rank: int, dst_rank: int, nbytes: int
+    ) -> Generator[Event, Any, float]:
+        t = yield from self.cluster.interconnect.transfer(
+            self.placement[src_rank], self.placement[dst_rank], nbytes
+        )
+        return t
+
+    # -- point-to-point (internal, tag-space-unchecked) -------------------
+    def _send_impl(
+        self,
+        src: int,
+        dst: int,
+        buf: Payload,
+        tag: int,
+    ) -> Generator[Event, Any, None]:
+        yield self._sw()
+        nbytes = nbytes_of(buf) if buf is not None else 0
+        data = snapshot(buf)
+        self.sim.trace("mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes)
+        if nbytes <= self._ib.eager_threshold:
+            yield from self._wire(src, dst, nbytes + HEADER_BYTES)
+            self._match[dst].put(
+                _WireMsg("eager", src=src, tag=tag, nbytes=nbytes, data=data)
+            )
+            return
+        # Rendezvous: RTS -> (receiver matches, sends CTS) -> payload.
+        cts = self.sim.event(name=f"cts({src}->{dst})")
+        arrived = self.sim.event(name=f"payload({src}->{dst})")
+        yield from self._wire(src, dst, HEADER_BYTES)
+        self._match[dst].put(
+            _WireMsg(
+                "rts",
+                src=src,
+                tag=tag,
+                nbytes=nbytes,
+                data=data,
+                cts=cts,
+                payload_arrived=arrived,
+            )
+        )
+        yield cts
+        yield from self._wire(src, dst, nbytes)
+        arrived.succeed(data)
+
+    def _recv_impl(
+        self,
+        me: int,
+        src: int,
+        buf: Payload,
+        tag: int,
+    ) -> Generator[Event, Any, Status]:
+        yield self._sw()
+
+        def matches(m: _WireMsg) -> bool:
+            if src != ANY_SOURCE and m.src != src:
+                return False
+            if tag != ANY_TAG and m.tag != tag:
+                return False
+            return True
+
+        msg: _WireMsg = yield self._match[me].get(matches)
+        if msg.kind == "rts":
+            # Grant the clear-to-send, then wait for the payload.
+            yield from self._wire(me, msg.src, HEADER_BYTES)
+            msg.cts.succeed(None)
+            data = yield msg.payload_arrived
+        else:
+            data = msg.data
+        self._deliver(buf, data, msg.nbytes)
+        self.sim.trace(
+            "mpi.recv", me=me, src=msg.src, tag=msg.tag, nbytes=msg.nbytes
+        )
+        return Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+
+    @staticmethod
+    def _deliver(buf: Payload, data: Optional[np.ndarray], nbytes: int) -> None:
+        arr = payload_array(buf)
+        if arr is None:
+            return  # timing-only receive
+        if data is None:
+            return
+        dview = arr.view(np.uint8).reshape(-1)
+        sview = data.view(np.uint8).reshape(-1)
+        if sview.size > dview.size:
+            raise TruncationError(
+                f"message of {sview.size} B exceeds recv buffer "
+                f"of {dview.size} B"
+            )
+        dview[: sview.size] = sview
+
+
+class MpiContext:
+    """Rank-bound facade: what an MPI process calls.
+
+    All communication methods are generators (``yield from`` them inside a
+    simulated process).
+    """
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self.sim = comm.sim
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def node_id(self) -> int:
+        return self.comm.node_of(self.rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MpiContext rank={self.rank}/{self.size}>"
+
+    # -- blocking p2p ------------------------------------------------------
+    def send(
+        self, buf: Payload, dest: int, tag: int = 0
+    ) -> Generator[Event, Any, None]:
+        """Blocking send (eager: completes on injection)."""
+        self.comm._check_rank(dest)
+        self.comm._check_tag(tag)
+        self.comm._count("send")
+        yield from self.comm._send_impl(self.rank, dest, buf, tag)
+
+    def recv(
+        self,
+        buf: Payload,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Generator[Event, Any, Status]:
+        """Blocking receive into ``buf``; returns a :class:`Status`."""
+        if source != ANY_SOURCE:
+            self.comm._check_rank(source)
+        if tag != ANY_TAG:
+            self.comm._check_tag(tag)
+        self.comm._count("recv")
+        status = yield from self.comm._recv_impl(self.rank, source, buf, tag)
+        return status
+
+    # -- non-blocking p2p ------------------------------------------------
+    def isend(self, buf: Payload, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; payload snapshotted immediately."""
+        self.comm._check_rank(dest)
+        self.comm._check_tag(tag)
+        self.comm._count("isend")
+        data = snapshot(buf)
+        nbytes = nbytes_of(buf) if buf is not None else 0
+
+        def runner():
+            yield from self.comm._send_impl(self.rank, dest, data if data is not None else nbytes, tag)
+
+        return Request(
+            self.sim.process(runner(), name=f"isend(r{self.rank}->r{dest})")
+        )
+
+    def irecv(
+        self,
+        buf: Payload,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Request:
+        """Non-blocking receive."""
+        if source != ANY_SOURCE:
+            self.comm._check_rank(source)
+        if tag != ANY_TAG:
+            self.comm._check_tag(tag)
+        self.comm._count("irecv")
+
+        def runner():
+            status = yield from self.comm._recv_impl(
+                self.rank, source, buf, tag
+            )
+            return status
+
+        return Request(
+            self.sim.process(runner(), name=f"irecv(r{self.rank}<-{source})")
+        )
+
+    # -- combined p2p ------------------------------------------------------
+    def sendrecv(
+        self,
+        sendbuf: Payload,
+        dest: int,
+        recvbuf: Payload,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Generator[Event, Any, Status]:
+        """Simultaneous send+receive (deadlock-free)."""
+        self.comm._count("sendrecv")
+        sreq = self.isend(sendbuf, dest, sendtag)
+        status = yield from self.recv(recvbuf, source, recvtag)
+        yield from sreq.wait()
+        return status
+
+    def sendrecv_replace(
+        self,
+        buf: Payload,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Generator[Event, Any, Status]:
+        """The ``MPI_Sendrecv_replace`` used by Cannon's algorithm."""
+        self.comm._count("sendrecv_replace")
+        status = yield from self.sendrecv(
+            buf, dest, buf, source, sendtag, recvtag
+        )
+        return status
+
+    # -- collectives (implementations in .collectives) --------------------
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Dissemination barrier across all ranks."""
+        from . import collectives as c
+
+        yield from c.barrier(self)
+
+    def bcast(self, buf: Payload, root: int = 0) -> Generator[Event, Any, None]:
+        """Binomial-tree broadcast."""
+        from . import collectives as c
+
+        yield from c.bcast(self, buf, root=root)
+
+    def reduce(
+        self,
+        sendbuf: Payload,
+        recvbuf: Payload,
+        op: "ReduceOp" = ReduceOp.SUM,
+        root: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """Binomial-tree reduction to the root."""
+        from . import collectives as c
+
+        yield from c.reduce(self, sendbuf, recvbuf, op=op, root=root)
+
+    def allreduce(
+        self,
+        sendbuf: Payload,
+        recvbuf: Payload,
+        op: "ReduceOp" = ReduceOp.SUM,
+    ) -> Generator[Event, Any, None]:
+        """Reduce + broadcast."""
+        from . import collectives as c
+
+        yield from c.allreduce(self, sendbuf, recvbuf, op=op)
+
+    def gather(
+        self,
+        sendbuf: Payload,
+        recvbufs: Optional[Sequence[Payload]] = None,
+        root: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """Gather per-rank buffers at the root (vector variant included).
+
+        Non-root ranks may omit ``recvbufs`` (as in mpi4py).
+        """
+        from . import collectives as c
+
+        yield from c.gather(self, sendbuf, recvbufs, root=root)
+
+    def scatter(
+        self,
+        sendbufs: Optional[Sequence[Payload]],
+        recvbuf: Payload,
+        root: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """Scatter per-rank buffers from the root (vector variant included)."""
+        from . import collectives as c
+
+        yield from c.scatter(self, sendbufs, recvbuf, root=root)
+
+    def allgather(
+        self, sendbuf: Payload, recvbufs: Sequence[Payload]
+    ) -> Generator[Event, Any, None]:
+        """Ring allgather."""
+        from . import collectives as c
+
+        yield from c.allgather(self, sendbuf, recvbufs)
+
+    def alltoall(
+        self, sendbufs: Sequence[Payload], recvbufs: Sequence[Payload]
+    ) -> Generator[Event, Any, None]:
+        """Pairwise-exchange all-to-all."""
+        from . import collectives as c
+
+        yield from c.alltoall(self, sendbufs, recvbufs)

@@ -1,0 +1,64 @@
+"""Reduction operators and payload helpers for the simulated MPI."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+import numpy as np
+
+from ..hw.memory import HostBuffer
+
+__all__ = ["ReduceOp", "payload_array", "snapshot"]
+
+Payload = Union[np.ndarray, HostBuffer, int, None]
+
+
+class ReduceOp(enum.Enum):
+    """MPI reduction operations (the subset the apps use)."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+    LAND = "land"
+    LOR = "lor"
+    BAND = "band"
+    BOR = "bor"
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``a OP b`` (never in place)."""
+        if self is ReduceOp.SUM:
+            return a + b
+        if self is ReduceOp.PROD:
+            return a * b
+        if self is ReduceOp.MAX:
+            return np.maximum(a, b)
+        if self is ReduceOp.MIN:
+            return np.minimum(a, b)
+        if self is ReduceOp.LAND:
+            return np.logical_and(a, b).astype(a.dtype)
+        if self is ReduceOp.LOR:
+            return np.logical_or(a, b).astype(a.dtype)
+        if self is ReduceOp.BAND:
+            return a & b
+        if self is ReduceOp.BOR:
+            return a | b
+        raise NotImplementedError(self)  # pragma: no cover
+
+
+def payload_array(obj: Payload) -> Optional[np.ndarray]:
+    """The ndarray behind a payload, or None for timing-only payloads."""
+    if obj is None or isinstance(obj, (int, np.integer)):
+        return None
+    if isinstance(obj, HostBuffer):
+        return obj.data
+    if isinstance(obj, np.ndarray):
+        return obj
+    raise TypeError(f"unsupported payload type {type(obj)}")
+
+
+def snapshot(obj: Payload) -> Optional[np.ndarray]:
+    """Copy payload contents at send time (MPI buffered semantics)."""
+    arr = payload_array(obj)
+    return None if arr is None else arr.copy()

@@ -1,0 +1,21 @@
+"""MPI-layer error types."""
+
+from __future__ import annotations
+
+__all__ = ["MpiError", "TruncationError", "RankError", "TagError"]
+
+
+class MpiError(Exception):
+    """Base class for simulated-MPI errors."""
+
+
+class TruncationError(MpiError):
+    """Received message larger than the posted receive buffer."""
+
+
+class RankError(MpiError):
+    """Rank out of range for the communicator."""
+
+
+class TagError(MpiError):
+    """Invalid tag (negative, or colliding with the internal tag space)."""

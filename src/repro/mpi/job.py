@@ -1,0 +1,74 @@
+"""MPI job launcher: ``mpiexec`` for the simulated cluster."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..hw.cluster import Cluster
+from ..sim.core import Event, Process
+from .communicator import Communicator, MpiContext
+from .errors import MpiError
+
+__all__ = ["MpiJob", "block_placement", "round_robin_placement"]
+
+
+def block_placement(n_ranks: int, n_nodes: int) -> List[int]:
+    """Fill nodes in blocks (ranks 0..k-1 on node 0, ...).
+
+    This matches the paper's setup note for Figure 7: "Up to two MPI
+    processes ... run on the same node" — 8 ranks over 4 nodes become
+    [0,0,1,1,2,2,3,3].
+    """
+    if n_ranks % n_nodes != 0:
+        raise MpiError(
+            f"{n_ranks} ranks do not divide evenly over {n_nodes} nodes"
+        )
+    per = n_ranks // n_nodes
+    return [r // per for r in range(n_ranks)]
+
+
+def round_robin_placement(n_ranks: int, n_nodes: int) -> List[int]:
+    """Cycle ranks over nodes (0,1,2,3,0,1,...)."""
+    return [r % n_nodes for r in range(n_ranks)]
+
+
+class MpiJob:
+    """A set of MPI processes with a COMM_WORLD over the cluster."""
+
+    def __init__(self, cluster: Cluster, placement: Sequence[int]) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.comm = Communicator(cluster, placement)
+        self._procs: List[Process] = []
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def start(
+        self,
+        fn: Callable[..., Generator[Event, Any, Any]],
+        *args: Any,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> List[Process]:
+        """Spawn ``fn(ctx, *args)`` as a process for each rank.
+
+        ``ranks`` restricts which ranks run this function (so different
+        programs can run on different ranks, as in master/worker apps).
+        """
+        targets = range(self.size) if ranks is None else ranks
+        procs = []
+        for r in targets:
+            ctx = self.comm.ctx(r)
+            p = self.sim.process(fn(ctx, *args), name=f"mpi.rank{r}")
+            procs.append(p)
+        self._procs.extend(procs)
+        return procs
+
+    def run(self, until: Optional[float] = None) -> List[Any]:
+        """Run the simulation; returns per-process results in spawn order."""
+        self.sim.run(until=until)
+        for p in self._procs:
+            if p.is_alive:
+                raise MpiError(f"{p} still alive after run()")
+        return [p.value for p in self._procs]

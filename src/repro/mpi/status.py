@@ -1,0 +1,21 @@
+"""Receive-status records (the analogue of ``MPI_Status``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Source, tag and byte count of a completed receive."""
+
+    source: int
+    tag: int
+    nbytes: int

@@ -1,0 +1,70 @@
+"""Discrete-event simulation kernel for the DCGN reproduction.
+
+Public surface::
+
+    from repro.sim import Simulator, us, ms
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(us(5))
+        return 42
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 42
+"""
+
+from .core import (
+    LOW,
+    NORMAL,
+    PENDING,
+    URGENT,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+    ms,
+    us,
+)
+from .errors import DeadlockError, Interrupt, ScheduleError, SimulationError
+from .primitives import AllOf, AnyOf, all_of, any_of
+from .resources import BandwidthChannel, Mutex, Resource, acquire
+from .rng import RngStreams, stable_hash
+from .stores import FilterStore, Store
+from .sync import CyclicBarrier, Gate, Latch, Signal
+from .tracing import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Simulator",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+    "us",
+    "ms",
+    "SimulationError",
+    "ScheduleError",
+    "Interrupt",
+    "DeadlockError",
+    "AnyOf",
+    "AllOf",
+    "any_of",
+    "all_of",
+    "Resource",
+    "Mutex",
+    "acquire",
+    "BandwidthChannel",
+    "Store",
+    "FilterStore",
+    "Signal",
+    "Gate",
+    "Latch",
+    "CyclicBarrier",
+    "Tracer",
+    "TraceRecord",
+    "RngStreams",
+    "stable_hash",
+]

@@ -1,0 +1,424 @@
+"""Generator-coroutine discrete-event simulation kernel.
+
+This is the substrate everything else in :mod:`repro` runs on.  All of the
+"threads" in the paper — CPU-kernel threads, GPU-kernel threads, the DCGN
+communication thread, MPI progress engines, and GPU thread-blocks — are
+modelled as :class:`Process` coroutines advancing in simulated time.
+
+Design notes
+------------
+* Simulated time is a ``float`` in **seconds**.  Helpers :func:`us` and
+  :func:`ms` convert from micro/milliseconds, which is how hardware
+  parameters are naturally expressed.
+* Events follow the SimPy protocol loosely: a process ``yield``\\ s an
+  :class:`Event`; the kernel resumes it with the event's value (or throws
+  the event's exception) once the event fires.
+* The kernel is fully deterministic: ties in the event heap are broken by
+  a monotonically increasing sequence number.
+* Deadlock detection: when the heap drains while processes remain blocked,
+  :meth:`Simulator.run` raises :class:`~repro.sim.errors.DeadlockError`
+  (unless disabled).  This converts would-be hangs into testable failures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import (
+    DeadlockError,
+    Interrupt,
+    ScheduleError,
+    SimulationError,
+    StopSimulation,
+)
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+    "us",
+    "ms",
+    "Event",
+    "Timeout",
+    "Process",
+    "Simulator",
+]
+
+#: Sentinel for "event has no value yet".
+PENDING = object()
+
+#: Scheduling priorities (lower value pops first at equal times).
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+def us(x: float) -> float:
+    """Convert microseconds to simulated seconds."""
+    return x * 1e-6
+
+
+def ms(x: float) -> float:
+    """Convert milliseconds to simulated seconds."""
+    return x * 1e-3
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *triggered* once it has a value (or an exception), and
+    *processed* once its callbacks have run.  Callbacks added after
+    processing are scheduled to run immediately (same simulated time),
+    which lets processes wait on events that already happened.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        #: ``None`` once the event has been processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        # A failed event whose failure was delivered to at least one waiter
+        # is "defused"; undefused failures crash the simulation (they would
+        # otherwise be silently lost).
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise ScheduleError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise ScheduleError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it won't crash the run."""
+        self._defused = True
+
+    # -- callbacks -----------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs at the current
+        simulated time via an immediate bridge event.
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(fn)
+        else:
+            # Already processed: bridge through a fresh immediate event so
+            # the callback still runs from the main loop, never re-entrantly.
+            bridge = Event(self.sim, name=f"bridge({self.name})")
+            bridge.callbacks.append(lambda _e: fn(self))
+            bridge._ok = self._ok
+            bridge._value = self._value
+            self.sim._schedule(bridge, delay=0.0, priority=URGENT)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Remove a previously added callback (no-op if absent/processed)."""
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(fn)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "processed"
+            if self.processed
+            else "triggered" if self.triggered else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        name: str = "",
+    ) -> None:
+        if delay < 0:
+            raise ScheduleError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=name or f"timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay, priority=NORMAL)
+
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A simulated thread of control, driven by a generator.
+
+    The generator yields :class:`Event` instances; the kernel resumes it
+    with each event's value.  A ``Process`` is itself an :class:`Event`
+    that fires when the generator returns (value = return value) or raises
+    (failure), so processes can ``yield`` other processes to join them.
+    """
+
+    __slots__ = ("gen", "_target", "_interrupts")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        #: Event this process is currently blocked on (None when runnable).
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        sim._live.add(self)
+        # First resumption happens "now" via an initialization event.
+        init = Event(sim, name=f"init({self.name})")
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init, delay=0.0, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into this process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self.sim._current is self:
+            raise SimulationError("a process cannot interrupt itself")
+        self._interrupts.append(Interrupt(cause))
+        # Detach from whatever it's waiting on, then resume urgently.
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+            kick = Event(self.sim, name=f"interrupt({self.name})")
+            kick._ok = True
+            kick._value = None
+            kick.callbacks.append(self._resume)
+            self.sim._schedule(kick, delay=0.0, priority=URGENT)
+        # If _target is None the process is already scheduled to resume; the
+        # queued interrupt will be delivered on that resumption.
+
+    # -- kernel interface ----------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self.sim._current = self
+        self._target = None
+        event: Optional[Event] = None
+        try:
+            while True:
+                if self._interrupts:
+                    exc: BaseException = self._interrupts.pop(0)
+                    event = self.gen.throw(exc)
+                elif trigger._ok:
+                    event = self.gen.send(trigger._value)
+                else:
+                    trigger._defused = True
+                    event = self.gen.throw(trigger._value)
+                # The generator yielded `event`; decide whether to block.
+                if not isinstance(event, Event):
+                    raise SimulationError(
+                        f"{self!r} yielded non-event {event!r}"
+                    )
+                if event.sim is not self.sim:
+                    raise SimulationError(
+                        f"{self!r} yielded event from another simulator"
+                    )
+                if self._interrupts:
+                    # Pending interrupt: deliver instead of blocking, but
+                    # only consume the yielded event if already triggered.
+                    trigger = Event(self.sim)
+                    trigger._ok = True
+                    trigger._value = None
+                    continue
+                if event.processed:
+                    # Immediately continue with the value of the processed
+                    # event (loop again without a context switch).
+                    trigger = event
+                    continue
+                event.callbacks.append(self._resume)
+                self._target = event
+                break
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+        except BaseException as exc:  # generator died
+            if isinstance(exc, SimulationError) and event is None:
+                # Kernel-usage errors propagate directly.
+                self.sim._current = None
+                self.sim._live.discard(self)
+                raise
+            self._finish(False, exc)
+        finally:
+            self.sim._current = None
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self.sim._live.discard(self)
+        self._ok = ok
+        self._value = value
+        if not ok and not self.callbacks:
+            # Nobody is joining this process: surface the crash loudly
+            # unless someone later defuses it.
+            self.sim._crashed.append(self)
+        self.sim._schedule(self, delay=0.0, priority=NORMAL)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = f" waiting on {self._target!r}" if self._target else ""
+        return f"<Process {self.name!r}{target}>"
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, priority, seq, event)."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._live: set[Process] = set()
+        self._crashed: list[Process] = []
+        self._current: Optional[Process] = None
+        #: Optional tracer with a ``record(t, category, **fields)`` method.
+        self.tracer: Any = None
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event firing after ``delay`` seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a new process from generator ``gen``."""
+        return Process(self, gen, name=name)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise ScheduleError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def stop(self, value: Any = None) -> None:
+        """Stop :meth:`run` at the current simulated time."""
+        raise StopSimulation(value)
+
+    # -- execution -----------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on empty event queue")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self._now - 1e-18:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = t
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+        if (
+            event._ok is False
+            and not event._defused
+            and not isinstance(event, Process)
+        ):
+            raise event._value
+        if self._crashed:
+            crashed = [p for p in self._crashed if not p._defused]
+            self._crashed.clear()
+            if crashed:
+                raise crashed[0]._value
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        detect_deadlock: bool = True,
+    ) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the final simulated time.  Raises
+        :class:`~repro.sim.errors.DeadlockError` if the queue drains while
+        processes remain blocked (and ``detect_deadlock`` is true).
+        """
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return self._now
+                self.step()
+        except StopSimulation:
+            return self._now
+        if detect_deadlock and self._live:
+            blocked = sorted(self._live, key=lambda p: p.name)
+            raise DeadlockError(blocked)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf when empty)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def trace(self, category: str, **fields: Any) -> None:
+        """Record a trace point if a tracer is installed (cheap when not)."""
+        if self.tracer is not None:
+            self.tracer.record(self._now, category, **fields)

@@ -1,0 +1,60 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class ScheduleError(SimulationError):
+    """Raised on illegal scheduling operations (negative delay, re-trigger)."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used to stop :meth:`Simulator.run`.
+
+    Raised by :meth:`repro.sim.core.Simulator.stop`; callers never see it
+    because ``run`` catches it.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted by another process.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary payload describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Carries the list of blocked processes and a human-readable description
+    of what each was waiting on, which makes tests of deliberately
+    deadlocking configurations (e.g. the paper's block-scheduling deadlock,
+    section 3.2.4) precise.
+    """
+
+    def __init__(self, blocked: Sequence[Any]) -> None:
+        self.blocked = list(blocked)
+        lines = ", ".join(str(p) for p in self.blocked)
+        super().__init__(
+            f"deadlock: event queue empty with {len(self.blocked)} "
+            f"blocked process(es): {lines}"
+        )

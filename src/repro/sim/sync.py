@@ -1,0 +1,139 @@
+"""Synchronization primitives built on events.
+
+* :class:`Signal` — reusable broadcast ("condition variable" notify-all).
+* :class:`Gate` — open/closed barrier waiters pass through when open.
+* :class:`Latch` — count-down latch firing once N arrivals happen.
+* :class:`CyclicBarrier` — reusable N-party barrier (GPU __syncthreads()).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from .core import Event, Simulator
+
+__all__ = ["Signal", "Gate", "Latch", "CyclicBarrier"]
+
+
+class Signal:
+    """Reusable broadcast: ``fire`` wakes everyone currently waiting."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or "signal"
+        self._waiters: List[Event] = []
+        #: Number of times :meth:`fire` has been called.
+        self.fired_count = 0
+
+    @property
+    def waiting(self) -> int:
+        """Current number of waiters."""
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        """Return a fresh event that fires at the next :meth:`fire`."""
+        ev = self.sim.event(name=f"wait({self.name})")
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+        self.fired_count += 1
+        return len(waiters)
+
+
+class Gate:
+    """A gate processes wait on while closed; passes all when open."""
+
+    def __init__(self, sim: Simulator, open_: bool = False, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or "gate"
+        self._open = open_
+        self._signal = Signal(sim, name=f"{self.name}.signal")
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self, value: Any = None) -> None:
+        """Open the gate, releasing all waiters."""
+        self._open = True
+        self._signal.fire(value)
+
+    def close(self) -> None:
+        """Close the gate; subsequent waiters block."""
+        self._open = False
+
+    def wait(self) -> Event:
+        """Event that fires immediately if open, else at next open()."""
+        if self._open:
+            ev = self.sim.event(name=f"wait({self.name})")
+            ev.succeed(None)
+            return ev
+        return self._signal.wait()
+
+
+class Latch:
+    """Count-down latch: fires its event after ``count`` arrivals."""
+
+    def __init__(self, sim: Simulator, count: int, name: str = "") -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.sim = sim
+        self.name = name or f"latch({count})"
+        self.remaining = count
+        self.done = sim.event(name=f"{self.name}.done")
+        if count == 0:
+            self.done.succeed(None)
+
+    def arrive(self, n: int = 1) -> None:
+        """Count down by ``n``; fires the latch at zero."""
+        if self.remaining <= 0:
+            raise RuntimeError(f"{self.name}: arrive() after completion")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.remaining -= n
+        if self.remaining < 0:
+            raise RuntimeError(f"{self.name}: over-arrived")
+        if self.remaining == 0:
+            self.done.succeed(None)
+
+    def wait(self) -> Event:
+        """The completion event."""
+        return self.done
+
+
+class CyclicBarrier:
+    """Reusable N-party barrier.
+
+    Each party does ``yield barrier.arrive()``; the Nth arrival releases
+    everyone and resets for the next cycle.  This models GPU
+    ``__syncthreads()`` across the simulated threads of a block.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.sim = sim
+        self.parties = parties
+        self.name = name or f"barrier({parties})"
+        self._arrived = 0
+        self._gen = 0
+        self._release: Event = sim.event(name=f"{self.name}.gen0")
+        #: Number of completed cycles.
+        self.cycles = 0
+
+    def arrive(self) -> Event:
+        """Arrive at the barrier; returned event fires when all have."""
+        self._arrived += 1
+        release = self._release
+        if self._arrived >= self.parties:
+            self._arrived = 0
+            self._gen += 1
+            self.cycles += 1
+            self._release = self.sim.event(name=f"{self.name}.gen{self._gen}")
+            release.succeed(self._gen)
+        return release

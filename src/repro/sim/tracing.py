@@ -1,0 +1,62 @@
+"""Lightweight trace recording for simulations.
+
+A :class:`Tracer` attached to :attr:`Simulator.tracer` collects
+``TraceRecord`` tuples.  It is used by tests to assert event ordering
+(e.g. "the comm thread saw the GPU request only after a poll tick") and
+by the benchmark harness to derive utilization statistics such as CPU
+polling load (ablation A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace point."""
+
+    t: float
+    category: str
+    fields: Dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
+        self.records: List[TraceRecord] = []
+        self._categories = set(categories) if categories is not None else None
+
+    def record(self, t: float, category: str, **fields: Any) -> None:
+        """Store one record (filtered by category if a filter was given)."""
+        if self._categories is not None and category not in self._categories:
+            return
+        self.records.append(TraceRecord(t, category, fields))
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching ``category`` and ``predicate``."""
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return list(out)
+
+    def count(self, category: str) -> int:
+        """Number of records in ``category``."""
+        return sum(1 for r in self.records if r.category == category)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()

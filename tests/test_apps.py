@@ -1,0 +1,190 @@
+"""Integration tests for the paper's applications (§4) at small scale.
+
+Correctness is checked against sequential references inside each app;
+these tests also pin qualitative performance relationships.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import cannon, efficiency, mandelbrot, nbody, pingpong, speedup
+from repro.apps.common import AppResult
+from repro.hw import build_cluster, paper_cluster
+from repro.sim import Simulator, us
+
+
+def fresh_cluster(nodes=2, gpus_per_node=2, seed=0, params=None):
+    sim = Simulator()
+    return build_cluster(
+        sim, paper_cluster(nodes=nodes, gpus_per_node=gpus_per_node,
+                           params=params, seed=seed)
+    )
+
+
+class TestCommon:
+    def test_speedup_and_efficiency(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert efficiency(10.0, 2.0, 8) == pytest.approx(0.625)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)
+
+    def test_app_result_rate(self):
+        r = AppResult(elapsed=2.0, units=4, model="gas")
+        assert r.rate(8.0) == pytest.approx(4.0)
+
+
+class TestPingPong:
+    def test_mpi_pingpong_integrity_and_latency(self):
+        marks = pingpong.mpi_pingpong(rounds=5)
+        assert marks["rtt"] > 0
+
+    @pytest.mark.parametrize("endpoints", ["cpu-cpu", "gpu-gpu", "cpu-gpu"])
+    def test_dcgn_pingpong_endpoints(self, endpoints):
+        marks = pingpong.dcgn_pingpong(rounds=3, endpoints=endpoints)
+        assert marks["rtt"] > 0
+
+    def test_latency_ordering(self):
+        """MPI < DCGN CPU:CPU < DCGN GPU:GPU round-trip latency."""
+        t_mpi = pingpong.mpi_pingpong(rounds=5)["rtt"]
+        t_cpu = pingpong.dcgn_pingpong(rounds=5, endpoints="cpu-cpu")["rtt"]
+        t_gpu = pingpong.dcgn_pingpong(rounds=5, endpoints="gpu-gpu")["rtt"]
+        assert t_mpi < t_cpu < t_gpu
+
+
+class TestMandelbrot:
+    CFG = mandelbrot.MandelbrotConfig(
+        width=128, height=128, strip_height=16, max_iter=128
+    )
+
+    def test_reference_is_deterministic(self):
+        a = mandelbrot.mandelbrot_reference(self.CFG)
+        b = mandelbrot.mandelbrot_reference(self.CFG)
+        assert np.array_equal(a, b)
+        assert a.shape == (128, 128)
+        # The classic region contains both interior and escaped points.
+        assert a.min() == 0
+        assert a.max() == self.CFG.max_iter
+
+    def test_strip_costs_are_data_dependent(self):
+        costs = mandelbrot.strip_iteration_counts(self.CFG)
+        assert len(costs) == self.CFG.n_strips
+        assert costs.max() > 2 * costs.min()  # real load imbalance
+
+    def test_single_gpu_produces_reference(self):
+        cluster = fresh_cluster(nodes=1, gpus_per_node=1)
+        res = mandelbrot.run_single_gpu(cluster, self.CFG)
+        assert res.model == "single"
+        assert res.elapsed > 0
+
+    def test_gas_correct_and_all_strips_assigned(self):
+        cluster = fresh_cluster()
+        res = mandelbrot.run_gas(cluster, self.CFG)
+        owners = res.extras["owners"]
+        assert (owners >= 1).all()  # every strip computed by some worker
+
+    def test_dcgn_correct_and_all_strips_assigned(self):
+        cluster = fresh_cluster()
+        res = mandelbrot.run_dcgn(cluster, self.CFG)
+        owners = res.extras["owners"]
+        assert (owners >= 0).all()
+        assert res.units == 4
+
+    def test_invalid_strip_height(self):
+        with pytest.raises(ValueError):
+            mandelbrot.MandelbrotConfig(height=100, strip_height=33)
+
+    def test_fig5_distribution_varies_with_seed(self):
+        """Figure 5: two runs with timing jitter differ in ownership."""
+        from repro.hw import HWParams
+
+        params = HWParams(jitter_us=8.0)
+        cfg = mandelbrot.MandelbrotConfig(
+            width=128, height=128, strip_height=8, max_iter=128
+        )
+        owners = []
+        for seed in (1, 2):
+            cluster = fresh_cluster(seed=seed, params=params)
+            res = mandelbrot.run_dcgn(cluster, cfg)
+            owners.append(res.extras["owners"])
+        assert not np.array_equal(owners[0], owners[1])
+
+
+class TestCannon:
+    CFG = cannon.CannonConfig(n=128, grid=2)
+
+    def test_single_gpu(self):
+        cluster = fresh_cluster(nodes=1, gpus_per_node=1)
+        res = cannon.run_single_gpu(cluster, self.CFG)
+        assert res.elapsed > 0
+
+    def test_gas_verifies_against_numpy(self):
+        cluster = fresh_cluster()
+        res = cannon.run_gas(cluster, self.CFG)
+        assert res.units == 4
+
+    def test_dcgn_verifies_against_numpy(self):
+        cluster = fresh_cluster()
+        res = cannon.run_dcgn(cluster, self.CFG)
+        assert res.units == 4
+
+    def test_grid_must_divide_n(self):
+        with pytest.raises(ValueError):
+            cannon.CannonConfig(n=100, grid=3)
+
+    def test_insufficient_gpus_rejected(self):
+        cluster = fresh_cluster(nodes=1, gpus_per_node=1)
+        with pytest.raises(ValueError):
+            cannon.run_gas(cluster, self.CFG)
+
+    def test_dcgn_close_to_gas(self):
+        """§5.1: DCGN within ~10% of GAS for Cannon (71% vs 74% eff)."""
+        cfg = cannon.CannonConfig(n=512, grid=2)
+        res_gas = cannon.run_gas(fresh_cluster(), cfg)
+        res_dcgn = cannon.run_dcgn(fresh_cluster(), cfg)
+        ratio = res_gas.elapsed / res_dcgn.elapsed
+        assert 0.70 <= ratio <= 1.01, f"GAS/DCGN time ratio {ratio:.2f}"
+
+
+class TestNBody:
+    CFG = nbody.NBodyConfig(n_bodies=192, steps=2)
+
+    def test_reference_trajectory_moves_bodies(self):
+        pos0, _, _ = nbody._initial_state(self.CFG)
+        pos = nbody.reference_trajectory(self.CFG)
+        assert not np.allclose(pos, pos0)
+
+    def test_chunk_bounds_cover_all_bodies(self):
+        total = 0
+        for r in range(8):
+            lo, hi = nbody._chunk_bounds(self.CFG.n_bodies, 8, r)
+            total += hi - lo
+        assert total == self.CFG.n_bodies
+
+    def test_single_gpu(self):
+        cluster = fresh_cluster(nodes=1, gpus_per_node=1)
+        res = nbody.run_single_gpu(cluster, self.CFG)
+        assert res.elapsed > 0
+
+    def test_gas_physics_verified(self):
+        cluster = fresh_cluster()
+        res = nbody.run_gas(cluster, self.CFG)
+        assert res.units == 4
+
+    def test_dcgn_physics_verified(self):
+        cluster = fresh_cluster()
+        res = nbody.run_dcgn(cluster, self.CFG)
+        assert res.units == 4
+
+    def test_efficiency_rises_with_bodies(self):
+        """§5.1 shape: more bodies → higher parallel efficiency."""
+        effs = []
+        for n in (512, 4096):
+            cfg = nbody.NBodyConfig(n_bodies=n, steps=2, verify=False)
+            single = nbody.run_single_gpu(
+                fresh_cluster(nodes=1, gpus_per_node=1), cfg
+            )
+            par = nbody.run_gas(fresh_cluster(), cfg)
+            effs.append(efficiency(single.elapsed, par.elapsed, par.units))
+        assert effs[1] > effs[0]

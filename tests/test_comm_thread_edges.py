@@ -1,0 +1,189 @@
+"""Edge cases in the communication thread: buffering, ablation paths,
+mismatches, and quiescent shutdown."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.dcgn import (
+    ANY,
+    CollectiveMismatch,
+    DcgnConfig,
+    DcgnRuntime,
+)
+from repro.hw import HWParams, build_cluster, paper_cluster
+from repro.sim import Simulator, us
+
+
+def make_runtime(n_nodes=2, cpu_threads=1, params=None, seed=0):
+    sim = Simulator()
+    cluster = build_cluster(
+        sim, paper_cluster(nodes=n_nodes, params=params, seed=seed)
+    )
+    cfg = DcgnConfig.homogeneous(n_nodes, cpu_threads=cpu_threads)
+    return sim, DcgnRuntime(cluster, cfg)
+
+
+class TestUnexpectedMessages:
+    def test_send_before_recv_is_buffered_and_delivered(self):
+        sim, rt = make_runtime()
+        result = {}
+
+        def kernel(ctx):
+            buf = np.zeros(4, dtype=np.int32)
+            if ctx.rank == 0:
+                buf[:] = [4, 3, 2, 1]
+                yield from ctx.send(1, buf)
+            else:
+                # Receive long after the message arrived (buffered path).
+                yield ctx.sim.timeout(0.01)
+                yield from ctx.recv(0, buf)
+                result["data"] = buf.copy()
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert np.array_equal(result["data"], [4, 3, 2, 1])
+
+    def test_many_buffered_messages_match_in_order(self):
+        sim, rt = make_runtime()
+        result = {}
+
+        def kernel(ctx):
+            buf = np.zeros(1, dtype=np.int64)
+            if ctx.rank == 0:
+                for i in range(5):
+                    buf[0] = i
+                    yield from ctx.send(1, buf)
+            else:
+                yield ctx.sim.timeout(0.01)
+                got = []
+                for _ in range(5):
+                    yield from ctx.recv(0, buf)
+                    got.append(int(buf[0]))
+                result["got"] = got
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert result["got"] == [0, 1, 2, 3, 4]
+
+
+class TestLocalLoopbackAblation:
+    def test_local_send_via_mpi_loopback_still_correct(self):
+        base = HWParams()
+        params = base.with_(
+            dcgn=dataclasses.replace(base.dcgn, local_via_memcpy=False)
+        )
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=2, params=params)
+        result = {}
+
+        def kernel(ctx):
+            buf = np.zeros(2)
+            if ctx.rank == 0:
+                buf[:] = [1.5, 2.5]
+                yield from ctx.send(1, buf)
+            else:
+                st = yield from ctx.recv(0, buf)
+                result["data"] = buf.copy()
+                result["src"] = st.source
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert np.allclose(result["data"], [1.5, 2.5])
+        assert result["src"] == 0
+
+    def test_loopback_slower_than_memcpy_for_large_payloads(self):
+        def one_way(local_via_memcpy):
+            base = HWParams()
+            params = base.with_(
+                dcgn=dataclasses.replace(
+                    base.dcgn, local_via_memcpy=local_via_memcpy
+                )
+            )
+            sim, rt = make_runtime(
+                n_nodes=1, cpu_threads=2, params=params
+            )
+            marks = {}
+
+            def kernel(ctx):
+                buf = np.zeros(1 << 20, dtype=np.uint8)
+                if ctx.rank == 0:
+                    yield from ctx.send(1, buf)
+                else:
+                    yield from ctx.recv(0, buf)
+                    marks["t"] = ctx.sim.now
+
+            rt.launch_cpu(kernel)
+            rt.run()
+            return marks["t"]
+
+        assert one_way(True) < one_way(False)
+
+
+class TestCollectiveMismatches:
+    def test_reduce_op_mismatch(self):
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=2)
+
+        def kernel(ctx):
+            send = np.array([1.0])
+            recv = np.zeros(1)
+            op = "sum" if ctx.rank == 0 else "max"
+            yield from ctx.allreduce(send, recv, op=op)
+
+        rt.launch_cpu(kernel)
+        with pytest.raises(CollectiveMismatch):
+            rt.run(max_time=1.0)
+
+    def test_over_participation_detected(self):
+        """A rank calling twice while others call once trips the guard."""
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=2)
+
+        def kernel(ctx):
+            if ctx.rank == 0:
+                yield from ctx.barrier()
+            else:
+                # Issue two barrier requests with the SAME sequence
+                # number by resetting the counter (simulating a buggy
+                # user thread reusing a context).
+                yield from ctx.barrier()
+                ctx._coll_seq = 0
+                yield from ctx.barrier()
+
+        rt.launch_cpu(kernel)
+        with pytest.raises(CollectiveMismatch):
+            rt.run(max_time=1.0)
+
+
+class TestStatsAndCapture:
+    def test_wire_counters_track_remote_traffic(self):
+        sim, rt = make_runtime()
+
+        def kernel(ctx):
+            buf = np.zeros(1)
+            if ctx.rank == 0:
+                yield from ctx.send(1, buf)
+            else:
+                yield from ctx.recv(0, buf)
+
+        rt.launch_cpu(kernel)
+        report = rt.run()
+        stats = report.comm_stats()
+        assert stats.get("wire_sends", 0) == 1
+        assert stats.get("wire_arrivals", 0) == 1
+        assert stats.get("p2p_delivered", 0) == 1
+
+    def test_intra_node_traffic_uses_no_wire(self):
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=2)
+
+        def kernel(ctx):
+            buf = np.zeros(1)
+            if ctx.rank == 0:
+                yield from ctx.send(1, buf)
+            else:
+                yield from ctx.recv(0, buf)
+
+        rt.launch_cpu(kernel)
+        report = rt.run()
+        stats = report.comm_stats()
+        assert stats.get("wire_sends", 0) == 0
+        assert stats.get("p2p_delivered", 0) == 1

@@ -1,0 +1,292 @@
+"""DCGN integration tests: ranks, CPU p2p, GPU p2p, mixed traffic."""
+
+import numpy as np
+import pytest
+
+from repro.dcgn import (
+    ANY,
+    CommViolation,
+    DcgnConfig,
+    DcgnConfigError,
+    DcgnRuntime,
+    NodeConfig,
+    RankMap,
+)
+from repro.hw import build_cluster, paper_cluster, single_node
+from repro.sim import Simulator, us
+
+
+def make_runtime(n_nodes=2, cpu_threads=1, gpus=0, slots=1, params=None, seed=0):
+    sim = Simulator()
+    cluster = build_cluster(
+        sim, paper_cluster(nodes=n_nodes, params=params, seed=seed)
+    )
+    cfg = DcgnConfig.homogeneous(
+        n_nodes, cpu_threads=cpu_threads, gpus=gpus, slots_per_gpu=slots
+    )
+    return sim, DcgnRuntime(cluster, cfg)
+
+
+class TestRankMap:
+    def test_paper_rank_assignment(self):
+        """Cn + Gn*Sn, CPUs first then (gpu, slot) pairs, per node."""
+        cfg = DcgnConfig(
+            [
+                NodeConfig(cpu_threads=2, gpus=2, slots_per_gpu=2),
+                NodeConfig(cpu_threads=1, gpus=1, slots_per_gpu=3),
+            ]
+        )
+        rm = RankMap(cfg)
+        assert rm.size == (2 + 4) + (1 + 3)
+        # Node 0: vranks 0,1 = CPUs; 2,3 = gpu0 slots; 4,5 = gpu1 slots.
+        assert rm.cpu_rank(0, 0) == 0
+        assert rm.cpu_rank(0, 1) == 1
+        assert rm.slot_rank(0, 0, 0) == 2
+        assert rm.slot_rank(0, 0, 1) == 3
+        assert rm.slot_rank(0, 1, 0) == 4
+        assert rm.slot_rank(0, 1, 1) == 5
+        # Node 1 continues consecutively.
+        assert rm.cpu_rank(1, 0) == 6
+        assert rm.slot_rank(1, 0, 2) == 9
+        assert rm.node_of(9) == 1
+        assert rm.is_cpu(0) and not rm.is_cpu(2)
+
+    def test_local_ranks(self):
+        cfg = DcgnConfig.homogeneous(2, cpu_threads=1, gpus=1, slots_per_gpu=2)
+        rm = RankMap(cfg)
+        assert rm.local_ranks(0) == [0, 1, 2]
+        assert rm.local_ranks(1) == [3, 4, 5]
+        assert rm.cpu_ranks() == [0, 3]
+        assert rm.gpu_ranks(1) == [4, 5]
+
+    def test_invalid_configs(self):
+        with pytest.raises(DcgnConfigError):
+            NodeConfig(cpu_threads=0, gpus=0)
+        with pytest.raises(DcgnConfigError):
+            NodeConfig(cpu_threads=-1)
+        with pytest.raises(DcgnConfigError):
+            NodeConfig(gpus=1, slots_per_gpu=0)
+        with pytest.raises(DcgnConfigError):
+            DcgnConfig([])
+
+    def test_config_validation_against_cluster(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, single_node(gpus=1))
+        with pytest.raises(DcgnConfigError):
+            DcgnRuntime(
+                cluster, DcgnConfig.homogeneous(1, cpu_threads=1, gpus=5)
+            )
+        with pytest.raises(DcgnConfigError):
+            DcgnRuntime(
+                cluster,
+                DcgnConfig.homogeneous(
+                    1, cpu_threads=1, gpus=1, slots_per_gpu=10_000
+                ),
+            )
+
+
+class TestCpuP2P:
+    def test_pingpong_paper_figure3(self):
+        """The paper's Figure 3 ping-pong, CPU ranks on two nodes."""
+        sim, rt = make_runtime(n_nodes=2, cpu_threads=1)
+        result = {}
+
+        def kernel(ctx):
+            x = np.zeros(1, dtype=np.int32)
+            if ctx.rank == 0:
+                x[0] = 7
+                yield from ctx.send(1, x)
+                yield from ctx.recv(1, x)
+                result["final"] = int(x[0])
+            else:
+                st = yield from ctx.recv(0, x)
+                assert st.source == 0
+                x[0] *= 6
+                yield from ctx.send(0, x)
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert result["final"] == 42
+
+    def test_intra_node_send(self):
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=2)
+        result = {}
+
+        def kernel(ctx):
+            buf = np.zeros(4)
+            if ctx.rank == 0:
+                buf[:] = [1, 2, 3, 4]
+                yield from ctx.send(1, buf)
+            else:
+                yield from ctx.recv(0, buf)
+                result["got"] = buf.copy()
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert np.array_equal(result["got"], [1, 2, 3, 4])
+
+    def test_any_source_recv(self):
+        sim, rt = make_runtime(n_nodes=2, cpu_threads=2)  # ranks 0,1 / 2,3
+        result = {"seen": []}
+
+        def kernel(ctx):
+            buf = np.zeros(1, dtype=np.int64)
+            if ctx.rank == 0:
+                for _ in range(3):
+                    st = yield from ctx.recv(ANY, buf)
+                    result["seen"].append((st.source, int(buf[0])))
+            else:
+                buf[0] = ctx.rank * 11
+                yield from ctx.send(0, buf)
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert sorted(result["seen"]) == [(1, 11), (2, 22), (3, 33)]
+
+    def test_sendrecv_exchange(self):
+        sim, rt = make_runtime(n_nodes=2, cpu_threads=1)
+        result = {}
+
+        def kernel(ctx):
+            other = 1 - ctx.rank
+            out = np.array([float(ctx.rank + 5)])
+            incoming = np.zeros(1)
+            yield from ctx.sendrecv(other, out, other, incoming)
+            result[ctx.rank] = float(incoming[0])
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert result == {0: 6.0, 1: 5.0}
+
+    def test_message_ordering(self):
+        sim, rt = make_runtime(n_nodes=2, cpu_threads=1)
+        result = {}
+
+        def kernel(ctx):
+            buf = np.zeros(1, dtype=np.int32)
+            if ctx.rank == 0:
+                for i in range(8):
+                    buf[0] = i
+                    yield from ctx.send(1, buf)
+            else:
+                got = []
+                for _ in range(8):
+                    yield from ctx.recv(0, buf)
+                    got.append(int(buf[0]))
+                result["got"] = got
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        assert result["got"] == list(range(8))
+
+    def test_cpu_kernel_results_returned(self):
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=2)
+
+        def kernel(ctx):
+            yield from ctx.barrier()
+            return ctx.rank * 100
+
+        rt.launch_cpu(kernel)
+        report = rt.run()
+        assert report.cpu_results() == [0, 100]
+
+
+class TestGpuP2P:
+    def test_gpu_pingpong_paper_figure1(self):
+        """The paper's Figure 1 ping-pong between two GPUs."""
+        sim, rt = make_runtime(n_nodes=2, cpu_threads=0, gpus=1, slots=1)
+        result = {}
+
+        def gpu_kernel(ctx):
+            comm = ctx.comm
+            dev = ctx.device
+            gpu_mem = dev.alloc(4, dtype=np.int32, name="gpumem")
+            me = comm.rank(0)
+            if me == 0:
+                gpu_mem.data[:] = [10, 20, 30, 40]
+                yield from comm.send(0, 1, gpu_mem)
+                st = yield from comm.recv(0, 1, gpu_mem)
+                result["final"] = gpu_mem.data.copy()
+                result["status_src"] = st.source
+            else:
+                yield from comm.recv(0, 0, gpu_mem)
+                gpu_mem.data[:] *= 2
+                yield from comm.send(0, 0, gpu_mem)
+
+        rt.launch_gpu(gpu_kernel)
+        rt.run()
+        assert np.array_equal(result["final"], [20, 40, 60, 80])
+        assert result["status_src"] == 1
+
+    def test_gpu_to_cpu_and_back(self):
+        sim, rt = make_runtime(n_nodes=2, cpu_threads=1, gpus=1, slots=1)
+        # Ranks: node0 = [cpu 0, gpu 1], node1 = [cpu 2, gpu 3].
+        result = {}
+
+        def cpu_kernel(ctx):
+            buf = np.zeros(2, dtype=np.float32)
+            if ctx.rank == 0:
+                st = yield from ctx.recv(3, buf)  # from remote GPU slot
+                result["cpu_got"] = buf.copy()
+                buf *= 10
+                yield from ctx.send(3, buf)
+            # rank 2 idles
+            return None
+
+        def gpu_kernel(ctx):
+            comm = ctx.comm
+            me = comm.rank(0)
+            if me == 3:
+                dbuf = ctx.device.alloc(2, dtype=np.float32)
+                dbuf.data[:] = [1.5, 2.5]
+                yield from comm.send(0, 0, dbuf)
+                yield from comm.recv(0, 0, dbuf)
+                result["gpu_got"] = dbuf.data.copy()
+
+        rt.launch_cpu(cpu_kernel)
+        rt.launch_gpu(gpu_kernel)
+        rt.run()
+        assert np.allclose(result["cpu_got"], [1.5, 2.5])
+        assert np.allclose(result["gpu_got"], [15.0, 25.0])
+
+    def test_host_memory_rejected_in_gpu_send(self):
+        """Paper §3.2: GPU communication must use global memory."""
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=1, gpus=1, slots=1)
+
+        def gpu_kernel(ctx):
+            host_arr = np.zeros(4)
+            yield from ctx.comm.send(0, 0, host_arr)
+
+        def cpu_kernel(ctx):
+            yield ctx.sim.timeout(0.0)
+
+        rt.launch_cpu(cpu_kernel)
+        rt.launch_gpu(gpu_kernel)
+        with pytest.raises(CommViolation):
+            rt.run()
+
+    def test_multislot_gpu(self):
+        """Two slots on one GPU behave as two independent ranks."""
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=1, gpus=1, slots=2)
+        # Ranks: 0 = cpu, 1 = gpu slot0, 2 = gpu slot1.
+        result = {}
+
+        def cpu_kernel(ctx):
+            buf = np.zeros(1, dtype=np.int64)
+            seen = {}
+            for _ in range(2):
+                st = yield from ctx.recv(ANY, buf)
+                seen[st.source] = int(buf[0])
+            result["seen"] = seen
+
+        def gpu_kernel(ctx):
+            comm = ctx.comm
+            slot = ctx.block_idx  # block b drives slot b
+            dbuf = ctx.device.alloc(1, dtype=np.int64)
+            dbuf.data[0] = comm.rank(slot) * 7
+            yield from comm.send(slot, 0, dbuf)
+
+        rt.launch_cpu(cpu_kernel)
+        rt.launch_gpu(gpu_kernel)
+        rt.run()
+        assert result["seen"] == {1: 7, 2: 14}

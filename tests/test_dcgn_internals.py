@@ -1,0 +1,183 @@
+"""Unit tests for DCGN internals: queues, polling policies, requests."""
+
+import pytest
+
+from repro.dcgn import AdaptiveBurstPolicy, FixedIntervalPolicy
+from repro.dcgn.polling import make_policy
+from repro.dcgn.queues import WorkQueue, sleep_poll_wait
+from repro.dcgn.requests import CommRequest, CommStatus
+from repro.hw.params import DcgnParams
+from repro.sim import Signal, Simulator, us
+
+
+class TestWorkQueue:
+    def test_put_charges_time(self):
+        sim = Simulator()
+        q = WorkQueue(sim, queue_op_us=5.0)
+
+        def producer():
+            yield from q.put("a")
+            return sim.now
+
+        p = sim.process(producer())
+        sim.run()
+        assert p.value == pytest.approx(us(5.0))
+        assert q.puts == 1
+        assert len(q) == 1
+
+    def test_drain_takes_batch_with_one_charge(self):
+        sim = Simulator()
+        q = WorkQueue(sim, queue_op_us=2.0)
+
+        def producer():
+            for x in range(5):
+                yield from q.put(x)
+
+        def consumer():
+            yield sim.timeout(us(100.0))
+            t0 = sim.now
+            items = yield from q.drain()
+            return items, sim.now - t0
+
+        sim.process(producer())
+        c = sim.process(consumer())
+        sim.run()
+        items, dt = c.value
+        assert items == [0, 1, 2, 3, 4]
+        assert dt == pytest.approx(us(2.0))
+        assert q.drains == 1
+
+    def test_nowait_variants_charge_nothing(self):
+        sim = Simulator()
+        q = WorkQueue(sim, queue_op_us=2.0)
+        q.put_nowait("x")
+        assert q.drain_nowait() == ["x"]
+        assert q.drain_nowait() == []
+        assert sim.now == 0.0
+
+    def test_kick_signal_fired_on_put(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        q = WorkQueue(sim, queue_op_us=1.0, kick=sig)
+        woken = []
+
+        def waiter():
+            yield sig.wait()
+            woken.append(sim.now)
+
+        def producer():
+            yield from q.put("x")
+
+        sim.process(waiter())
+        sim.process(producer())
+        sim.run()
+        assert len(woken) == 1
+
+
+class TestSleepPollWait:
+    def test_immediate_event_still_waits_one_tick(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+
+        def waiter():
+            v = yield from sleep_poll_wait(sim, ev, 10.0)
+            return v, sim.now
+
+        p = sim.process(waiter())
+        sim.run()
+        v, t = p.value
+        assert v == "v"
+        assert t == pytest.approx(us(10.0))
+
+    def test_zero_interval_returns_at_event(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def firer():
+            yield sim.timeout(1.0)
+            ev.succeed(7)
+
+        def waiter():
+            v = yield from sleep_poll_wait(sim, ev, 0.0)
+            return v, sim.now
+
+        sim.process(firer())
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == (7, 1.0)
+
+
+class TestPollPolicies:
+    def test_fixed_interval_constant(self):
+        pol = FixedIntervalPolicy(100.0)
+        assert pol.next_delay_us() == 100.0
+        pol.observe(True)
+        pol.kicked()  # no-op on base class path
+        assert pol.next_delay_us() == 100.0
+        assert not pol.supports_kick
+
+    def test_fixed_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            FixedIntervalPolicy(0.0)
+
+    def test_adaptive_burst_on_kick(self):
+        pol = AdaptiveBurstPolicy(300.0, 25.0, burst_polls=2)
+        assert pol.next_delay_us() == 300.0
+        pol.kicked()
+        assert pol.next_delay_us() == 25.0
+        pol.observe(False)
+        assert pol.next_delay_us() == 25.0
+        pol.observe(False)
+        assert pol.next_delay_us() == 300.0  # budget exhausted
+
+    def test_adaptive_burst_on_found_work(self):
+        pol = AdaptiveBurstPolicy(300.0, 25.0, burst_polls=3)
+        pol.observe(True)
+        assert pol.next_delay_us() == 25.0
+        pol.observe(True)  # refresh
+        for _ in range(3):
+            pol.observe(False)
+        assert pol.next_delay_us() == 300.0
+
+    def test_adaptive_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBurstPolicy(10.0, 25.0, 2)  # burst > interval
+        with pytest.raises(ValueError):
+            AdaptiveBurstPolicy(100.0, 25.0, 0)
+        with pytest.raises(ValueError):
+            AdaptiveBurstPolicy(-1.0, 25.0, 1)
+
+    def test_make_policy_respects_kick_flag(self):
+        import dataclasses
+
+        on = make_policy(DcgnParams())
+        assert isinstance(on, AdaptiveBurstPolicy)
+        off = make_policy(
+            dataclasses.replace(DcgnParams(), gpu_poll_kick=False)
+        )
+        assert isinstance(off, FixedIntervalPolicy)
+
+
+class TestCommRequest:
+    def test_complete_fires_done_and_stamps(self):
+        sim = Simulator()
+        req = CommRequest(op="send", src_vrank=0, peer=1)
+        req.done = sim.event()
+        status = CommStatus(source=1, nbytes=8)
+        req.complete(status)
+        assert req.done.triggered
+        assert req.status == status
+        assert "completed" in req.marks
+
+    def test_stamp_first_write_wins(self):
+        sim = Simulator()
+        req = CommRequest(op="recv", src_vrank=0)
+        req.stamp("picked", 1.0)
+        req.stamp("picked", 2.0)
+        assert req.marks["picked"] == 1.0
+
+    def test_request_ids_unique(self):
+        a = CommRequest(op="send", src_vrank=0)
+        b = CommRequest(op="send", src_vrank=0)
+        assert a.req_id != b.req_id

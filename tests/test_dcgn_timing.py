@@ -1,0 +1,247 @@
+"""DCGN timing-shape tests: overheads, polling, and the deadlock hazard.
+
+These tests pin the *qualitative* claims of the paper's evaluation:
+ratio bands rather than exact microseconds (see EXPERIMENTS.md for the
+measured-vs-paper numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dcgn import DcgnConfig, DcgnRuntime, DcgnTimeout
+from repro.gpusim import GpuCommDeadlock, LaunchConfig
+from repro.hw import HWParams, build_cluster, paper_cluster
+from repro.hw.params import DcgnParams
+from repro.mpi import MpiJob, block_placement
+from repro.sim import Simulator, us
+
+
+def mpi_barrier_time(n_ranks, n_nodes):
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=n_nodes))
+    job = MpiJob(cluster, block_placement(n_ranks, n_nodes))
+
+    def prog(ctx):
+        yield from ctx.barrier()
+
+    job.start(prog)
+    job.run()
+    return sim.now
+
+
+def dcgn_barrier_time(n_nodes, cpu_threads, gpus, iterations=5):
+    """Cold-barrier measurement (iterations separated by kernel work),
+    as the benchmark harness uses — see repro.apps.micro."""
+    from repro.apps.micro import dcgn_barrier_time as measure
+
+    return measure(
+        n_nodes, cpu_threads=cpu_threads, gpus=gpus, iters=iterations
+    )
+
+
+class TestTable1Shape:
+    """Barrier timings must reproduce Table 1's ordering and bands."""
+
+    def test_dcgn_cpu_barrier_overhead_band(self):
+        """1 node, 2 CPUs: paper 38 µs vs MPI 3 µs (ratio 12.67×)."""
+        t_mpi = mpi_barrier_time(2, 1)
+        t_dcgn = dcgn_barrier_time(1, cpu_threads=2, gpus=0)["cpu"]
+        ratio = t_dcgn / t_mpi
+        assert 5.0 <= ratio <= 40.0, f"ratio {ratio:.1f}"
+        assert us(15.0) <= t_dcgn <= us(90.0), f"{t_dcgn/us(1):.1f} µs"
+
+    def test_dcgn_gpu_barrier_much_slower_than_cpu(self):
+        """1 node: GPU-only barrier ≫ CPU-only barrier (313 vs 38 µs)."""
+        t_cpu = dcgn_barrier_time(1, cpu_threads=2, gpus=0)["cpu"]
+        t_gpu = dcgn_barrier_time(1, cpu_threads=0, gpus=2)["gpu"]
+        assert t_gpu > 3.0 * t_cpu
+        assert us(150.0) <= t_gpu <= us(700.0), f"{t_gpu/us(1):.1f} µs"
+
+    def test_mixed_barrier_faster_than_gpu_only(self):
+        """Table 1 anomaly: 2C/2G ≈ 53 µs but 0C/2G ≈ 313 µs.
+
+        Host-side request activity kicks the GPU pollers, so mixed
+        barriers complete an order of magnitude faster than GPU-only.
+        """
+        t_gpu_only = dcgn_barrier_time(1, cpu_threads=0, gpus=2)["gpu"]
+        marks = dcgn_barrier_time(1, cpu_threads=2, gpus=2)
+        t_mixed_cpu = marks["cpu"]
+        assert t_mixed_cpu < 0.6 * t_gpu_only
+
+    def test_gpu_barrier_grows_across_nodes(self):
+        """0C/2G 1 node (313 µs) ≤ 0C/4G 2 nodes (747 µs) trend.
+
+        Our model reproduces the ordering but not the paper's 2.4×
+        multi-node jump (see EXPERIMENTS.md, deviation D2).
+        """
+        t1 = dcgn_barrier_time(1, cpu_threads=0, gpus=2, iterations=5)["gpu"]
+        t2 = dcgn_barrier_time(2, cpu_threads=0, gpus=2, iterations=5)["gpu"]
+        assert t2 >= t1
+        assert us(200.0) <= t1 <= us(900.0)
+        assert us(200.0) <= t2 <= us(900.0)
+
+    def test_mpi_barrier_increases_with_ranks(self):
+        assert mpi_barrier_time(2, 1) < mpi_barrier_time(8, 4)
+
+
+class TestSendOverheadShape:
+    """Figure 6 bands: small-message overhead ratios, large-message parity."""
+
+    @staticmethod
+    def _mpi_send_time(nbytes, n_nodes=2):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=n_nodes))
+        job = MpiJob(cluster, [0, 1])
+        t = {}
+
+        def prog(ctx):
+            buf = np.zeros(max(nbytes, 1), dtype=np.uint8)
+            if ctx.rank == 0:
+                yield from ctx.send(buf, dest=1)
+            else:
+                yield from ctx.recv(buf, source=0)
+                t["d"] = ctx.sim.now
+
+        job.start(prog)
+        job.run()
+        return t["d"]
+
+    @staticmethod
+    def _dcgn_cpu_send_time(nbytes):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=2))
+        cfg = DcgnConfig.homogeneous(2, cpu_threads=1)
+        rt = DcgnRuntime(cluster, cfg)
+        t = {}
+
+        def kernel(ctx):
+            buf = np.zeros(max(nbytes, 1), dtype=np.uint8)
+            if ctx.rank == 0:
+                yield from ctx.send(1, buf, nbytes=nbytes)
+            else:
+                yield from ctx.recv(0, buf, nbytes=nbytes)
+                t["d"] = ctx.sim.now
+
+        rt.launch_cpu(kernel)
+        rt.run()
+        return t["d"]
+
+    def test_zero_byte_cpu_ratio_band(self):
+        """Paper: 0 B CPU:CPU DCGN ≈ 28× MVAPICH2."""
+        t_mpi = self._mpi_send_time(0)
+        t_dcgn = self._dcgn_cpu_send_time(0)
+        ratio = t_dcgn / t_mpi
+        assert 8.0 <= ratio <= 60.0, f"0B CPU ratio {ratio:.1f}"
+
+    def test_1mb_cpu_near_parity(self):
+        """Paper: 1 MB CPU:CPU DCGN ≈ 1.04× MVAPICH2."""
+        n = 1 << 20
+        t_mpi = self._mpi_send_time(n)
+        t_dcgn = self._dcgn_cpu_send_time(n)
+        ratio = t_dcgn / t_mpi
+        assert 1.0 <= ratio <= 1.3, f"1MB CPU ratio {ratio:.2f}"
+
+
+class TestDeadlockHazard:
+    def test_block_scheduling_deadlock_detected(self):
+        """Paper §3.2.4: "if one expects a single block to perform
+        communication before all other blocks can perform computation, a
+        deadlock will occur if all multiprocessors are taken before that
+        block can be scheduled."
+
+        The communicating block is the *last* block of an oversubscribed
+        grid: resident blocks spin on a flag it would set, so it never
+        gets a multiprocessor and the job-wide barrier never completes.
+        """
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=2))
+        n_sms = cluster.nodes[0].gpus[0].params.num_sms
+        cfg = DcgnConfig.homogeneous(2, cpu_threads=0, gpus=1, slots_per_gpu=1)
+        rt = DcgnRuntime(cluster, cfg)
+        flag = sim.event(name="device_flag")
+
+        def rank0_kernel(ctx):
+            if ctx.block_idx == ctx.grid_blocks - 1:
+                yield from ctx.comm.barrier(0)
+                flag.succeed(None)
+            else:
+                yield flag  # spin on device memory, holding the SM
+
+        def rank1_kernel(ctx):
+            yield from ctx.comm.barrier(0)
+
+        rt.launch_gpu(
+            rank0_kernel,
+            config=LaunchConfig(grid_blocks=n_sms + 1),
+            gpus=[(0, 0)],
+        )
+        rt.launch_gpu(rank1_kernel, gpus=[(1, 0)])
+        with pytest.raises(GpuCommDeadlock):
+            rt.run(max_time=0.2)
+
+    def test_watchdog_on_unmatched_recv(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=1))
+        cfg = DcgnConfig.homogeneous(1, cpu_threads=2)
+        rt = DcgnRuntime(cluster, cfg)
+
+        def kernel(ctx):
+            if ctx.rank == 0:
+                buf = np.zeros(1)
+                yield from ctx.recv(1, buf)  # never sent
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        rt.launch_cpu(kernel)
+        with pytest.raises(DcgnTimeout):
+            rt.run(max_time=0.05)
+
+
+class TestPollingPolicies:
+    def test_fixed_policy_slower_completion_detection(self):
+        """Without the adaptive kick, mixed barriers lose their advantage."""
+        from repro.dcgn import FixedIntervalPolicy
+
+        def run(policy_factory):
+            sim = Simulator()
+            cluster = build_cluster(sim, paper_cluster(nodes=1))
+            cfg = DcgnConfig.homogeneous(
+                1, cpu_threads=1, gpus=1, slots_per_gpu=1
+            )
+            rt = DcgnRuntime(cluster, cfg, policy_factory=policy_factory)
+            marks = {}
+
+            def cpu_kernel(ctx):
+                t0 = ctx.sim.now
+                yield from ctx.barrier()
+                marks["t"] = ctx.sim.now - t0
+
+            def gpu_kernel(ctx):
+                yield from ctx.comm.barrier(0)
+
+            rt.launch_cpu(cpu_kernel)
+            rt.launch_gpu(gpu_kernel)
+            rt.run()
+            return marks["t"]
+
+        t_adaptive = run(None)  # default adaptive policy
+        interval = DcgnParams().gpu_poll_interval_us
+        t_fixed = run(lambda: FixedIntervalPolicy(interval))
+        assert t_adaptive < t_fixed
+
+    def test_polling_stats_exposed(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=1))
+        cfg = DcgnConfig.homogeneous(1, cpu_threads=0, gpus=1, slots_per_gpu=1)
+        rt = DcgnRuntime(cluster, cfg)
+
+        def gpu_kernel(ctx):
+            yield from ctx.comm.barrier(0)
+
+        rt.launch_gpu(gpu_kernel)
+        report = rt.run()
+        stats = report.polling_stats()
+        assert len(stats) == 1
+        (gstats,) = stats.values()
+        assert gstats["polls"] >= 1
+        assert gstats["pcie_probes"] >= 1

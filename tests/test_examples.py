@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+
+def run_example(name, *args, timeout=240):
+    path = os.path.join(EXAMPLES, name)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "MPI  CPU<->CPU" in out
+    assert "DCGN GPU<->GPU" in out
+
+
+def test_mandelbrot_fractal():
+    out = run_example(
+        "mandelbrot_fractal.py", "--width", "128", "--max-iter", "128"
+    )
+    assert "speedup" in out
+    assert "Strip ownership" in out
+
+
+def test_cannon_matmul():
+    out = run_example("cannon_matmul.py", "--n", "256")
+    assert "efficiency" in out
+    assert "verified against numpy" in out
+
+
+def test_nbody_simulation():
+    out = run_example(
+        "nbody_simulation.py", "--bodies", "256", "1024", "--steps", "2"
+    )
+    assert "GAS" in out and "DCGN" in out
+
+
+def test_slots_virtualization():
+    out = run_example("slots_virtualization.py")
+    assert "slots_per_gpu=1" in out
+    assert "slots_per_gpu=4" in out

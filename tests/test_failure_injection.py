@@ -1,0 +1,121 @@
+"""Failure injection: user errors must surface cleanly, not hang."""
+
+import numpy as np
+import pytest
+
+from repro.dcgn import DcgnConfig, DcgnRuntime, DcgnTimeout
+from repro.gas import GasJob
+from repro.gpusim import GpuOutOfMemory, LaunchConfig
+from repro.hw import build_cluster, paper_cluster
+from repro.mpi import MpiError, MpiJob
+from repro.sim import Simulator
+
+
+def make_runtime(n_nodes=1, cpu_threads=2, gpus=0):
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=n_nodes))
+    cfg = DcgnConfig.homogeneous(
+        n_nodes, cpu_threads=cpu_threads, gpus=gpus
+    )
+    return sim, DcgnRuntime(cluster, cfg)
+
+
+class TestKernelCrashes:
+    def test_cpu_kernel_exception_propagates(self):
+        sim, rt = make_runtime()
+
+        def kernel(ctx):
+            yield ctx.sim.timeout(0.0)
+            if ctx.rank == 1:
+                raise RuntimeError("injected kernel bug")
+
+        rt.launch_cpu(kernel)
+        with pytest.raises(RuntimeError, match="injected kernel bug"):
+            rt.run(max_time=1.0)
+
+    def test_gpu_kernel_exception_propagates(self):
+        sim, rt = make_runtime(cpu_threads=0, gpus=1)
+
+        def gpu_kernel(ctx):
+            yield from ctx.compute(seconds=1e-6)
+            raise ValueError("device-side assert")
+
+        rt.launch_gpu(gpu_kernel)
+        with pytest.raises(ValueError, match="device-side assert"):
+            rt.run(max_time=1.0)
+
+    def test_gpu_oom_propagates(self):
+        sim, rt = make_runtime(cpu_threads=0, gpus=1)
+
+        def gpu_kernel(ctx):
+            yield from ctx.compute(seconds=0.0)
+            ctx.device.alloc(10 ** 12, dtype=np.uint8)  # 1 TB
+
+        rt.launch_gpu(gpu_kernel)
+        with pytest.raises(GpuOutOfMemory):
+            rt.run(max_time=1.0)
+
+    def test_crash_of_one_peer_leaves_other_hanging_detectably(self):
+        """A dead peer means the survivor's recv never completes: the
+        watchdog reports it rather than spinning forever."""
+        sim, rt = make_runtime()
+
+        def kernel(ctx):
+            buf = np.zeros(1)
+            if ctx.rank == 0:
+                yield from ctx.recv(1, buf)
+            else:
+                yield ctx.sim.timeout(0.0)
+                return  # "crashes" (exits) without sending
+
+        rt.launch_cpu(kernel)
+        with pytest.raises(DcgnTimeout, match="dcgn.cpu0"):
+            rt.run(max_time=0.05)
+
+
+class TestMpiJobFailures:
+    def test_rank_exception_propagates(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=1))
+        job = MpiJob(cluster, [0, 0])
+
+        def prog(ctx):
+            yield ctx.sim.timeout(0.0)
+            if ctx.rank == 1:
+                raise KeyError("rank 1 died")
+
+        job.start(prog)
+        with pytest.raises(KeyError):
+            job.run()
+
+    def test_unfinished_rank_detected(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=1))
+        job = MpiJob(cluster, [0, 0])
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                buf = np.zeros(1)
+                yield from ctx.recv(buf, source=1)  # never sent
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        job.start(prog)
+        with pytest.raises((MpiError, Exception)):
+            job.run(until=0.1)
+
+
+class TestGasFailures:
+    def test_worker_exception_propagates(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=1))
+        job = GasJob.all_gpus(cluster)
+
+        def prog(ctx):
+            yield ctx.sim.timeout(0.0)
+            if ctx.rank == 1:
+                raise OSError("injected driver failure")
+
+        job.start(prog)
+        with pytest.raises(OSError):
+            job.run()

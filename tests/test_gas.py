@@ -1,0 +1,169 @@
+"""Tests for the GAS baseline runtime and the §2.3 pipeline pattern."""
+
+import numpy as np
+import pytest
+
+from repro.gas import GasContext, GasError, GasJob
+from repro.gas.pipeline import GasPipeline, PipelineStage
+from repro.gpusim import LaunchConfig
+from repro.hw import build_cluster, paper_cluster, single_node
+from repro.sim import Simulator, us
+
+
+def make_cluster(nodes=2, gpus_per_node=2):
+    sim = Simulator()
+    return build_cluster(
+        sim, paper_cluster(nodes=nodes, gpus_per_node=gpus_per_node)
+    )
+
+
+class TestGasJob:
+    def test_all_gpus_assignment(self):
+        cluster = make_cluster()
+        job = GasJob.all_gpus(cluster)
+        assert job.size == 4
+        for r in range(4):
+            assert job.context(r).gpu is not None
+
+    def test_master_rank_has_no_gpu(self):
+        cluster = make_cluster()
+        job = GasJob.all_gpus(cluster, with_master=True)
+        assert job.size == 5
+        assert job.context(0).gpu is None
+        assert job.context(1).gpu is not None
+
+    def test_push_kernel_pull_roundtrip(self):
+        cluster = make_cluster(nodes=1, gpus_per_node=1)
+        job = GasJob.all_gpus(cluster)
+        result = {}
+
+        def prog(ctx):
+            data = np.arange(16, dtype=np.float64)
+            dbuf = ctx.alloc(16, name="x")
+            yield from ctx.push(dbuf, data)
+
+            def kernel(kctx):
+                yield from kctx.compute(seconds=us(10.0))
+
+            yield from ctx.run_kernel(kernel, LaunchConfig(grid_blocks=2))
+            dbuf.data[...] *= 2  # the kernel's effect
+            out = np.zeros(16)
+            yield from ctx.pull(out, dbuf)
+            result["out"] = out
+            dbuf.free()
+
+        job.start(prog)
+        job.run()
+        assert np.array_equal(result["out"], np.arange(16) * 2.0)
+
+    def test_cpu_only_rank_rejects_gpu_ops(self):
+        cluster = make_cluster()
+        job = GasJob.all_gpus(cluster, with_master=True)
+
+        def prog(ctx):
+            yield ctx.sim.timeout(0.0)
+            ctx.alloc(4)  # master has no GPU
+
+        job.start(prog, ranks=[0])
+        with pytest.raises(GasError):
+            job.run()
+
+    def test_invalid_assignment_rejected(self):
+        cluster = make_cluster(nodes=1, gpus_per_node=1)
+        with pytest.raises(GasError):
+            GasJob(cluster, [(0, 5)])
+        with pytest.raises(GasError):
+            GasJob(cluster, [(9, 0)])
+        with pytest.raises(GasError):
+            GasJob(cluster, [])
+
+    def test_mpi_between_gas_ranks(self):
+        cluster = make_cluster()
+        job = GasJob.all_gpus(cluster)
+        result = {}
+
+        def prog(ctx):
+            buf = np.zeros(1, dtype=np.int64)
+            if ctx.rank == 0:
+                buf[0] = 99
+                yield from ctx.mpi.send(buf, dest=3)
+            elif ctx.rank == 3:
+                yield from ctx.mpi.recv(buf, source=0)
+                result["got"] = int(buf[0])
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        job.start(prog)
+        job.run()
+        assert result["got"] == 99
+
+
+class TestGasPipeline:
+    def test_two_stage_pipeline_transforms_in_order(self):
+        cluster = make_cluster()
+        stages = [
+            PipelineStage("double", lambda x: x * 2, us(30.0)),
+            PipelineStage("add-one", lambda x: x + 1, us(30.0)),
+        ]
+        pipe = GasPipeline(cluster, stages, item_shape=(4,))
+        items = [np.full(4, float(i)) for i in range(5)]
+        out = pipe.run(items)
+        assert len(out) == 5
+        for i, o in enumerate(out):
+            assert np.allclose(o, i * 2 + 1)
+        assert pipe.elapsed > 0
+
+    def test_pipeline_overlaps_stages(self):
+        """K items through S stages ≈ (K+S-1) stage-times, not K*S."""
+
+        def run_pipeline(n_items):
+            cluster = make_cluster()
+            stage_s = us(200.0)
+            stages = [
+                PipelineStage("a", lambda x: x, stage_s),
+                PipelineStage("b", lambda x: x, stage_s),
+                PipelineStage("c", lambda x: x, stage_s),
+            ]
+            pipe = GasPipeline(cluster, stages, item_shape=(2,))
+            pipe.run([np.zeros(2) for _ in range(n_items)])
+            return pipe.elapsed
+
+        t4 = run_pipeline(4)
+        t8 = run_pipeline(8)
+        # Doubling the items must NOT double the makespan (fill/drain
+        # amortizes): serial execution would give t8 = 2 * t4.
+        assert t8 < 1.8 * t4
+
+    def test_four_stage_pipeline_correctness(self):
+        cluster = make_cluster()
+        stages = [
+            PipelineStage(f"s{k}", (lambda k: lambda x: x + k)(k), us(20.0))
+            for k in range(4)
+        ]
+        pipe = GasPipeline(cluster, stages, item_shape=(3,))
+        out = pipe.run([np.zeros(3)])
+        assert np.allclose(out[0], 0 + 1 + 2 + 3)
+
+    def test_too_many_stages_rejected(self):
+        cluster = make_cluster(nodes=1, gpus_per_node=1)
+        stages = [
+            PipelineStage("a", lambda x: x, us(1.0)),
+            PipelineStage("b", lambda x: x, us(1.0)),
+        ]
+        with pytest.raises(GasError):
+            GasPipeline(cluster, stages, item_shape=(1,))
+
+    def test_wrong_item_shape_rejected(self):
+        cluster = make_cluster()
+        pipe = GasPipeline(
+            cluster,
+            [PipelineStage("a", lambda x: x, us(1.0))],
+            item_shape=(4,),
+        )
+        with pytest.raises(GasError):
+            pipe.run([np.zeros(5)])
+
+    def test_empty_stage_list_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(GasError):
+            GasPipeline(cluster, [], item_shape=(1,))

@@ -1,0 +1,388 @@
+"""Tests for the GPU simulator: memory, kernels, scheduling, mailboxes."""
+
+import numpy as np
+import pytest
+
+from repro.hw.params import GpuParams, PcieParams
+from repro.gpusim import (
+    DeviceBuffer,
+    GpuDevice,
+    GpuOutOfMemory,
+    InvalidMemorySpace,
+    LaunchConfig,
+    LaunchConfigError,
+    SlotMailboxes,
+    launch,
+    launch_kernel,
+    memcpy_d2d,
+    memcpy_d2h,
+    memcpy_h2d,
+)
+from repro.sim import DeadlockError, RngStreams, Simulator, us
+
+
+def make_device(sim, num_sms=4, gflops=100.0, mem_mb=64, blocks_per_sm=1):
+    return GpuDevice(
+        sim,
+        params=GpuParams(
+            num_sms=num_sms,
+            blocks_per_sm=blocks_per_sm,
+            gflops=gflops,
+            mem_bw_GBps=10.0,
+            kernel_launch_us=5.0,
+            mem_bytes=mem_mb * 1024 * 1024,
+        ),
+        pcie_params=PcieParams(lat_us=10.0, bw_GBps=1.0),
+        node_id=0,
+        device_id=0,
+        rng=RngStreams(0),
+    )
+
+
+class TestDeviceMemory:
+    def test_alloc_and_free(self):
+        sim = Simulator()
+        dev = make_device(sim, mem_mb=1)
+        buf = dev.alloc(1024, dtype=np.uint8)
+        assert dev.allocator.used == 1024
+        buf.free()
+        assert dev.allocator.used == 0
+
+    def test_oom(self):
+        sim = Simulator()
+        dev = make_device(sim, mem_mb=1)
+        dev.alloc(900 * 1024, dtype=np.uint8)
+        with pytest.raises(GpuOutOfMemory):
+            dev.alloc(200 * 1024, dtype=np.uint8)
+
+    def test_double_free(self):
+        sim = Simulator()
+        dev = make_device(sim)
+        buf = dev.alloc(16)
+        buf.free()
+        with pytest.raises(InvalidMemorySpace):
+            buf.free()
+
+    def test_use_after_free(self):
+        sim = Simulator()
+        dev = make_device(sim)
+        buf = dev.alloc(16)
+        buf.free()
+        with pytest.raises(InvalidMemorySpace):
+            buf.bytes_view()
+
+    def test_peak_tracking(self):
+        sim = Simulator()
+        dev = make_device(sim, mem_mb=1)
+        a = dev.alloc(1000, dtype=np.uint8)
+        b = dev.alloc(2000, dtype=np.uint8)
+        a.free()
+        c = dev.alloc(500, dtype=np.uint8)
+        assert dev.allocator.peak == 3000
+        assert dev.allocator.used == 2500
+
+    def test_owns(self):
+        sim = Simulator()
+        dev0 = make_device(sim)
+        buf = dev0.alloc(8)
+        assert dev0.owns(buf)
+        dev1 = GpuDevice(
+            sim,
+            params=dev0.params,
+            pcie_params=PcieParams(),
+            node_id=0,
+            device_id=1,
+            rng=RngStreams(0),
+        )
+        assert not dev1.owns(buf)
+
+
+class TestMemcpy:
+    def test_h2d_d2h_roundtrip(self):
+        sim = Simulator()
+        dev = make_device(sim)
+        dbuf = dev.alloc(8, dtype=np.float32)
+        src = np.arange(8, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+
+        def proc():
+            yield from memcpy_h2d(dev, dbuf, src)
+            yield from memcpy_d2h(dev, out, dbuf)
+
+        sim.process(proc())
+        sim.run()
+        assert np.array_equal(out, src)
+        # Two PCIe transactions of 32 B each at 10 µs latency.
+        assert sim.now == pytest.approx(2 * (us(10.0) + 32 / 1e9))
+
+    def test_d2d(self):
+        sim = Simulator()
+        dev = make_device(sim)
+        a = dev.alloc(8, dtype=np.int64, fill=5)
+        b = dev.alloc(8, dtype=np.int64)
+
+        def proc():
+            yield from memcpy_d2d(dev, b, a)
+
+        sim.process(proc())
+        sim.run()
+        assert np.all(b.data == 5)
+        # 2 * 64 bytes / 10 GB/s
+        assert sim.now == pytest.approx(2 * 64 / 10e9)
+
+    def test_wrong_device_rejected(self):
+        sim = Simulator()
+        dev0 = make_device(sim)
+        dev1 = GpuDevice(
+            sim,
+            params=dev0.params,
+            pcie_params=PcieParams(),
+            node_id=0,
+            device_id=1,
+            rng=RngStreams(0),
+        )
+        buf1 = dev1.alloc(8)
+
+        def proc():
+            yield from memcpy_d2h(dev0, np.zeros(8), buf1)
+
+        sim.process(proc())
+        with pytest.raises(InvalidMemorySpace):
+            sim.run()
+
+    def test_host_buffer_where_device_expected(self):
+        sim = Simulator()
+        dev = make_device(sim)
+
+        def proc():
+            yield from memcpy_d2h(dev, np.zeros(8), np.zeros(8))  # type: ignore[arg-type]
+
+        sim.process(proc())
+        with pytest.raises(InvalidMemorySpace):
+            sim.run()
+
+    def test_oversized_copy_rejected(self):
+        sim = Simulator()
+        dev = make_device(sim)
+        dbuf = dev.alloc(4, dtype=np.uint8)
+
+        def proc():
+            yield from memcpy_h2d(dev, dbuf, np.zeros(8, dtype=np.uint8), nbytes=8)
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestKernelLaunch:
+    def test_blocks_all_run(self):
+        sim = Simulator()
+        dev = make_device(sim, num_sms=4)
+        seen = []
+
+        def kern(ctx):
+            seen.append(ctx.block_idx)
+            yield from ctx.compute(seconds=us(1.0))
+            return ctx.block_idx * 10
+
+        h = launch_kernel(dev, kern, LaunchConfig(grid_blocks=8))
+
+        def waiter():
+            yield h.done
+
+        sim.process(waiter())
+        sim.run()
+        assert sorted(seen) == list(range(8))
+        assert h.block_results == [i * 10 for i in range(8)]
+        assert h.finished
+
+    def test_run_to_completion_scheduling(self):
+        """With 2 SMs, 4 equal blocks finish in two waves."""
+        sim = Simulator()
+        dev = make_device(sim, num_sms=2)
+        finish = []
+
+        def kern(ctx):
+            yield from ctx.compute(seconds=1.0)
+            finish.append((ctx.block_idx, sim.now))
+
+        launch_kernel(dev, kern, LaunchConfig(grid_blocks=4))
+        sim.run()
+        times = sorted(t for _, t in finish)
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(1.0)
+        assert times[2] == pytest.approx(2.0)
+        assert times[3] == pytest.approx(2.0)
+
+    def test_compute_roofline(self):
+        sim = Simulator()
+        dev = make_device(sim, num_sms=4, gflops=100.0)
+        # Per-SM: 25 GFLOP/s, 2.5 GB/s.
+
+        def kern(ctx):
+            t = yield from ctx.compute(flops=25e9)  # 1 s of flops
+            return t
+
+        h = launch_kernel(dev, kern, LaunchConfig(grid_blocks=1))
+        sim.run()
+        assert h.block_results[0] == pytest.approx(1.0)
+
+    def test_memory_bound_kernel(self):
+        sim = Simulator()
+        dev = make_device(sim, num_sms=4)
+        # Per-SM mem bandwidth: 2.5 GB/s.
+
+        def kern(ctx):
+            t = yield from ctx.compute(flops=1.0, membytes=2.5e9)
+            return t
+
+        h = launch_kernel(dev, kern, LaunchConfig(grid_blocks=1))
+        sim.run()
+        assert h.block_results[0] == pytest.approx(1.0)
+
+    def test_thread_range_grid_stride(self):
+        sim = Simulator()
+        dev = make_device(sim)
+
+        def kern(ctx):
+            yield from ctx.compute(seconds=0.0)
+            return list(ctx.thread_range(10))
+
+        h = launch_kernel(dev, kern, LaunchConfig(grid_blocks=4))
+        sim.run()
+        all_items = sorted(i for res in h.block_results for i in res)
+        assert all_items == list(range(10))
+
+    def test_driver_launch_charges_overhead(self):
+        sim = Simulator()
+        dev = make_device(sim)
+
+        def kern(ctx):
+            yield from ctx.compute(seconds=0.0)
+
+        def host():
+            h = yield from launch(dev, kern, LaunchConfig(grid_blocks=1))
+            yield h.done
+            return sim.now
+
+        p = sim.process(host())
+        sim.run()
+        # 5 µs launch overhead + syncthreads-free kernel.
+        assert p.value >= us(5.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_blocks=0)
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_blocks=1, threads_per_block=0)
+
+    def test_syncthreads(self):
+        sim = Simulator()
+        dev = make_device(sim)
+
+        def kern(ctx):
+            yield from ctx.syncthreads()
+            return True
+
+        h = launch_kernel(dev, kern, LaunchConfig(grid_blocks=2))
+        sim.run()
+        assert h.block_results == [True, True]
+
+    def test_cross_block_dependency_deadlocks(self):
+        """Paper §3.2.4: blocks needing co-residency beyond capacity deadlock."""
+        sim = Simulator()
+        dev = make_device(sim, num_sms=2)
+        gate = sim.event()
+
+        def kern(ctx):
+            # Block 3 releases everyone — but it can never be scheduled
+            # because blocks 0-1 hold both SMs forever.
+            if ctx.block_idx == 3:
+                gate.succeed(None)
+            yield gate
+
+        launch_kernel(dev, kern, LaunchConfig(grid_blocks=4))
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_blocks_per_sm_increases_residency(self):
+        sim = Simulator()
+        dev = make_device(sim, num_sms=2, blocks_per_sm=2)
+        gate = sim.event()
+
+        def kern(ctx):
+            if ctx.block_idx == 3:
+                gate.succeed(None)
+            yield gate
+
+        h = launch_kernel(dev, kern, LaunchConfig(grid_blocks=4))
+        sim.run()  # 4 resident blocks allowed -> completes
+        assert h.finished
+
+
+class TestMailboxes:
+    def test_post_harvest_complete_cycle(self):
+        sim = Simulator()
+        mbox = SlotMailboxes(sim, n_slots=2, spin_check_us=1.0, desc_bytes=64)
+        log = []
+
+        def kernel_side():
+            req = yield from mbox.post(0, "send", dst=1, nbytes=100)
+            result = yield from mbox.wait(req)
+            log.append(("kernel-done", result, sim.now))
+
+        def host_side():
+            # Poll until a request appears.
+            while True:
+                reqs = mbox.harvest()
+                if reqs:
+                    break
+                yield sim.timeout(us(10.0))
+            req = reqs[0]
+            assert req.op == "send"
+            assert req.args["dst"] == 1
+            yield sim.timeout(us(5.0))  # pretend to service it
+            mbox.complete(req, result="ok")
+
+        sim.process(kernel_side())
+        sim.process(host_side())
+        sim.run()
+        assert log[0][1] == "ok"
+
+    def test_region_bytes(self):
+        sim = Simulator()
+        mbox = SlotMailboxes(sim, n_slots=8, spin_check_us=1.0, desc_bytes=64)
+        assert mbox.region_bytes() == 512
+
+    def test_bad_slot_rejected(self):
+        sim = Simulator()
+        mbox = SlotMailboxes(sim, n_slots=1, spin_check_us=1.0, desc_bytes=64)
+
+        def proc():
+            yield from mbox.post(5, "send")
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_harvest_empties_pending(self):
+        sim = Simulator()
+        mbox = SlotMailboxes(sim, n_slots=2, spin_check_us=1.0, desc_bytes=64)
+
+        def kernel_side(slot):
+            req = yield from mbox.post(slot, "barrier")
+            yield from mbox.wait(req)
+
+        def host_side():
+            yield sim.timeout(us(100.0))
+            reqs = mbox.harvest()
+            assert len(reqs) == 2
+            assert not mbox.has_pending()
+            for r in reqs:
+                mbox.complete(r)
+
+        sim.process(kernel_side(0))
+        sim.process(kernel_side(1))
+        sim.process(host_side())
+        sim.run()
+        assert mbox.posted_count == 2

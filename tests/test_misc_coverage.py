@@ -1,0 +1,221 @@
+"""Coverage for heterogeneous configs, RNG streams, reports, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.dcgn import DcgnConfig, DcgnRuntime, NodeConfig
+from repro.hw import HWParams, build_cluster, paper_cluster
+from repro.sim import RngStreams, Simulator, stable_hash, us
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(42).stream("x").random(5)
+        b = RngStreams(42).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        r = RngStreams(42)
+        a = r.stream("a").random(5)
+        b = r.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(5)
+        b = RngStreams(2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        r = RngStreams(0)
+        assert r.stream("s") is r.stream("s")
+
+    def test_jitter_zero_scale(self):
+        assert RngStreams(0).jitter("x", 0.0) == 0.0
+
+    def test_jitter_positive(self):
+        r = RngStreams(0)
+        samples = [r.jitter("x", 1e-6) for _ in range(50)]
+        assert all(s >= 0 for s in samples)
+        assert np.mean(samples) == pytest.approx(1e-6, rel=0.6)
+
+    def test_stable_hash_is_stable(self):
+        assert stable_hash("gpu0.0") == stable_hash("gpu0.0")
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestHeterogeneousConfigs:
+    def test_asymmetric_nodes(self):
+        """One node contributes CPUs only, the other GPUs only."""
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=2))
+        cfg = DcgnConfig(
+            [
+                NodeConfig(cpu_threads=2, gpus=0),
+                NodeConfig(cpu_threads=0, gpus=2, slots_per_gpu=2),
+            ]
+        )
+        rt = DcgnRuntime(cluster, cfg)
+        # vranks: 0,1 cpu@n0; 2,3 gpu0 slots; 4,5 gpu1 slots @n1.
+        assert rt.size == 6
+        result = {}
+
+        def cpu_kernel(ctx):
+            buf = np.zeros(1, dtype=np.int64)
+            if ctx.rank == 0:
+                got = []
+                for _ in range(4):
+                    st = yield from ctx.recv(-1, buf)  # ANY
+                    got.append((st.source, int(buf[0])))
+                result["got"] = sorted(got)
+            else:
+                yield ctx.sim.timeout(0.0)
+
+        def gpu_kernel(kctx):
+            comm = kctx.comm
+            slot = kctx.block_idx % comm.n_slots
+            dbuf = kctx.device.alloc(1, dtype=np.int64)
+            dbuf.data[0] = comm.rank(slot) * 100
+            yield from comm.send(slot, 0, dbuf)
+            dbuf.free()
+
+        rt.launch_cpu(cpu_kernel)
+        rt.launch_gpu(gpu_kernel)
+        rt.run()
+        assert result["got"] == [(2, 200), (3, 300), (4, 400), (5, 500)]
+
+    def test_heterogeneous_barrier(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=2))
+        cfg = DcgnConfig(
+            [
+                NodeConfig(cpu_threads=1, gpus=1, slots_per_gpu=1),
+                NodeConfig(cpu_threads=2, gpus=0),
+            ]
+        )
+        rt = DcgnRuntime(cluster, cfg)
+        done = []
+
+        def cpu_kernel(ctx):
+            yield from ctx.barrier()
+            done.append(ctx.rank)
+
+        def gpu_kernel(kctx):
+            yield from kctx.comm.barrier(0)
+            done.append(kctx.comm.rank(0))
+
+        rt.launch_cpu(cpu_kernel)
+        rt.launch_gpu(gpu_kernel)
+        rt.run()
+        assert sorted(done) == [0, 1, 2, 3]
+
+
+class TestDcgnReport:
+    def test_report_exposes_stats(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=1))
+        rt = DcgnRuntime(cluster, DcgnConfig.homogeneous(1, cpu_threads=2))
+
+        def kernel(ctx):
+            buf = np.zeros(1)
+            if ctx.rank == 0:
+                yield from ctx.send(1, buf)
+            else:
+                yield from ctx.recv(0, buf)
+            yield from ctx.barrier()
+            return ctx.rank
+
+        rt.launch_cpu(kernel)
+        report = rt.run()
+        assert report.cpu_results() == [0, 1]
+        stats = report.comm_stats()
+        assert stats.get("req.send", 0) == 1
+        assert stats.get("req.recv", 0) == 1
+        assert stats.get("coll.barrier", 0) == 1
+        assert report.finished_at > 0
+
+    def test_polling_stats_shape(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=1))
+        rt = DcgnRuntime(
+            cluster, DcgnConfig.homogeneous(1, cpu_threads=0, gpus=2)
+        )
+
+        def gpu_kernel(kctx):
+            yield from kctx.comm.barrier(0)
+
+        rt.launch_gpu(gpu_kernel)
+        report = rt.run()
+        stats = report.polling_stats()
+        assert len(stats) == 2
+        for v in stats.values():
+            assert set(v) == {"polls", "empty_polls", "pcie_probes"}
+
+
+class TestJitter:
+    def test_jitter_changes_timings_across_seeds(self):
+        params = HWParams(jitter_us=10.0)
+
+        def run(seed):
+            sim = Simulator()
+            cluster = build_cluster(
+                sim, paper_cluster(nodes=1, params=params, seed=seed)
+            )
+            device = cluster.nodes[0].gpus[0]
+            from repro.gpusim import LaunchConfig, launch_kernel
+
+            def kern(ctx):
+                yield from ctx.compute(seconds=us(100.0))
+
+            launch_kernel(device, kern, LaunchConfig(grid_blocks=4))
+            sim.run()
+            return sim.now
+
+        assert run(1) != run(2)
+
+    def test_no_jitter_is_deterministic(self):
+        def run(seed):
+            sim = Simulator()
+            cluster = build_cluster(sim, paper_cluster(nodes=1, seed=seed))
+            device = cluster.nodes[0].gpus[0]
+            from repro.gpusim import LaunchConfig, launch_kernel
+
+            def kern(ctx):
+                yield from ctx.compute(seconds=us(100.0))
+
+            launch_kernel(device, kern, LaunchConfig(grid_blocks=4))
+            sim.run()
+            return sim.now
+
+        assert run(1) == run(2)
+
+
+class TestDeterminism:
+    def test_full_dcgn_run_bit_identical(self):
+        """Same seed → identical simulated completion time."""
+
+        def run():
+            sim = Simulator()
+            cluster = build_cluster(sim, paper_cluster(nodes=2, seed=3))
+            rt = DcgnRuntime(
+                cluster,
+                DcgnConfig.homogeneous(2, cpu_threads=1, gpus=1),
+            )
+
+            def cpu_kernel(ctx):
+                buf = np.zeros(8)
+                other = 2 if ctx.rank == 0 else 0
+                if ctx.rank == 0:
+                    yield from ctx.send(other, buf)
+                else:
+                    yield from ctx.recv(other, buf)
+                yield from ctx.barrier()
+
+            def gpu_kernel(kctx):
+                yield from kctx.comm.barrier(0)
+
+            rt.launch_cpu(cpu_kernel)
+            rt.launch_gpu(gpu_kernel)
+            report = rt.run()
+            return report.finished_at
+
+        assert run() == run()

@@ -1,0 +1,245 @@
+"""Tests for simulated-MPI collectives."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HWParams, build_cluster, paper_cluster
+from repro.hw.params import IbParams
+from repro.mpi import MpiJob, ReduceOp, block_placement, round_robin_placement
+from repro.sim import Simulator, us
+
+
+def make_job(n_ranks, n_nodes=None):
+    n_nodes = n_nodes if n_nodes is not None else max(1, n_ranks // 2)
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=n_nodes))
+    job = MpiJob(cluster, block_placement(n_ranks, n_nodes))
+    return sim, job
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 3, 4, 7, 8])
+class TestBarrier:
+    def test_barrier_synchronizes(self, n_ranks):
+        sim, job = make_job(n_ranks, n_nodes=1 if n_ranks < 2 else 1)
+        after = {}
+
+        def prog(ctx):
+            # Stagger arrivals; nobody leaves before the last arrives.
+            yield ctx.sim.timeout(float(ctx.rank))
+            yield from ctx.barrier()
+            after[ctx.rank] = ctx.sim.now
+
+        job.start(prog)
+        job.run()
+        latest_arrival = float(n_ranks - 1)
+        assert all(t >= latest_arrival for t in after.values())
+
+
+@pytest.mark.parametrize("n_ranks,root", [(2, 0), (4, 0), (4, 2), (8, 3), (5, 1)])
+class TestBcast:
+    def test_bcast_delivers_payload(self, n_ranks, root):
+        sim, job = make_job(n_ranks, n_nodes=1)
+        result = {}
+
+        def prog(ctx):
+            buf = np.zeros(16, dtype=np.float64)
+            if ctx.rank == root:
+                buf[:] = np.arange(16) + 100
+            yield from ctx.bcast(buf, root=root)
+            result[ctx.rank] = buf.copy()
+
+        job.start(prog)
+        job.run()
+        expected = np.arange(16) + 100.0
+        for r in range(n_ranks):
+            assert np.array_equal(result[r], expected), f"rank {r}"
+
+
+class TestReduce:
+    @pytest.mark.parametrize("op,expected", [
+        (ReduceOp.SUM, 0 + 1 + 2 + 3),
+        (ReduceOp.MAX, 3),
+        (ReduceOp.MIN, 0),
+        (ReduceOp.PROD, 0),
+    ])
+    def test_reduce_ops(self, op, expected):
+        sim, job = make_job(4, n_nodes=2)
+        result = {}
+
+        def prog(ctx):
+            send = np.array([float(ctx.rank)])
+            recv = np.zeros(1) if ctx.rank == 0 else None
+            yield from ctx.reduce(send, recv, op=op, root=0)
+            if ctx.rank == 0:
+                result["v"] = float(recv[0])
+
+        job.start(prog)
+        job.run()
+        assert result["v"] == pytest.approx(expected)
+
+    def test_reduce_vector_nonzero_root(self):
+        sim, job = make_job(5, n_nodes=1)
+        result = {}
+
+        def prog(ctx):
+            send = np.full(8, float(ctx.rank + 1))
+            recv = np.zeros(8) if ctx.rank == 3 else None
+            yield from ctx.reduce(send, recv, op=ReduceOp.SUM, root=3)
+            if ctx.rank == 3:
+                result["v"] = recv.copy()
+
+        job.start(prog)
+        job.run()
+        assert np.allclose(result["v"], 15.0)  # 1+2+3+4+5
+
+    def test_allreduce(self):
+        sim, job = make_job(4, n_nodes=2)
+        result = {}
+
+        def prog(ctx):
+            send = np.array([float(2 ** ctx.rank)])
+            recv = np.zeros(1)
+            yield from ctx.allreduce(send, recv, op=ReduceOp.SUM)
+            result[ctx.rank] = float(recv[0])
+
+        job.start(prog)
+        job.run()
+        assert all(v == pytest.approx(15.0) for v in result.values())
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        sim, job = make_job(4, n_nodes=2)
+        result = {}
+
+        def prog(ctx):
+            send = np.full(4, float(ctx.rank))
+            if ctx.rank == 0:
+                recvbufs = [np.zeros(4) for _ in range(4)]
+                yield from ctx.gather(send, recvbufs, root=0)
+                result["rows"] = [b.copy() for b in recvbufs]
+            else:
+                yield from ctx.gather(send, None, root=0)
+
+        job.start(prog)
+        job.run()
+        for r, row in enumerate(result["rows"]):
+            assert np.allclose(row, float(r))
+
+    def test_gatherv_unequal_sizes(self):
+        sim, job = make_job(3, n_nodes=1)
+        result = {}
+
+        def prog(ctx):
+            send = np.arange(ctx.rank + 1, dtype=np.float64)
+            if ctx.rank == 0:
+                recvbufs = [np.zeros(r + 1) for r in range(3)]
+                yield from ctx.gather(send, recvbufs, root=0)
+                result["rows"] = [b.copy() for b in recvbufs]
+            else:
+                yield from ctx.gather(send, None, root=0)
+
+        job.start(prog)
+        job.run()
+        for r, row in enumerate(result["rows"]):
+            assert np.array_equal(row, np.arange(r + 1, dtype=np.float64))
+
+    def test_scatter(self):
+        sim, job = make_job(4, n_nodes=2)
+        result = {}
+
+        def prog(ctx):
+            recv = np.zeros(2)
+            if ctx.rank == 1:
+                sendbufs = [np.full(2, float(10 * r)) for r in range(4)]
+                yield from ctx.scatter(sendbufs, recv, root=1)
+            else:
+                yield from ctx.scatter(None, recv, root=1)
+            result[ctx.rank] = recv.copy()
+
+        job.start(prog)
+        job.run()
+        for r in range(4):
+            assert np.allclose(result[r], 10.0 * r)
+
+    def test_allgather(self):
+        sim, job = make_job(4, n_nodes=2)
+        result = {}
+
+        def prog(ctx):
+            send = np.array([float(ctx.rank ** 2)])
+            recvbufs = [np.zeros(1) for _ in range(4)]
+            yield from ctx.allgather(send, recvbufs)
+            result[ctx.rank] = [float(b[0]) for b in recvbufs]
+
+        job.start(prog)
+        job.run()
+        for r in range(4):
+            assert result[r] == [0.0, 1.0, 4.0, 9.0]
+
+    def test_alltoall(self):
+        sim, job = make_job(4, n_nodes=2)
+        result = {}
+
+        def prog(ctx):
+            sendbufs = [
+                np.array([float(ctx.rank * 10 + dst)]) for dst in range(4)
+            ]
+            recvbufs = [np.zeros(1) for _ in range(4)]
+            yield from ctx.alltoall(sendbufs, recvbufs)
+            result[ctx.rank] = [float(b[0]) for b in recvbufs]
+
+        job.start(prog)
+        job.run()
+        # Rank r receives src*10 + r from each src.
+        for r in range(4):
+            assert result[r] == [float(s * 10 + r) for s in range(4)]
+
+
+class TestCollectiveTiming:
+    def _barrier_time(self, n_ranks, n_nodes):
+        sim = Simulator()
+        cluster = build_cluster(sim, paper_cluster(nodes=n_nodes))
+        job = MpiJob(cluster, block_placement(n_ranks, n_nodes))
+
+        def prog(ctx):
+            yield from ctx.barrier()
+
+        job.start(prog)
+        job.run()
+        return sim.now
+
+    def test_barrier_scales_logarithmically(self):
+        t2 = self._barrier_time(2, 1)
+        t8 = self._barrier_time(8, 4)
+        # 3 rounds vs 1 round; inter-node latency higher than intra.
+        assert t8 > t2
+        assert t8 < 20 * t2  # sanity: not linear blow-up
+
+    def test_paper_table1_mpi_barrier_anchors(self):
+        """MVAPICH2 barrier anchors: ~3/5/6 µs for 2/4/8 ranks (Table 1)."""
+        t2 = self._barrier_time(2, 1) / us(1.0)
+        t4 = self._barrier_time(4, 2) / us(1.0)
+        t8 = self._barrier_time(8, 4) / us(1.0)
+        assert 1.0 <= t2 <= 6.0, f"2-rank barrier {t2:.2f} µs"
+        assert 2.5 <= t4 <= 10.0, f"4-rank barrier {t4:.2f} µs"
+        assert 3.5 <= t8 <= 12.0, f"8-rank barrier {t8:.2f} µs"
+        assert t2 < t4 < t8
+
+    def test_bcast_time_grows_with_size(self):
+        def bcast_time(nbytes):
+            sim = Simulator()
+            cluster = build_cluster(sim, paper_cluster(nodes=4))
+            job = MpiJob(cluster, block_placement(8, 4))
+
+            def prog(ctx):
+                buf = np.zeros(nbytes, dtype=np.uint8)
+                yield from ctx.bcast(buf, root=0)
+
+            job.start(prog)
+            job.run()
+            return sim.now
+
+        t_small = bcast_time(1024)
+        t_big = bcast_time(1024 * 1024)
+        assert t_big > 5 * t_small

@@ -1,0 +1,27 @@
+"""Tests for the multi-slot latency behaviour (paper §4, §3.1)."""
+
+import pytest
+
+from repro.apps.micro import dcgn_multislot_latency
+
+
+class TestMultiSlotLatency:
+    def test_per_message_latency_amortizes_with_slots(self):
+        """One mailbox harvest services every slot's posted request, so
+        per-message cost drops as slots rise (the paper's latency test)."""
+        t1 = dcgn_multislot_latency(slots=1)["per_msg"]
+        t4 = dcgn_multislot_latency(slots=4)["per_msg"]
+        t8 = dcgn_multislot_latency(slots=8)["per_msg"]
+        assert t4 < 0.7 * t1
+        assert t8 <= t4 * 1.05
+
+    def test_all_messages_arrive(self):
+        marks = dcgn_multislot_latency(slots=3, msgs_per_slot=5)
+        assert marks["elapsed"] > 0
+        # per_msg * total == elapsed by construction.
+        assert marks["per_msg"] == pytest.approx(marks["elapsed"] / 15)
+
+    def test_payload_size_increases_latency(self):
+        t_small = dcgn_multislot_latency(slots=2, nbytes=0)["per_msg"]
+        t_big = dcgn_multislot_latency(slots=2, nbytes=256 * 1024)["per_msg"]
+        assert t_big > t_small

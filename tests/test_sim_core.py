@@ -1,0 +1,495 @@
+"""Unit tests for the discrete-event simulation kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Event,
+    Interrupt,
+    Process,
+    ScheduleError,
+    SimulationError,
+    Simulator,
+    ms,
+    us,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_unit_helpers():
+    assert us(1) == pytest.approx(1e-6)
+    assert ms(2.5) == pytest.approx(2.5e-3)
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(5.0)
+    assert p.value == pytest.approx(5.0)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ScheduleError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return "done"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.ok
+    assert p.value == "done"
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def a():
+        yield sim.timeout(1.0)
+        log.append(("a", sim.now))
+        yield sim.timeout(2.0)
+        log.append(("a", sim.now))
+
+    def b():
+        yield sim.timeout(2.0)
+        log.append(("b", sim.now))
+
+    sim.process(a())
+    sim.process(b())
+    sim.run()
+    assert log == [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+
+
+def test_equal_time_events_fifo_order():
+    sim = Simulator()
+    log = []
+
+    def mk(i):
+        def proc():
+            yield sim.timeout(1.0)
+            log.append(i)
+
+        return proc
+
+    for i in range(10):
+        sim.process(mk(i)())
+    sim.run()
+    assert log == list(range(10))
+
+
+def test_process_joins_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3.0)
+        return 7
+
+    def parent():
+        c = sim.process(child())
+        val = yield c
+        return val * 2
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 14
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        return "x"
+
+    def parent(c):
+        yield sim.timeout(5.0)
+        val = yield c  # c finished long ago
+        assert sim.now == pytest.approx(5.0)
+        return val
+
+    c = sim.process(child())
+    p = sim.process(parent(c))
+    sim.run()
+    assert p.value == "x"
+
+
+def test_event_succeed_value_propagates():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        val = yield ev
+        return val
+
+    def firer():
+        yield sim.timeout(2.0)
+        ev.succeed(99)
+
+    w = sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert w.value == 99
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as e:
+            return f"caught {e}"
+
+    def firer():
+        yield sim.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    w = sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert w.value == "caught boom"
+
+
+def test_unwaited_failed_event_crashes_run():
+    sim = Simulator()
+    ev = sim.event()
+
+    def firer():
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("lost failure"))
+
+    sim.process(firer())
+    with pytest.raises(RuntimeError, match="lost failure"):
+        sim.run()
+
+
+def test_uncaught_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise KeyError("oops")
+
+    sim.process(bad())
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_joined_process_exception_delivered_to_parent():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent():
+        c = sim.process(bad())
+        try:
+            yield c
+        except KeyError:
+            return "handled"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(ScheduleError):
+        ev.succeed(2)
+    with pytest.raises(ScheduleError):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def bad():
+        yield "not an event"  # type: ignore[misc]
+
+    sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_yield_event_from_other_simulator_is_error():
+    sim1 = Simulator()
+    sim2 = Simulator()
+
+    def bad():
+        yield sim2.timeout(1.0)
+
+    sim1.process(bad())
+    with pytest.raises(SimulationError, match="another simulator"):
+        sim1.run()
+
+
+def test_run_until_stops_midway():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+    sim.process(proc())
+    t = sim.run(until=4.5, detect_deadlock=False)
+    assert t == pytest.approx(4.5)
+    assert log == [1.0, 2.0, 3.0, 4.0]
+    # Continue to completion.
+    sim.run()
+    assert len(log) == 10
+
+
+def test_run_until_beyond_end_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    t = sim.run(until=100.0)
+    assert t == pytest.approx(100.0)
+
+
+def test_stop_simulation():
+    sim = Simulator()
+
+    def stopper():
+        yield sim.timeout(2.0)
+        sim.stop()
+
+    def runner():
+        yield sim.timeout(10.0)
+
+    sim.process(stopper())
+    sim.process(runner())
+    t = sim.run(detect_deadlock=False)
+    assert t == pytest.approx(2.0)
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+    ev = sim.event()  # never fired
+
+    def stuck():
+        yield ev
+
+    sim.process(stuck())
+    with pytest.raises(DeadlockError) as ei:
+        sim.run()
+    assert len(ei.value.blocked) == 1
+
+
+def test_deadlock_detection_disabled():
+    sim = Simulator()
+    ev = sim.event()
+
+    def stuck():
+        yield ev
+
+    sim.process(stuck())
+    sim.run(detect_deadlock=False)  # returns silently
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            return "slept"
+        except Interrupt as i:
+            return ("interrupted", i.cause, sim.now)
+
+    def interrupter(p):
+        yield sim.timeout(3.0)
+        p.interrupt("wakeup")
+
+    p = sim.process(sleeper())
+    sim.process(interrupter(p))
+    sim.run(detect_deadlock=False)
+    assert p.value == ("interrupted", "wakeup", 3.0)
+
+
+def test_interrupt_dead_process_is_error():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    def late(p):
+        yield sim.timeout(5.0)
+        p.interrupt()
+
+    p = sim.process(quick())
+    sim.process(late(p))
+    with pytest.raises(SimulationError, match="dead"):
+        sim.run()
+
+
+def test_self_interrupt_is_error():
+    sim = Simulator()
+
+    def proc():
+        me = sim._current
+        yield sim.timeout(0.0)
+        me.interrupt()
+        yield sim.timeout(1.0)
+
+    # The error surfaces when the process body runs.
+    def outer():
+        p = sim.process(proc())
+        try:
+            yield p
+        except SimulationError:
+            return "caught"
+
+    # proc captures _current before first yield — build it inside a wrapper.
+    def proc2():
+        yield sim.timeout(0.0)
+        sim._current.interrupt()
+
+    sim2 = Simulator()
+
+    def proc3():
+        yield sim2.timeout(0.0)
+        sim2._current.interrupt()
+
+    sim2.process(proc3())
+    with pytest.raises(SimulationError, match="itself"):
+        sim2.run()
+
+
+def test_peek_and_step():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(7.0)
+
+    sim.process(proc())
+    assert sim.peek() == pytest.approx(0.0)  # init event
+    sim.step()
+    assert sim.peek() == pytest.approx(7.0)
+    sim.step()
+    assert sim.peek() == pytest.approx(7.0)  # process-completion event
+    sim.step()
+    assert sim.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_nested_process_chains():
+    sim = Simulator()
+
+    def leaf(n):
+        yield sim.timeout(float(n))
+        return n
+
+    def mid(n):
+        a = yield sim.process(leaf(n))
+        b = yield sim.process(leaf(n + 1))
+        return a + b
+
+    def root():
+        total = 0
+        for i in range(3):
+            total += yield sim.process(mid(i))
+        return total
+
+    p = sim.process(root())
+    sim.run()
+    # (0+1) + (1+2) + (2+3) = 9; durations sum: 1 + 3 + 5 = 9
+    assert p.value == 9
+    assert sim.now == pytest.approx(9.0)
+
+
+def test_many_processes_scale():
+    sim = Simulator()
+    results = []
+
+    def proc(i):
+        yield sim.timeout(float(i % 17) * 0.001)
+        results.append(i)
+
+    for i in range(1000):
+        sim.process(proc(i))
+    sim.run()
+    assert len(results) == 1000
+    assert sorted(results) == list(range(1000))
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        val = yield sim.timeout(1.0, value="payload")
+        return val
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_zero_delay_timeout_runs_in_order():
+    sim = Simulator()
+    log = []
+
+    def a():
+        yield sim.timeout(0.0)
+        log.append("a")
+
+    def b():
+        yield sim.timeout(0.0)
+        log.append("b")
+
+    sim.process(a())
+    sim.process(b())
+    sim.run()
+    assert log == ["a", "b"]
+    assert sim.now == 0.0

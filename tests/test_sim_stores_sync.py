@@ -1,0 +1,400 @@
+"""Tests for stores (FIFO queues) and synchronization primitives."""
+
+import pytest
+
+from repro.sim import (
+    CyclicBarrier,
+    FilterStore,
+    Gate,
+    Latch,
+    Signal,
+    Simulator,
+    Store,
+    Tracer,
+)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer():
+            yield store.put("x")
+
+        def consumer():
+            item = yield store.get()
+            return item
+
+        sim.process(producer())
+        c = sim.process(consumer())
+        sim.run()
+        assert c.value == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return item, sim.now
+
+        def producer():
+            yield sim.timeout(5.0)
+            yield store.put(42)
+
+        c = sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert c.value == (42, 5.0)
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", sim.now))
+            yield store.put("b")
+            log.append(("put-b", sim.now))
+
+        def consumer():
+            yield sim.timeout(3.0)
+            item = yield store.get()
+            log.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-a", 0.0) in log
+        assert ("put-b", 3.0) in log
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.put(9)
+        ok, item = store.try_get()
+        assert ok and item == 9
+
+    def test_len_and_getters_waiting(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert len(store) == 0
+
+        def consumer():
+            yield store.get()
+
+        sim.process(consumer())
+        sim.run(until=1.0, detect_deadlock=False)
+        assert store.getters_waiting == 1
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+
+class TestFilterStore:
+    def test_predicate_matching(self):
+        sim = Simulator()
+        store = FilterStore(sim)
+
+        def producer():
+            yield store.put(("tag", 1))
+            yield store.put(("tag", 2))
+
+        def consumer():
+            item = yield store.get(lambda x: x[1] == 2)
+            return item
+
+        sim.process(producer())
+        c = sim.process(consumer())
+        sim.run()
+        assert c.value == ("tag", 2)
+        assert list(store.items) == [("tag", 1)]
+
+    def test_waiting_getter_matched_by_later_put(self):
+        sim = Simulator()
+        store = FilterStore(sim)
+
+        def consumer():
+            item = yield store.get(lambda x: x > 10)
+            return item, sim.now
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put(5)  # doesn't match
+            yield sim.timeout(1.0)
+            yield store.put(50)  # matches
+
+        c = sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert c.value == (50, 2.0)
+        assert list(store.items) == [5]
+
+    def test_multiple_getters_first_match_wins(self):
+        sim = Simulator()
+        store = FilterStore(sim)
+        got = []
+
+        def consumer(i, pred):
+            item = yield store.get(pred)
+            got.append((i, item))
+
+        sim.process(consumer(0, lambda x: x % 2 == 0))
+        sim.process(consumer(1, lambda x: x % 2 == 1))
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put(3)
+            yield store.put(4)
+
+        sim.process(producer())
+        sim.run()
+        assert sorted(got) == [(0, 4), (1, 3)]
+
+    def test_try_get_with_predicate(self):
+        sim = Simulator()
+        store = FilterStore(sim)
+        store.put("apple")
+        store.put("banana")
+        ok, item = store.try_get(lambda s: s.startswith("b"))
+        assert ok and item == "banana"
+        ok, _ = store.try_get(lambda s: s.startswith("z"))
+        assert not ok
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        woken = []
+
+        def waiter(i):
+            val = yield sig.wait()
+            woken.append((i, val, sim.now))
+
+        def firer():
+            yield sim.timeout(2.0)
+            n = sig.fire("go")
+            assert n == 3
+
+        for i in range(3):
+            sim.process(waiter(i))
+        sim.process(firer())
+        sim.run()
+        assert woken == [(0, "go", 2.0), (1, "go", 2.0), (2, "go", 2.0)]
+
+    def test_wait_after_fire_blocks_until_next(self):
+        sim = Simulator()
+        sig = Signal(sim)
+
+        def late_waiter():
+            yield sim.timeout(5.0)
+            yield sig.wait()
+            return sim.now
+
+        def firer():
+            yield sim.timeout(1.0)
+            sig.fire()
+            yield sim.timeout(9.0)
+            sig.fire()
+
+        w = sim.process(late_waiter())
+        sim.process(firer())
+        sim.run()
+        assert w.value == pytest.approx(10.0)
+        assert sig.fired_count == 2
+
+
+class TestGate:
+    def test_closed_gate_blocks(self):
+        sim = Simulator()
+        gate = Gate(sim)
+
+        def waiter():
+            yield gate.wait()
+            return sim.now
+
+        def opener():
+            yield sim.timeout(4.0)
+            gate.open()
+
+        w = sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert w.value == pytest.approx(4.0)
+        assert gate.is_open
+
+    def test_open_gate_passes_immediately(self):
+        sim = Simulator()
+        gate = Gate(sim, open_=True)
+
+        def waiter():
+            yield gate.wait()
+            return sim.now
+
+        w = sim.process(waiter())
+        sim.run()
+        assert w.value == 0.0
+
+    def test_close_reblocks(self):
+        sim = Simulator()
+        gate = Gate(sim, open_=True)
+        gate.close()
+
+        def waiter():
+            yield gate.wait()
+            return sim.now
+
+        def opener():
+            yield sim.timeout(2.0)
+            gate.open()
+
+        w = sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert w.value == pytest.approx(2.0)
+
+
+class TestLatch:
+    def test_counts_down(self):
+        sim = Simulator()
+        latch = Latch(sim, 3)
+
+        def waiter():
+            yield latch.wait()
+            return sim.now
+
+        def arriver(delay):
+            yield sim.timeout(delay)
+            latch.arrive()
+
+        w = sim.process(waiter())
+        for d in (1.0, 2.0, 3.0):
+            sim.process(arriver(d))
+        sim.run()
+        assert w.value == pytest.approx(3.0)
+
+    def test_zero_count_immediate(self):
+        sim = Simulator()
+        latch = Latch(sim, 0)
+
+        def waiter():
+            yield latch.wait()
+            return sim.now
+
+        w = sim.process(waiter())
+        sim.run()
+        assert w.value == 0.0
+
+    def test_over_arrival_is_error(self):
+        sim = Simulator()
+        latch = Latch(sim, 1)
+        latch.arrive()
+        with pytest.raises(RuntimeError):
+            latch.arrive()
+
+    def test_arrive_n(self):
+        sim = Simulator()
+        latch = Latch(sim, 5)
+        latch.arrive(5)
+        assert latch.done.triggered
+
+
+class TestCyclicBarrier:
+    def test_barrier_releases_all_then_reuses(self):
+        sim = Simulator()
+        bar = CyclicBarrier(sim, parties=3)
+        log = []
+
+        def party(i, delay):
+            yield sim.timeout(delay)
+            yield bar.arrive()
+            log.append((i, "cycle1", sim.now))
+            yield sim.timeout(delay)
+            yield bar.arrive()
+            log.append((i, "cycle2", sim.now))
+
+        sim.process(party(0, 1.0))
+        sim.process(party(1, 2.0))
+        sim.process(party(2, 3.0))
+        sim.run()
+        cycle1 = [t for (_, c, t) in log if c == "cycle1"]
+        cycle2 = [t for (_, c, t) in log if c == "cycle2"]
+        assert all(t == pytest.approx(3.0) for t in cycle1)
+        assert all(t == pytest.approx(6.0) for t in cycle2)
+        assert bar.cycles == 2
+
+    def test_single_party_barrier_is_transparent(self):
+        sim = Simulator()
+        bar = CyclicBarrier(sim, parties=1)
+
+        def proc():
+            yield bar.arrive()
+            yield bar.arrive()
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0.0
+
+
+class TestTracer:
+    def test_records_and_filters(self):
+        sim = Simulator()
+        sim.tracer = Tracer()
+
+        def proc():
+            sim.trace("poll", gpu=0)
+            yield sim.timeout(1.0)
+            sim.trace("send", nbytes=64)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.tracer.count("poll") == 1
+        sends = sim.tracer.select("send")
+        assert len(sends) == 1
+        assert sends[0]["nbytes"] == 64
+        assert sends[0].t == pytest.approx(1.0)
+
+    def test_category_filter(self):
+        sim = Simulator()
+        sim.tracer = Tracer(categories={"keep"})
+        sim.trace("keep", a=1)
+        sim.trace("drop", b=2)
+        assert sim.tracer.count("keep") == 1
+        assert sim.tracer.count("drop") == 0
+
+    def test_no_tracer_is_noop(self):
+        sim = Simulator()
+        sim.trace("anything", x=1)  # must not raise
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.record(0.0, "a")
+        tr.clear()
+        assert tr.records == []
