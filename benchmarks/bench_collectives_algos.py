@@ -1,0 +1,243 @@
+"""Benchmark — size-adaptive collective algorithm engine vs seed baseline.
+
+Sweeps message size (1 KB–16 MB) × node count for allreduce, allgather
+and alltoall, comparing the seed's fixed algorithms (allreduce =
+binomial reduce+bcast, allgather = ring, alltoall = shift) against the
+size-adaptive :class:`~repro.mpi.algorithms.AlgorithmSelector`, and
+records the simulated-time crossover table to ``BENCH_collectives.json``
+at the repository root.
+
+Acceptance gates (exit non-zero on violation):
+
+* adaptive simulated time ≤ fixed seed time at every swept point;
+* strict win (>1.2×) for ≥16-node, ≥1 MB allreduce.
+
+The large-message strict win is carried by allreduce alone: the seed's
+allgather already *is* the bandwidth-optimal ring, so at ≥1 MB the
+adaptive selector can only match it (ratio 1.00×) — its allgather wins
+come in the latency-bound small/medium-block regime (up to ~2.3× at
+32 nodes).  The sweep records both so the crossover is visible.
+
+Run standalone:       python benchmarks/bench_collectives_algos.py
+Fast smoke (CI):      python benchmarks/bench_collectives_algos.py --smoke
+Under pytest-benchmark: pytest benchmarks/bench_collectives_algos.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.bench.harness import Table, fmt_time
+from repro.hw import build_cluster, paper_cluster
+from repro.mpi import (
+    MpiJob,
+    ReduceOp,
+    SEED_TUNING,
+    block_placement,
+)
+from repro.sim import Simulator
+
+KB = 1024
+MB = 1024 * 1024
+
+FULL_SIZES = [1 * KB, 16 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB]
+FULL_NODES = [2, 4, 8, 12, 16, 32]
+SMOKE_SIZES = [1 * KB, 1 * MB]
+SMOKE_NODES = [4, 16]
+
+#: alltoall moves size × P per rank; cap the sweep so the big-node runs
+#: stay tractable (logged, not silently truncated: see the table note).
+ALLTOALL_MAX_BYTES = 256 * KB
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_collectives.json"
+)
+
+
+def _run_collective(op, n_nodes, nbytes, tuning):
+    """Simulated completion time of one collective, 1 rank per node."""
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=n_nodes, gpus_per_node=0))
+    job = MpiJob(cluster, block_placement(n_nodes, n_nodes), tuning=tuning)
+
+    def prog(ctx):
+        if op == "allreduce":
+            send = np.zeros(nbytes, dtype=np.uint8)
+            recv = np.zeros(nbytes, dtype=np.uint8)
+            yield from ctx.allreduce(send, recv, op=ReduceOp.MAX)
+        elif op == "allgather":
+            send = np.zeros(nbytes, dtype=np.uint8)
+            recvbufs = [np.zeros(nbytes, dtype=np.uint8) for _ in range(n_nodes)]
+            yield from ctx.allgather(send, recvbufs)
+        elif op == "alltoall":
+            sendbufs = [np.zeros(nbytes, dtype=np.uint8) for _ in range(n_nodes)]
+            recvbufs = [np.zeros(nbytes, dtype=np.uint8) for _ in range(n_nodes)]
+            yield from ctx.alltoall(sendbufs, recvbufs)
+        else:  # pragma: no cover - defensive
+            raise ValueError(op)
+
+    job.start(prog)
+    job.run()
+    # Which algorithm did the adaptive path take?
+    algo = next(
+        (
+            k.split("[")[1].rstrip("]")
+            for k in job.comm.stats
+            if k.startswith(f"{op}[")
+        ),
+        "?",
+    )
+    return sim.now, algo
+
+
+def sweep(sizes, nodes):
+    """Run the sweep; returns (points, violations)."""
+    points = []
+    violations = []
+    for op in ("allreduce", "allgather", "alltoall"):
+        for n in nodes:
+            for nbytes in sizes:
+                if op == "alltoall" and nbytes > ALLTOALL_MAX_BYTES:
+                    continue
+                t_fixed, _ = _run_collective(op, n, nbytes, SEED_TUNING)
+                t_adaptive, algo = _run_collective(op, n, nbytes, None)
+                ratio = t_fixed / t_adaptive if t_adaptive > 0 else 1.0
+                point = {
+                    "op": op,
+                    "nodes": n,
+                    "nbytes": nbytes,
+                    "t_fixed_s": t_fixed,
+                    "t_adaptive_s": t_adaptive,
+                    "speedup": ratio,
+                    "algorithm": algo,
+                }
+                points.append(point)
+                if t_adaptive > t_fixed * (1 + 1e-9):
+                    violations.append((
+                        "slower_than_seed",
+                        f"{op} @ {n} nodes / {nbytes} B: adaptive "
+                        f"{t_adaptive:.6e}s > fixed {t_fixed:.6e}s",
+                    ))
+                if (
+                    op == "allreduce"
+                    and n >= 16
+                    and nbytes >= 1 * MB
+                    and ratio <= 1.2
+                ):
+                    violations.append((
+                        "no_strict_win",
+                        f"allreduce @ {n} nodes / {nbytes} B: win only "
+                        f"{ratio:.2f}× (need >1.2×)",
+                    ))
+    return points, violations
+
+
+def build_table(points):
+    table = Table(
+        title="Size-adaptive collective engine vs seed fixed algorithms",
+        columns=["op", "nodes", "size", "fixed", "adaptive", "speedup", "algo"],
+    )
+    for p in points:
+        size = (
+            f"{p['nbytes'] // MB} MB"
+            if p["nbytes"] >= MB
+            else f"{p['nbytes'] // KB} KB"
+        )
+        table.add(
+            p["op"],
+            p["nodes"],
+            size,
+            fmt_time(p["t_fixed_s"]),
+            fmt_time(p["t_adaptive_s"]),
+            f"{p['speedup']:.2f}×",
+            p["algorithm"],
+        )
+    table.note(
+        "fixed = seed algorithms (allreduce: reduce+bcast, allgather: ring, "
+        "alltoall: shift); adaptive = AlgorithmSelector defaults"
+    )
+    table.note(
+        f"alltoall swept only up to {ALLTOALL_MAX_BYTES // KB} KB per pair "
+        "(volume grows with P)"
+    )
+    table.note(
+        "large-message strict win is allreduce's: the seed allgather is "
+        "already the bandwidth-optimal ring, so >=1 MB allgather parity "
+        "(1.00x) is the ceiling there"
+    )
+    return table
+
+
+def run(smoke=False, json_path=JSON_PATH):
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    nodes = SMOKE_NODES if smoke else FULL_NODES
+    points, violations = sweep(sizes, nodes)
+    table = build_table(points)
+    payload = {
+        "benchmark": "bench_collectives_algos",
+        "mode": "smoke" if smoke else "full",
+        "acceptance": {
+            "adaptive_never_slower": not any(
+                kind == "slower_than_seed" for kind, _ in violations
+            ),
+            "large_allreduce_strict_win": not any(
+                kind == "no_strict_win" for kind, _ in violations
+            ),
+            "violations": [msg for _, msg in violations],
+        },
+        "points": points,
+    }
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return table, points, violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast subset for CI (2 sizes × 2 node counts)",
+    )
+    parser.add_argument(
+        "--json",
+        default=JSON_PATH,
+        help="where to record results (default: repo-root BENCH_collectives.json)",
+    )
+    args = parser.parse_args(argv)
+    table, points, violations = run(smoke=args.smoke, json_path=args.json)
+    print(table.render())
+    print(f"\nrecorded {len(points)} points to {os.path.abspath(args.json)}")
+    if violations:
+        print("\nACCEPTANCE VIOLATIONS:", file=sys.stderr)
+        for _, msg in violations:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("acceptance: adaptive <= fixed everywhere; "
+          ">1.2x win on >=16-node >=1MB allreduce")
+    return 0
+
+
+def test_collectives_algo_sweep(benchmark):
+    """pytest-benchmark entry point (smoke-sized)."""
+    holder = {}
+
+    def job():
+        holder["out"] = run(smoke=True)
+
+    benchmark.pedantic(job, rounds=1, iterations=1)
+    table, points, violations = holder["out"]
+    print(table.render())
+    assert not violations, violations
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ Quick tour::
 """
 
 from .comm_thread import CommThread
-from .config import DcgnConfig, NodeConfig
+from .config import CollectiveTuning, DcgnConfig, NodeConfig
 from .cpu_api import CpuKernelContext, DcgnRequestHandle
 from .errors import (
     CollectiveMismatch,
@@ -44,6 +44,7 @@ from .requests import CommRequest, CommStatus
 from .runtime import DcgnReport, DcgnRuntime
 
 __all__ = [
+    "CollectiveTuning",
     "DcgnConfig",
     "NodeConfig",
     "RankMap",

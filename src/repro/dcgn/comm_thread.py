@@ -487,22 +487,51 @@ class CommThread:
             if req.deliver is not None:
                 req.deliver(mpi_buf)
             else:
-                req.data = mpi_buf
+                # Per-request copy: handing every sibling the same
+                # ndarray would let one rank's buffer mutation corrupt
+                # the others' received payloads.
+                req.data = mpi_buf.copy()
             req.complete(CommStatus(source=root_vrank, nbytes=nbytes))
 
     def _exec_reduce(self, state: _CollState) -> Generator[Event, Any, None]:
         op = ReduceOp(state.op_name or "sum")
         root_vrank = state.root
         contributions = sorted(state.entries, key=lambda e: e.src_vrank)
-        acc: Optional[np.ndarray] = None
+        level: List[np.ndarray] = []
         for e in contributions:
             if e.data is None:
                 raise DcgnError(f"reduce entry {e!r} missing contribution")
-            arr = e.data
-            acc = arr.copy() if acc is None else op.combine(acc, arr)
-            # Local combining is real CPU work: charge a memcpy-equivalent.
-            yield from self.node.memcpy.copy(None, None, nbytes=int(arr.nbytes))
-        assert acc is not None
+            level.append(e.data)
+        # Tree-combine the local contributions: pairwise combines within
+        # a round run on distinct host cores, so the total charge is
+        # 1 initial copy + Σ ⌈pairs_in_round / cores⌉ memcpy-equivalents
+        # instead of the old serial O(k) fold.  Modeling choice: the
+        # cores are genuinely idle (every contributor is blocked in
+        # sleep_poll_wait on this collective), and the dual-socket
+        # Opterons' per-socket memory controllers plus combine ALU time
+        # are taken to give the parallel streams usable bandwidth; if
+        # calibration shows this too optimistic, drop `cores` toward
+        # the socket count (see ROADMAP "Collective algorithms").
+        yield from self.node.memcpy.copy(
+            None, None, nbytes=int(level[0].nbytes)
+        )
+        cores = max(1, self.node.cores)
+        while len(level) > 1:
+            nxt = [
+                op.combine(level[i], level[i + 1])
+                for i in range(0, len(level) - 1, 2)
+            ]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            pairs = len(level) // 2
+            for _ in range((pairs + cores - 1) // cores):
+                yield from self.node.memcpy.copy(
+                    None, None, nbytes=int(level[0].nbytes)
+                )
+            level = nxt
+        # Safe to alias the sole contribution: combines are never
+        # in-place and the MPI layer snapshots sends.
+        acc = level[0]
         result = np.empty_like(acc)
         if state.kind == "allreduce":
             yield from self.mpi.allreduce(acc, result, op=op)
@@ -510,7 +539,8 @@ class CommThread:
                 if req.deliver is not None:
                     req.deliver(result)
                 else:
-                    req.data = result
+                    # Per-request copy (same aliasing hazard as bcast).
+                    req.data = result.copy()
                 req.complete(CommStatus(source=-1, nbytes=int(result.nbytes)))
         else:
             root_node = self.rankmap.node_of(root_vrank)

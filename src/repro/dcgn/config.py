@@ -1,4 +1,37 @@
-"""DCGN job configuration: CPU-kernel threads, GPUs, and slots per node."""
+"""DCGN job configuration: CPU-kernel threads, GPUs, slots — and the
+collective-algorithm tuning the job's comm threads run with.
+
+Collective algorithms
+---------------------
+All GPU-sourced communication funnels through one comm thread per node,
+so the algorithm the underlying MPI layer picks dominates collective
+performance.  The menu (implementations in :mod:`repro.mpi.algorithms`):
+
+========== ===========================================================
+allreduce  ``reduce_bcast`` (binomial reduce + bcast, the seed fixed
+           algorithm), ``recursive_doubling`` (⌈log2 P⌉ full-size
+           rounds; small messages), ``ring`` (reduce-scatter +
+           allgather, 2·(P−1)/P volumes; large messages)
+allgather  ``ring`` (P−1 block hops, bandwidth-optimal, any P),
+           ``recursive_doubling`` (⌈log2 P⌉ rounds; small blocks on
+           power-of-two communicators)
+alltoall   ``shift`` (send to rank+k / recv from rank−k),
+           ``pairwise`` (XOR partners; power-of-two communicators)
+========== ===========================================================
+
+Selection is per call, by message size × communicator size, with
+thresholds from :class:`~repro.mpi.algorithms.CollectiveTuning`
+(``allreduce_ring_min_bytes``, ``allgather_rd_max_bytes``,
+``allgather_rd_min_ranks``/``allgather_rd_small_max_bytes``,
+``alltoall_pairwise``) — the per-field docs there carry the calibrated
+defaults and crossover rationale.  ``force_allreduce`` /
+``force_allgather`` / ``force_alltoall`` pin one algorithm by name,
+disabling adaptivity for that primitive.
+
+Pass a ``CollectiveTuning`` as ``DcgnConfig(nodes, tuning=...)`` (or to
+``DcgnConfig.homogeneous``) to override; the runtime hands it to the
+node-level MPI communicator that the comm threads drive.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +39,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..hw.cluster import Cluster
+from ..mpi.algorithms import CollectiveTuning
 from .errors import DcgnConfigError
 
-__all__ = ["NodeConfig", "DcgnConfig"]
+__all__ = ["NodeConfig", "DcgnConfig", "CollectiveTuning"]
 
 
 @dataclass(frozen=True)
@@ -42,14 +76,25 @@ class NodeConfig:
 
 @dataclass(frozen=True)
 class DcgnConfig:
-    """Per-node configuration of a whole DCGN job."""
+    """Per-node configuration of a whole DCGN job.
+
+    ``tuning`` overrides the collective-algorithm selection thresholds
+    of the node-level MPI layer the comm threads use (see the module
+    docstring for the menu and threshold semantics).
+    """
 
     nodes: tuple
+    tuning: Optional[CollectiveTuning] = None
 
-    def __init__(self, nodes: Sequence[NodeConfig]) -> None:
+    def __init__(
+        self,
+        nodes: Sequence[NodeConfig],
+        tuning: Optional[CollectiveTuning] = None,
+    ) -> None:
         if not nodes:
             raise DcgnConfigError("job needs at least one node")
         object.__setattr__(self, "nodes", tuple(nodes))
+        object.__setattr__(self, "tuning", tuning)
 
     @classmethod
     def homogeneous(
@@ -58,6 +103,7 @@ class DcgnConfig:
         cpu_threads: int = 0,
         gpus: int = 0,
         slots_per_gpu: int = 1,
+        tuning: Optional[CollectiveTuning] = None,
     ) -> "DcgnConfig":
         """Same configuration on every node (the paper's usual setup)."""
         return cls(
@@ -68,7 +114,8 @@ class DcgnConfig:
                     slots_per_gpu=slots_per_gpu,
                 )
             ]
-            * n_nodes
+            * n_nodes,
+            tuning=tuning,
         )
 
     @property

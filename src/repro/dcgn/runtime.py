@@ -46,9 +46,13 @@ class DcgnRuntime:
         self.config = config
         self.sim: Simulator = cluster.sim
         self.rankmap = RankMap(config)
-        # One MPI rank per participating node (the DCGN process).
+        # One MPI rank per participating node (the DCGN process).  The
+        # job's collective tuning steers this communicator's algorithm
+        # selection, so DCGN-layer collectives ride the same engine.
         self.node_comm = Communicator(
-            cluster, placement=list(range(config.n_nodes))
+            cluster,
+            placement=list(range(config.n_nodes)),
+            tuning=config.tuning,
         )
         #: Per-node kick signals (CPU request activity wakes GPU pollers).
         self.kicks: List[Signal] = [

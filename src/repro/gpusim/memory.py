@@ -8,6 +8,8 @@ to GPU-sourced communication calls.
 
 from __future__ import annotations
 
+import math
+import operator
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -97,17 +99,30 @@ class DeviceAllocator:
         name: str = "",
         fill=None,
     ) -> DeviceBuffer:
-        """Allocate a buffer; raises :class:`GpuOutOfMemory` if over."""
-        arr = np.zeros(shape, dtype=dtype)
-        if fill is not None:
-            arr[...] = fill
-        nbytes = int(arr.nbytes)
+        """Allocate a buffer; raises :class:`GpuOutOfMemory` if over.
+
+        The capacity check runs on the requested geometry *before* any
+        host-side backing store exists, so an over-capacity request
+        (e.g. a simulated 1 TB allocation) raises cleanly instead of
+        exhausting host memory in ``np.zeros``.
+        """
+        dims = (
+            (operator.index(shape),)
+            if not hasattr(shape, "__iter__")
+            else tuple(operator.index(s) for s in shape)
+        )
+        if any(d < 0 for d in dims):
+            raise ValueError(f"negative dimension in shape {dims}")
+        nbytes = math.prod(dims) * np.dtype(dtype).itemsize
         if self.used + nbytes > self.capacity:
             raise GpuOutOfMemory(
                 f"{self.label}: requested {nbytes} B with "
                 f"{self.capacity - self.used} B free "
                 f"(capacity {self.capacity} B)"
             )
+        arr = np.zeros(dims, dtype=dtype)
+        if fill is not None:
+            arr[...] = fill
         self.used += nbytes
         self.peak = max(self.peak, self.used)
         self.alloc_count += 1

@@ -1,5 +1,6 @@
 """Simulated MPI (the MVAPICH2-like baseline library)."""
 
+from .algorithms import ALGORITHMS, AlgorithmSelector, CollectiveTuning, SEED_TUNING
 from .communicator import HEADER_BYTES, Communicator, MpiContext, Request
 from .datatypes import ReduceOp, payload_array, snapshot
 from .errors import MpiError, RankError, TagError, TruncationError
@@ -7,6 +8,10 @@ from .job import MpiJob, block_placement, round_robin_placement
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = [
+    "ALGORITHMS",
+    "AlgorithmSelector",
+    "CollectiveTuning",
+    "SEED_TUNING",
     "Communicator",
     "MpiContext",
     "Request",

@@ -1,0 +1,39 @@
+"""Collective algorithm engine: implementations + size-adaptive selection.
+
+The menu (see :data:`~repro.mpi.algorithms.selector.ALGORITHMS`):
+
+========== ===========================================================
+allreduce  ``reduce_bcast`` (seed), ``recursive_doubling``, ``ring``
+allgather  ``ring`` (seed), ``recursive_doubling``
+alltoall   ``shift`` (seed), ``pairwise``
+========== ===========================================================
+
+:class:`AlgorithmSelector` picks per call from message size ×
+communicator size using :class:`CollectiveTuning` thresholds;
+``mpi/collectives.py`` dispatches every allreduce/allgather/alltoall
+through it, so both raw-MPI ranks and the DCGN comm threads benefit.
+"""
+
+from .allgather import allgather_recursive_doubling, allgather_ring
+from .allreduce import (
+    allreduce_recursive_doubling,
+    allreduce_reduce_bcast,
+    allreduce_ring,
+)
+from .alltoall import alltoall_pairwise, alltoall_shift
+from .selector import ALGORITHMS, AlgorithmSelector
+from .tuning import SEED_TUNING, CollectiveTuning
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSelector",
+    "CollectiveTuning",
+    "SEED_TUNING",
+    "allgather_recursive_doubling",
+    "allgather_ring",
+    "allreduce_recursive_doubling",
+    "allreduce_reduce_bcast",
+    "allreduce_ring",
+    "alltoall_pairwise",
+    "alltoall_shift",
+]

@@ -1,0 +1,172 @@
+"""Allreduce algorithms: reduce+bcast (seed), recursive doubling, ring.
+
+Cost shapes (P ranks, n bytes, α latency, β per-byte):
+
+* ``reduce_bcast`` — 2·⌈log2 P⌉·(α + nβ): the MVAPICH2 general-case
+  fallback the seed shipped with.
+* ``recursive_doubling`` — ⌈log2 P⌉·(α + nβ) (+2 fold steps when P is
+  not a power of two): best when latency dominates.
+* ``ring`` — 2·(P−1)·α + 2·n·β·(P−1)/P: bandwidth-optimal
+  reduce-scatter + allgather (the Rabenseifner scatter-allgather family),
+  best for large messages.
+
+All :class:`~repro.mpi.datatypes.ReduceOp` operators are commutative, so
+the fold-in step of non-power-of-two recursive doubling is safe; combines
+still run lower-rank-first so floating-point results stay deterministic
+per rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+import numpy as np
+
+from ...sim.core import Event
+from ..datatypes import Payload, ReduceOp, payload_array
+from ..errors import MpiError
+from .base import isend_internal, next_tag, recv_internal, send_internal
+
+__all__ = [
+    "allreduce_reduce_bcast",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+]
+
+
+def _setup(ctx, sendbuf: Payload, recvbuf: Payload):
+    src = payload_array(sendbuf)
+    out = payload_array(recvbuf)
+    if src is None:
+        raise MpiError("allreduce requires an array payload")
+    if out is None:
+        raise MpiError("allreduce requires a recv buffer on every rank")
+    return src, out
+
+
+def allreduce_reduce_bcast(
+    ctx,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+) -> Generator[Event, Any, None]:
+    """Reduce to rank 0, then broadcast (the seed's fixed algorithm)."""
+    from ..collectives import bcast, reduce
+
+    _setup(ctx, sendbuf, recvbuf)
+    if ctx.rank == 0:
+        yield from reduce(ctx, sendbuf, recvbuf, op=op, root=0)
+    else:
+        yield from reduce(ctx, sendbuf, None, op=op, root=0)
+    yield from bcast(ctx, recvbuf, root=0)
+
+
+def allreduce_recursive_doubling(
+    ctx,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+) -> Generator[Event, Any, None]:
+    """Recursive-doubling allreduce (MPICH small-message algorithm).
+
+    Non-power-of-two sizes use the standard fold: the first 2·rem ranks
+    pair up (even sends to odd) so ``pof2`` ranks run the doubling
+    rounds, then the even partners receive the final result back.
+    """
+    src, out = _setup(ctx, sendbuf, recvbuf)
+    size, rank = ctx.size, ctx.rank
+    acc = src.copy()
+    if size == 1:
+        yield ctx.comm._sw()
+        out[...] = acc.reshape(out.shape)
+        return
+    tag = next_tag(ctx)
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    # Fold-in (tag offset 4): even ranks below 2·rem contribute and sit out.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from send_internal(ctx, acc, rank + 1, tag + 4)
+            newrank = -1
+        else:
+            tmp = np.empty_like(acc)
+            yield from recv_internal(ctx, tmp, rank - 1, tag + 4)
+            acc = op.combine(tmp, acc)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (
+                partner_new * 2 + 1 if partner_new < rem
+                else partner_new + rem
+            )
+            tmp = np.empty_like(acc)
+            # No defensive copy: _send_impl snapshots at send time and
+            # acc is rebound (never mutated) before req.wait() returns.
+            req = isend_internal(ctx, acc, partner, tag)
+            yield from recv_internal(ctx, tmp, partner, tag)
+            yield from req.wait()
+            acc = op.combine(tmp, acc) if partner < rank else op.combine(acc, tmp)
+            mask <<= 1
+    # Fold-out (tag offset 5): odd partners hand the result back.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            yield from send_internal(ctx, acc, rank - 1, tag + 5)
+        else:
+            yield from recv_internal(ctx, acc, rank + 1, tag + 5)
+    out[...] = acc.reshape(out.shape)
+
+
+def allreduce_ring(
+    ctx,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+) -> Generator[Event, Any, None]:
+    """Ring allreduce: reduce-scatter then allgather over 1/P chunks.
+
+    Works for any P (including non-powers of two) and any element count
+    (trailing chunks may be empty when count < P).
+    """
+    src, out = _setup(ctx, sendbuf, recvbuf)
+    size, rank = ctx.size, ctx.rank
+    acc = src.copy().reshape(-1)
+    if size == 1:
+        yield ctx.comm._sw()
+        out[...] = acc.reshape(out.shape)
+        return
+    tag = next_tag(ctx)
+    n = acc.size
+    bounds: List[int] = [(c * n) // size for c in range(size + 1)]
+
+    def chunk(c: int) -> np.ndarray:
+        c %= size
+        return acc[bounds[c] : bounds[c + 1]]
+
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    # Reduce-scatter (tag offsets 0..3): after P−1 steps this rank owns
+    # the fully combined chunk (rank+1) mod P.
+    # No defensive copies on the isends: _send_impl snapshots at send
+    # time and each step only writes the (disjoint) received chunk.
+    for step in range(size - 1):
+        send_c = chunk(rank - step)
+        recv_c = chunk(rank - step - 1)
+        req = isend_internal(ctx, send_c, right, tag + step % 4)
+        tmp = np.empty_like(recv_c)
+        yield from recv_internal(ctx, tmp, left, tag + step % 4)
+        yield from req.wait()
+        recv_c[...] = op.combine(tmp, recv_c)
+    # Allgather (tag offsets 4..7): circulate the finished chunks.
+    for step in range(size - 1):
+        send_c = chunk(rank + 1 - step)
+        recv_c = chunk(rank - step)
+        req = isend_internal(ctx, send_c, right, tag + 4 + step % 4)
+        yield from recv_internal(ctx, recv_c, left, tag + 4 + step % 4)
+        yield from req.wait()
+    out[...] = acc.reshape(out.shape)

@@ -1,0 +1,70 @@
+"""Shared plumbing for collective algorithms.
+
+Every collective call consumes one :data:`TAG_STRIDE`-wide block of the
+internal tag space (kept consistent across ranks by the requirement, as
+in real MPI, that all ranks invoke collectives in the same order).
+Algorithms address sub-steps with offsets inside their block; messages
+between the same (source, tag) pair match FIFO, so step-loops may reuse
+offsets the way the seed ring allgather always has.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...sim.core import Event
+from ..communicator import INTERNAL_TAG_BASE, MpiContext, Request
+from ..datatypes import Payload
+
+__all__ = [
+    "TAG_STRIDE",
+    "is_pof2",
+    "next_tag",
+    "isend_internal",
+    "send_internal",
+    "recv_internal",
+]
+
+#: Stride between the tag blocks of successive collective calls.
+TAG_STRIDE = 8
+
+
+def is_pof2(n: int) -> bool:
+    """True when ``n`` is a power of two."""
+    return n > 0 and not (n & (n - 1))
+
+
+def next_tag(ctx: MpiContext) -> int:
+    """Claim this rank's next collective tag block."""
+    comm = ctx.comm
+    seq = comm._coll_seq[ctx.rank]
+    comm._coll_seq[ctx.rank] += 1
+    return INTERNAL_TAG_BASE + (seq * TAG_STRIDE)
+
+
+def isend_internal(
+    ctx: MpiContext, buf: Payload, dest: int, tag: int
+) -> Request:
+    """Internal isend that bypasses the user-tag check."""
+    comm = ctx.comm
+    comm._check_rank(dest)
+
+    def runner():
+        yield from comm._send_impl(ctx.rank, dest, buf, tag)
+
+    return Request(
+        ctx.sim.process(runner(), name=f"coll.isend(r{ctx.rank}->r{dest})")
+    )
+
+
+def send_internal(
+    ctx: MpiContext, buf: Payload, dest: int, tag: int
+) -> Generator[Event, Any, None]:
+    yield from ctx.comm._send_impl(ctx.rank, dest, buf, tag)
+
+
+def recv_internal(
+    ctx: MpiContext, buf: Payload, source: int, tag: int
+) -> Generator[Event, Any, Any]:
+    status = yield from ctx.comm._recv_impl(ctx.rank, source, buf, tag)
+    return status

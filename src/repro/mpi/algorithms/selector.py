@@ -1,0 +1,103 @@
+"""Size-adaptive algorithm selection for collectives.
+
+The selector is consulted once per collective call with the payload
+geometry (bytes per rank, communicator size) and returns the *name* of
+the algorithm to run; the registry maps names to implementations.  The
+thresholds live in :class:`~repro.mpi.algorithms.tuning.CollectiveTuning`
+and are plumbed through both the raw-MPI layer
+(``Communicator(tuning=...)``) and the DCGN layer
+(``DcgnConfig(..., tuning=...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import MpiError
+from .base import is_pof2 as _is_pof2
+from .allgather import allgather_recursive_doubling, allgather_ring
+from .allreduce import (
+    allreduce_recursive_doubling,
+    allreduce_reduce_bcast,
+    allreduce_ring,
+)
+from .alltoall import alltoall_pairwise, alltoall_shift
+from .tuning import CollectiveTuning
+
+__all__ = ["ALGORITHMS", "AlgorithmSelector"]
+
+#: Registry: collective → {algorithm name → implementation}.
+ALGORITHMS: Dict[str, Dict[str, Callable]] = {
+    "allreduce": {
+        "reduce_bcast": allreduce_reduce_bcast,
+        "recursive_doubling": allreduce_recursive_doubling,
+        "ring": allreduce_ring,
+    },
+    "allgather": {
+        "ring": allgather_ring,
+        "recursive_doubling": allgather_recursive_doubling,
+    },
+    "alltoall": {
+        "shift": alltoall_shift,
+        "pairwise": alltoall_pairwise,
+    },
+}
+
+
+class AlgorithmSelector:
+    """Picks a collective algorithm from (message size × communicator size)."""
+
+    def __init__(self, tuning: Optional[CollectiveTuning] = None) -> None:
+        self.tuning = tuning if tuning is not None else CollectiveTuning()
+
+    def _forced(self, coll: str, name: Optional[str]) -> Optional[str]:
+        if name is None:
+            return None
+        if name not in ALGORITHMS[coll]:
+            raise MpiError(
+                f"unknown {coll} algorithm {name!r}; "
+                f"choose from {sorted(ALGORITHMS[coll])}"
+            )
+        return name
+
+    def allreduce(self, nbytes: int, size: int) -> str:
+        forced = self._forced("allreduce", self.tuning.force_allreduce)
+        if forced is not None:
+            return forced
+        if size <= 2:
+            # Ring and doubling coincide at P=2; doubling has no chunking
+            # overhead and degrades gracefully at P=1.
+            return "recursive_doubling"
+        if nbytes >= self.tuning.allreduce_ring_min_bytes:
+            return "ring"
+        return "recursive_doubling"
+
+    def allgather(
+        self, block_nbytes: int, size: int, uniform: bool = True
+    ) -> str:
+        forced = self._forced("allgather", self.tuning.force_allgather)
+        if forced is not None:
+            return forced
+        enough_ranks = (
+            size >= self.tuning.allgather_rd_min_ranks
+            or block_nbytes <= self.tuning.allgather_rd_small_max_bytes
+        )
+        if (
+            uniform
+            and _is_pof2(size)
+            and block_nbytes <= self.tuning.allgather_rd_max_bytes
+            and enough_ranks
+        ):
+            return "recursive_doubling"
+        return "ring"
+
+    def alltoall(self, block_nbytes: int, size: int) -> str:
+        """Selection is schedule-based (pof2/force) today;
+        ``block_nbytes`` is reserved for a future small-message Bruck
+        threshold (see ROADMAP) and currently unused."""
+        forced = self._forced("alltoall", self.tuning.force_alltoall)
+        if forced is not None:
+            return forced
+        if self.tuning.alltoall_pairwise and _is_pof2(size):
+            return "pairwise"
+        return "shift"

@@ -1,0 +1,90 @@
+"""Size/rank-count thresholds steering collective algorithm selection.
+
+The crossover structure mirrors MPICH/MVAPICH2-style selection logic:
+latency-bound (small message, many short rounds are fine as long as there
+are few of them) versus bandwidth-bound (large message, total bytes on
+the critical path dominate).  The defaults were picked from the sweep in
+``benchmarks/bench_collectives_algos.py`` against this repository's
+hardware model (IB DDR-era latency/bandwidth, 16 KB eager threshold) —
+re-run the sweep after touching :class:`~repro.hw.params.IbParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["CollectiveTuning"]
+
+_KB = 1024
+
+
+@dataclass(frozen=True)
+class CollectiveTuning:
+    """Thresholds and overrides for the collective algorithm selector.
+
+    All sizes are in bytes of one rank's contribution.  ``force_*``
+    fields pin a specific algorithm by name regardless of size (used by
+    benchmarks to hold the seed baseline fixed, and available to users
+    who have measured their own workload).
+    """
+
+    #: Allreduce payloads at or above this use the ring
+    #: (reduce-scatter + allgather) schedule — bandwidth-optimal:
+    #: 2·(P−1)/P message volumes versus recursive doubling's ⌈log2 P⌉
+    #: full volumes.  Below it, recursive doubling's ⌈log2 P⌉ rounds win
+    #: on latency.
+    allreduce_ring_min_bytes: int = 64 * _KB
+
+    #: Allgather blocks at or below this (per rank, equal-size,
+    #: power-of-two communicators only) use recursive doubling —
+    #: ⌈log2 P⌉ rounds instead of the ring's P−1, same total bytes.
+    #: Above it (or whenever blocks are unequal / P is not a power of
+    #: two) the bandwidth-optimal ring is kept.
+    allgather_rd_max_bytes: int = 256 * _KB
+
+    #: Recursive-doubling allgather needs enough ranks to amortize its
+    #: packed rounds crossing the eager threshold: below this many ranks
+    #: it only runs for blocks small enough that every packed exchange
+    #: stays eager (``allgather_rd_small_max_bytes``).
+    allgather_rd_min_ranks: int = 8
+
+    #: Small-block exception to ``allgather_rd_min_ranks`` (see above).
+    allgather_rd_small_max_bytes: int = 8 * _KB
+
+    #: Use the pairwise (XOR-partner) exchange for alltoall on
+    #: power-of-two communicators; non-power-of-two always uses the
+    #: shift schedule.
+    alltoall_pairwise: bool = True
+
+    #: Pin an algorithm by name (see ``ALGORITHMS`` in
+    #: :mod:`repro.mpi.algorithms.selector`); ``None`` = size-adaptive.
+    force_allreduce: Optional[str] = None
+    force_allgather: Optional[str] = None
+    force_alltoall: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "allreduce_ring_min_bytes",
+            "allgather_rd_max_bytes",
+            "allgather_rd_min_ranks",
+            "allgather_rd_small_max_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def with_(self, **kwargs) -> "CollectiveTuning":
+        """Functional update helper (mirrors ``HWParams.with_``)."""
+        return replace(self, **kwargs)
+
+
+#: Tuning that pins every collective to the pre-engine (seed) algorithm:
+#: allreduce = binomial reduce + binomial bcast, allgather = ring,
+#: alltoall = shift.  Benchmarks use this as the fixed baseline.
+SEED_TUNING = CollectiveTuning(
+    force_allreduce="reduce_bcast",
+    force_allgather="ring",
+    force_alltoall="shift",
+)
+
+__all__.append("SEED_TUNING")

@@ -1,15 +1,17 @@
-"""Collective algorithms over the simulated point-to-point layer.
+"""Collective operations over the simulated point-to-point layer.
 
-The algorithm choices match what MVAPICH2-era implementations used and are
-what give the baseline its performance *shape*:
+Fixed-schedule primitives (the shapes MVAPICH2-era implementations used):
 
 * barrier — dissemination (⌈log2 P⌉ rounds of 0-byte messages);
 * bcast — binomial tree (⌈log2 P⌉ message hops on the critical path);
 * reduce — binomial tree with elementwise operator combination;
-* allreduce — reduce to root + binomial bcast;
-* gather/scatter — linear at the root;
-* allgather — ring (P−1 steps, bandwidth-optimal);
-* alltoall — pairwise exchange rounds.
+* gather/scatter — linear at the root.
+
+``allreduce``, ``allgather`` and ``alltoall`` have a *menu* of
+algorithms (see :mod:`repro.mpi.algorithms`) and dispatch per call
+through the communicator's :class:`~repro.mpi.algorithms.AlgorithmSelector`,
+which picks by message size × communicator size.  The chosen algorithm
+is recorded in ``comm.stats`` as ``"<op>[<algo>]"``.
 
 Every collective call consumes one slot of the internal tag space, kept
 consistent across ranks by the requirement (as in real MPI) that all
@@ -18,14 +20,14 @@ ranks invoke collectives in the same order.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Sequence
+from typing import Any, Generator, Optional, Sequence
 
 import numpy as np
 
+from ..hw.memory import nbytes_of
 from ..sim.core import Event
 from .datatypes import Payload, ReduceOp, payload_array
-from .errors import MpiError, RankError
-from .status import ANY_TAG
+from .errors import MpiError
 
 __all__ = [
     "barrier",
@@ -38,45 +40,14 @@ __all__ = [
     "alltoall",
 ]
 
-from .communicator import INTERNAL_TAG_BASE, MpiContext
-
-#: Stride between the tag blocks of successive collective calls.
-_TAG_STRIDE = 8
-
-
-def _next_tag(ctx: MpiContext) -> int:
-    comm = ctx.comm
-    seq = comm._coll_seq[ctx.rank]
-    comm._coll_seq[ctx.rank] += 1
-    return INTERNAL_TAG_BASE + (seq * _TAG_STRIDE)
-
-
-def _isend_internal(ctx: MpiContext, buf: Payload, dest: int, tag: int):
-    """Internal isend that bypasses the user-tag check."""
-    from .communicator import Request
-
-    comm = ctx.comm
-    comm._check_rank(dest)
-
-    def runner():
-        yield from comm._send_impl(ctx.rank, dest, buf, tag)
-
-    return Request(
-        ctx.sim.process(runner(), name=f"coll.isend(r{ctx.rank}->r{dest})")
-    )
-
-
-def _send_internal(
-    ctx: MpiContext, buf: Payload, dest: int, tag: int
-) -> Generator[Event, Any, None]:
-    yield from ctx.comm._send_impl(ctx.rank, dest, buf, tag)
-
-
-def _recv_internal(
-    ctx: MpiContext, buf: Payload, source: int, tag: int
-) -> Generator[Event, Any, Any]:
-    status = yield from ctx.comm._recv_impl(ctx.rank, source, buf, tag)
-    return status
+from .algorithms.base import (
+    isend_internal as _isend_internal,
+    next_tag as _next_tag,
+    recv_internal as _recv_internal,
+    send_internal as _send_internal,
+)
+from .algorithms.selector import ALGORITHMS
+from .communicator import MpiContext
 
 
 def barrier(ctx: MpiContext) -> Generator[Event, Any, None]:
@@ -175,16 +146,14 @@ def allreduce(
     recvbuf: Payload,
     op: ReduceOp = ReduceOp.SUM,
 ) -> Generator[Event, Any, None]:
-    """Reduce to rank 0, then broadcast (MVAPICH2 general-case algorithm)."""
+    """Size-adaptive allreduce (see :mod:`repro.mpi.algorithms`)."""
     ctx.comm._count("allreduce")
-    out = payload_array(recvbuf)
-    if out is None:
+    if payload_array(recvbuf) is None:
         raise MpiError("allreduce requires a recv buffer on every rank")
-    if ctx.rank == 0:
-        yield from reduce(ctx, sendbuf, recvbuf, op=op, root=0)
-    else:
-        yield from reduce(ctx, sendbuf, None, op=op, root=0)
-    yield from bcast(ctx, recvbuf, root=0)
+    nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0
+    algo = ctx.comm.selector.allreduce(nbytes, ctx.size)
+    ctx.comm._count(f"allreduce[{algo}]")
+    yield from ALGORITHMS["allreduce"][algo](ctx, sendbuf, recvbuf, op)
 
 
 def gather(
@@ -261,27 +230,17 @@ def allgather(
     sendbuf: Payload,
     recvbufs: Sequence[Payload],
 ) -> Generator[Event, Any, None]:
-    """Ring allgather: P−1 steps, each forwarding one block."""
+    """Size-adaptive allgather (ring or recursive doubling)."""
     ctx.comm._count("allgather")
-    tag = _next_tag(ctx)
-    size, rank = ctx.size, ctx.rank
-    if len(recvbufs) != size:
+    if len(recvbufs) != ctx.size:
         raise MpiError("allgather needs one recv buffer per rank")
-    own = payload_array(recvbufs[rank])
-    mine = payload_array(sendbuf)
-    if own is not None and mine is not None:
-        own[...] = mine.reshape(own.shape)
-    if size == 1:
-        yield ctx.comm._sw()
-        return
-    right = (rank + 1) % size
-    left = (rank - 1) % size
-    for step in range(size - 1):
-        send_block = (rank - step) % size
-        recv_block = (rank - step - 1) % size
-        req = _isend_internal(ctx, recvbufs[send_block], right, tag + step % 4)
-        yield from _recv_internal(ctx, recvbufs[recv_block], left, tag + step % 4)
-        yield from req.wait()
+    sizes = [nbytes_of(b) if payload_array(b) is not None else None
+             for b in recvbufs]
+    uniform = None not in sizes and len(set(sizes)) <= 1
+    block = sizes[ctx.rank] if uniform else 0
+    algo = ctx.comm.selector.allgather(block, ctx.size, uniform=uniform)
+    ctx.comm._count(f"allgather[{algo}]")
+    yield from ALGORITHMS["allgather"][algo](ctx, sendbuf, recvbufs)
 
 
 def alltoall(
@@ -289,19 +248,10 @@ def alltoall(
     sendbufs: Sequence[Payload],
     recvbufs: Sequence[Payload],
 ) -> Generator[Event, Any, None]:
-    """Pairwise-exchange all-to-all."""
+    """Schedule-adaptive all-to-all (shift, or pairwise on pof2 P)."""
     ctx.comm._count("alltoall")
-    tag = _next_tag(ctx)
-    size, rank = ctx.size, ctx.rank
-    if len(sendbufs) != size or len(recvbufs) != size:
+    if len(sendbufs) != ctx.size or len(recvbufs) != ctx.size:
         raise MpiError("alltoall needs one send and recv buffer per rank")
-    own = payload_array(recvbufs[rank])
-    mine = payload_array(sendbufs[rank])
-    if own is not None and mine is not None:
-        own[...] = mine.reshape(own.shape)
-    for k in range(1, size):
-        dst = (rank + k) % size
-        src = (rank - k) % size
-        req = _isend_internal(ctx, sendbufs[dst], dst, tag)
-        yield from _recv_internal(ctx, recvbufs[src], src, tag)
-        yield from req.wait()
+    algo = ctx.comm.selector.alltoall(0, ctx.size)
+    ctx.comm._count(f"alltoall[{algo}]")
+    yield from ALGORITHMS["alltoall"][algo](ctx, sendbufs, recvbufs)

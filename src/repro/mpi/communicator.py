@@ -81,9 +81,21 @@ class Request:
 
 
 class Communicator:
-    """COMM_WORLD for one job: rank→node placement + matching state."""
+    """COMM_WORLD for one job: rank→node placement + matching state.
 
-    def __init__(self, cluster: Cluster, placement: Sequence[int]) -> None:
+    ``tuning`` overrides the collective-algorithm selection thresholds
+    (see :class:`repro.mpi.algorithms.CollectiveTuning`); the default is
+    the calibrated size-adaptive policy.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placement: Sequence[int],
+        tuning: Optional["CollectiveTuning"] = None,
+    ) -> None:
+        from .algorithms import AlgorithmSelector, CollectiveTuning
+
         if not placement:
             raise MpiError("placement must name at least one rank")
         for node in placement:
@@ -93,6 +105,9 @@ class Communicator:
         self.sim: Simulator = cluster.sim
         self.placement = list(placement)
         self.size = len(placement)
+        self.tuning = tuning if tuning is not None else CollectiveTuning()
+        #: Per-call collective algorithm selection (collectives.py asks).
+        self.selector = AlgorithmSelector(self.tuning)
         self._match: List[FilterStore] = [
             FilterStore(self.sim, name=f"mpi.match[{r}]")
             for r in range(self.size)

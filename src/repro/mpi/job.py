@@ -33,12 +33,21 @@ def round_robin_placement(n_ranks: int, n_nodes: int) -> List[int]:
 
 
 class MpiJob:
-    """A set of MPI processes with a COMM_WORLD over the cluster."""
+    """A set of MPI processes with a COMM_WORLD over the cluster.
 
-    def __init__(self, cluster: Cluster, placement: Sequence[int]) -> None:
+    ``tuning`` (a :class:`repro.mpi.algorithms.CollectiveTuning`) adjusts
+    the communicator's collective-algorithm selection thresholds.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placement: Sequence[int],
+        tuning=None,
+    ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
-        self.comm = Communicator(cluster, placement)
+        self.comm = Communicator(cluster, placement, tuning=tuning)
         self._procs: List[Process] = []
 
     @property

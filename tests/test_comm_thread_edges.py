@@ -1,5 +1,5 @@
 """Edge cases in the communication thread: buffering, ablation paths,
-mismatches, and quiescent shutdown."""
+mismatches, delivery aliasing, and quiescent shutdown."""
 
 import dataclasses
 
@@ -187,3 +187,59 @@ class TestStatsAndCapture:
         stats = report.comm_stats()
         assert stats.get("wire_sends", 0) == 0
         assert stats.get("p2p_delivered", 0) == 1
+
+
+class TestDeliveryAliasing:
+    """Non-deliver requests (the GPU-slot contract: the GPU thread reads
+    ``req.data`` back over PCIe) must each own their payload — the seed
+    handed every sibling the *same* ndarray, so one rank mutating its
+    receive buffer corrupted the others'."""
+
+    def _raw_collective(self, op, n_ranks=3, **extra_fields):
+        """Drive a comm thread with hand-built deliver-less requests."""
+        from repro.dcgn.requests import CommRequest
+
+        sim, rt = make_runtime(n_nodes=1, cpu_threads=n_ranks)
+        ct = rt.comm_threads[0]
+        payload = np.arange(8, dtype=np.int64)
+        reqs = []
+        for vrank in range(n_ranks):
+            is_root = vrank == 0
+            req = CommRequest(
+                op=op,
+                src_vrank=vrank,
+                root=0,
+                nbytes=int(payload.nbytes),
+                data=payload.copy() if (is_root or op == "allreduce") else None,
+                deliver=None,
+                done=sim.event(),
+                extra=dict({"coll_seq": 0}, **extra_fields),
+            )
+            reqs.append(req)
+
+            def enqueue(req=req):
+                yield from ct.enqueue_from_cpu(req)
+
+            sim.process(enqueue(), name=f"enq{vrank}")
+        sim.run(until=1.0, detect_deadlock=False)
+        assert all(r.done.triggered for r in reqs)
+        ct.shutdown()
+        sim.run(until=2.0, detect_deadlock=False)
+        return reqs
+
+    def test_bcast_delivers_per_request_copies(self):
+        reqs = self._raw_collective("bcast")
+        r1, r2 = reqs[1], reqs[2]
+        assert r1.data is not None and r2.data is not None
+        assert r1.data is not r2.data
+        before = r2.data.copy()
+        r1.data[...] = 0  # rank 1 scribbles over its receive buffer
+        assert np.array_equal(r2.data, before), "sibling buffer corrupted"
+
+    def test_allreduce_delivers_per_request_copies(self):
+        reqs = self._raw_collective("allreduce", reduce_op="sum")
+        r1, r2 = reqs[1], reqs[2]
+        assert r1.data is not r2.data
+        before = r2.data.copy()
+        r1.data[...] = -1
+        assert np.array_equal(r2.data, before), "sibling buffer corrupted"

@@ -1,0 +1,112 @@
+"""DeviceAllocator edge cases: capacity enforcement before host
+allocation, peak/used accounting, and free/double-free semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import GpuOutOfMemory, InvalidMemorySpace
+from repro.gpusim.memory import DeviceAllocator
+
+MB = 1024 * 1024
+
+
+def make_alloc(capacity=16 * MB):
+    return DeviceAllocator(capacity, label="test-gpu")
+
+
+class TestCapacity:
+    def test_huge_request_raises_without_host_allocation(self):
+        """A simulated 1 TB request must raise GpuOutOfMemory — the seed
+        bug called np.zeros first and died with a host MemoryError."""
+        alloc = make_alloc()
+        with pytest.raises(GpuOutOfMemory):
+            alloc.allocate(10 ** 12, np.uint8, node_id=0, device_id=0)
+        assert alloc.used == 0
+        assert alloc.alloc_count == 0
+
+    def test_huge_multi_dim_request_raises(self):
+        alloc = make_alloc()
+        with pytest.raises(GpuOutOfMemory):
+            alloc.allocate((1 << 20, 1 << 20), np.float64, 0, 0)
+        assert alloc.used == 0
+
+    def test_allocator_still_usable_after_oom(self):
+        alloc = make_alloc()
+        with pytest.raises(GpuOutOfMemory):
+            alloc.allocate(10 ** 12, np.uint8, 0, 0)
+        buf = alloc.allocate(1024, np.uint8, 0, 0)
+        assert buf.nbytes == 1024
+        assert alloc.used == 1024
+
+    def test_exact_fit_succeeds_one_byte_over_raises(self):
+        alloc = make_alloc(capacity=4096)
+        buf = alloc.allocate(4096, np.uint8, 0, 0)
+        assert alloc.free_bytes == 0
+        with pytest.raises(GpuOutOfMemory):
+            alloc.allocate(1, np.uint8, 0, 0)
+        buf.free()
+        assert alloc.free_bytes == 4096
+
+    def test_dtype_itemsize_accounted(self):
+        alloc = make_alloc(capacity=1024)
+        with pytest.raises(GpuOutOfMemory):
+            alloc.allocate(256, np.float64, 0, 0)  # 2048 B
+        buf = alloc.allocate(128, np.float64, 0, 0)  # 1024 B
+        assert buf.nbytes == 1024
+
+    def test_negative_dimension_rejected(self):
+        alloc = make_alloc()
+        with pytest.raises(ValueError, match="negative dimension"):
+            alloc.allocate((-1, 4), np.uint8, 0, 0)
+        assert alloc.used == 0
+
+    def test_non_integer_dimension_rejected_not_truncated(self):
+        """np.zeros rejected float shapes; the pre-check must too, not
+        silently truncate 2.5 -> 2."""
+        alloc = make_alloc()
+        with pytest.raises(TypeError):
+            alloc.allocate((2.5, 4), np.uint8, 0, 0)
+        with pytest.raises(TypeError):
+            alloc.allocate(2.5, np.uint8, 0, 0)
+        assert alloc.used == 0
+
+
+class TestAccounting:
+    def test_peak_tracks_high_watermark(self):
+        alloc = make_alloc()
+        a = alloc.allocate(4 * MB, np.uint8, 0, 0)
+        b = alloc.allocate(8 * MB, np.uint8, 0, 0)
+        assert alloc.peak == 12 * MB
+        a.free()
+        assert alloc.used == 8 * MB
+        assert alloc.peak == 12 * MB  # peak never decreases
+        c = alloc.allocate(2 * MB, np.uint8, 0, 0)
+        assert alloc.peak == 12 * MB
+        b.free()
+        c.free()
+        assert alloc.used == 0
+
+    def test_free_then_reallocate_cycles(self):
+        alloc = make_alloc(capacity=1 * MB)
+        for _ in range(5):
+            buf = alloc.allocate(1 * MB, np.uint8, 0, 0)
+            buf.free()
+        assert alloc.used == 0
+        assert alloc.alloc_count == 5
+
+
+class TestFreeSemantics:
+    def test_double_free_raises(self):
+        alloc = make_alloc()
+        buf = alloc.allocate(1024, np.uint8, 0, 0)
+        buf.free()
+        with pytest.raises(InvalidMemorySpace, match="double free"):
+            buf.free()
+        assert alloc.used == 0  # bytes returned exactly once
+
+    def test_use_after_free_guard(self):
+        alloc = make_alloc()
+        buf = alloc.allocate(1024, np.uint8, 0, 0)
+        buf.free()
+        with pytest.raises(InvalidMemorySpace, match="use after free"):
+            buf.bytes_view()
