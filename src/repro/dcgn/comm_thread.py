@@ -578,7 +578,15 @@ class CommThread:
                 raise DcgnError(f"gather entry {e!r} missing contribution")
             view = e.data.view(np.uint8).reshape(-1)[:chunk]
             sendbuf[i * chunk : i * chunk + view.size] = view
-            yield from self.node.memcpy.copy(None, None, nbytes=int(view.size))
+        # Stage the contributions in parallel waves: the per-entry
+        # copies are independent, so k of them run on distinct host
+        # cores per wave — Σ ⌈entries / cores⌉ memcpy charges instead of
+        # the old serial k (same modeling argument as the reduce
+        # tree-combine above: every contributor is blocked in
+        # sleep_poll_wait on this collective, so the cores are idle).
+        cores = max(1, self.node.cores)
+        for _ in range((len(local) + cores - 1) // cores):
+            yield from self.node.memcpy.copy(None, None, nbytes=chunk)
         if self.node.node_id == root_node:
             recvbufs = [
                 np.zeros(

@@ -11,22 +11,29 @@ performance.  The menu (implementations in :mod:`repro.mpi.algorithms`):
 allreduce  ``reduce_bcast`` (binomial reduce + bcast, the seed fixed
            algorithm), ``recursive_doubling`` (⌈log2 P⌉ full-size
            rounds; small messages), ``ring`` (reduce-scatter +
-           allgather, 2·(P−1)/P volumes; large messages)
+           allgather, 2·(P−1)/P volumes; large messages),
+           ``hierarchical`` (intra/inter-domain phases on fragmented
+           oversubscribed fabrics)
 allgather  ``ring`` (P−1 block hops, bandwidth-optimal, any P),
            ``recursive_doubling`` (⌈log2 P⌉ rounds; small blocks on
-           power-of-two communicators)
+           power-of-two communicators), ``bruck`` (⌈log2 P⌉ rounds;
+           small blocks, any P)
 alltoall   ``shift`` (send to rank+k / recv from rank−k),
            ``pairwise`` (XOR partners; power-of-two communicators)
+bcast      ``binomial`` (seed), ``hierarchical`` (domain leaders)
 ========== ===========================================================
 
-Selection is per call, by message size × communicator size, with
-thresholds from :class:`~repro.mpi.algorithms.CollectiveTuning`
-(``allreduce_ring_min_bytes``, ``allgather_rd_max_bytes``,
-``allgather_rd_min_ranks``/``allgather_rd_small_max_bytes``,
-``alltoall_pairwise``) — the per-field docs there carry the calibrated
-defaults and crossover rationale.  ``force_allreduce`` /
-``force_allgather`` / ``force_alltoall`` pin one algorithm by name,
-disabling adaptivity for that primitive.
+Selection is per call, by message size × communicator size ×
+placement, with thresholds from
+:class:`~repro.mpi.algorithms.CollectiveTuning`.  By default —
+``tuning=None`` — the node-level communicator *autotunes* the
+thresholds from the cluster's fabric topology and ``IbParams``
+(:mod:`repro.mpi.algorithms.autotune`, cached per fabric shape), so a
+DCGN job on an oversubscribed fat tree or a multi-rail cluster gets
+topology-appropriate crossovers with no configuration.
+``force_allreduce`` / ``force_allgather`` / ``force_alltoall`` /
+``force_bcast`` pin one algorithm by name, disabling adaptivity for
+that primitive.
 
 Pass a ``CollectiveTuning`` as ``DcgnConfig(nodes, tuning=...)`` (or to
 ``DcgnConfig.homogeneous``) to override; the runtime hands it to the

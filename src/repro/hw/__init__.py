@@ -15,10 +15,20 @@ from .params import (
     HWParams,
     IbParams,
     PcieParams,
+    TopologySpec,
     paper_cluster,
     single_node,
 )
 from .pcie import PcieLink
+from .topology import (
+    FabricProfile,
+    FatTree,
+    FlatSwitch,
+    MultiRail,
+    Topology,
+    Torus2D,
+    make_topology,
+)
 
 __all__ = [
     "KB",
@@ -31,10 +41,18 @@ __all__ = [
     "DcgnParams",
     "HWParams",
     "ClusterSpec",
+    "TopologySpec",
     "paper_cluster",
     "single_node",
     "PcieLink",
     "Interconnect",
+    "Topology",
+    "FabricProfile",
+    "FlatSwitch",
+    "FatTree",
+    "MultiRail",
+    "Torus2D",
+    "make_topology",
     "HostBuffer",
     "MemcpyEngine",
     "as_bytes_view",

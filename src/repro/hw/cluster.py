@@ -77,5 +77,7 @@ def build_cluster(sim: Simulator, spec: ClusterSpec) -> Cluster:
                 )
             )
         nodes.append(node)
-    interconnect = Interconnect(sim, spec.nodes, spec.params.ib)
+    interconnect = Interconnect(
+        sim, spec.nodes, spec.params.ib, topology=spec.topology
+    )
     return Cluster(sim, spec, nodes, interconnect, rng)

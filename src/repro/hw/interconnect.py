@@ -1,73 +1,64 @@
-"""Cluster interconnect: InfiniBand-like fabric + intra-node channels.
+"""Cluster interconnect: a facade over the pluggable fabric topology.
 
-Inter-node transfers occupy the sender's NIC injection channel and the
-receiver's NIC ejection channel; the fabric itself is non-blocking (a
-reasonable model for a small IB switch).  Intra-node transfers use a
-per-node shared-memory channel with lower latency and higher bandwidth,
-which is what MVAPICH2 does for ranks sharing a node — and what makes
-the paper's Figure-7 claim ("DCGN broadcast beats MVAPICH2 because the MPI
-call runs with half as many ranks") measurable.
+The seed hardcoded the paper's testbed — one non-blocking IB switch —
+directly in this class.  Transfers now route through a
+:class:`~repro.hw.topology.Topology` (flat switch, oversubscribed fat
+tree, multi-rail, 2-D torus; see :mod:`repro.hw.topology`), so the
+channel path — and therefore where contention appears — is the
+topology's decision.  The default remains the flat switch, bit-for-bit
+identical to the seed model, which is what makes the paper's Figure-7
+claim ("DCGN broadcast beats MVAPICH2 because the MPI call runs with
+half as many ranks") measurable: intra-node transfers use a per-node
+shared-memory channel with lower latency and higher bandwidth, as
+MVAPICH2 does for ranks sharing a node.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import Any, Generator, Optional, Union
 
-from ..sim.core import Event, Simulator, us
-from ..sim.resources import BandwidthChannel
-from .params import IbParams
+from ..sim.core import Event, Simulator
+from .params import IbParams, TopologySpec
 
 __all__ = ["Interconnect"]
 
 
 class Interconnect:
-    """Latency/bandwidth fabric among ``n`` nodes."""
+    """Latency/bandwidth fabric among ``n`` nodes.
 
-    def __init__(self, sim: Simulator, n_nodes: int, params: IbParams) -> None:
-        if n_nodes < 1:
-            raise ValueError("need at least one node")
+    ``topology`` is a :class:`TopologySpec` (declarative, built here via
+    the registry) or an already-constructed
+    :class:`~repro.hw.topology.Topology`; omitted, it defaults to the
+    seed's flat non-blocking switch.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        params: IbParams,
+        topology: Optional[Union[TopologySpec, "Topology"]] = None,
+    ) -> None:
+        from .topology import Topology, make_topology
+
         self.sim = sim
         self.params = params
         self.n_nodes = n_nodes
-        self._tx: List[BandwidthChannel] = [
-            BandwidthChannel(
-                sim,
-                latency_s=us(params.lat_us) / 2.0,
-                bandwidth_Bps=params.bw_GBps * 1e9,
-                name=f"nic{i}.tx",
+        if topology is None:
+            topology = TopologySpec()
+        if isinstance(topology, TopologySpec):
+            self.topology = make_topology(sim, n_nodes, params, topology)
+        elif isinstance(topology, Topology):
+            self.topology = topology
+        else:
+            raise TypeError(
+                f"topology must be a TopologySpec or Topology, "
+                f"got {type(topology).__name__}"
             )
-            for i in range(n_nodes)
-        ]
-        self._rx: List[BandwidthChannel] = [
-            BandwidthChannel(
-                sim,
-                latency_s=us(params.lat_us) / 2.0,
-                bandwidth_Bps=params.bw_GBps * 1e9,
-                name=f"nic{i}.rx",
-            )
-            for i in range(n_nodes)
-        ]
-        self._shm: List[BandwidthChannel] = [
-            BandwidthChannel(
-                sim,
-                latency_s=us(params.intra_lat_us),
-                bandwidth_Bps=params.intra_bw_GBps * 1e9,
-                name=f"shm{i}",
-            )
-            for i in range(n_nodes)
-        ]
-
-    def _check(self, node: int) -> None:
-        if not (0 <= node < self.n_nodes):
-            raise ValueError(f"node {node} out of range [0,{self.n_nodes})")
 
     def wire_time(self, src: int, dst: int, nbytes: int) -> float:
         """Uncontended end-to-end transfer time."""
-        self._check(src)
-        self._check(dst)
-        if src == dst:
-            return self._shm[src].transfer_time(nbytes)
-        return self._tx[src].transfer_time(nbytes) + us(self.params.lat_us) / 2.0
+        return self.topology.wire_time(src, dst, nbytes)
 
     def transfer(
         self, src: int, dst: int, nbytes: int
@@ -75,25 +66,15 @@ class Interconnect:
         """Move ``nbytes`` from node ``src`` to node ``dst``.
 
         Returns the elapsed transfer time.  Intra-node transfers use the
-        shared-memory channel; inter-node transfers serialize on the
-        sender's tx channel then the receiver's rx channel (store-and-
-        forward for the latency half, cut-through for bandwidth: the
-        dominant term is charged once).
+        shared-memory channel; inter-node transfers follow the
+        topology's routed channel path (for the flat switch: serialize
+        on the sender's tx channel, then latency-only occupancy of the
+        receiver's rx channel — store-and-forward for the latency half,
+        cut-through for bandwidth).
         """
-        self._check(src)
-        self._check(dst)
-        t0 = self.sim.now
-        if src == dst:
-            yield from self._shm[src].transfer(nbytes)
-            return self.sim.now - t0
-        # Injection: sender NIC occupies for latency/2 + size/bw.
-        yield from self._tx[src].transfer(nbytes)
-        # Ejection: receiver side adds its latency half; bandwidth was
-        # already paid (cut-through) so this is latency-only occupancy.
-        yield from self._rx[dst].occupy(us(self.params.lat_us) / 2.0)
-        return self.sim.now - t0
+        t = yield from self.topology.transfer(src, dst, nbytes)
+        return t
 
     def nic_utilization(self, node: int) -> float:
-        """Busy-seconds of the node's tx channel (for reports)."""
-        self._check(node)
-        return self._tx[node].busy_s
+        """Busy-seconds of the node's injection path (for reports)."""
+        return self.topology.nic_utilization(node)

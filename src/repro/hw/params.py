@@ -30,6 +30,7 @@ __all__ = [
     "GpuParams",
     "DcgnParams",
     "HWParams",
+    "TopologySpec",
     "ClusterSpec",
     "paper_cluster",
     "single_node",
@@ -169,6 +170,41 @@ class HWParams:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Declarative shape of the inter-node fabric.
+
+    Consumed by :func:`repro.hw.topology.make_topology`; unknown kinds
+    are rejected there (the registry is the source of truth so plugins
+    can extend it).  Fields irrelevant to a kind are ignored.
+    """
+
+    #: One of ``flat`` (seed: non-blocking crossbar), ``fattree``
+    #: (pods behind oversubscribed uplinks), ``multirail`` (k parallel
+    #: NICs, rail striping), ``torus2d`` (wraparound grid, per-hop
+    #: latency).
+    kind: str = "flat"
+    #: fattree: nodes per leaf switch.
+    pod_size: int = 4
+    #: fattree: uplink oversubscription factor (1.0 = non-blocking).
+    oversubscription: float = 2.0
+    #: multirail: parallel NICs per node.
+    rails: int = 2
+    #: torus2d: grid dimensions (0 = derive the squarest tiling).
+    torus_x: int = 0
+    torus_y: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pod_size < 1:
+            raise ValueError("pod_size must be >= 1")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        if self.rails < 1:
+            raise ValueError("rails must be >= 1")
+        if self.torus_x < 0 or self.torus_y < 0:
+            raise ValueError("torus dimensions must be >= 0 (0 = derive)")
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """Shape of a simulated cluster."""
 
@@ -178,6 +214,8 @@ class ClusterSpec:
     #: GPUs per node (paper: 2 × G92).
     gpus_per_node: int = 2
     params: HWParams = field(default_factory=HWParams)
+    #: Inter-node fabric shape (default: the paper's flat IB switch).
+    topology: TopologySpec = field(default_factory=TopologySpec)
     #: Root seed for all per-component RNG streams.
     seed: int = 0
 
@@ -194,14 +232,20 @@ def paper_cluster(
     nodes: int = 4,
     gpus_per_node: int = 2,
     params: Optional[HWParams] = None,
+    topology: Optional[TopologySpec] = None,
     seed: int = 0,
 ) -> ClusterSpec:
-    """The testbed of the paper: 4 nodes × (4 cores + 2 G92 GPUs + IB)."""
+    """The testbed of the paper: 4 nodes × (4 cores + 2 G92 GPUs + IB).
+
+    ``topology`` swaps the fabric (default: the paper's flat switch)
+    while keeping the node hardware — the knob topology ablations turn.
+    """
     return ClusterSpec(
         nodes=nodes,
         cores_per_node=4,
         gpus_per_node=gpus_per_node,
         params=params if params is not None else HWParams(),
+        topology=topology if topology is not None else TopologySpec(),
         seed=seed,
     )
 

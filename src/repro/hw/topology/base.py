@@ -1,0 +1,154 @@
+"""Topology abstraction: how bytes move between nodes.
+
+The seed modelled exactly the paper's testbed — a single non-blocking
+InfiniBand switch — as one tx/rx channel pair per node.  A
+:class:`Topology` generalizes that: it owns the fabric's
+:class:`~repro.sim.resources.BandwidthChannel`s and routes every
+transfer through the channel path its shape dictates, so contention
+appears wherever the real fabric would contend (a shared fat-tree
+uplink, a striped rail set, a multi-hop torus path).
+
+Two consumer-facing views:
+
+* the *dynamic* view — ``transfer`` / ``wire_time`` — drives the
+  simulation (the :class:`~repro.hw.interconnect.Interconnect` facade
+  delegates here);
+* the *static* view — ``profile`` / ``locality_group`` — feeds the
+  collective auto-tuner (:mod:`repro.mpi.algorithms.autotune`), which
+  sweeps an analytic cost model over the profile to derive per-cluster
+  selection thresholds instead of hardcoded constants.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Generator, List
+
+from ...sim.core import Event, Simulator, us
+from ...sim.resources import BandwidthChannel
+from ..params import IbParams
+
+__all__ = ["FabricProfile", "Topology"]
+
+
+@dataclass(frozen=True)
+class FabricProfile:
+    """Static summary of a topology, consumed by the collective autotuner.
+
+    ``alpha``/``beta`` are the classic LogP-style per-message latency and
+    per-byte time of an ordinary inter-node hop; the ``cross_*`` fields
+    describe a transfer that crosses the fabric's bottleneck (a fat-tree
+    uplink, the torus diameter).  ``cross_load_beta_s_per_B`` is the
+    effective per-byte time of a crossing when every node of a locality
+    domain crosses at once — the regime a fragmented rank placement puts
+    collectives in.  Frozen and hashable so it can key the autotune
+    cache.
+    """
+
+    kind: str
+    n_nodes: int
+    #: Uncontended one-way inter-node latency (s), averaged over pairs.
+    alpha_s: float
+    #: Latency of a rank-adjacent hop (s) — what neighbor-exchange
+    #: schedules (ring) pay; equals ``alpha_s`` except on multi-hop
+    #: fabrics, where adjacent nodes are one router apart.
+    neighbor_alpha_s: float
+    #: Per-byte time through one NIC (s/B).
+    beta_s_per_B: float
+    #: Latency of a bottleneck-crossing transfer (s).
+    cross_alpha_s: float
+    #: Per-byte time of one uncontended crossing (s/B).
+    cross_beta_s_per_B: float
+    #: Per-byte time of a crossing when a whole domain crosses at once.
+    cross_load_beta_s_per_B: float
+    #: Fabric oversubscription factor (1.0 = non-blocking).
+    oversubscription: float
+    #: Number of locality domains (pods); equals n_nodes when flat.
+    n_domains: int
+    #: Nodes per domain (1 when the fabric has no grouping).
+    domain_size: int
+
+
+class Topology(ABC):
+    """Base class: per-node shared-memory channels + routed NIC paths.
+
+    Subclasses build their own NIC/fabric channels and implement
+    ``_route`` (the inter-node path) plus the static views.  The
+    intra-node shared-memory channel is common to every topology — it
+    models ranks on one node, not the fabric.
+    """
+
+    kind: str = "?"
+
+    def __init__(self, sim: Simulator, n_nodes: int, params: IbParams) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.params = params
+        self._shm: List[BandwidthChannel] = [
+            BandwidthChannel(
+                sim,
+                latency_s=us(params.intra_lat_us),
+                bandwidth_Bps=params.intra_bw_GBps * 1e9,
+                name=f"shm{i}",
+            )
+            for i in range(n_nodes)
+        ]
+
+    # -- dynamic view ------------------------------------------------------
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} out of range [0,{self.n_nodes})")
+
+    def transfer(
+        self, src: int, dst: int, nbytes: int
+    ) -> Generator[Event, Any, float]:
+        """Move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns the elapsed transfer time.  Intra-node transfers use the
+        shared-memory channel; inter-node transfers follow the
+        topology's routed channel path.
+        """
+        self._check(src)
+        self._check(dst)
+        t0 = self.sim.now
+        if src == dst:
+            yield from self._shm[src].transfer(nbytes)
+            return self.sim.now - t0
+        yield from self._route(src, dst, nbytes)
+        return self.sim.now - t0
+
+    @abstractmethod
+    def _route(
+        self, src: int, dst: int, nbytes: int
+    ) -> Generator[Event, Any, None]:
+        """Inter-node path (``src != dst``, both validated)."""
+
+    def wire_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Uncontended end-to-end transfer time."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return self._shm[src].transfer_time(nbytes)
+        return self._wire_time_internode(src, dst, nbytes)
+
+    @abstractmethod
+    def _wire_time_internode(self, src: int, dst: int, nbytes: int) -> float:
+        """Uncontended inter-node time (``src != dst``, both validated)."""
+
+    @abstractmethod
+    def nic_utilization(self, node: int) -> float:
+        """Busy-seconds of the node's injection path (for reports)."""
+
+    # -- static view (autotune-facing) -------------------------------------
+    def locality_group(self, node: int) -> int:
+        """Domain id of ``node`` (nodes sharing cheap, non-bottlenecked
+        links share a domain).  Flat fabrics have one node per domain."""
+        self._check(node)
+        return node
+
+    @abstractmethod
+    def profile(self) -> FabricProfile:
+        """Static cost summary for the collective autotuner."""

@@ -1,0 +1,107 @@
+"""Oversubscribed fat tree: pods of nodes behind a shared uplink.
+
+Each pod of ``pod_size`` nodes hangs off a leaf switch whose links to
+its own nodes are non-blocking, but whose uplink into the spine carries
+only ``pod_size × bw / oversubscription`` — the classic oversubscribed
+(or "tapered") fat tree every cost-conscious cluster runs.  Intra-pod
+transfers behave like the flat switch; pod-crossing transfers
+additionally pass through the sending pod's uplink channel, where they
+queue FIFO against every other crossing from that pod (store-and-forward
+at the spine; delivery into the destination pod is cut-through
+latency-only, mirroring the flat model's rx side).
+
+With ``oversubscription=1`` the uplink still serializes crossings, so a
+fat tree is *not* byte-identical to :class:`FlatSwitch` even at 1:1 —
+use the flat topology for the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator, List
+
+from ...sim.core import Event, Simulator, us
+from ...sim.resources import BandwidthChannel
+from ..params import IbParams
+from .base import FabricProfile, Topology
+from .flat import FlatSwitch
+
+__all__ = ["FatTree"]
+
+
+class FatTree(FlatSwitch):
+    """Pods behind oversubscribed uplinks (leaf/spine, one spine level)."""
+
+    kind = "fattree"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        params: IbParams,
+        pod_size: int = 4,
+        oversubscription: float = 2.0,
+    ) -> None:
+        if pod_size < 1:
+            raise ValueError("pod_size must be >= 1")
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        super().__init__(sim, n_nodes, params)
+        self.pod_size = pod_size
+        self.oversubscription = oversubscription
+        self.n_pods = math.ceil(n_nodes / pod_size)
+        up_bw_Bps = pod_size * params.bw_GBps * 1e9 / oversubscription
+        self._up: List[BandwidthChannel] = [
+            BandwidthChannel(
+                sim,
+                latency_s=us(params.lat_us) / 2.0,
+                bandwidth_Bps=up_bw_Bps,
+                name=f"pod{p}.up",
+            )
+            for p in range(self.n_pods)
+        ]
+
+    def pod(self, node: int) -> int:
+        return node // self.pod_size
+
+    def _route(
+        self, src: int, dst: int, nbytes: int
+    ) -> Generator[Event, Any, None]:
+        yield from self._tx[src].transfer(nbytes)
+        if self.pod(src) != self.pod(dst):
+            # Spine traversal: store-and-forward through the shared
+            # uplink — this is where oversubscription bites.
+            yield from self._up[self.pod(src)].transfer(nbytes)
+        yield from self._rx[dst].occupy(us(self.params.lat_us) / 2.0)
+
+    def _wire_time_internode(self, src: int, dst: int, nbytes: int) -> float:
+        t = self._tx[src].transfer_time(nbytes) + us(self.params.lat_us) / 2.0
+        if self.pod(src) != self.pod(dst):
+            t += self._up[self.pod(src)].transfer_time(nbytes)
+        return t
+
+    def locality_group(self, node: int) -> int:
+        self._check(node)
+        return self.pod(node)
+
+    def profile(self) -> FabricProfile:
+        beta = 1.0 / (self.params.bw_GBps * 1e9)
+        alpha = us(self.params.lat_us)
+        beta_up = self.oversubscription / (
+            self.pod_size * self.params.bw_GBps * 1e9
+        )
+        return FabricProfile(
+            kind=self.kind,
+            n_nodes=self.n_nodes,
+            alpha_s=alpha,
+            neighbor_alpha_s=alpha,
+            beta_s_per_B=beta,
+            cross_alpha_s=alpha * 1.5,
+            cross_beta_s_per_B=beta + beta_up,
+            # Whole pod crossing at once: the uplink FIFO drains
+            # pod_size transfers, so the last one waits pod_size shares.
+            cross_load_beta_s_per_B=beta + self.pod_size * beta_up,
+            oversubscription=self.oversubscription,
+            n_domains=self.n_pods,
+            domain_size=min(self.pod_size, self.n_nodes),
+        )

@@ -1,0 +1,81 @@
+"""Flat switch: the paper's single non-blocking IB crossbar (seed model).
+
+Inter-node transfers occupy the sender's NIC injection channel and the
+receiver's NIC ejection channel; the fabric itself is non-blocking (a
+reasonable model for a small IB switch).  This reproduces the seed
+``Interconnect`` behaviour bit-for-bit — same channels, same charge
+sequence — so every calibrated timing is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ...sim.core import Event, Simulator, us
+from ...sim.resources import BandwidthChannel
+from ..params import IbParams
+from .base import FabricProfile, Topology
+
+__all__ = ["FlatSwitch"]
+
+
+class FlatSwitch(Topology):
+    """Non-blocking crossbar among ``n`` nodes."""
+
+    kind = "flat"
+
+    def __init__(self, sim: Simulator, n_nodes: int, params: IbParams) -> None:
+        super().__init__(sim, n_nodes, params)
+        self._tx: List[BandwidthChannel] = [
+            BandwidthChannel(
+                sim,
+                latency_s=us(params.lat_us) / 2.0,
+                bandwidth_Bps=params.bw_GBps * 1e9,
+                name=f"nic{i}.tx",
+            )
+            for i in range(n_nodes)
+        ]
+        self._rx: List[BandwidthChannel] = [
+            BandwidthChannel(
+                sim,
+                latency_s=us(params.lat_us) / 2.0,
+                bandwidth_Bps=params.bw_GBps * 1e9,
+                name=f"nic{i}.rx",
+            )
+            for i in range(n_nodes)
+        ]
+
+    def _route(
+        self, src: int, dst: int, nbytes: int
+    ) -> Generator[Event, Any, None]:
+        # Injection: sender NIC occupies for latency/2 + size/bw.
+        yield from self._tx[src].transfer(nbytes)
+        # Ejection: receiver side adds its latency half; bandwidth was
+        # already paid (cut-through) so this is latency-only occupancy.
+        yield from self._rx[dst].occupy(us(self.params.lat_us) / 2.0)
+
+    def _wire_time_internode(self, src: int, dst: int, nbytes: int) -> float:
+        return (
+            self._tx[src].transfer_time(nbytes) + us(self.params.lat_us) / 2.0
+        )
+
+    def nic_utilization(self, node: int) -> float:
+        self._check(node)
+        return self._tx[node].busy_s
+
+    def profile(self) -> FabricProfile:
+        beta = 1.0 / (self.params.bw_GBps * 1e9)
+        alpha = us(self.params.lat_us)
+        return FabricProfile(
+            kind=self.kind,
+            n_nodes=self.n_nodes,
+            alpha_s=alpha,
+            neighbor_alpha_s=alpha,
+            beta_s_per_B=beta,
+            cross_alpha_s=alpha,
+            cross_beta_s_per_B=beta,
+            cross_load_beta_s_per_B=beta,
+            oversubscription=1.0,
+            n_domains=self.n_nodes,
+            domain_size=1,
+        )

@@ -1,10 +1,22 @@
 """Simulated MPI (the MVAPICH2-like baseline library)."""
 
-from .algorithms import ALGORITHMS, AlgorithmSelector, CollectiveTuning, SEED_TUNING
+from .algorithms import (
+    ALGORITHMS,
+    AlgorithmSelector,
+    CollectiveTuning,
+    SEED_TUNING,
+    autotune_tuning,
+    derive_tuning,
+)
 from .communicator import HEADER_BYTES, Communicator, MpiContext, Request
 from .datatypes import ReduceOp, payload_array, snapshot
 from .errors import MpiError, RankError, TagError, TruncationError
-from .job import MpiJob, block_placement, round_robin_placement
+from .job import (
+    MpiJob,
+    block_placement,
+    pod_cyclic_placement,
+    round_robin_placement,
+)
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = [
@@ -12,6 +24,8 @@ __all__ = [
     "AlgorithmSelector",
     "CollectiveTuning",
     "SEED_TUNING",
+    "autotune_tuning",
+    "derive_tuning",
     "Communicator",
     "MpiContext",
     "Request",
@@ -25,6 +39,7 @@ __all__ = [
     "MpiJob",
     "block_placement",
     "round_robin_placement",
+    "pod_cyclic_placement",
     "MpiError",
     "RankError",
     "TagError",

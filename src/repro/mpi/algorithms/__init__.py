@@ -1,26 +1,38 @@
-"""Collective algorithm engine: implementations + size-adaptive selection.
+"""Collective algorithm engine: implementations + adaptive selection.
 
 The menu (see :data:`~repro.mpi.algorithms.selector.ALGORITHMS`):
 
 ========== ===========================================================
-allreduce  ``reduce_bcast`` (seed), ``recursive_doubling``, ``ring``
-allgather  ``ring`` (seed), ``recursive_doubling``
+allreduce  ``reduce_bcast`` (seed), ``recursive_doubling``, ``ring``,
+           ``hierarchical`` (intra/inter-domain phases)
+allgather  ``ring`` (seed), ``recursive_doubling``, ``bruck``
+           (non-power-of-two small blocks)
 alltoall   ``shift`` (seed), ``pairwise``
+bcast      ``binomial`` (seed), ``hierarchical`` (domain leaders)
 ========== ===========================================================
 
 :class:`AlgorithmSelector` picks per call from message size ×
-communicator size using :class:`CollectiveTuning` thresholds;
-``mpi/collectives.py`` dispatches every allreduce/allgather/alltoall
-through it, so both raw-MPI ranks and the DCGN comm threads benefit.
+communicator size × placement using :class:`CollectiveTuning`
+thresholds — derived per cluster from the fabric topology by
+:mod:`~repro.mpi.algorithms.autotune` unless explicitly overridden;
+``mpi/collectives.py`` dispatches every adaptive collective through it,
+so both raw-MPI ranks and the DCGN comm threads benefit.
 """
 
-from .allgather import allgather_recursive_doubling, allgather_ring
+from .allgather import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+)
 from .allreduce import (
     allreduce_recursive_doubling,
     allreduce_reduce_bcast,
     allreduce_ring,
 )
 from .alltoall import alltoall_pairwise, alltoall_shift
+from .autotune import autotune_tuning, derive_tuning
+from .bcast import bcast_binomial, bcast_hierarchical
+from .hierarchical import allreduce_hierarchical
 from .selector import ALGORITHMS, AlgorithmSelector
 from .tuning import SEED_TUNING, CollectiveTuning
 
@@ -29,11 +41,17 @@ __all__ = [
     "AlgorithmSelector",
     "CollectiveTuning",
     "SEED_TUNING",
+    "allgather_bruck",
     "allgather_recursive_doubling",
     "allgather_ring",
+    "allreduce_hierarchical",
     "allreduce_recursive_doubling",
     "allreduce_reduce_bcast",
     "allreduce_ring",
     "alltoall_pairwise",
     "alltoall_shift",
+    "autotune_tuning",
+    "bcast_binomial",
+    "bcast_hierarchical",
+    "derive_tuning",
 ]

@@ -1,4 +1,4 @@
-"""Allgather algorithms: ring (seed) and recursive doubling.
+"""Allgather algorithms: ring (seed), recursive doubling, and Bruck.
 
 * ``ring`` — P−1 steps each forwarding one block: bandwidth-optimal,
   handles unequal block sizes (the vector variant) and any P.
@@ -7,6 +7,12 @@
   Requires a power-of-two communicator and equal block sizes (as
   MPI_Allgather guarantees); the selector falls back to the ring
   otherwise.
+* ``bruck`` — ⌈log2 P⌉ rounds for *any* P (the store-and-rotate
+  schedule of Bruck et al.): round k forwards the min(2^k, P−2^k)
+  blocks accumulated so far to rank−2^k, receiving the matching run
+  from rank+2^k.  Latency-optimal on non-power-of-two communicators,
+  where recursive doubling cannot run; the final rotation is a local
+  index remap (no wire traffic).  Equal block sizes only.
 """
 
 from __future__ import annotations
@@ -20,7 +26,11 @@ from ..datatypes import Payload, payload_array
 from ..errors import MpiError
 from .base import is_pof2, isend_internal, next_tag, recv_internal
 
-__all__ = ["allgather_ring", "allgather_recursive_doubling"]
+__all__ = [
+    "allgather_ring",
+    "allgather_recursive_doubling",
+    "allgather_bruck",
+]
 
 
 def allgather_ring(
@@ -111,3 +121,56 @@ def allgather_recursive_doubling(
         yield from req.wait()
         unpack(recvpack, peer_lo, mask)
         mask <<= 1
+
+
+def allgather_bruck(
+    ctx,
+    sendbuf: Payload,
+    recvbufs: Sequence[Payload],
+) -> Generator[Event, Any, None]:
+    """Bruck allgather (any P, equal blocks): ⌈log2 P⌉ rounds.
+
+    The working vector is kept in rank-rotated order — slot ``i`` holds
+    block ``(rank + i) mod P`` — so every round forwards a contiguous
+    run of slots with no index metadata on the wire, exactly like the
+    recursive-doubling pack.  The de-rotation at the end is a local
+    remap into ``recvbufs``.
+    """
+    tag = next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    arrays: List[Optional[np.ndarray]] = [payload_array(b) for b in recvbufs]
+    mine = payload_array(sendbuf)
+    if mine is None:
+        raise MpiError("bruck allgather requires an array payload")
+    block = mine.nbytes
+    if any(a is None or a.nbytes != block for a in arrays):
+        raise MpiError("bruck allgather needs equal-size recv blocks")
+    if size == 1:
+        own = arrays[rank]
+        own[...] = mine.reshape(own.shape)
+        yield ctx.comm._sw()
+        return
+    work: List[np.ndarray] = [mine.view(np.uint8).reshape(-1).copy()]
+    step = 1
+    rnd = 0
+    while step < size:
+        count = min(step, size - step)
+        dst = (rank - step) % size
+        src = (rank + step) % size
+        sendpack = (
+            np.concatenate(work[:count]) if count > 1 else work[0]
+        )
+        recvpack = np.empty(count * block, dtype=np.uint8)
+        req = isend_internal(ctx, sendpack, dst, tag + rnd % 2)
+        yield from recv_internal(ctx, recvpack, src, tag + rnd % 2)
+        yield from req.wait()
+        # Received slots step..step+count−1: blocks (rank+step+j) mod P.
+        for j in range(count):
+            work.append(recvpack[j * block : (j + 1) * block])
+        step <<= 1
+        rnd += 1
+    # De-rotate: slot i is block (rank + i) mod P.
+    for i, blk in enumerate(work):
+        dest = arrays[(rank + i) % size]
+        view = dest.view(np.uint8).reshape(-1)
+        view[...] = blk

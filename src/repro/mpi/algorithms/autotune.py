@@ -1,0 +1,321 @@
+"""Topology-derived collective auto-tuning.
+
+PR 1 calibrated the :class:`CollectiveTuning` crossovers as constants
+against one fabric — the paper's flat non-blocking IB switch.  This
+module re-derives them at cluster-build time from the cluster's actual
+:class:`~repro.hw.topology.base.FabricProfile` and
+:class:`~repro.hw.params.IbParams`, by sweeping an analytic cost model
+over message sizes and communicator sizes.  The model mirrors the
+simulated wire protocol exactly (software overhead, eager vs rendezvous
+breakpoints, per-channel latency halves), which makes it track the
+simulator to within a fraction of a percent on uncontended schedules —
+validated by ``benchmarks/bench_collectives_algos.py``.
+
+The derived tuning is cached per ``(FabricProfile, IbParams)`` pair (both
+frozen dataclasses), so every cluster of the same shape shares one
+derivation and repeated ``Communicator`` construction is free.
+
+What this kills relative to the constants:
+
+* the flat-switch-only crossovers — a fat tree, multi-rail fabric or
+  torus now each get thresholds matching *their* α/β;
+* the eager-threshold leak — ``allgather_rd_small_max_bytes`` is derived
+  as ``eager_threshold // 2`` (the largest block whose packed doubling
+  rounds all stay eager) instead of a constant that silently encoded it;
+* the non-power-of-two gap — Bruck's threshold is swept, and the
+  hierarchical allreduce/bcast gates open only when the topology
+  actually reports oversubscription.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ...hw.params import IbParams
+from ...sim.core import us
+from .tuning import CollectiveTuning
+
+__all__ = [
+    "autotune_tuning",
+    "derive_tuning",
+    "clear_cache",
+    "p2p_time",
+    "cost_allreduce",
+    "cost_allgather",
+    "cost_bcast",
+]
+
+#: Size of protocol headers on the wire — must match
+#: ``repro.mpi.communicator.HEADER_BYTES`` (imported lazily there to
+#: avoid a package cycle; guarded by a test).
+HEADER_BYTES = 64
+
+#: Derivation cache: (FabricProfile, IbParams) → CollectiveTuning.
+_CACHE: Dict[Tuple, CollectiveTuning] = {}
+
+#: Scan grid: 256 B … 16 MB in quarter-octave steps.
+_GRID: List[int] = sorted(
+    {int(round(2.0 ** (k / 4.0))) for k in range(8 * 4, 24 * 4 + 1)}
+)
+
+#: Sentinel for "no upper bound inside the swept range".
+_UNBOUNDED = _GRID[-1]
+
+_EPS = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Analytic cost model (mirrors communicator._send_impl/_recv_impl)
+# ---------------------------------------------------------------------------
+
+def p2p_time(
+    nbytes: int, alpha_s: float, beta_s_per_B: float, ib: IbParams
+) -> float:
+    """One blocking point-to-point of ``nbytes`` over an (α, β) hop.
+
+    Eager: sender software overhead, one wire traversal carrying the
+    envelope.  Rendezvous: RTS and CTS headers each pay a full wire
+    latency before the payload travels — three latencies total, which
+    is exactly what the simulated protocol charges.
+    """
+    sw = us(ib.sw_overhead_us)
+    hdr = HEADER_BYTES * beta_s_per_B
+    if nbytes <= ib.eager_threshold:
+        return sw + alpha_s + nbytes * beta_s_per_B + hdr
+    return sw + 3.0 * alpha_s + 2.0 * hdr + nbytes * beta_s_per_B
+
+
+def _log2ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+def _cross_beta_eff(nbytes: int, prof, ib: IbParams) -> float:
+    """Per-byte cost of a domain-wide bottleneck crossing.
+
+    Eager-sized messages overlap their NIC wire time with the shared
+    uplink's queue drain (the simulator's FIFO channels pipeline them),
+    so only rendezvous-sized crossings feel the full domain fan-in.
+    """
+    if nbytes <= ib.eager_threshold:
+        return prof.cross_beta_s_per_B
+    return prof.cross_load_beta_s_per_B
+
+
+def cost_allreduce(
+    algo: str, P: int, nbytes: int, prof, ib: IbParams
+) -> float:
+    """Analytic allreduce cost.
+
+    Distance-doubling schedules (recursive doubling, reduce+bcast) are
+    costed at the fabric's bottleneck under load — their partners span
+    the whole machine, so on an oversubscribed or multi-hop fabric
+    every round crosses it at full domain fan-in.  The ring is a
+    *neighbor* schedule: consecutive ranks exchange, so it pays the
+    adjacent-hop latency and at most one uncontended bottleneck
+    crossing per domain per step.  On flat fabrics all terms coincide
+    and this is simply the uncontended cost.
+    """
+    a = prof.cross_alpha_s
+    b = _cross_beta_eff(nbytes, prof, ib)
+    if P <= 1:
+        return 0.0
+    if algo == "recursive_doubling":
+        rounds = _log2ceil(P)
+        fold = 0 if (P & (P - 1)) == 0 else 2
+        return (rounds + fold) * p2p_time(nbytes, a, b, ib)
+    if algo == "ring":
+        chunk = math.ceil(nbytes / P)
+        return 2.0 * (P - 1) * p2p_time(
+            chunk, prof.neighbor_alpha_s, prof.cross_beta_s_per_B, ib
+        )
+    if algo == "reduce_bcast":
+        return 2.0 * _log2ceil(P) * p2p_time(nbytes, a, b, ib)
+    if algo == "hierarchical":
+        s, G = prof.domain_size, prof.n_domains
+        if s < 2 or G < 2:
+            return math.inf
+        intra = p2p_time(math.ceil(nbytes / s), prof.alpha_s,
+                         prof.beta_s_per_B, ib)
+        cross = p2p_time(math.ceil(nbytes / (s * G)), prof.cross_alpha_s,
+                         prof.cross_load_beta_s_per_B, ib)
+        return 2.0 * (s - 1) * intra + 2.0 * (G - 1) * cross
+    raise ValueError(f"unknown allreduce algorithm {algo!r}")
+
+
+def cost_allgather(
+    algo: str, P: int, block_nbytes: int, prof, ib: IbParams
+) -> float:
+    """Analytic allgather cost (uncontended regime: allgather selection
+    is size-driven, and its ring/doubling schedules keep per-step
+    crossings sparse even when fragmented)."""
+    a, b = prof.alpha_s, prof.beta_s_per_B
+    if P <= 1:
+        return 0.0
+    if algo == "ring":
+        return (P - 1) * p2p_time(block_nbytes, a, b, ib)
+    if algo == "recursive_doubling":
+        return sum(
+            p2p_time((1 << i) * block_nbytes, a, b, ib)
+            for i in range(_log2ceil(P))
+        )
+    if algo == "bruck":
+        total, step = 0.0, 1
+        while step < P:
+            count = min(step, P - step)
+            total += p2p_time(count * block_nbytes, a, b, ib)
+            step <<= 1
+        return total
+    raise ValueError(f"unknown allgather algorithm {algo!r}")
+
+
+def cost_bcast(algo: str, P: int, nbytes: int, prof, ib: IbParams) -> float:
+    """Analytic bcast cost under the fragmented-placement regime."""
+    if P <= 1:
+        return 0.0
+    if algo == "binomial":
+        return _log2ceil(P) * p2p_time(
+            nbytes, prof.cross_alpha_s, _cross_beta_eff(nbytes, prof, ib), ib
+        )
+    if algo == "hierarchical":
+        s, G = prof.domain_size, prof.n_domains
+        if s < 2 or G < 2:
+            return math.inf
+        # Leaders cross one at a time per domain (uncontended crossing);
+        # the intra-domain fan-out never leaves the leaf switch.
+        leaders = _log2ceil(G) * p2p_time(
+            nbytes, prof.cross_alpha_s, prof.cross_beta_s_per_B, ib
+        )
+        intra = _log2ceil(s) * p2p_time(
+            nbytes, prof.alpha_s, prof.beta_s_per_B, ib
+        )
+        return leaders + intra
+    raise ValueError(f"unknown bcast algorithm {algo!r}")
+
+
+# ---------------------------------------------------------------------------
+# Threshold derivation
+# ---------------------------------------------------------------------------
+
+def _first_grid_where(pred) -> int:
+    """Smallest grid size satisfying ``pred`` (sentinel when none)."""
+    for n in _GRID:
+        if pred(n):
+            return n
+    return _UNBOUNDED
+
+
+def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
+    """Sweep the cost model over the profile; return the tuning."""
+    P = max(4, prof.n_nodes)
+
+    # Allreduce: ring beats doubling once bandwidth dominates latency.
+    ring_min = _first_grid_where(
+        lambda n: cost_allreduce("ring", P, n, prof, ib)
+        < cost_allreduce("recursive_doubling", P, n, prof, ib) - _EPS
+    )
+
+    # Allgather doubling: find the rank counts and block sizes where its
+    # packed rounds (which cross the eager threshold early) still beat
+    # the ring.  min_ranks = above the largest power of two that ever
+    # loses; rd_max = largest prefix of the grid that wins everywhere.
+    pof2_sizes = [1 << k for k in range(1, 8)]  # 2 … 128
+
+    def rd_ok(p: int, n: int) -> bool:
+        return (
+            cost_allgather("recursive_doubling", p, n, prof, ib)
+            <= cost_allgather("ring", p, n, prof, ib) + _EPS
+        )
+
+    losers = [
+        p for p in pof2_sizes
+        if not all(rd_ok(p, n) for n in _GRID)
+    ]
+    rd_min_ranks = 2 * max(losers) if losers else 2
+    winners = [p for p in pof2_sizes if p >= rd_min_ranks]
+    rd_max = 0
+    for n in _GRID:
+        if winners and not all(rd_ok(p, n) for p in winners):
+            break
+        rd_max = n
+
+    # Small-block exception: every packed doubling round stays eager as
+    # long as the final round's P/2 blocks fit under the threshold —
+    # with the min-ranks gate in place the binding round is the second
+    # (2 blocks), hence half the eager threshold.  This *derives* the
+    # constant that previously leaked the eager threshold silently.
+    rd_small_max = ib.eager_threshold // 2
+
+    # Bruck: latency-optimal on non-power-of-two communicators for
+    # blocks small enough that its packed rounds stay cheap.
+    npof2_sizes = [3, 5, 6, 7, 9, 12, 24, 48, 96]
+
+    def bruck_ok(p: int, n: int) -> bool:
+        return (
+            cost_allgather("bruck", p, n, prof, ib)
+            <= cost_allgather("ring", p, n, prof, ib) + _EPS
+        )
+
+    bruck_max = 0
+    for n in _GRID:
+        if not all(bruck_ok(p, n) for p in npof2_sizes):
+            break
+        bruck_max = n
+
+    # Hierarchical gates: only on fabrics that report oversubscription
+    # and a regular domain structure.
+    hier_min = None
+    bcast_hier_min = None
+    if (
+        prof.oversubscription > 1.0
+        and prof.domain_size >= 2
+        and prof.n_domains >= 2
+    ):
+        n_hier = _first_grid_where(
+            lambda n: cost_allreduce("hierarchical", P, n, prof, ib)
+            < min(
+                cost_allreduce("ring", P, n, prof, ib),
+                cost_allreduce("recursive_doubling", P, n, prof, ib),
+            )
+            - _EPS
+        )
+        if n_hier < _UNBOUNDED:
+            # Floor at half the eager threshold: below it the schedule
+            # is latency-bound and recursive doubling's fewer rounds
+            # win in practice — eager-sized rounds overlap their wire
+            # time with the uplink queue drain, which the additive load
+            # model cannot see.
+            hier_min = max(n_hier, ib.eager_threshold // 2)
+        n_bhier = _first_grid_where(
+            lambda n: cost_bcast("hierarchical", P, n, prof, ib)
+            < cost_bcast("binomial", P, n, prof, ib) - _EPS
+        )
+        if n_bhier < _UNBOUNDED:
+            bcast_hier_min = n_bhier
+
+    return CollectiveTuning(
+        allreduce_ring_min_bytes=ring_min,
+        allgather_rd_max_bytes=rd_max,
+        allgather_rd_min_ranks=rd_min_ranks,
+        allgather_rd_small_max_bytes=rd_small_max,
+        allgather_bruck_max_bytes=bruck_max,
+        allreduce_hier_min_bytes=hier_min,
+        bcast_hier_min_bytes=bcast_hier_min,
+    )
+
+
+def autotune_tuning(cluster) -> CollectiveTuning:
+    """Per-cluster tuning, derived once and cached by fabric shape."""
+    prof = cluster.interconnect.topology.profile()
+    ib = cluster.spec.params.ib
+    key = (prof, ib)
+    tuning = _CACHE.get(key)
+    if tuning is None:
+        tuning = derive_tuning(prof, ib)
+        _CACHE[key] = tuning
+    return tuning
+
+
+def clear_cache() -> None:
+    """Drop all cached derivations (tests and parameter sweeps)."""
+    _CACHE.clear()

@@ -1,0 +1,99 @@
+"""Broadcast algorithms: binomial tree (seed) and hierarchical.
+
+* ``binomial`` — the ⌈log2 P⌉-hop tree MVAPICH2-era MPIs run; the seed's
+  only broadcast and still the default on non-blocking fabrics.
+* ``hierarchical`` — two nested binomial trees: root → one leader per
+  locality domain (pod), then each leader → its domain.  The payload
+  crosses the fabric's bottleneck once per domain instead of once per
+  rank, which is what wins on an oversubscribed fat tree with a
+  fragmented rank placement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence
+
+from ...sim.core import Event
+from ..datatypes import Payload
+from ..errors import MpiError
+from .base import next_tag, recv_internal, send_internal
+
+__all__ = ["bcast_binomial", "bcast_hierarchical"]
+
+
+def _binomial(
+    ctx,
+    buf: Payload,
+    members: Sequence[int],
+    root: int,
+    tag: int,
+) -> Generator[Event, Any, None]:
+    """Binomial-tree broadcast among ``members`` (``root`` ∈ members).
+
+    With ``members == range(P)`` this is exactly the seed broadcast:
+    same virtual-rank arithmetic, same message sequence.
+    """
+    size = len(members)
+    if size == 1:
+        return
+    idx = members.index(ctx.rank)
+    ridx = members.index(root)
+    vrank = (idx - ridx) % size
+    # Phase 1 — non-roots receive from their parent.  ``mask`` stops at
+    # the lowest set bit of vrank (or the first power of two >= size for
+    # the root).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = members[((vrank - mask) + ridx) % size]
+            yield from recv_internal(ctx, buf, parent, tag)
+            break
+        mask <<= 1
+    # Phase 2 — forward to children: vrank + m for each m below mask.
+    mask >>= 1
+    while mask > 0:
+        child_v = vrank + mask
+        if child_v < size:
+            child = members[(child_v + ridx) % size]
+            yield from send_internal(ctx, buf, child, tag)
+        mask >>= 1
+
+
+def bcast_binomial(
+    ctx, buf: Payload, root: int = 0
+) -> Generator[Event, Any, None]:
+    """Binomial-tree broadcast of ``buf`` (in place for non-roots)."""
+    tag = next_tag(ctx)
+    if ctx.size == 1:
+        yield ctx.comm._sw()
+        return
+    yield from _binomial(ctx, buf, list(range(ctx.size)), root, tag)
+
+
+def bcast_hierarchical(
+    ctx, buf: Payload, root: int = 0
+) -> Generator[Event, Any, None]:
+    """Domain-leader broadcast: root → leaders → domain members.
+
+    Requires the communicator to expose locality groups (every rank in
+    exactly one group); the root acts as its own group's leader so the
+    payload never takes a detour.
+    """
+    groups: List[List[int]] = getattr(ctx.comm, "locality_groups", None)
+    if not groups or len(groups) < 2:
+        raise MpiError(
+            "hierarchical bcast needs >= 2 locality groups; "
+            "use the binomial tree on flat fabrics"
+        )
+    tag = next_tag(ctx)
+    if ctx.size == 1:
+        yield ctx.comm._sw()
+        return
+    my_group = next(g for g in groups if ctx.rank in g)
+    leaders = [root if root in g else g[0] for g in groups]
+    my_leader = root if root in my_group else my_group[0]
+    # Phase 1 (tag+0): binomial over the domain leaders.
+    if ctx.rank in leaders:
+        yield from _binomial(ctx, buf, leaders, root, tag)
+    # Phase 2 (tag+1): each leader fans out inside its domain.
+    yield from _binomial(ctx, buf, my_group, my_leader, tag + 1)

@@ -1,0 +1,136 @@
+"""Hierarchical allreduce: intra-domain / inter-domain phase decomposition.
+
+On an oversubscribed fabric with a fragmented rank placement, every
+step of the flat ring allreduce crosses the bottleneck uplinks, paying
+the oversubscription factor on each of its 2·(P−1) steps.  The
+hierarchical schedule crosses only in its middle phase, and only with
+1/s of the payload per member (s = domain size, G = domain count):
+
+1. *intra-domain reduce-scatter* (ring over the s domain members, s−1
+   steps of n/s) — member i ends owning chunk i, combined within its
+   domain.  Ranks sharing a node exchange over shm here; ranks sharing
+   a pod stay behind their leaf switch.
+2. *inter-domain ring allreduce* of chunk i across the G domains
+   (member i of every domain; 2·(G−1) steps of n/(s·G)) — the only
+   phase that crosses uplinks, moving the information-theoretic minimum
+   2·n·(G−1)/G bytes per domain.
+3. *intra-domain ring allgather* (s−1 steps of n/s) — every member
+   recovers the full reduced vector.
+
+Requires equal-size locality groups (the regular-pod case the selector
+checks); all phases tolerate empty chunks when count < s·G.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+import numpy as np
+
+from ...sim.core import Event
+from ..datatypes import Payload, ReduceOp, payload_array
+from ..errors import MpiError
+from .base import isend_internal, next_tag, recv_internal
+
+__all__ = ["allreduce_hierarchical"]
+
+
+def allreduce_hierarchical(
+    ctx,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+) -> Generator[Event, Any, None]:
+    """Two-level allreduce over the communicator's locality groups."""
+    src = payload_array(sendbuf)
+    out = payload_array(recvbuf)
+    if src is None:
+        raise MpiError("allreduce requires an array payload")
+    if out is None:
+        raise MpiError("allreduce requires a recv buffer on every rank")
+    groups: List[List[int]] = getattr(ctx.comm, "locality_groups", None)
+    if not groups:
+        raise MpiError("hierarchical allreduce needs locality groups")
+    sizes = {len(g) for g in groups}
+    if len(sizes) != 1:
+        raise MpiError(
+            "hierarchical allreduce needs equal-size locality groups "
+            f"(got sizes {sorted(len(g) for g in groups)})"
+        )
+    acc = src.copy().reshape(-1)
+    if ctx.size == 1:
+        yield ctx.comm._sw()
+        out[...] = acc.reshape(out.shape)
+        return
+    tag = next_tag(ctx)
+    g_idx, m_idx = next(
+        (g, m)
+        for g, members in enumerate(groups)
+        for m, r in enumerate(members)
+        if r == ctx.rank
+    )
+    members = groups[g_idx]
+    s, G = len(members), len(groups)
+    n = acc.size
+    # Domain-level partition: member i owns chunk i after phase 1.
+    b1 = [(c * n) // s for c in range(s + 1)]
+
+    def chunk(c: int) -> np.ndarray:
+        c %= s
+        return acc[b1[c] : b1[c + 1]]
+
+    # Phase 1 (tags +0/+1) — intra-domain ring reduce-scatter.
+    if s > 1:
+        right = members[(m_idx + 1) % s]
+        left = members[(m_idx - 1) % s]
+        for step in range(s - 1):
+            send_c = chunk(m_idx - step)
+            recv_c = chunk(m_idx - step - 1)
+            req = isend_internal(ctx, send_c, right, tag + step % 2)
+            tmp = np.empty_like(recv_c)
+            yield from recv_internal(ctx, tmp, left, tag + step % 2)
+            yield from req.wait()
+            recv_c[...] = op.combine(tmp, recv_c)
+
+    # Phase 2 (tags +2..+5) — ring allreduce of my chunk across domains.
+    # After the reduce-scatter this member owns chunk (m_idx+1) mod s
+    # (same convention as allreduce_ring).
+    if G > 1:
+        mine = chunk(m_idx + 1) if s > 1 else chunk(m_idx)
+        nc = mine.size
+        b2 = [(c * nc) // G for c in range(G + 1)]
+
+        def sub(c: int) -> np.ndarray:
+            c %= G
+            return mine[b2[c] : b2[c + 1]]
+
+        right = groups[(g_idx + 1) % G][m_idx]
+        left = groups[(g_idx - 1) % G][m_idx]
+        for step in range(G - 1):
+            send_c = sub(g_idx - step)
+            recv_c = sub(g_idx - step - 1)
+            req = isend_internal(ctx, send_c, right, tag + 2 + step % 2)
+            tmp = np.empty_like(recv_c)
+            yield from recv_internal(ctx, tmp, left, tag + 2 + step % 2)
+            yield from req.wait()
+            recv_c[...] = op.combine(tmp, recv_c)
+        for step in range(G - 1):
+            send_c = sub(g_idx + 1 - step)
+            recv_c = sub(g_idx - step)
+            req = isend_internal(ctx, send_c, right, tag + 4 + step % 2)
+            yield from recv_internal(ctx, recv_c, left, tag + 4 + step % 2)
+            yield from req.wait()
+
+    # Phase 3 (tags +6/+7) — intra-domain ring allgather of the chunks
+    # (circulating from the owned chunk (m_idx+1) mod s outward).
+    if s > 1:
+        right = members[(m_idx + 1) % s]
+        left = members[(m_idx - 1) % s]
+        for step in range(s - 1):
+            send_c = chunk(m_idx + 1 - step)
+            recv_c = chunk(m_idx - step)
+            req = isend_internal(ctx, send_c, right, tag + 6 + step % 2)
+            yield from recv_internal(ctx, recv_c, left, tag + 6 + step % 2)
+            yield from req.wait()
+
+    out[...] = acc.reshape(out.shape)

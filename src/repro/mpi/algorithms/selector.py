@@ -1,10 +1,15 @@
-"""Size-adaptive algorithm selection for collectives.
+"""Size- and topology-adaptive algorithm selection for collectives.
 
 The selector is consulted once per collective call with the payload
-geometry (bytes per rank, communicator size) and returns the *name* of
-the algorithm to run; the registry maps names to implementations.  The
-thresholds live in :class:`~repro.mpi.algorithms.tuning.CollectiveTuning`
-and are plumbed through both the raw-MPI layer
+geometry (bytes per rank, communicator size) plus — for the collectives
+that have a hierarchical variant — whether the communicator's placement
+makes the hierarchy worthwhile (``hier_ok``: equal locality groups on
+an oversubscribed fabric, fragmented ring order).  It returns the
+*name* of the algorithm to run; the registry maps names to
+implementations.  The thresholds live in
+:class:`~repro.mpi.algorithms.tuning.CollectiveTuning` — autotuned per
+cluster by :mod:`repro.mpi.algorithms.autotune` unless the user pins
+their own — and are plumbed through both the raw-MPI layer
 (``Communicator(tuning=...)``) and the DCGN layer
 (``DcgnConfig(..., tuning=...)``).
 """
@@ -15,13 +20,19 @@ from typing import Callable, Dict, Optional
 
 from ..errors import MpiError
 from .base import is_pof2 as _is_pof2
-from .allgather import allgather_recursive_doubling, allgather_ring
+from .allgather import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+)
 from .allreduce import (
     allreduce_recursive_doubling,
     allreduce_reduce_bcast,
     allreduce_ring,
 )
 from .alltoall import alltoall_pairwise, alltoall_shift
+from .bcast import bcast_binomial, bcast_hierarchical
+from .hierarchical import allreduce_hierarchical
 from .tuning import CollectiveTuning
 
 __all__ = ["ALGORITHMS", "AlgorithmSelector"]
@@ -32,20 +43,27 @@ ALGORITHMS: Dict[str, Dict[str, Callable]] = {
         "reduce_bcast": allreduce_reduce_bcast,
         "recursive_doubling": allreduce_recursive_doubling,
         "ring": allreduce_ring,
+        "hierarchical": allreduce_hierarchical,
     },
     "allgather": {
         "ring": allgather_ring,
         "recursive_doubling": allgather_recursive_doubling,
+        "bruck": allgather_bruck,
     },
     "alltoall": {
         "shift": alltoall_shift,
         "pairwise": alltoall_pairwise,
     },
+    "bcast": {
+        "binomial": bcast_binomial,
+        "hierarchical": bcast_hierarchical,
+    },
 }
 
 
 class AlgorithmSelector:
-    """Picks a collective algorithm from (message size × communicator size)."""
+    """Picks a collective algorithm from (message size × communicator
+    size × placement/topology)."""
 
     def __init__(self, tuning: Optional[CollectiveTuning] = None) -> None:
         self.tuning = tuning if tuning is not None else CollectiveTuning()
@@ -60,7 +78,9 @@ class AlgorithmSelector:
             )
         return name
 
-    def allreduce(self, nbytes: int, size: int) -> str:
+    def allreduce(
+        self, nbytes: int, size: int, hier_ok: bool = False
+    ) -> str:
         forced = self._forced("allreduce", self.tuning.force_allreduce)
         if forced is not None:
             return forced
@@ -68,6 +88,12 @@ class AlgorithmSelector:
             # Ring and doubling coincide at P=2; doubling has no chunking
             # overhead and degrades gracefully at P=1.
             return "recursive_doubling"
+        if (
+            hier_ok
+            and self.tuning.allreduce_hier_min_bytes is not None
+            and nbytes >= self.tuning.allreduce_hier_min_bytes
+        ):
+            return "hierarchical"
         if nbytes >= self.tuning.allreduce_ring_min_bytes:
             return "ring"
         return "recursive_doubling"
@@ -89,6 +115,13 @@ class AlgorithmSelector:
             and enough_ranks
         ):
             return "recursive_doubling"
+        if (
+            uniform
+            and not _is_pof2(size)
+            and size > 2
+            and block_nbytes <= self.tuning.allgather_bruck_max_bytes
+        ):
+            return "bruck"
         return "ring"
 
     def alltoall(self, block_nbytes: int, size: int) -> str:
@@ -101,3 +134,16 @@ class AlgorithmSelector:
         if self.tuning.alltoall_pairwise and _is_pof2(size):
             return "pairwise"
         return "shift"
+
+    def bcast(self, nbytes: int, size: int, hier_ok: bool = False) -> str:
+        forced = self._forced("bcast", self.tuning.force_bcast)
+        if forced is not None:
+            return forced
+        if (
+            hier_ok
+            and size > 2
+            and self.tuning.bcast_hier_min_bytes is not None
+            and nbytes >= self.tuning.bcast_hier_min_bytes
+        ):
+            return "hierarchical"
+        return "binomial"

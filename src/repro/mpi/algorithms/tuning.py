@@ -3,10 +3,13 @@
 The crossover structure mirrors MPICH/MVAPICH2-style selection logic:
 latency-bound (small message, many short rounds are fine as long as there
 are few of them) versus bandwidth-bound (large message, total bytes on
-the critical path dominate).  The defaults were picked from the sweep in
-``benchmarks/bench_collectives_algos.py`` against this repository's
-hardware model (IB DDR-era latency/bandwidth, 16 KB eager threshold) —
-re-run the sweep after touching :class:`~repro.hw.params.IbParams`.
+the critical path dominate).  The class defaults below are the flat-IB
+constants PR 1 calibrated; since the topology subsystem landed they are
+*fallbacks only* — a :class:`~repro.mpi.communicator.Communicator`
+built without an explicit tuning derives one from the cluster's actual
+topology and :class:`~repro.hw.params.IbParams` via
+:mod:`repro.mpi.algorithms.autotune`, so a fat tree, multi-rail fabric
+or torus each get their own crossovers.
 """
 
 from __future__ import annotations
@@ -50,18 +53,37 @@ class CollectiveTuning:
     allgather_rd_min_ranks: int = 8
 
     #: Small-block exception to ``allgather_rd_min_ranks`` (see above).
+    #: Autotune derives this as half the eager threshold — the largest
+    #: block whose packed doubling rounds all stay eager — instead of
+    #: the constant the flat-IB calibration baked in.
     allgather_rd_small_max_bytes: int = 8 * _KB
+
+    #: Allgather blocks at or below this on *non-power-of-two*
+    #: communicators use the Bruck algorithm (⌈log2 P⌉ rounds for any
+    #: P) instead of falling back to the P−1-step ring.
+    allgather_bruck_max_bytes: int = 8 * _KB
 
     #: Use the pairwise (XOR-partner) exchange for alltoall on
     #: power-of-two communicators; non-power-of-two always uses the
     #: shift schedule.
     alltoall_pairwise: bool = True
 
+    #: Allreduce payloads at or above this decompose hierarchically
+    #: (intra-domain reduce-scatter, inter-domain ring, intra-domain
+    #: allgather) when the communicator's placement is fragmented
+    #: across an oversubscribed topology.  ``None`` disables the
+    #: hierarchical path (always, on flat fabrics).
+    allreduce_hier_min_bytes: Optional[int] = None
+
+    #: Same gate for the hierarchical (domain-leader) broadcast.
+    bcast_hier_min_bytes: Optional[int] = None
+
     #: Pin an algorithm by name (see ``ALGORITHMS`` in
     #: :mod:`repro.mpi.algorithms.selector`); ``None`` = size-adaptive.
     force_allreduce: Optional[str] = None
     force_allgather: Optional[str] = None
     force_alltoall: Optional[str] = None
+    force_bcast: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -69,9 +91,14 @@ class CollectiveTuning:
             "allgather_rd_max_bytes",
             "allgather_rd_min_ranks",
             "allgather_rd_small_max_bytes",
+            "allgather_bruck_max_bytes",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        for name in ("allreduce_hier_min_bytes", "bcast_hier_min_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0 or None")
 
     def with_(self, **kwargs) -> "CollectiveTuning":
         """Functional update helper (mirrors ``HWParams.with_``)."""
@@ -80,11 +107,13 @@ class CollectiveTuning:
 
 #: Tuning that pins every collective to the pre-engine (seed) algorithm:
 #: allreduce = binomial reduce + binomial bcast, allgather = ring,
-#: alltoall = shift.  Benchmarks use this as the fixed baseline.
+#: alltoall = shift, bcast = binomial.  Benchmarks use this as the
+#: fixed baseline.
 SEED_TUNING = CollectiveTuning(
     force_allreduce="reduce_bcast",
     force_allgather="ring",
     force_alltoall="shift",
+    force_bcast="binomial",
 )
 
 __all__.append("SEED_TUNING")

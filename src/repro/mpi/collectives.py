@@ -3,15 +3,16 @@
 Fixed-schedule primitives (the shapes MVAPICH2-era implementations used):
 
 * barrier — dissemination (⌈log2 P⌉ rounds of 0-byte messages);
-* bcast — binomial tree (⌈log2 P⌉ message hops on the critical path);
 * reduce — binomial tree with elementwise operator combination;
 * gather/scatter — linear at the root.
 
-``allreduce``, ``allgather`` and ``alltoall`` have a *menu* of
-algorithms (see :mod:`repro.mpi.algorithms`) and dispatch per call
+``allreduce``, ``allgather``, ``alltoall`` and ``bcast`` have a *menu*
+of algorithms (see :mod:`repro.mpi.algorithms`) and dispatch per call
 through the communicator's :class:`~repro.mpi.algorithms.AlgorithmSelector`,
-which picks by message size × communicator size.  The chosen algorithm
-is recorded in ``comm.stats`` as ``"<op>[<algo>]"``.
+which picks by message size × communicator size — and, for the
+hierarchical allreduce/bcast variants, by whether the placement is
+fragmented across an oversubscribed topology.  The chosen algorithm is
+recorded in ``comm.stats`` as ``"<op>[<algo>]"``.
 
 Every collective call consumes one slot of the internal tag space, kept
 consistent across ranks by the requirement (as in real MPI) that all
@@ -68,36 +69,29 @@ def barrier(ctx: MpiContext) -> Generator[Event, Any, None]:
         k <<= 1
 
 
+def _hier_ok(ctx: MpiContext) -> bool:
+    """Hierarchical variants apply when the placement is regular enough
+    (equal locality groups) *and* fragmented across the topology's
+    domains — a contiguous placement's flat ring/tree is already
+    near-optimal (one bottleneck crossing per domain)."""
+    comm = ctx.comm
+    return bool(
+        getattr(comm, "hier_capable", False)
+        and getattr(comm, "fragmented", False)
+    )
+
+
 def bcast(
     ctx: MpiContext, buf: Payload, root: int = 0
 ) -> Generator[Event, Any, None]:
-    """Binomial-tree broadcast of ``buf`` (in place for non-roots)."""
+    """Topology-adaptive broadcast (binomial tree, or domain-leader
+    hierarchical on fragmented oversubscribed fabrics)."""
     ctx.comm._count("bcast")
     ctx.comm._check_rank(root)
-    tag = _next_tag(ctx)
-    size, rank = ctx.size, ctx.rank
-    if size == 1:
-        yield ctx.comm._sw()
-        return
-    vrank = (rank - root) % size
-    # Phase 1 — non-roots receive from their parent.  ``mask`` stops at
-    # the lowest set bit of vrank (or the first power of two >= size for
-    # the root).
-    mask = 1
-    while mask < size:
-        if vrank & mask:
-            parent = ((vrank - mask) + root) % size
-            yield from _recv_internal(ctx, buf, parent, tag)
-            break
-        mask <<= 1
-    # Phase 2 — forward to children: vrank + m for each m below mask.
-    mask >>= 1
-    while mask > 0:
-        child_v = vrank + mask
-        if child_v < size:
-            child = (child_v + root) % size
-            yield from _send_internal(ctx, buf, child, tag)
-        mask >>= 1
+    nbytes = nbytes_of(buf) if buf is not None else 0
+    algo = ctx.comm.selector.bcast(nbytes, ctx.size, hier_ok=_hier_ok(ctx))
+    ctx.comm._count(f"bcast[{algo}]")
+    yield from ALGORITHMS["bcast"][algo](ctx, buf, root=root)
 
 
 def reduce(
@@ -151,7 +145,9 @@ def allreduce(
     if payload_array(recvbuf) is None:
         raise MpiError("allreduce requires a recv buffer on every rank")
     nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0
-    algo = ctx.comm.selector.allreduce(nbytes, ctx.size)
+    algo = ctx.comm.selector.allreduce(
+        nbytes, ctx.size, hier_ok=_hier_ok(ctx)
+    )
     ctx.comm._count(f"allreduce[{algo}]")
     yield from ALGORITHMS["allreduce"][algo](ctx, sendbuf, recvbuf, op)
 

@@ -84,8 +84,10 @@ class Communicator:
     """COMM_WORLD for one job: rank→node placement + matching state.
 
     ``tuning`` overrides the collective-algorithm selection thresholds
-    (see :class:`repro.mpi.algorithms.CollectiveTuning`); the default is
-    the calibrated size-adaptive policy.
+    (see :class:`repro.mpi.algorithms.CollectiveTuning`); by default the
+    thresholds are *autotuned* from the cluster's fabric topology and
+    ``IbParams`` (:mod:`repro.mpi.algorithms.autotune`), cached per
+    fabric shape.
     """
 
     def __init__(
@@ -94,7 +96,8 @@ class Communicator:
         placement: Sequence[int],
         tuning: Optional["CollectiveTuning"] = None,
     ) -> None:
-        from .algorithms import AlgorithmSelector, CollectiveTuning
+        from .algorithms import AlgorithmSelector
+        from .algorithms.autotune import autotune_tuning
 
         if not placement:
             raise MpiError("placement must name at least one rank")
@@ -105,7 +108,9 @@ class Communicator:
         self.sim: Simulator = cluster.sim
         self.placement = list(placement)
         self.size = len(placement)
-        self.tuning = tuning if tuning is not None else CollectiveTuning()
+        self.tuning = (
+            tuning if tuning is not None else autotune_tuning(cluster)
+        )
         #: Per-call collective algorithm selection (collectives.py asks).
         self.selector = AlgorithmSelector(self.tuning)
         self._match: List[FilterStore] = [
@@ -116,6 +121,42 @@ class Communicator:
         #: Operation counters for reports/tests.
         self.stats: Dict[str, int] = {}
         self._ib = cluster.spec.params.ib
+        self._init_locality()
+
+    def _init_locality(self) -> None:
+        """Group ranks by the topology's locality domains.
+
+        ``locality_groups`` (domain-ordered, ranks sorted within) feeds
+        the hierarchical collectives; ``hier_capable`` says whether the
+        grouping is regular enough for them (≥ 2 equal-size groups);
+        ``fragmented`` says whether the rank-order ring crosses domains
+        more often than a contiguous placement would — the regime where
+        hierarchical schedules pay off (a contiguous ring touches each
+        domain boundary once, so the flat ring is already near-optimal).
+        """
+        topo = self.cluster.interconnect.topology
+        domains = [topo.locality_group(n) for n in self.placement]
+        by_domain: Dict[int, List[int]] = {}
+        for rank, dom in enumerate(domains):
+            by_domain.setdefault(dom, []).append(rank)
+        #: Rank groups by locality domain, ordered by domain id.
+        self.locality_groups: List[List[int]] = [
+            by_domain[d] for d in sorted(by_domain)
+        ]
+        group_sizes = {len(g) for g in self.locality_groups}
+        #: True when hierarchical collectives can run on this placement.
+        self.hier_capable: bool = (
+            len(self.locality_groups) >= 2
+            and len(group_sizes) == 1
+            and group_sizes.pop() >= 2
+        )
+        crossings = sum(
+            1
+            for r in range(self.size)
+            if domains[r] != domains[(r + 1) % self.size]
+        )
+        #: True when rank order is scattered across domains.
+        self.fragmented: bool = crossings > len(self.locality_groups)
 
     # -- helpers -----------------------------------------------------------
     def ctx(self, rank: int) -> "MpiContext":
@@ -367,7 +408,7 @@ class MpiContext:
         yield from c.barrier(self)
 
     def bcast(self, buf: Payload, root: int = 0) -> Generator[Event, Any, None]:
-        """Binomial-tree broadcast."""
+        """Topology-adaptive broadcast (binomial or hierarchical)."""
         from . import collectives as c
 
         yield from c.bcast(self, buf, root=root)

@@ -9,7 +9,12 @@ from ..sim.core import Event, Process
 from .communicator import Communicator, MpiContext
 from .errors import MpiError
 
-__all__ = ["MpiJob", "block_placement", "round_robin_placement"]
+__all__ = [
+    "MpiJob",
+    "block_placement",
+    "round_robin_placement",
+    "pod_cyclic_placement",
+]
 
 
 def block_placement(n_ranks: int, n_nodes: int) -> List[int]:
@@ -30,6 +35,26 @@ def block_placement(n_ranks: int, n_nodes: int) -> List[int]:
 def round_robin_placement(n_ranks: int, n_nodes: int) -> List[int]:
     """Cycle ranks over nodes (0,1,2,3,0,1,...)."""
     return [r % n_nodes for r in range(n_ranks)]
+
+
+def pod_cyclic_placement(n_nodes: int, pod_size: int) -> List[int]:
+    """Cycle ranks over *pods* (Slurm-cyclic style), one rank per node.
+
+    Rank ``r`` lands in pod ``r mod G`` at slot ``r div G`` (G = number
+    of pods), so consecutive ranks sit in different pods — the
+    fragmented placement a busy scheduler produces on a pod-structured
+    fabric, and the regime where the hierarchical collectives pay off.
+    ``n_nodes`` must be a multiple of ``pod_size`` (else the cyclic
+    formula would collide node ids).
+    """
+    if pod_size < 1:
+        raise MpiError("pod_size must be >= 1")
+    if n_nodes % pod_size != 0:
+        raise MpiError(
+            f"{n_nodes} nodes do not divide into pods of {pod_size}"
+        )
+    G = n_nodes // pod_size
+    return [(r % G) * pod_size + (r // G) for r in range(n_nodes)]
 
 
 class MpiJob:

@@ -100,6 +100,8 @@ def test_allreduce_algorithms_integer_ops_exact(algo, op, reducer):
     ("ring", 1), ("ring", 2), ("ring", 3), ("ring", 5), ("ring", 8),
     ("recursive_doubling", 1), ("recursive_doubling", 2),
     ("recursive_doubling", 4), ("recursive_doubling", 8),
+    ("bruck", 1), ("bruck", 2), ("bruck", 3), ("bruck", 5),
+    ("bruck", 6), ("bruck", 7), ("bruck", 8), ("bruck", 12),
 ])
 def test_allgather_algorithms(algo, n_ranks):
     count = 17
@@ -159,6 +161,28 @@ def test_allgather_unequal_blocks_takes_ring():
             assert np.allclose(result[r][src], float(src))
 
 
+def test_allgather_tiny_non_pof2_selects_bruck_and_wins():
+    """The selector routes tiny blocks on non-power-of-two communicators
+    to Bruck (ROADMAP open item), and it must beat the seed ring there."""
+    n_ranks, count = 6, 16  # 128 B blocks, far below the Bruck ceiling
+
+    def run(tuning):
+        sim, job = make_job(n_ranks, tuning=tuning)
+
+        def prog(ctx):
+            recvbufs = [np.zeros(count) for _ in range(n_ranks)]
+            yield from ctx.allgather(np.zeros(count), recvbufs)
+
+        job.start(prog)
+        job.run()
+        return sim.now, job
+
+    t_adaptive, job = run(None)
+    assert job.comm.stats.get("allgather[bruck]") == n_ranks
+    t_ring, _ = run(CollectiveTuning(force_allgather="ring"))
+    assert t_adaptive < t_ring
+
+
 @pytest.mark.parametrize("algo,n_ranks", [
     ("shift", 2), ("shift", 3), ("shift", 5), ("shift", 8),
     ("pairwise", 2), ("pairwise", 4), ("pairwise", 8),
@@ -200,7 +224,8 @@ class TestSelector:
         sel = AlgorithmSelector(CollectiveTuning(allgather_rd_max_bytes=32 * KB))
         assert sel.allgather(1 * KB, 8) == "recursive_doubling"
         assert sel.allgather(1 * MB, 8) == "ring"          # too big
-        assert sel.allgather(1 * KB, 6) == "ring"          # non-pof2
+        assert sel.allgather(1 * KB, 6) == "bruck"         # non-pof2 small
+        assert sel.allgather(1 * MB, 6) == "ring"          # non-pof2 big
         assert sel.allgather(1 * KB, 8, uniform=False) == "ring"
 
     def test_allgather_small_communicator_needs_tiny_blocks(self):

@@ -52,3 +52,9 @@ def test_slots_virtualization():
     out = run_example("slots_virtualization.py")
     assert "slots_per_gpu=1" in out
     assert "slots_per_gpu=4" in out
+
+
+def test_topology_compare():
+    out = run_example("topology_compare.py", "--nodes", "8")
+    assert "hierarchical" in out
+    assert "What the autotuner derived" in out
