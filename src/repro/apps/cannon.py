@@ -207,8 +207,19 @@ def run_gas(cluster: Cluster, cfg: CannonConfig) -> AppResult:
     return AppResult(elapsed=marks["elapsed"], units=cfg.p, model="gas")
 
 
-def run_dcgn(cluster: Cluster, cfg: CannonConfig) -> AppResult:
-    """GPU kernels rotate blocks in-kernel via fused sendrecv_replace."""
+def run_dcgn(
+    cluster: Cluster, cfg: CannonConfig, overlap: bool = False
+) -> AppResult:
+    """GPU kernels rotate blocks in-kernel via fused sendrecv_replace.
+
+    With ``overlap=True`` the rotation is double-buffered and
+    nonblocking: each step posts ``isend``/``irecv`` slot requests for
+    the *next* A/B blocks into spare device buffers, then computes the
+    current block product while the comm thread moves the payloads —
+    the halo-style compute/communication overlap the nonblocking slot
+    API exists for.  The result is identical; only the simulated
+    timeline changes.
+    """
     gpus_per_node = len(cluster.nodes[0].gpus)
     n_nodes = cluster.n_nodes
     if n_nodes * gpus_per_node < cfg.p:
@@ -241,22 +252,46 @@ def run_dcgn(cluster: Cluster, cfg: CannonConfig) -> AppResult:
         db = device.alloc((cfg.block_n, cfg.block_n), dtype=cfg.dtype, name="B")
         da.data[...] = a_blk
         db.data[...] = b_blk
+        if overlap:
+            # Spare buffers for the in-flight next blocks.
+            da2 = device.alloc(
+                (cfg.block_n, cfg.block_n), dtype=cfg.dtype, name="A2"
+            )
+            db2 = device.alloc(
+                (cfg.block_n, cfg.block_n), dtype=cfg.dtype, name="B2"
+            )
         c_blk = np.zeros((cfg.block_n, cfg.block_n), dtype=np.float64)
         t0 = kctx.sim.now
         for step in range(q):
+            if overlap and step < q - 1:
+                # Post the rotation for the NEXT step, then compute the
+                # current product while the payloads travel.
+                sa = yield from comm.isend(0, left, da)
+                ra = yield from comm.irecv(0, right, da2)
+                sb = yield from comm.isend(0, up, db)
+                rb = yield from comm.irecv(0, down, db2)
             yield from kctx.compute(seconds=_block_matmul_seconds(cfg))
             c_blk += da.data.astype(np.float64) @ db.data.astype(np.float64)
             if step == q - 1:
                 break
-            # In-kernel simultaneous rotation (no CPU mediation).
-            yield from comm.sendrecv_replace(0, left, right, da)
-            yield from comm.sendrecv_replace(0, up, down, db)
+            if overlap:
+                for h in (sa, ra, sb, rb):
+                    yield from h.wait()
+                da, da2 = da2, da
+                db, db2 = db2, db
+            else:
+                # In-kernel simultaneous rotation (no CPU mediation).
+                yield from comm.sendrecv_replace(0, left, right, da)
+                yield from comm.sendrecv_replace(0, up, down, db)
         yield from comm.barrier(0)
         if rank == 0:
             marks["elapsed"] = kctx.sim.now - t0
         c_blocks[rank] = c_blk
         da.free()
         db.free()
+        if overlap:
+            da2.free()
+            db2.free()
 
     rt.launch_gpu(gpu_worker, config=LaunchConfig(grid_blocks=1))
     rt.run(max_time=600.0)

@@ -34,7 +34,7 @@ from .errors import (
     DcgnError,
     DcgnTimeout,
 )
-from .gpu_api import GpuCommApi
+from .gpu_api import GpuCommApi, GpuRequestHandle
 from .mpi_compat import DcgnMpiAdapter
 from .gpu_thread import GpuKernelThread
 from .polling import AdaptiveBurstPolicy, FixedIntervalPolicy, PollPolicy
@@ -63,6 +63,7 @@ __all__ = [
     "CpuKernelContext",
     "DcgnRequestHandle",
     "GpuCommApi",
+    "GpuRequestHandle",
     "DcgnMpiAdapter",
     "DcgnRuntime",
     "DcgnReport",

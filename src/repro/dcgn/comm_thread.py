@@ -121,6 +121,9 @@ class CommThread:
         self._local_participants = len(rankmap.local_ranks(node.node_id))
         self._wire_seq = 0
         self._inflight_sends = 0
+        #: Collectives whose MPI phase is progressing in the background
+        #: (issued nonblockingly; a completer process disperses results).
+        self._inflight_colls = 0
         self._shutdown = False
         self._hdr_buf = np.zeros(_HDR_LEN, dtype=np.int64)
         self._hdr_req: Optional[Request] = None
@@ -214,6 +217,7 @@ class CommThread:
         return (
             len(self.workq) == 0
             and self._inflight_sends == 0
+            and self._inflight_colls == 0
             and not self._colls
             and (self._hdr_req is None or not self._hdr_req.test())
         )
@@ -441,26 +445,59 @@ class CommThread:
     def _execute_collective(
         self, state: _CollState
     ) -> Generator[Event, Any, None]:
+        """Stage the collective and hand its wire phase to a completer.
+
+        Staging (payload assembly, local combine trees) runs inline so
+        every node issues the MPI-level operation for collective #seq in
+        the same order — the nonblocking collectives claim their tag
+        blocks synchronously at issue time, which keeps concurrent
+        collectives aligned across nodes.  The MPI phase then progresses
+        in the background (the communicator's schedule engine) while
+        this thread returns to servicing kernel requests: that is the
+        compute/communication overlap the paper's dedicated comm thread
+        exists to provide.
+        """
         self._bump(f"coll.{state.kind}")
         if state.kind == "barrier":
-            yield from self.mpi.barrier()
-            for req in state.entries:
-                req.complete(CommStatus(source=-1, nbytes=0))
-            self._kick_if_cpu_involved([e.src_vrank for e in state.entries])
-            return
-        if state.kind == "bcast":
-            yield from self._exec_bcast(state)
+            self._spawn_completer(state, self.mpi.ibarrier(), None)
+        elif state.kind == "bcast":
+            self._start_bcast(state)
         elif state.kind in ("reduce", "allreduce"):
             yield from self._exec_reduce(state)
         elif state.kind == "gather":
             yield from self._exec_gather(state)
         elif state.kind == "scatter":
-            yield from self._exec_scatter(state)
+            self._start_scatter(state)
         else:
             raise DcgnError(f"unhandled collective {state.kind!r}")
-        self._kick_if_cpu_involved([e.src_vrank for e in state.entries])
 
-    def _exec_bcast(self, state: _CollState) -> Generator[Event, Any, None]:
+    def _spawn_completer(self, state: _CollState, req, finish) -> None:
+        """Wait for the MPI phase, then disperse results and release
+        the participants.  ``finish`` is None (plain completion), a
+        plain callable, or a generator function charging dispersal
+        costs."""
+        self._inflight_colls += 1
+
+        def runner():
+            try:
+                yield from req.wait()
+                if finish is None:
+                    for e in state.entries:
+                        e.complete(CommStatus(source=-1, nbytes=0))
+                else:
+                    out = finish()
+                    if out is not None:
+                        yield from out
+                self._kick_if_cpu_involved(
+                    [e.src_vrank for e in state.entries]
+                )
+            finally:
+                self._inflight_colls -= 1
+                self._wake.fire()
+
+        self.sim.process(runner(), name=f"{self.name}.coll{state.seq}")
+
+    def _start_bcast(self, state: _CollState) -> None:
         root_vrank = state.root
         root_node = self.rankmap.node_of(root_vrank)
         nbytes = max(e.nbytes for e in state.entries)
@@ -475,23 +512,31 @@ class CommThread:
             # "one buffer is selected at random from those specified" — we
             # use a staging buffer, equivalent cost-wise.
             mpi_buf = np.empty(nbytes, dtype=np.uint8)
-        yield from self.mpi.bcast(mpi_buf, root=root_node)
-        # Local dispersal: memcpy to CPU participants, data handoff to GPU
-        # threads (they perform the PCIe write on their side).
-        for req in state.entries:
-            if req is root_entry:
-                req.complete(CommStatus(source=root_vrank, nbytes=nbytes))
-                continue
-            if req.nbytes > 0:
-                yield from self.node.memcpy.copy(None, None, nbytes=nbytes)
-            if req.deliver is not None:
-                req.deliver(mpi_buf)
-            else:
-                # Per-request copy: handing every sibling the same
-                # ndarray would let one rank's buffer mutation corrupt
-                # the others' received payloads.
-                req.data = mpi_buf.copy()
-            req.complete(CommStatus(source=root_vrank, nbytes=nbytes))
+        req = self.mpi.ibcast(mpi_buf, root=root_node)
+
+        def finish():
+            # Local dispersal: memcpy to CPU participants, data handoff
+            # to GPU threads (they perform the PCIe write on their side).
+            for entry in state.entries:
+                if entry is root_entry:
+                    entry.complete(
+                        CommStatus(source=root_vrank, nbytes=nbytes)
+                    )
+                    continue
+                if entry.nbytes > 0:
+                    yield from self.node.memcpy.copy(
+                        None, None, nbytes=nbytes
+                    )
+                if entry.deliver is not None:
+                    entry.deliver(mpi_buf)
+                else:
+                    # Per-request copy: handing every sibling the same
+                    # ndarray would let one rank's buffer mutation corrupt
+                    # the others' received payloads.
+                    entry.data = mpi_buf.copy()
+                entry.complete(CommStatus(source=root_vrank, nbytes=nbytes))
+
+        self._spawn_completer(state, req, finish)
 
     def _exec_reduce(self, state: _CollState) -> Generator[Event, Any, None]:
         op = ReduceOp(state.op_name or "sum")
@@ -534,29 +579,39 @@ class CommThread:
         acc = level[0]
         result = np.empty_like(acc)
         if state.kind == "allreduce":
-            yield from self.mpi.allreduce(acc, result, op=op)
-            for req in state.entries:
-                if req.deliver is not None:
-                    req.deliver(result)
-                else:
-                    # Per-request copy (same aliasing hazard as bcast).
-                    req.data = result.copy()
-                req.complete(CommStatus(source=-1, nbytes=int(result.nbytes)))
-        else:
-            root_node = self.rankmap.node_of(root_vrank)
-            recvbuf = result if self.node.node_id == root_node else None
-            yield from self.mpi.reduce(acc, recvbuf, op=op, root=root_node)
-            for req in state.entries:
-                if req.src_vrank == root_vrank:
+            mreq = self.mpi.iallreduce(acc, result, op=op)
+
+            def finish_allreduce():
+                for req in state.entries:
                     if req.deliver is not None:
                         req.deliver(result)
                     else:
-                        req.data = result
+                        # Per-request copy (same aliasing hazard as bcast).
+                        req.data = result.copy()
                     req.complete(
                         CommStatus(source=-1, nbytes=int(result.nbytes))
                     )
-                else:
-                    req.complete(CommStatus(source=-1, nbytes=0))
+
+            self._spawn_completer(state, mreq, finish_allreduce)
+        else:
+            root_node = self.rankmap.node_of(root_vrank)
+            recvbuf = result if self.node.node_id == root_node else None
+            mreq = self.mpi.ireduce(acc, recvbuf, op=op, root=root_node)
+
+            def finish_reduce():
+                for req in state.entries:
+                    if req.src_vrank == root_vrank:
+                        if req.deliver is not None:
+                            req.deliver(result)
+                        else:
+                            req.data = result
+                        req.complete(
+                            CommStatus(source=-1, nbytes=int(result.nbytes))
+                        )
+                    else:
+                        req.complete(CommStatus(source=-1, nbytes=0))
+
+            self._spawn_completer(state, mreq, finish_reduce)
 
     def _local_vranks_in_order(self) -> List[int]:
         return self.rankmap.local_ranks(self.node.node_id)
@@ -594,25 +649,28 @@ class CommThread:
                 )
                 for n in range(self.mpi.size)
             ]
-            yield from self.mpi.gather(sendbuf, recvbufs, root=root_node)
-            # Assemble the full result in global vrank order.
-            total = np.concatenate(recvbufs)
-            root_entry = next(
-                e for e in state.entries if e.src_vrank == root_vrank
-            )
-            if root_entry.deliver is not None:
-                root_entry.deliver(total)
-            else:
-                root_entry.data = total
-            for req in state.entries:
-                n = total.size if req.src_vrank == root_vrank else 0
-                req.complete(CommStatus(source=-1, nbytes=n))
-        else:
-            yield from self.mpi.gather(sendbuf, None, root=root_node)
-            for req in state.entries:
-                req.complete(CommStatus(source=-1, nbytes=0))
+            mreq = self.mpi.igather(sendbuf, recvbufs, root=root_node)
 
-    def _exec_scatter(self, state: _CollState) -> Generator[Event, Any, None]:
+            def finish_gather_root():
+                # Assemble the full result in global vrank order.
+                total = np.concatenate(recvbufs)
+                root_entry = next(
+                    e for e in state.entries if e.src_vrank == root_vrank
+                )
+                if root_entry.deliver is not None:
+                    root_entry.deliver(total)
+                else:
+                    root_entry.data = total
+                for req in state.entries:
+                    n = total.size if req.src_vrank == root_vrank else 0
+                    req.complete(CommStatus(source=-1, nbytes=n))
+
+            self._spawn_completer(state, mreq, finish_gather_root)
+        else:
+            mreq = self.mpi.igather(sendbuf, None, root=root_node)
+            self._spawn_completer(state, mreq, None)
+
+    def _start_scatter(self, state: _CollState) -> None:
         """Scatter equal-size chunks from the root vrank.
 
         Every entry carries ``extra["chunk"]`` (bytes per rank).
@@ -621,6 +679,7 @@ class CommThread:
         root_node = self.rankmap.node_of(root_vrank)
         local = sorted(state.entries, key=lambda e: e.src_vrank)
         chunk = int(state.entries[0].extra["chunk"])
+        recvbuf = np.zeros(chunk * len(local), dtype=np.uint8)
         if self.node.node_id == root_node:
             root_entry = next(
                 e for e in state.entries if e.src_vrank == root_vrank
@@ -634,20 +693,26 @@ class CommThread:
                 n_local = len(self.rankmap.local_ranks(n))
                 sendbufs.append(full[offset : offset + chunk * n_local].copy())
                 offset += chunk * n_local
-            recvbuf = np.zeros(chunk * len(local), dtype=np.uint8)
-            yield from self.mpi.scatter(sendbufs, recvbuf, root=root_node)
+            mreq = self.mpi.iscatter(sendbufs, recvbuf, root=root_node)
         else:
-            recvbuf = np.zeros(chunk * len(local), dtype=np.uint8)
-            yield from self.mpi.scatter(None, recvbuf, root=root_node)
-        for i, req in enumerate(local):
-            piece = recvbuf[i * chunk : (i + 1) * chunk]
-            if req.nbytes > 0:
-                yield from self.node.memcpy.copy(None, None, nbytes=int(piece.size))
-            if req.deliver is not None:
-                req.deliver(piece)
-            else:
-                req.data = piece.copy()
-            req.complete(CommStatus(source=root_vrank, nbytes=int(piece.size)))
+            mreq = self.mpi.iscatter(None, recvbuf, root=root_node)
+
+        def finish_scatter():
+            for i, req in enumerate(local):
+                piece = recvbuf[i * chunk : (i + 1) * chunk]
+                if req.nbytes > 0:
+                    yield from self.node.memcpy.copy(
+                        None, None, nbytes=int(piece.size)
+                    )
+                if req.deliver is not None:
+                    req.deliver(piece)
+                else:
+                    req.data = piece.copy()
+                req.complete(
+                    CommStatus(source=root_vrank, nbytes=int(piece.size))
+                )
+
+        self._spawn_completer(state, mreq, finish_scatter)
 
     # -- misc ------------------------------------------------------------
     def _bump(self, key: str) -> None:

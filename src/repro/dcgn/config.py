@@ -19,8 +19,12 @@ allgather  ``ring`` (P−1 block hops, bandwidth-optimal, any P),
            power-of-two communicators), ``bruck`` (⌈log2 P⌉ rounds;
            small blocks, any P)
 alltoall   ``shift`` (send to rank+k / recv from rank−k),
-           ``pairwise`` (XOR partners; power-of-two communicators)
-bcast      ``binomial`` (seed), ``hierarchical`` (domain leaders)
+           ``pairwise`` (XOR partners; power-of-two communicators),
+           ``bruck`` (⌈log2 P⌉ packed rounds; small blocks, any P)
+bcast      ``binomial`` (seed), ``hierarchical`` (domain leaders),
+           ``pipelined`` (segmented chain; large payloads)
+reduce     ``binomial`` (seed), ``rabenseifner`` (reduce-scatter +
+           gather; large vectors, power-of-two communicators)
 ========== ===========================================================
 
 Selection is per call, by message size × communicator size ×

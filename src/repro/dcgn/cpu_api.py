@@ -279,6 +279,87 @@ class CpuKernelContext:
         )
         return status
 
+    # -- nonblocking collectives -------------------------------------------
+    def iallreduce(
+        self,
+        sendbuf: HostPayload,
+        recvbuf: HostPayload,
+        op: str = "sum",
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking dcgn::allReduce: issue and keep computing.
+
+        The comm thread stages, combines and progresses the collective
+        in the background; ``recvbuf`` is valid once the handle's
+        ``wait`` returns.  Collective sequence numbers are claimed at
+        issue time, so blocking and nonblocking collectives may be
+        mixed as long as every rank issues them in the same order.
+        """
+        sarr = self._array(sendbuf, "iallreduce")
+        rarr = self._array(recvbuf, "iallreduce")
+
+        def deliver(data: np.ndarray) -> None:
+            rarr[...] = data.reshape(rarr.shape)
+
+        req = CommRequest(
+            op="allreduce",
+            src_vrank=self.vrank,
+            nbytes=int(sarr.nbytes),
+            data=sarr.copy(),
+            deliver=deliver,
+            extra={"coll_seq": self._next_coll(), "reduce_op": op},
+        )
+        handle = yield from self._issue_async(req)
+        return handle
+
+    def ibroadcast(
+        self,
+        root: int,
+        buf: HostPayload,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking dcgn::broadcast from virtual rank ``root``."""
+        self._check_peer(root)
+        arr = self._array(buf, "ibroadcast")
+        n = int(nbytes) if nbytes is not None else int(arr.nbytes)
+        extra = {"coll_seq": self._next_coll()}
+        if self.vrank == root:
+            req = CommRequest(
+                op="bcast",
+                src_vrank=self.vrank,
+                root=root,
+                nbytes=n,
+                data=arr.copy(),
+                extra=extra,
+            )
+        else:
+
+            def deliver(data: np.ndarray) -> None:
+                dview = arr.view(np.uint8).reshape(-1)
+                sview = data.view(np.uint8).reshape(-1)
+                m = min(dview.size, sview.size)
+                dview[:m] = sview[:m]
+
+            req = CommRequest(
+                op="bcast",
+                src_vrank=self.vrank,
+                root=root,
+                nbytes=n,
+                deliver=deliver,
+                extra=extra,
+            )
+        handle = yield from self._issue_async(req)
+        return handle
+
+    def ibarrier(self) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking job-wide barrier."""
+        req = CommRequest(
+            op="barrier",
+            src_vrank=self.vrank,
+            extra={"coll_seq": self._next_coll()},
+        )
+        handle = yield from self._issue_async(req)
+        return handle
+
     # -- collectives -------------------------------------------------------
     def _next_coll(self) -> int:
         seq = self._coll_seq

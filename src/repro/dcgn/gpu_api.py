@@ -22,14 +22,39 @@ from typing import Any, Dict, Generator, Optional
 import numpy as np
 
 from ..gpusim.kernel import BlockContext
-from ..gpusim.mailbox import SlotMailboxes
+from ..gpusim.mailbox import MailboxRequest, SlotMailboxes
 from ..gpusim.memory import DeviceBuffer
 from ..sim.core import Event
 from .errors import CommViolation
 from .ranks import ANY, RankMap
 from .requests import CommStatus
 
-__all__ = ["GpuCommApi"]
+__all__ = ["GpuCommApi", "GpuRequestHandle"]
+
+
+class GpuRequestHandle:
+    """Handle for a nonblocking slot request posted from a GPU kernel.
+
+    The kernel keeps computing while the GPU-kernel thread harvests the
+    mailbox descriptor and the comm thread progresses the operation —
+    the compute/communication overlap the paper's dedicated comm thread
+    exists to provide.  ``wait`` spins on the completion flag (one
+    device spin-check granularity after the host's PCIe write);
+    ``test`` is a cheap flag read.
+    """
+
+    def __init__(self, mbox: SlotMailboxes, req: MailboxRequest) -> None:
+        self._mbox = mbox
+        self.req = req
+
+    def test(self) -> bool:
+        """True once the host flipped the completion flag."""
+        return self.req.done.triggered
+
+    def wait(self) -> Generator[Event, Any, Any]:
+        """``yield from`` until complete; returns the CommStatus."""
+        result = yield from self._mbox.wait(self.req)
+        return result
 
 
 class GpuCommApi:
@@ -175,6 +200,48 @@ class GpuCommApi:
         )
         return status
 
+    # -- nonblocking point-to-point (paper: dcgn::gpu::iSendTo/iRecvFrom) --
+    def isend(
+        self,
+        slot: int,
+        dest: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking slot send: post the descriptor and keep computing.
+
+        The GPU-kernel thread snapshots the payload at harvest time
+        (the PCIe read), so the kernel must not overwrite ``buf`` until
+        ``wait`` returns.
+        """
+        self._check_buf(buf, "isend")
+        self._check_peer(dest)
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._mbox.post(
+            slot, "send", dest=dest, buf=buf, nbytes=n
+        )
+        return GpuRequestHandle(self._mbox, req)
+
+    def irecv(
+        self,
+        slot: int,
+        source: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking slot receive into ``buf`` (read after ``wait``)."""
+        self._check_buf(buf, "irecv")
+        self._check_peer(source)
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._mbox.post(
+            slot, "recv", source=source, buf=buf, nbytes=n
+        )
+        return GpuRequestHandle(self._mbox, req)
+
+    #: Paper-style aliases (dcgn::gpu::iSendTo / iRecvFrom).
+    iSendTo = isend
+    iRecvFrom = irecv
+
     # -- collectives -------------------------------------------------------
     def barrier(self, slot: int) -> Generator[Event, Any, None]:
         """dcgn::gpu::barrier(slot) — job-wide barrier."""
@@ -214,3 +281,52 @@ class GpuCommApi:
             slot, "allreduce", buf=buf, nbytes=n, coll_seq=seq, reduce_op=op
         )
         yield from self._mbox.wait(req)
+
+    # -- nonblocking collectives -------------------------------------------
+    def ibroadcast(
+        self,
+        slot: int,
+        root: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking broadcast: post and keep computing.
+
+        Collective sequence numbers are claimed at post time, so every
+        slot must issue its (nonblocking or blocking) collectives in
+        the same order — the usual MPI rule.
+        """
+        self._check_buf(buf, "ibroadcast")
+        self._check_peer(root)
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        seq = self._next_coll(slot)
+        req = yield from self._mbox.post(
+            slot, "bcast", root=root, buf=buf, nbytes=n, coll_seq=seq
+        )
+        return GpuRequestHandle(self._mbox, req)
+
+    def iallreduce(
+        self,
+        slot: int,
+        buf: DeviceBuffer,
+        op: str = "sum",
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking in-place allreduce on the slot's buffer."""
+        self._check_buf(buf, "iallreduce")
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        seq = self._next_coll(slot)
+        req = yield from self._mbox.post(
+            slot, "allreduce", buf=buf, nbytes=n, coll_seq=seq, reduce_op=op
+        )
+        return GpuRequestHandle(self._mbox, req)
+
+    def ibarrier(self, slot: int) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking job-wide barrier."""
+        seq = self._next_coll(slot)
+        req = yield from self._mbox.post(slot, "barrier", coll_seq=seq)
+        return GpuRequestHandle(self._mbox, req)
+
+    #: Paper-style alias (dcgn::gpu::iAllReduce).
+    iAllreduce = iallreduce
+    iBroadcast = ibroadcast

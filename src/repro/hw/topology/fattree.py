@@ -1,18 +1,21 @@
-"""Oversubscribed fat tree: pods of nodes behind a shared uplink.
+"""Oversubscribed fat tree: pods of nodes behind a shared up/down link.
 
 Each pod of ``pod_size`` nodes hangs off a leaf switch whose links to
 its own nodes are non-blocking, but whose uplink into the spine carries
 only ``pod_size × bw / oversubscription`` — the classic oversubscribed
 (or "tapered") fat tree every cost-conscious cluster runs.  Intra-pod
 transfers behave like the flat switch; pod-crossing transfers
-additionally pass through the sending pod's uplink channel, where they
-queue FIFO against every other crossing from that pod (store-and-forward
-at the spine; delivery into the destination pod is cut-through
-latency-only, mirroring the flat model's rx side).
+additionally pass through the sending pod's uplink channel *and* the
+destination pod's down-link channel (the leaf switch's spine-facing
+port is tapered in both directions), queueing FIFO against every other
+crossing sharing either link — store-and-forward at the spine and at
+the destination leaf.  Incast into one pod therefore contends on the
+victim pod's down-link even when the senders sit in different pods,
+which latency-only delivery used to hide.
 
-With ``oversubscription=1`` the uplink still serializes crossings, so a
-fat tree is *not* byte-identical to :class:`FlatSwitch` even at 1:1 —
-use the flat topology for the paper's testbed.
+With ``oversubscription=1`` the up/down links still serialize
+crossings, so a fat tree is *not* byte-identical to :class:`FlatSwitch`
+even at 1:1 — use the flat topology for the paper's testbed.
 """
 
 from __future__ import annotations
@@ -60,6 +63,17 @@ class FatTree(FlatSwitch):
             )
             for p in range(self.n_pods)
         ]
+        #: Symmetric down-links: the destination leaf's spine-facing
+        #: port has the same tapered bandwidth as the uplink.
+        self._down: List[BandwidthChannel] = [
+            BandwidthChannel(
+                sim,
+                latency_s=us(params.lat_us) / 2.0,
+                bandwidth_Bps=up_bw_Bps,
+                name=f"pod{p}.down",
+            )
+            for p in range(self.n_pods)
+        ]
 
     def pod(self, node: int) -> int:
         return node // self.pod_size
@@ -69,15 +83,18 @@ class FatTree(FlatSwitch):
     ) -> Generator[Event, Any, None]:
         yield from self._tx[src].transfer(nbytes)
         if self.pod(src) != self.pod(dst):
-            # Spine traversal: store-and-forward through the shared
-            # uplink — this is where oversubscription bites.
+            # Spine traversal: store-and-forward through the sending
+            # pod's shared uplink, then through the destination pod's
+            # down-link — oversubscription bites in both directions.
             yield from self._up[self.pod(src)].transfer(nbytes)
+            yield from self._down[self.pod(dst)].transfer(nbytes)
         yield from self._rx[dst].occupy(us(self.params.lat_us) / 2.0)
 
     def _wire_time_internode(self, src: int, dst: int, nbytes: int) -> float:
         t = self._tx[src].transfer_time(nbytes) + us(self.params.lat_us) / 2.0
         if self.pod(src) != self.pod(dst):
             t += self._up[self.pod(src)].transfer_time(nbytes)
+            t += self._down[self.pod(dst)].transfer_time(nbytes)
         return t
 
     def locality_group(self, node: int) -> int:
@@ -96,11 +113,13 @@ class FatTree(FlatSwitch):
             alpha_s=alpha,
             neighbor_alpha_s=alpha,
             beta_s_per_B=beta,
-            cross_alpha_s=alpha * 1.5,
-            cross_beta_s_per_B=beta + beta_up,
-            # Whole pod crossing at once: the uplink FIFO drains
-            # pod_size transfers, so the last one waits pod_size shares.
-            cross_load_beta_s_per_B=beta + self.pod_size * beta_up,
+            # Crossings traverse tx + up + down channel latencies.
+            cross_alpha_s=alpha * 2.0,
+            cross_beta_s_per_B=beta + 2.0 * beta_up,
+            # Whole pod crossing at once: the up- and down-link FIFOs
+            # each drain pod_size transfers, so the last one waits
+            # pod_size shares on both tapered hops.
+            cross_load_beta_s_per_B=beta + 2.0 * self.pod_size * beta_up,
             oversubscription=self.oversubscription,
             n_domains=self.n_pods,
             domain_size=min(self.pod_size, self.n_nodes),

@@ -13,60 +13,73 @@
   from rank+2^k.  Latency-optimal on non-power-of-two communicators,
   where recursive doubling cannot run; the final rotation is a local
   index remap (no wire traffic).  Equal block sizes only.
+
+Each algorithm is a ``build_*`` function compiling to a round-based
+:class:`~repro.mpi.algorithms.schedule.Schedule`; packing and the Bruck
+rotation use lazy buffers because a round's payload only exists once the
+previous round delivered.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ...sim.core import Event
 from ..datatypes import Payload, payload_array
 from ..errors import MpiError
-from .base import is_pof2, isend_internal, next_tag, recv_internal
+from .base import is_pof2, next_tag
+from .schedule import Schedule
 
 __all__ = [
-    "allgather_ring",
-    "allgather_recursive_doubling",
-    "allgather_bruck",
+    "build_allgather_ring",
+    "build_allgather_recursive_doubling",
+    "build_allgather_bruck",
 ]
 
 
-def allgather_ring(
+def build_allgather_ring(
     ctx,
     sendbuf: Payload,
     recvbufs: Sequence[Payload],
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Ring allgather: P−1 steps, each forwarding one block.
 
     Buffer-count validation happens once at the dispatch layer
     (``collectives.allgather``).
     """
+    sched = Schedule()
     tag = next_tag(ctx)
     size, rank = ctx.size, ctx.rank
     own = payload_array(recvbufs[rank])
     mine = payload_array(sendbuf)
-    if own is not None and mine is not None:
-        own[...] = mine.reshape(own.shape)
+
+    def local_copy():
+        if own is not None and mine is not None:
+            own[...] = mine.reshape(own.shape)
+
+    deps = [sched.compute(local_copy)]
     if size == 1:
-        yield ctx.comm._sw()
-        return
+        sched.overhead(after=deps)
+        return sched
     right = (rank + 1) % size
     left = (rank - 1) % size
     for step in range(size - 1):
         send_block = (rank - step) % size
         recv_block = (rank - step - 1) % size
-        req = isend_internal(ctx, recvbufs[send_block], right, tag + step % 4)
-        yield from recv_internal(ctx, recvbufs[recv_block], left, tag + step % 4)
-        yield from req.wait()
+        s = sched.send(recvbufs[send_block], right, tag + step % 4,
+                       after=deps, round=step)
+        r = sched.recv(recvbufs[recv_block], left, tag + step % 4,
+                       after=deps, round=step)
+        deps = [s, r]
+    return sched
 
 
-def allgather_recursive_doubling(
+def build_allgather_recursive_doubling(
     ctx,
     sendbuf: Payload,
     recvbufs: Sequence[Payload],
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Recursive-doubling allgather (power-of-two P, equal blocks).
 
     After round ``i`` every rank holds the contiguous run of ``2^(i+1)``
@@ -74,18 +87,23 @@ def allgather_recursive_doubling(
     exactly which blocks travel: the packed exchange needs no index
     metadata on the wire.
     """
-    tag = next_tag(ctx)
     size, rank = ctx.size, ctx.rank
     if not is_pof2(size):
         raise MpiError("recursive-doubling allgather needs power-of-two P")
+    sched = Schedule()
+    tag = next_tag(ctx)
     arrays: List[Optional[np.ndarray]] = [payload_array(b) for b in recvbufs]
     mine = payload_array(sendbuf)
     own = arrays[rank]
-    if own is not None and mine is not None:
-        own[...] = mine.reshape(own.shape)
+
+    def local_copy():
+        if own is not None and mine is not None:
+            own[...] = mine.reshape(own.shape)
+
+    deps = [sched.compute(local_copy)]
     if size == 1:
-        yield ctx.comm._sw()
-        return
+        sched.overhead(after=deps)
+        return sched
 
     def pack(lo: int, count: int) -> np.ndarray:
         views = [
@@ -107,27 +125,34 @@ def allgather_recursive_doubling(
             off += view.size
 
     mask = 1
+    rnd = 0
     while mask < size:
         partner = rank ^ mask
         my_lo = rank & ~(mask - 1)
         peer_lo = my_lo ^ mask
-        sendpack = pack(my_lo, mask)
         peer_bytes = sum(
             a.nbytes for a in arrays[peer_lo : peer_lo + mask] if a is not None
         )
         recvpack = np.empty(peer_bytes, dtype=np.uint8)
-        req = isend_internal(ctx, sendpack, partner, tag)
-        yield from recv_internal(ctx, recvpack, partner, tag)
-        yield from req.wait()
-        unpack(recvpack, peer_lo, mask)
+        # The outgoing pack only exists once earlier rounds unpacked —
+        # resolve it lazily at send time.
+        s = sched.send(lambda lo=my_lo, c=mask: pack(lo, c), partner, tag,
+                       after=deps, round=rnd)
+        r = sched.recv(recvpack, partner, tag, after=deps, round=rnd)
+        deps = [s, sched.compute(
+            lambda b=recvpack, lo=peer_lo, c=mask: unpack(b, lo, c),
+            after=(r,), round=rnd,
+        )]
         mask <<= 1
+        rnd += 1
+    return sched
 
 
-def allgather_bruck(
+def build_allgather_bruck(
     ctx,
     sendbuf: Payload,
     recvbufs: Sequence[Payload],
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Bruck allgather (any P, equal blocks): ⌈log2 P⌉ rounds.
 
     The working vector is kept in rank-rotated order — slot ``i`` holds
@@ -136,7 +161,6 @@ def allgather_bruck(
     recursive-doubling pack.  The de-rotation at the end is a local
     remap into ``recvbufs``.
     """
-    tag = next_tag(ctx)
     size, rank = ctx.size, ctx.rank
     arrays: List[Optional[np.ndarray]] = [payload_array(b) for b in recvbufs]
     mine = payload_array(sendbuf)
@@ -145,32 +169,44 @@ def allgather_bruck(
     block = mine.nbytes
     if any(a is None or a.nbytes != block for a in arrays):
         raise MpiError("bruck allgather needs equal-size recv blocks")
+    sched = Schedule()
+    tag = next_tag(ctx)
     if size == 1:
         own = arrays[rank]
-        own[...] = mine.reshape(own.shape)
-        yield ctx.comm._sw()
-        return
+        sched.compute(lambda: own.__setitem__(..., mine.reshape(own.shape)))
+        sched.overhead(after=(sched.last,))
+        return sched
     work: List[np.ndarray] = [mine.view(np.uint8).reshape(-1).copy()]
+    deps: List[int] = []
     step = 1
     rnd = 0
     while step < size:
         count = min(step, size - step)
         dst = (rank - step) % size
         src = (rank + step) % size
-        sendpack = (
-            np.concatenate(work[:count]) if count > 1 else work[0]
-        )
         recvpack = np.empty(count * block, dtype=np.uint8)
-        req = isend_internal(ctx, sendpack, dst, tag + rnd % 2)
-        yield from recv_internal(ctx, recvpack, src, tag + rnd % 2)
-        yield from req.wait()
-        # Received slots step..step+count−1: blocks (rank+step+j) mod P.
-        for j in range(count):
-            work.append(recvpack[j * block : (j + 1) * block])
+        s = sched.send(
+            lambda c=count: np.concatenate(work[:c]) if c > 1 else work[0],
+            dst, tag + rnd % 2, after=deps, round=rnd,
+        )
+        r = sched.recv(recvpack, src, tag + rnd % 2, after=deps, round=rnd)
+
+        def absorb(buf=recvpack, c=count):
+            # Received slots step..step+count−1: blocks (rank+step+j) mod P.
+            for j in range(c):
+                work.append(buf[j * block : (j + 1) * block])
+
+        deps = [s, sched.compute(absorb, after=(r,), round=rnd)]
         step <<= 1
         rnd += 1
-    # De-rotate: slot i is block (rank + i) mod P.
-    for i, blk in enumerate(work):
-        dest = arrays[(rank + i) % size]
-        view = dest.view(np.uint8).reshape(-1)
-        view[...] = blk
+
+    def derotate():
+        # De-rotate: slot i is block (rank + i) mod P.
+        for i, blk in enumerate(work):
+            dest = arrays[(rank + i) % size]
+            view = dest.view(np.uint8).reshape(-1)
+            view[...] = blk
+
+    sched.compute(derotate, after=deps)
+    return sched
+

@@ -10,6 +10,13 @@ Cost shapes (P ranks, n bytes, α latency, β per-byte):
   reduce-scatter + allgather (the Rabenseifner scatter-allgather family),
   best for large messages.
 
+Every algorithm is expressed as a round-based :class:`Schedule` (a
+``build_*`` function) executed by the communicator's
+:class:`~repro.mpi.algorithms.schedule.ScheduleEngine`; the blocking
+entry points below run the same schedules to completion, so blocking
+and nonblocking (``iallreduce``) calls share one code path and one
+timing model.
+
 All :class:`~repro.mpi.datatypes.ReduceOp` operators are commutative, so
 the fold-in step of non-power-of-two recursive doubling is safe; combines
 still run lower-rank-first so floating-point results stay deterministic
@@ -18,19 +25,19 @@ per rank.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import List
 
 import numpy as np
 
-from ...sim.core import Event
 from ..datatypes import Payload, ReduceOp, payload_array
 from ..errors import MpiError
-from .base import isend_internal, next_tag, recv_internal, send_internal
+from .base import hier_ok as _hier_ok, next_tag
+from .schedule import Schedule
 
 __all__ = [
-    "allreduce_reduce_bcast",
-    "allreduce_recursive_doubling",
-    "allreduce_ring",
+    "build_allreduce_reduce_bcast",
+    "build_allreduce_recursive_doubling",
+    "build_allreduce_ring",
 ]
 
 
@@ -44,29 +51,45 @@ def _setup(ctx, sendbuf: Payload, recvbuf: Payload):
     return src, out
 
 
-def allreduce_reduce_bcast(
+def build_allreduce_reduce_bcast(
     ctx,
     sendbuf: Payload,
     recvbuf: Payload,
     op: ReduceOp = ReduceOp.SUM,
-) -> Generator[Event, Any, None]:
-    """Reduce to rank 0, then broadcast (the seed's fixed algorithm)."""
-    from ..collectives import bcast, reduce
+) -> Schedule:
+    """Reduce to rank 0, then broadcast (the seed's fixed algorithm).
+
+    Composed from the binomial-reduce and broadcast schedules; the bcast
+    leg is selector-dispatched exactly like a standalone ``bcast`` call
+    (same counters, same tag sequence), so timings match the old
+    generator composition byte for byte.
+    """
+    from ...hw.memory import nbytes_of
+    from .bcast import append_bcast
+    from .reduce import append_reduce_binomial
 
     _setup(ctx, sendbuf, recvbuf)
-    if ctx.rank == 0:
-        yield from reduce(ctx, sendbuf, recvbuf, op=op, root=0)
-    else:
-        yield from reduce(ctx, sendbuf, None, op=op, root=0)
-    yield from bcast(ctx, recvbuf, root=0)
+    sched = Schedule()
+    ctx.comm._count("reduce")
+    ends = append_reduce_binomial(
+        sched, ctx, sendbuf,
+        recvbuf if ctx.rank == 0 else None,
+        op=op, root=0, after=(),
+    )
+    ctx.comm._count("bcast")
+    nbytes = nbytes_of(recvbuf) if recvbuf is not None else 0
+    algo = ctx.comm.selector.bcast(nbytes, ctx.size, hier_ok=_hier_ok(ctx))
+    ctx.comm._count(f"bcast[{algo}]")
+    append_bcast(algo, sched, ctx, recvbuf, root=0, after=ends)
+    return sched
 
 
-def allreduce_recursive_doubling(
+def build_allreduce_recursive_doubling(
     ctx,
     sendbuf: Payload,
     recvbuf: Payload,
     op: ReduceOp = ReduceOp.SUM,
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Recursive-doubling allreduce (MPICH small-message algorithm).
 
     Non-power-of-two sizes use the standard fold: the first 2·rem ranks
@@ -75,59 +98,85 @@ def allreduce_recursive_doubling(
     """
     src, out = _setup(ctx, sendbuf, recvbuf)
     size, rank = ctx.size, ctx.rank
-    acc = src.copy()
+    sched = Schedule()
+    st = {"acc": src.copy()}
     if size == 1:
-        yield ctx.comm._sw()
-        out[...] = acc.reshape(out.shape)
-        return
+        sched.overhead()
+        sched.compute(
+            lambda: out.__setitem__(..., st["acc"].reshape(out.shape)),
+            after=(sched.last,),
+        )
+        return sched
     tag = next_tag(ctx)
     pof2 = 1
     while pof2 * 2 <= size:
         pof2 *= 2
     rem = size - pof2
+    deps: List[int] = []
+    rnd = 0
     # Fold-in (tag offset 4): even ranks below 2·rem contribute and sit out.
     if rank < 2 * rem:
         if rank % 2 == 0:
-            yield from send_internal(ctx, acc, rank + 1, tag + 4)
+            deps = [sched.send(lambda: st["acc"], rank + 1, tag + 4)]
             newrank = -1
         else:
-            tmp = np.empty_like(acc)
-            yield from recv_internal(ctx, tmp, rank - 1, tag + 4)
-            acc = op.combine(tmp, acc)
+            tmp0 = np.empty_like(st["acc"])
+            r = sched.recv(tmp0, rank - 1, tag + 4)
+
+            def fold_in(tmp0=tmp0):
+                st["acc"] = op.combine(tmp0, st["acc"])
+
+            deps = [sched.compute(fold_in, after=(r,))]
             newrank = rank // 2
     else:
         newrank = rank - rem
     if newrank != -1:
         mask = 1
         while mask < pof2:
+            rnd += 1
             partner_new = newrank ^ mask
             partner = (
                 partner_new * 2 + 1 if partner_new < rem
                 else partner_new + rem
             )
-            tmp = np.empty_like(acc)
+            tmp = np.empty_like(st["acc"])
             # No defensive copy: _send_impl snapshots at send time and
-            # acc is rebound (never mutated) before req.wait() returns.
-            req = isend_internal(ctx, acc, partner, tag)
-            yield from recv_internal(ctx, tmp, partner, tag)
-            yield from req.wait()
-            acc = op.combine(tmp, acc) if partner < rank else op.combine(acc, tmp)
+            # acc is rebound (never mutated) before the round completes.
+            s = sched.send(lambda: st["acc"], partner, tag,
+                           after=deps, round=rnd)
+            r = sched.recv(tmp, partner, tag, after=deps, round=rnd)
+
+            def combine(tmp=tmp, partner=partner):
+                st["acc"] = (
+                    op.combine(tmp, st["acc"])
+                    if partner < rank
+                    else op.combine(st["acc"], tmp)
+                )
+
+            deps = [sched.compute(combine, after=(s, r), round=rnd)]
             mask <<= 1
     # Fold-out (tag offset 5): odd partners hand the result back.
     if rank < 2 * rem:
+        rnd += 1
         if rank % 2 == 1:
-            yield from send_internal(ctx, acc, rank - 1, tag + 5)
+            deps = [sched.send(lambda: st["acc"], rank - 1, tag + 5,
+                               after=deps, round=rnd)]
         else:
-            yield from recv_internal(ctx, acc, rank + 1, tag + 5)
-    out[...] = acc.reshape(out.shape)
+            deps = [sched.recv(lambda: st["acc"], rank + 1, tag + 5,
+                               after=deps, round=rnd)]
+    sched.compute(
+        lambda: out.__setitem__(..., st["acc"].reshape(out.shape)),
+        after=deps,
+    )
+    return sched
 
 
-def allreduce_ring(
+def build_allreduce_ring(
     ctx,
     sendbuf: Payload,
     recvbuf: Payload,
     op: ReduceOp = ReduceOp.SUM,
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Ring allreduce: reduce-scatter then allgather over 1/P chunks.
 
     Works for any P (including non-powers of two) and any element count
@@ -135,11 +184,15 @@ def allreduce_ring(
     """
     src, out = _setup(ctx, sendbuf, recvbuf)
     size, rank = ctx.size, ctx.rank
+    sched = Schedule()
     acc = src.copy().reshape(-1)
     if size == 1:
-        yield ctx.comm._sw()
-        out[...] = acc.reshape(out.shape)
-        return
+        sched.overhead()
+        sched.compute(
+            lambda: out.__setitem__(..., acc.reshape(out.shape)),
+            after=(sched.last,),
+        )
+        return sched
     tag = next_tag(ctx)
     n = acc.size
     bounds: List[int] = [(c * n) // size for c in range(size + 1)]
@@ -150,23 +203,33 @@ def allreduce_ring(
 
     right = (rank + 1) % size
     left = (rank - 1) % size
+    deps: List[int] = []
     # Reduce-scatter (tag offsets 0..3): after P−1 steps this rank owns
     # the fully combined chunk (rank+1) mod P.
-    # No defensive copies on the isends: _send_impl snapshots at send
+    # No defensive copies on the sends: _send_impl snapshots at send
     # time and each step only writes the (disjoint) received chunk.
     for step in range(size - 1):
         send_c = chunk(rank - step)
         recv_c = chunk(rank - step - 1)
-        req = isend_internal(ctx, send_c, right, tag + step % 4)
         tmp = np.empty_like(recv_c)
-        yield from recv_internal(ctx, tmp, left, tag + step % 4)
-        yield from req.wait()
-        recv_c[...] = op.combine(tmp, recv_c)
+        s = sched.send(send_c, right, tag + step % 4, after=deps, round=step)
+        r = sched.recv(tmp, left, tag + step % 4, after=deps, round=step)
+
+        def combine(tmp=tmp, recv_c=recv_c):
+            recv_c[...] = op.combine(tmp, recv_c)
+
+        deps = [sched.compute(combine, after=(s, r), round=step)]
     # Allgather (tag offsets 4..7): circulate the finished chunks.
     for step in range(size - 1):
-        send_c = chunk(rank + 1 - step)
-        recv_c = chunk(rank - step)
-        req = isend_internal(ctx, send_c, right, tag + 4 + step % 4)
-        yield from recv_internal(ctx, recv_c, left, tag + 4 + step % 4)
-        yield from req.wait()
-    out[...] = acc.reshape(out.shape)
+        rnd = size - 1 + step
+        s = sched.send(chunk(rank + 1 - step), right, tag + 4 + step % 4,
+                       after=deps, round=rnd)
+        r = sched.recv(chunk(rank - step), left, tag + 4 + step % 4,
+                       after=deps, round=rnd)
+        deps = [s, r]
+    sched.compute(
+        lambda: out.__setitem__(..., acc.reshape(out.shape)),
+        after=deps,
+    )
+    return sched
+

@@ -1,70 +1,171 @@
-"""Alltoall algorithms: shift (seed) and pairwise exchange.
+"""Alltoall algorithms: shift (seed), pairwise exchange, and Bruck.
 
-Both run P−1 rounds moving one block per rank per round; they differ in
-partnering.  The shift schedule sends to ``rank+k`` while receiving from
-``rank−k`` (two different peers per round); pairwise exchange uses the
-XOR partner ``rank^k`` so each round is a perfect matching of
-bidirectional pairs — the schedule real MPIs prefer on power-of-two
-communicators because it keeps per-round traffic contention-free.
+``shift`` and ``pairwise`` run P−1 rounds moving one block per rank per
+round; they differ in partnering.  The shift schedule sends to
+``rank+k`` while receiving from ``rank−k`` (two different peers per
+round); pairwise exchange uses the XOR partner ``rank^k`` so each round
+is a perfect matching of bidirectional pairs — the schedule real MPIs
+prefer on power-of-two communicators because it keeps per-round traffic
+contention-free.
+
+``bruck`` (Bruck et al. 1997) trades bandwidth for latency: after a
+local rotation, round k ships *every* block whose slot index has bit k
+set to ``rank+2^k`` — ⌈log2 P⌉ rounds moving ≈(P/2)·log2 P blocks total
+instead of P−1 rounds of one block.  For small blocks, where per-round
+latency dominates, that is the winning trade on any communicator size
+(it is the only sub-linear schedule for non-powers of two); the final
+inverse rotation is a local remap.  Selected by the autotuned
+``alltoall_bruck_max_bytes`` threshold.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Sequence
+from typing import List, Sequence
 
-from ...sim.core import Event
+import numpy as np
+
 from ..datatypes import Payload, payload_array
 from ..errors import MpiError
-from .base import is_pof2, isend_internal, next_tag, recv_internal
+from .base import is_pof2, next_tag
+from .schedule import Schedule
 
-__all__ = ["alltoall_shift", "alltoall_pairwise"]
+__all__ = [
+    "build_alltoall_shift",
+    "build_alltoall_pairwise",
+    "build_alltoall_bruck",
+]
 
 
-def _local_copy(ctx, sendbufs: Sequence[Payload], recvbufs: Sequence[Payload]):
+def _local_copy_step(sched, ctx, sendbufs, recvbufs) -> List[int]:
     # Buffer counts were validated by the dispatch layer.
     own = payload_array(recvbufs[ctx.rank])
     mine = payload_array(sendbufs[ctx.rank])
-    if own is not None and mine is not None:
-        own[...] = mine.reshape(own.shape)
+
+    def local_copy():
+        if own is not None and mine is not None:
+            own[...] = mine.reshape(own.shape)
+
+    return [sched.compute(local_copy)]
 
 
-def alltoall_shift(
+def build_alltoall_shift(
     ctx,
     sendbufs: Sequence[Payload],
     recvbufs: Sequence[Payload],
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Shift-schedule all-to-all (the seed algorithm)."""
-    _local_copy(ctx, sendbufs, recvbufs)
+    sched = Schedule()
+    deps = _local_copy_step(sched, ctx, sendbufs, recvbufs)
     tag = next_tag(ctx)
     size, rank = ctx.size, ctx.rank
     if size == 1:
-        yield ctx.comm._sw()
-        return
+        sched.overhead(after=deps)
+        return sched
     for k in range(1, size):
         dst = (rank + k) % size
         src = (rank - k) % size
-        req = isend_internal(ctx, sendbufs[dst], dst, tag)
-        yield from recv_internal(ctx, recvbufs[src], src, tag)
-        yield from req.wait()
+        s = sched.send(sendbufs[dst], dst, tag, after=deps, round=k - 1)
+        r = sched.recv(recvbufs[src], src, tag, after=deps, round=k - 1)
+        deps = [s, r]
+    return sched
 
 
-def alltoall_pairwise(
+def build_alltoall_pairwise(
     ctx,
     sendbufs: Sequence[Payload],
     recvbufs: Sequence[Payload],
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Pairwise (XOR-partner) exchange; requires power-of-two P."""
     size, rank = ctx.size, ctx.rank
     # Validate before mutating any user buffer.
     if not is_pof2(size):
         raise MpiError("pairwise alltoall needs power-of-two P")
-    _local_copy(ctx, sendbufs, recvbufs)
+    sched = Schedule()
+    deps = _local_copy_step(sched, ctx, sendbufs, recvbufs)
     tag = next_tag(ctx)
     if size == 1:
-        yield ctx.comm._sw()
-        return
+        sched.overhead(after=deps)
+        return sched
     for k in range(1, size):
         partner = rank ^ k
-        req = isend_internal(ctx, sendbufs[partner], partner, tag)
-        yield from recv_internal(ctx, recvbufs[partner], partner, tag)
-        yield from req.wait()
+        s = sched.send(sendbufs[partner], partner, tag, after=deps,
+                       round=k - 1)
+        r = sched.recv(recvbufs[partner], partner, tag, after=deps,
+                       round=k - 1)
+        deps = [s, r]
+    return sched
+
+
+def build_alltoall_bruck(
+    ctx,
+    sendbufs: Sequence[Payload],
+    recvbufs: Sequence[Payload],
+) -> Schedule:
+    """Bruck alltoall (any P, equal blocks): ⌈log2 P⌉ packed rounds.
+
+    Slot invariant: after the initial rotation, slot ``i`` holds the
+    block this rank must deliver to ``rank+i``; a block at slot ``i``
+    travels +2^k in exactly the rounds where bit k of ``i`` is set, so
+    every rank exchanges the same slot set each round and no index
+    metadata crosses the wire.  The final remap stores slot ``i`` as
+    the block received *from* ``rank−i``.
+    """
+    size, rank = ctx.size, ctx.rank
+    mine_arrays = [payload_array(b) for b in sendbufs]
+    out_arrays = [payload_array(b) for b in recvbufs]
+    if any(a is None for a in mine_arrays) or any(
+        a is None for a in out_arrays
+    ):
+        raise MpiError("bruck alltoall requires array payloads")
+    block = mine_arrays[0].nbytes
+    if any(a.nbytes != block for a in mine_arrays) or any(
+        a.nbytes != block for a in out_arrays
+    ):
+        raise MpiError("bruck alltoall needs equal-size blocks")
+    sched = Schedule()
+    tag = next_tag(ctx)
+    # Local rotation: slot i ← block destined to (rank + i) mod P.
+    slots: List[np.ndarray] = [
+        mine_arrays[(rank + i) % size].view(np.uint8).reshape(-1).copy()
+        for i in range(size)
+    ]
+    if size == 1:
+        own = out_arrays[0]
+        sched.compute(
+            lambda: own.view(np.uint8).reshape(-1).__setitem__(
+                slice(None), slots[0]
+            )
+        )
+        sched.overhead(after=(sched.last,))
+        return sched
+    deps: List[int] = []
+    step = 1
+    rnd = 0
+    while step < size:
+        idxs = [i for i in range(size) if i & step]
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        recvpack = np.empty(len(idxs) * block, dtype=np.uint8)
+        s = sched.send(
+            lambda idxs=idxs: np.concatenate([slots[i] for i in idxs]),
+            dst, tag + rnd % 2, after=deps, round=rnd,
+        )
+        r = sched.recv(recvpack, src, tag + rnd % 2, after=deps, round=rnd)
+
+        def unpack(buf=recvpack, idxs=idxs):
+            for j, i in enumerate(idxs):
+                slots[i] = buf[j * block : (j + 1) * block]
+
+        deps = [s, sched.compute(unpack, after=(r,), round=rnd)]
+        step <<= 1
+        rnd += 1
+
+    def deliver():
+        # Slot i ended at this rank carrying the block from rank−i.
+        for i in range(size):
+            dest = out_arrays[(rank - i) % size]
+            dest.view(np.uint8).reshape(-1)[...] = slots[i]
+
+    sched.compute(deliver, after=deps)
+    return sched
+

@@ -43,7 +43,9 @@ __all__ = [
     "p2p_time",
     "cost_allreduce",
     "cost_allgather",
+    "cost_alltoall",
     "cost_bcast",
+    "cost_reduce",
 ]
 
 #: Size of protocol headers on the wire — must match
@@ -170,7 +172,13 @@ def cost_allgather(
 
 
 def cost_bcast(algo: str, P: int, nbytes: int, prof, ib: IbParams) -> float:
-    """Analytic bcast cost under the fragmented-placement regime."""
+    """Analytic bcast cost under the fragmented-placement regime.
+
+    Schedules are costed per round: the binomial tree pays ⌈log2 P⌉
+    full-payload rounds on its critical path; the pipelined chain pays
+    one round per segment plus the P−2 fill rounds, each one segment
+    deep — exactly the round structure its :class:`Schedule` carries.
+    """
     if P <= 1:
         return 0.0
     if algo == "binomial":
@@ -190,7 +198,71 @@ def cost_bcast(algo: str, P: int, nbytes: int, prof, ib: IbParams) -> float:
             nbytes, prof.alpha_s, prof.beta_s_per_B, ib
         )
         return leaders + intra
+    if algo == "pipelined":
+        from .bcast import best_pipeline_segments
+
+        if P <= 2:
+            return math.inf
+        S = best_pipeline_segments(nbytes, P, ib)
+        if S < 2:
+            return math.inf
+        seg = math.ceil(nbytes / S)
+        # Chain hops are rank-adjacent but a fragmented placement makes
+        # every hop a bottleneck crossing, one segment at a time.
+        per_round = p2p_time(seg, prof.cross_alpha_s,
+                             prof.cross_beta_s_per_B, ib)
+        return (S + P - 2) * per_round
     raise ValueError(f"unknown bcast algorithm {algo!r}")
+
+
+def cost_reduce(algo: str, P: int, nbytes: int, prof, ib: IbParams) -> float:
+    """Analytic reduce-to-root cost (per-round, like the schedules).
+
+    The binomial tree's critical path is ⌈log2 P⌉ full-payload rounds;
+    Rabenseifner's is ⌈log2 P⌉ halving rounds of n/2, n/4, … followed
+    by the mirror-image gather rounds — ≈2·nβ total bytes.
+    """
+    a = prof.cross_alpha_s
+    b = _cross_beta_eff(nbytes, prof, ib)
+    if P <= 1:
+        return 0.0
+    if algo == "binomial":
+        return _log2ceil(P) * p2p_time(nbytes, a, b, ib)
+    if algo == "rabenseifner":
+        if P & (P - 1) or P <= 2:
+            return math.inf
+        total = 0.0
+        part = nbytes
+        for _ in range(_log2ceil(P)):
+            part = math.ceil(part / 2)
+            # One halving round and its mirrored gather round.
+            total += 2.0 * p2p_time(part, a, b, ib)
+        return total
+    raise ValueError(f"unknown reduce algorithm {algo!r}")
+
+
+def cost_alltoall(
+    algo: str, P: int, block_nbytes: int, prof, ib: IbParams
+) -> float:
+    """Analytic alltoall cost per round.
+
+    Linear schedules (shift/pairwise) pay P−1 rounds of one block;
+    Bruck pays ⌈log2 P⌉ rounds each shipping the ⌊P/2⌋-ish packed run
+    its schedule forwards.
+    """
+    a, b = prof.alpha_s, prof.beta_s_per_B
+    if P <= 1:
+        return 0.0
+    if algo in ("shift", "pairwise"):
+        return (P - 1) * p2p_time(block_nbytes, a, b, ib)
+    if algo == "bruck":
+        total, step = 0.0, 1
+        while step < P:
+            count = len([i for i in range(P) if i & step])
+            total += p2p_time(count * block_nbytes, a, b, ib)
+            step <<= 1
+        return total
+    raise ValueError(f"unknown alltoall algorithm {algo!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -262,6 +334,60 @@ def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
             break
         bruck_max = n
 
+    # Bruck alltoall: its packed rounds beat the linear schedules only
+    # while the block is small enough that ⌈log2 P⌉ latencies dominate
+    # the ~(P/2)·log2 P extra block volume.  Swept over both linear
+    # baselines so the threshold is safe on any communicator size.
+    a2a_sizes = [4, 6, 8, 12, 16, 24, 32, 48, 96]
+
+    def a2a_bruck_ok(p: int, n: int) -> bool:
+        linear = min(
+            cost_alltoall("shift", p, n, prof, ib),
+            cost_alltoall("pairwise", p, n, prof, ib),
+        )
+        return cost_alltoall("bruck", p, n, prof, ib) <= linear + _EPS
+
+    a2a_bruck_max = 0
+    for n in _GRID:
+        if not all(a2a_bruck_ok(p, n) for p in a2a_sizes):
+            break
+        a2a_bruck_max = n
+
+    # Pipelined bcast: the chain beats the binomial tree once segments
+    # amortize their fixed cost; demand a decisive (≥1.5×) modelled win
+    # so razor-edge crossovers never regress a real broadcast, and sweep
+    # every plausible rank count ≥ 4 (at P ≤ 2 the chain degenerates).
+    pipe_sizes = [p for p in (4, 6, 8, 12, 16, 24, 32, 48, 96)]
+
+    def pipe_ok(p: int, n: int) -> bool:
+        tree = min(
+            cost_bcast("binomial", p, n, prof, ib),
+            cost_bcast("hierarchical", p, n, prof, ib),
+        )
+        return cost_bcast("pipelined", p, n, prof, ib) * 1.5 <= tree + _EPS
+
+    bcast_pipe_min = _first_grid_where(
+        lambda n: all(pipe_ok(p, n) for p in pipe_sizes)
+        and all(pipe_ok(p, m) for p in pipe_sizes for m in _GRID if m >= n)
+    )
+    bcast_pipe_min = None if bcast_pipe_min >= _UNBOUNDED else bcast_pipe_min
+
+    # Rabenseifner reduce: same shape as the allreduce ring crossover —
+    # bandwidth-optimal once nβ dominates the extra log P latencies.
+    raben_sizes = [4, 8, 16, 32, 64, 128]
+
+    def raben_ok(p: int, n: int) -> bool:
+        return (
+            cost_reduce("rabenseifner", p, n, prof, ib)
+            <= cost_reduce("binomial", p, n, prof, ib) + _EPS
+        )
+
+    raben_min = _first_grid_where(
+        lambda n: all(raben_ok(p, n) for p in raben_sizes)
+        and all(raben_ok(p, m) for p in raben_sizes for m in _GRID if m >= n)
+    )
+    raben_min = None if raben_min >= _UNBOUNDED else raben_min
+
     # Hierarchical gates: only on fabrics that report oversubscription
     # and a regular domain structure.
     hier_min = None
@@ -299,6 +425,9 @@ def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
         allgather_rd_min_ranks=rd_min_ranks,
         allgather_rd_small_max_bytes=rd_small_max,
         allgather_bruck_max_bytes=bruck_max,
+        alltoall_bruck_max_bytes=a2a_bruck_max,
+        bcast_pipeline_min_bytes=bcast_pipe_min,
+        reduce_raben_min_bytes=raben_min,
         allreduce_hier_min_bytes=hier_min,
         bcast_hier_min_bytes=bcast_hier_min,
     )

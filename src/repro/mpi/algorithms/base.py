@@ -19,6 +19,7 @@ from ..datatypes import Payload
 __all__ = [
     "TAG_STRIDE",
     "is_pof2",
+    "hier_ok",
     "next_tag",
     "isend_internal",
     "send_internal",
@@ -32,6 +33,18 @@ TAG_STRIDE = 8
 def is_pof2(n: int) -> bool:
     """True when ``n`` is a power of two."""
     return n > 0 and not (n & (n - 1))
+
+
+def hier_ok(ctx: MpiContext) -> bool:
+    """Hierarchical variants apply when the placement is regular enough
+    (equal locality groups) *and* fragmented across the topology's
+    domains — a contiguous placement's flat ring/tree is already
+    near-optimal (one bottleneck crossing per domain)."""
+    comm = ctx.comm
+    return bool(
+        getattr(comm, "hier_capable", False)
+        and getattr(comm, "fragmented", False)
+    )
 
 
 def next_tag(ctx: MpiContext) -> int:

@@ -1,4 +1,4 @@
-"""Broadcast algorithms: binomial tree (seed) and hierarchical.
+"""Broadcast algorithms: binomial tree (seed), hierarchical, pipelined.
 
 * ``binomial`` — the ⌈log2 P⌉-hop tree MVAPICH2-era MPIs run; the seed's
   only broadcast and still the default on non-blocking fabrics.
@@ -7,78 +7,122 @@
   crosses the fabric's bottleneck once per domain instead of once per
   rank, which is what wins on an oversubscribed fat tree with a
   fragmented rank placement.
+* ``pipelined`` — the message is cut into S segments streamed down a
+  chain in rank order: rank i forwards segment s while receiving
+  segment s+1, so for large messages the whole broadcast approaches a
+  single nβ transfer instead of the tree's ⌈log2 P⌉·nβ.  This schedule
+  is only expressible with the round-based engine: its win *is* the
+  overlap of each hop's send with the next segment's receive, which a
+  run-to-completion generator loop cannot produce.
+
+All three compile to :class:`~repro.mpi.algorithms.schedule.Schedule`
+DAGs; ``append_bcast`` lets other collectives (reduce+bcast) splice a
+broadcast behind their own steps.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Sequence
+import math
+from typing import List, Optional, Sequence
 
-from ...sim.core import Event
 from ..datatypes import Payload
 from ..errors import MpiError
-from .base import next_tag, recv_internal, send_internal
+from .base import next_tag
+from .schedule import Schedule
 
-__all__ = ["bcast_binomial", "bcast_hierarchical"]
+__all__ = [
+    "build_bcast_binomial",
+    "build_bcast_hierarchical",
+    "build_bcast_pipelined",
+    "append_bcast",
+    "best_pipeline_segments",
+]
 
 
-def _binomial(
+def _append_binomial(
+    sched: Schedule,
     ctx,
     buf: Payload,
     members: Sequence[int],
     root: int,
     tag: int,
-) -> Generator[Event, Any, None]:
+    after: Sequence[int] = (),
+    round0: int = 0,
+) -> List[int]:
     """Binomial-tree broadcast among ``members`` (``root`` ∈ members).
 
     With ``members == range(P)`` this is exactly the seed broadcast:
-    same virtual-rank arithmetic, same message sequence.
+    same virtual-rank arithmetic, same message sequence.  Returns the
+    terminal step indices of this rank's part of the tree.
     """
     size = len(members)
     if size == 1:
-        return
+        return list(after)
     idx = members.index(ctx.rank)
     ridx = members.index(root)
     vrank = (idx - ridx) % size
+    deps = list(after)
     # Phase 1 — non-roots receive from their parent.  ``mask`` stops at
     # the lowest set bit of vrank (or the first power of two >= size for
     # the root).
     mask = 1
+    rnd = round0
     while mask < size:
         if vrank & mask:
             parent = members[((vrank - mask) + ridx) % size]
-            yield from recv_internal(ctx, buf, parent, tag)
+            deps = [sched.recv(buf, parent, tag, after=deps, round=rnd)]
             break
         mask <<= 1
+        rnd += 1
     # Phase 2 — forward to children: vrank + m for each m below mask.
     mask >>= 1
     while mask > 0:
         child_v = vrank + mask
         if child_v < size:
             child = members[(child_v + ridx) % size]
-            yield from send_internal(ctx, buf, child, tag)
+            deps = [sched.send(buf, child, tag, after=deps, round=rnd)]
         mask >>= 1
+        rnd += 1
+    return deps
 
 
-def bcast_binomial(
-    ctx, buf: Payload, root: int = 0
-) -> Generator[Event, Any, None]:
+def build_bcast_binomial(
+    ctx, buf: Payload, root: int = 0, after: Sequence[int] = ()
+) -> Schedule:
     """Binomial-tree broadcast of ``buf`` (in place for non-roots)."""
+    sched = Schedule()
+    append_bcast_binomial(sched, ctx, buf, root=root, after=after)
+    return sched
+
+
+def append_bcast_binomial(
+    sched: Schedule, ctx, buf: Payload, root: int = 0,
+    after: Sequence[int] = (),
+) -> List[int]:
     tag = next_tag(ctx)
     if ctx.size == 1:
-        yield ctx.comm._sw()
-        return
-    yield from _binomial(ctx, buf, list(range(ctx.size)), root, tag)
+        return [sched.overhead(after=after)]
+    return _append_binomial(
+        sched, ctx, buf, list(range(ctx.size)), root, tag, after=after
+    )
 
 
-def bcast_hierarchical(
-    ctx, buf: Payload, root: int = 0
-) -> Generator[Event, Any, None]:
-    """Domain-leader broadcast: root → leaders → domain members.
+def build_bcast_hierarchical(
+    ctx, buf: Payload, root: int = 0, after: Sequence[int] = ()
+) -> Schedule:
+    """Domain-leader broadcast: root → leaders → domain members."""
+    sched = Schedule()
+    append_bcast_hierarchical(sched, ctx, buf, root=root, after=after)
+    return sched
 
-    Requires the communicator to expose locality groups (every rank in
+
+def append_bcast_hierarchical(
+    sched: Schedule, ctx, buf: Payload, root: int = 0,
+    after: Sequence[int] = (),
+) -> List[int]:
+    """Requires the communicator to expose locality groups (every rank in
     exactly one group); the root acts as its own group's leader so the
-    payload never takes a detour.
-    """
+    payload never takes a detour."""
     groups: List[List[int]] = getattr(ctx.comm, "locality_groups", None)
     if not groups or len(groups) < 2:
         raise MpiError(
@@ -87,13 +131,121 @@ def bcast_hierarchical(
         )
     tag = next_tag(ctx)
     if ctx.size == 1:
-        yield ctx.comm._sw()
-        return
+        return [sched.overhead(after=after)]
     my_group = next(g for g in groups if ctx.rank in g)
     leaders = [root if root in g else g[0] for g in groups]
     my_leader = root if root in my_group else my_group[0]
+    deps = list(after)
     # Phase 1 (tag+0): binomial over the domain leaders.
     if ctx.rank in leaders:
-        yield from _binomial(ctx, buf, leaders, root, tag)
+        deps = _append_binomial(sched, ctx, buf, leaders, root, tag,
+                                after=deps)
     # Phase 2 (tag+1): each leader fans out inside its domain.
-    yield from _binomial(ctx, buf, my_group, my_leader, tag + 1)
+    return _append_binomial(
+        sched, ctx, buf, my_group, my_leader, tag + 1,
+        after=deps, round0=sched.n_rounds,
+    )
+
+
+def best_pipeline_segments(nbytes: int, size: int, ib) -> int:
+    """Segment count minimizing the chain-pipeline makespan.
+
+    The chain completes in (S + P − 2) hops of one segment each, so the
+    makespan is (S + P − 2)·(c + (n/S)·β) with c the per-message fixed
+    cost (software overhead + wire latency).  The minimizer is
+    S* = sqrt((P − 2)·nβ / c), clamped to [2, 64] and to segments of at
+    least one eager-threshold quantum so tiny fragments never pay more
+    fixed cost than they hide.
+    """
+    if size <= 2 or nbytes <= 0:
+        return 1
+    beta = 1.0 / (ib.bw_GBps * 1e9)
+    fixed = (ib.sw_overhead_us + ib.lat_us) * 1e-6
+    s_opt = math.sqrt(max(1.0, (size - 2) * nbytes * beta / fixed))
+    s_cap = max(1, nbytes // max(1, ib.eager_threshold))
+    return int(max(1, min(64, round(s_opt), s_cap)))
+
+
+def build_bcast_pipelined(
+    ctx,
+    buf: Payload,
+    root: int = 0,
+    after: Sequence[int] = (),
+    segments: Optional[int] = None,
+) -> Schedule:
+    """Segmented chain broadcast (large messages).
+
+    The chain runs in rank order rotated so the root leads; each rank
+    receives segment s from its predecessor while forwarding segment
+    s−1 to its successor.  Segment count defaults to the analytic
+    optimum for the communicator's fabric parameters.
+    """
+    sched = Schedule()
+    append_bcast_pipelined(sched, ctx, buf, root=root, after=after,
+                           segments=segments)
+    return sched
+
+
+def append_bcast_pipelined(
+    sched: Schedule, ctx, buf: Payload, root: int = 0,
+    after: Sequence[int] = (), segments: Optional[int] = None,
+) -> List[int]:
+    from ..datatypes import payload_array
+
+    tag = next_tag(ctx)
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return [sched.overhead(after=after)]
+    arr = payload_array(buf)
+    if arr is None:
+        raise MpiError("pipelined bcast requires an array payload")
+    flat = arr.view("u1").reshape(-1)
+    n = flat.size
+    S = segments if segments is not None else best_pipeline_segments(
+        n, size, ctx.comm._ib
+    )
+    S = max(1, min(S, max(1, n)))
+    bounds = [(s * n) // S for s in range(S + 1)]
+    # Chain order is rank order rotated to start at the root.
+    pos = (rank - root) % size
+    prev = (root + pos - 1) % size
+    nxt = (root + pos + 1) % size
+    recvs: List[int] = []
+    last_send: List[int] = list(after)
+    ends: List[int] = []
+    for s in range(S):
+        seg = flat[bounds[s] : bounds[s + 1]]
+        if pos > 0:
+            # Receive segment s from the predecessor; chained so the
+            # wire keeps FIFO order on the single (src, tag) pair.
+            r = sched.recv(seg, prev, tag, after=recvs[-1:] or list(after),
+                           round=s)
+            recvs.append(r)
+            ends = [r]
+        if pos < size - 1:
+            send_after = list(last_send)
+            if pos > 0:
+                send_after.append(recvs[-1])
+            snd = sched.send(seg, nxt, tag, after=send_after, round=s)
+            last_send = [snd]
+            ends = [snd] if pos == 0 else [recvs[-1], snd]
+    if not ends:
+        ends = list(after)
+    return ends
+
+
+#: Builder registry for splicing a broadcast behind another schedule
+#: (reduce+bcast) — mirrors ``ALGORITHMS["bcast"]``.
+_APPENDERS = {
+    "binomial": append_bcast_binomial,
+    "hierarchical": append_bcast_hierarchical,
+    "pipelined": append_bcast_pipelined,
+}
+
+
+def append_bcast(
+    algo: str, sched: Schedule, ctx, buf: Payload, root: int = 0,
+    after: Sequence[int] = (),
+) -> List[int]:
+    """Append the named broadcast schedule behind ``after``."""
+    return _APPENDERS[algo](sched, ctx, buf, root=root, after=after)

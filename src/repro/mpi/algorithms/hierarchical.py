@@ -18,29 +18,31 @@ hierarchical schedule crosses only in its middle phase, and only with
    recovers the full reduced vector.
 
 Requires equal-size locality groups (the regular-pod case the selector
-checks); all phases tolerate empty chunks when count < s·G.
+checks); all phases tolerate empty chunks when count < s·G.  Compiled
+to a :class:`~repro.mpi.algorithms.schedule.Schedule` like every other
+algorithm in the package.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import List
 
 import numpy as np
 
-from ...sim.core import Event
 from ..datatypes import Payload, ReduceOp, payload_array
 from ..errors import MpiError
-from .base import isend_internal, next_tag, recv_internal
+from .base import next_tag
+from .schedule import Schedule
 
-__all__ = ["allreduce_hierarchical"]
+__all__ = ["build_allreduce_hierarchical"]
 
 
-def allreduce_hierarchical(
+def build_allreduce_hierarchical(
     ctx,
     sendbuf: Payload,
     recvbuf: Payload,
     op: ReduceOp = ReduceOp.SUM,
-) -> Generator[Event, Any, None]:
+) -> Schedule:
     """Two-level allreduce over the communicator's locality groups."""
     src = payload_array(sendbuf)
     out = payload_array(recvbuf)
@@ -57,11 +59,15 @@ def allreduce_hierarchical(
             "hierarchical allreduce needs equal-size locality groups "
             f"(got sizes {sorted(len(g) for g in groups)})"
         )
+    sched = Schedule()
     acc = src.copy().reshape(-1)
     if ctx.size == 1:
-        yield ctx.comm._sw()
-        out[...] = acc.reshape(out.shape)
-        return
+        sched.overhead()
+        sched.compute(
+            lambda: out.__setitem__(..., acc.reshape(out.shape)),
+            after=(sched.last,),
+        )
+        return sched
     tag = next_tag(ctx)
     g_idx, m_idx = next(
         (g, m)
@@ -79,6 +85,8 @@ def allreduce_hierarchical(
         c %= s
         return acc[b1[c] : b1[c + 1]]
 
+    deps: List[int] = []
+    rnd = 0
     # Phase 1 (tags +0/+1) — intra-domain ring reduce-scatter.
     if s > 1:
         right = members[(m_idx + 1) % s]
@@ -86,11 +94,17 @@ def allreduce_hierarchical(
         for step in range(s - 1):
             send_c = chunk(m_idx - step)
             recv_c = chunk(m_idx - step - 1)
-            req = isend_internal(ctx, send_c, right, tag + step % 2)
             tmp = np.empty_like(recv_c)
-            yield from recv_internal(ctx, tmp, left, tag + step % 2)
-            yield from req.wait()
-            recv_c[...] = op.combine(tmp, recv_c)
+            snd = sched.send(send_c, right, tag + step % 2, after=deps,
+                             round=rnd)
+            rcv = sched.recv(tmp, left, tag + step % 2, after=deps,
+                             round=rnd)
+
+            def combine(tmp=tmp, recv_c=recv_c):
+                recv_c[...] = op.combine(tmp, recv_c)
+
+            deps = [sched.compute(combine, after=(snd, rcv), round=rnd)]
+            rnd += 1
 
     # Phase 2 (tags +2..+5) — ring allreduce of my chunk across domains.
     # After the reduce-scatter this member owns chunk (m_idx+1) mod s
@@ -109,17 +123,24 @@ def allreduce_hierarchical(
         for step in range(G - 1):
             send_c = sub(g_idx - step)
             recv_c = sub(g_idx - step - 1)
-            req = isend_internal(ctx, send_c, right, tag + 2 + step % 2)
             tmp = np.empty_like(recv_c)
-            yield from recv_internal(ctx, tmp, left, tag + 2 + step % 2)
-            yield from req.wait()
-            recv_c[...] = op.combine(tmp, recv_c)
+            snd = sched.send(send_c, right, tag + 2 + step % 2, after=deps,
+                             round=rnd)
+            rcv = sched.recv(tmp, left, tag + 2 + step % 2, after=deps,
+                             round=rnd)
+
+            def combine2(tmp=tmp, recv_c=recv_c):
+                recv_c[...] = op.combine(tmp, recv_c)
+
+            deps = [sched.compute(combine2, after=(snd, rcv), round=rnd)]
+            rnd += 1
         for step in range(G - 1):
-            send_c = sub(g_idx + 1 - step)
-            recv_c = sub(g_idx - step)
-            req = isend_internal(ctx, send_c, right, tag + 4 + step % 2)
-            yield from recv_internal(ctx, recv_c, left, tag + 4 + step % 2)
-            yield from req.wait()
+            snd = sched.send(sub(g_idx + 1 - step), right,
+                             tag + 4 + step % 2, after=deps, round=rnd)
+            rcv = sched.recv(sub(g_idx - step), left,
+                             tag + 4 + step % 2, after=deps, round=rnd)
+            deps = [snd, rcv]
+            rnd += 1
 
     # Phase 3 (tags +6/+7) — intra-domain ring allgather of the chunks
     # (circulating from the owned chunk (m_idx+1) mod s outward).
@@ -127,10 +148,16 @@ def allreduce_hierarchical(
         right = members[(m_idx + 1) % s]
         left = members[(m_idx - 1) % s]
         for step in range(s - 1):
-            send_c = chunk(m_idx + 1 - step)
-            recv_c = chunk(m_idx - step)
-            req = isend_internal(ctx, send_c, right, tag + 6 + step % 2)
-            yield from recv_internal(ctx, recv_c, left, tag + 6 + step % 2)
-            yield from req.wait()
+            snd = sched.send(chunk(m_idx + 1 - step), right,
+                             tag + 6 + step % 2, after=deps, round=rnd)
+            rcv = sched.recv(chunk(m_idx - step), left,
+                             tag + 6 + step % 2, after=deps, round=rnd)
+            deps = [snd, rcv]
+            rnd += 1
 
-    out[...] = acc.reshape(out.shape)
+    sched.compute(
+        lambda: out.__setitem__(..., acc.reshape(out.shape)),
+        after=deps,
+    )
+    return sched
+

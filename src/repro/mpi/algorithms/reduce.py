@@ -1,0 +1,206 @@
+"""Reduce-to-root algorithms: binomial tree (seed) and Rabenseifner.
+
+* ``binomial`` — ⌈log2 P⌉ rounds each moving the full vector: the
+  classic MVAPICH2 tree the seed shipped with.  Latency-optimal; every
+  round ships all n bytes, so large vectors pay ⌈log2 P⌉·nβ.
+* ``rabenseifner`` — recursive-halving reduce-scatter followed by a
+  binomial gather of the combined chunks to the root: 2·⌈log2 P⌉
+  rounds but only ≈2·nβ total bytes on the critical path — the
+  bandwidth-optimal root-ended reduction (Rabenseifner 2004), selected
+  for large messages on power-of-two communicators.
+
+Both compile to :class:`~repro.mpi.algorithms.schedule.Schedule` DAGs;
+``mpi/collectives.py`` dispatches blocking ``reduce`` (and the new
+``ireduce``) through the selector onto these builders, and the
+reduce+bcast allreduce splices the binomial schedule in front of its
+broadcast leg.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..datatypes import Payload, ReduceOp, payload_array
+from ..errors import MpiError
+from .base import is_pof2, next_tag
+from .schedule import Schedule
+
+__all__ = [
+    "build_reduce_binomial",
+    "build_reduce_rabenseifner",
+    "append_reduce_binomial",
+]
+
+
+def _setup(ctx, sendbuf: Payload, recvbuf: Optional[Payload], root: int):
+    src = payload_array(sendbuf)
+    if src is None:
+        raise MpiError("reduce requires an array payload")
+    out = payload_array(recvbuf) if recvbuf is not None else None
+    if ctx.rank == root and out is None:
+        raise MpiError("root needs a recv buffer for reduce")
+    return src, out
+
+
+def append_reduce_binomial(
+    sched: Schedule,
+    ctx,
+    sendbuf: Payload,
+    recvbuf: Optional[Payload],
+    op: ReduceOp = ReduceOp.SUM,
+    root: int = 0,
+    after: Sequence[int] = (),
+) -> List[int]:
+    """Binomial-tree reduction to ``root`` (the seed schedule).
+
+    Same virtual-rank arithmetic and message sequence as the original
+    run-to-completion loop; returns the terminal step indices.
+    """
+    src, out = _setup(ctx, sendbuf, recvbuf, root)
+    size, rank = ctx.size, ctx.rank
+    tag = next_tag(ctx)
+    st = {"acc": src.copy()}
+    deps = list(after)
+    if size > 1:
+        vrank = (rank - root) % size
+        mask = 1
+        rnd = 0
+        while mask < size:
+            if vrank & mask:
+                dst = ((vrank & ~mask) + root) % size
+                deps = [sched.send(lambda: st["acc"], dst, tag,
+                                   after=deps, round=rnd)]
+                break
+            partner_v = vrank | mask
+            if partner_v < size:
+                tmp = np.empty_like(st["acc"])
+                partner = (partner_v + root) % size
+                r = sched.recv(tmp, partner, tag, after=deps, round=rnd)
+
+                def combine(tmp=tmp):
+                    st["acc"] = op.combine(st["acc"], tmp)
+
+                deps = [sched.compute(combine, after=(r,), round=rnd)]
+            mask <<= 1
+            rnd += 1
+    else:
+        deps = [sched.overhead(after=deps)]
+    if rank == root:
+        deps = [sched.compute(
+            lambda: out.__setitem__(..., st["acc"].reshape(out.shape)),
+            after=deps,
+        )]
+    return deps
+
+
+def build_reduce_binomial(
+    ctx,
+    sendbuf: Payload,
+    recvbuf: Optional[Payload],
+    op: ReduceOp = ReduceOp.SUM,
+    root: int = 0,
+) -> Schedule:
+    sched = Schedule()
+    append_reduce_binomial(sched, ctx, sendbuf, recvbuf, op=op, root=root)
+    return sched
+
+
+def build_reduce_rabenseifner(
+    ctx,
+    sendbuf: Payload,
+    recvbuf: Optional[Payload],
+    op: ReduceOp = ReduceOp.SUM,
+    root: int = 0,
+) -> Schedule:
+    """Recursive-halving reduce-scatter + binomial gather to the root.
+
+    Power-of-two communicators only (the selector guards); tolerates
+    element counts below P (trailing chunks are empty).  Chunk c of the
+    vector ends fully combined on virtual rank c after the halving
+    phase, then the gather phase folds the chunk ranges upward to the
+    root in ⌈log2 P⌉ doubling rounds.
+    """
+    src, out = _setup(ctx, sendbuf, recvbuf, root)
+    size, rank = ctx.size, ctx.rank
+    if not is_pof2(size):
+        raise MpiError("rabenseifner reduce needs power-of-two P")
+    sched = Schedule()
+    acc = src.copy().reshape(-1)
+    if size == 1:
+        sched.overhead()
+        sched.compute(
+            lambda: out.__setitem__(..., acc.reshape(out.shape)),
+            after=(sched.last,),
+        )
+        return sched
+    tag = next_tag(ctx)
+    vr = (rank - root) % size
+    n = acc.size
+    bounds = [(c * n) // size for c in range(size + 1)]
+
+    def seg(lo: int, hi: int) -> np.ndarray:
+        return acc[bounds[lo] : bounds[hi]]
+
+    def real(v: int) -> int:
+        return (v + root) % size
+
+    deps: List[int] = []
+    # Phase 1 (tag offsets 0/1) — recursive halving reduce-scatter: each
+    # round trades half of the live range with the partner at distance
+    # ``half`` and combines the kept half.
+    lo, hi = 0, size
+    rnd = 0
+    while hi - lo > 1:
+        half = (hi - lo) // 2
+        mid = lo + half
+        partner = real(vr ^ half)
+        if vr < mid:
+            keep_lo, keep_hi = lo, mid
+            give_lo, give_hi = mid, hi
+        else:
+            keep_lo, keep_hi = mid, hi
+            give_lo, give_hi = lo, mid
+        tmp = np.empty_like(seg(keep_lo, keep_hi))
+        s = sched.send(seg(give_lo, give_hi), partner, tag + rnd % 2,
+                       after=deps, round=rnd)
+        r = sched.recv(tmp, partner, tag + rnd % 2, after=deps, round=rnd)
+
+        def combine(tmp=tmp, klo=keep_lo, khi=keep_hi, partner=partner):
+            mine = seg(klo, khi)
+            mine[...] = (
+                op.combine(tmp, mine) if partner < rank
+                else op.combine(mine, tmp)
+            )
+
+        deps = [sched.compute(combine, after=(s, r), round=rnd)]
+        lo, hi = keep_lo, keep_hi
+        rnd += 1
+    # Phase 2 (tag offsets 2/3) — binomial gather of the combined chunks:
+    # vrank v owns chunk range [v, v + m) after absorbing partners at
+    # distances 1, 2, ... until its bit fires and it ships the range to
+    # v − mask.
+    mask = 1
+    own_lo, own_hi = vr, vr + 1
+    while mask < size:
+        if vr & mask:
+            dst = real(vr - mask)
+            deps = [sched.send(seg(own_lo, own_hi), dst, tag + 2 + rnd % 2,
+                               after=deps, round=rnd)]
+            break
+        partner_v = vr + mask
+        if partner_v < size:
+            deps = [sched.recv(seg(partner_v, min(partner_v + mask, size)),
+                               real(partner_v), tag + 2 + rnd % 2,
+                               after=deps, round=rnd)]
+            own_hi = min(partner_v + mask, size)
+        mask <<= 1
+        rnd += 1
+    if rank == root:
+        sched.compute(
+            lambda: out.__setitem__(..., acc.reshape(out.shape)),
+            after=deps,
+        )
+    return sched
+

@@ -1,0 +1,299 @@
+"""Round-based collective schedules and the nonblocking progress engine.
+
+A :class:`Schedule` is the intermediate representation every collective
+algorithm in this package compiles to: a per-rank DAG of **steps**
+(send / recv / compute / overhead) with explicit dependencies.  The
+:class:`ScheduleEngine` executes a schedule by starting every step whose
+dependencies are satisfied and waiting for the *first* completion —
+never for the whole round — so independent wire transfers overlap
+exactly the way the hand-written generator loops used to overlap their
+``isend``/``recv`` pairs.
+
+Two execution modes share the same code path:
+
+* **blocking** — ``yield from engine.execute(ctx, sched)`` inside the
+  caller's process (what ``mpi/collectives.py`` does for the classic
+  MPI-2 collectives);
+* **nonblocking** — ``engine.start(ctx, sched)`` spawns the executor as
+  its own simulated process and returns a
+  :class:`~repro.mpi.communicator.Request`, which is what the MPI-3
+  style ``ibcast``/``iallreduce``/... return and what DCGN's comm
+  thread uses to progress collectives while kernels keep computing.
+
+Timing parity: a schedule whose dependency edges mirror a blocking
+loop's control flow (send_k ∥ recv_k, both gated on round k−1) produces
+the *same* message sequence at the same simulated times — the engine is
+pure bookkeeping and charges nothing itself.  That is what keeps the
+pre-existing BENCH gates byte-stable while making every algorithm
+startable nonblockingly.
+
+Steps carry a ``round`` label.  Rounds have no execution semantics
+(dependencies alone order the DAG) but they are the unit the autotuner
+costs — :mod:`repro.mpi.algorithms.autotune` prices an algorithm as the
+sum of its per-round critical paths — and the unit ``describe()``
+reports for tests and diagnostics.
+
+Buffers may be supplied lazily (a zero-argument callable returning the
+payload) for algorithms whose round *k* payload only exists once round
+*k−1* delivered — the Bruck rotation, recursive-doubling packs, the
+rebound accumulator of the halving reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple, Union
+
+from ...sim.core import Event
+from ..communicator import MpiContext, Request
+from ..datatypes import Payload
+from ..errors import MpiError
+
+__all__ = ["Schedule", "ScheduleEngine", "LazyBuf", "blocking"]
+
+
+def blocking(builder: Callable) -> Callable:
+    """Blocking entry point for a schedule builder.
+
+    Builds the schedule and executes it to completion in the calling
+    process — the single adapter behind every name in
+    :data:`~repro.mpi.algorithms.selector.ALGORITHMS`, so the blocking
+    and nonblocking paths can never drift apart.
+    """
+
+    def run(ctx, *args, **kwargs):
+        yield from ctx.comm.engine.execute(
+            ctx, builder(ctx, *args, **kwargs)
+        )
+
+    run.__name__ = builder.__name__.replace("build_", "")
+    run.__qualname__ = run.__name__
+    run.__doc__ = (
+        f"Blocking execution of :func:`{builder.__name__}`'s schedule."
+    )
+    return run
+
+#: A payload, or a zero-arg callable resolved when the step starts.
+LazyBuf = Union[Payload, Callable[[], Payload]]
+
+_SEND = "send"
+_RECV = "recv"
+_COMPUTE = "compute"
+_OVERHEAD = "overhead"
+
+
+@dataclass
+class _Step:
+    """One node of the schedule DAG."""
+
+    idx: int
+    kind: str
+    deps: Tuple[int, ...]
+    round: int = 0
+    #: Wire steps: the peer rank and internal tag.
+    peer: int = -1
+    tag: int = -1
+    #: Wire steps: payload (possibly lazy).
+    buf: LazyBuf = None
+    #: Compute steps: the local action (runs in zero simulated time,
+    #: like the inline numpy combines of the old generator loops).
+    fn: Optional[Callable[[], None]] = None
+
+    def resolve_buf(self) -> Payload:
+        return self.buf() if callable(self.buf) else self.buf
+
+
+class Schedule:
+    """A per-rank DAG of communication/compute steps."""
+
+    def __init__(self) -> None:
+        self.steps: List[_Step] = []
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def last(self) -> int:
+        """Index of the most recently added step."""
+        if not self.steps:
+            raise MpiError("empty schedule has no last step")
+        return len(self.steps) - 1
+
+    @property
+    def n_rounds(self) -> int:
+        return 1 + max((s.round for s in self.steps), default=-1)
+
+    def _add(self, step: _Step) -> int:
+        for d in step.deps:
+            if not (0 <= d < len(self.steps)):
+                raise MpiError(
+                    f"step {step.idx} depends on unknown step {d}"
+                )
+        self.steps.append(step)
+        return step.idx
+
+    def send(
+        self,
+        buf: LazyBuf,
+        peer: int,
+        tag: int,
+        after: Sequence[int] = (),
+        round: int = 0,
+    ) -> int:
+        """Post a send of ``buf`` to ``peer`` once ``after`` completed."""
+        return self._add(_Step(
+            idx=len(self.steps), kind=_SEND, deps=tuple(after),
+            round=round, peer=peer, tag=tag, buf=buf,
+        ))
+
+    def recv(
+        self,
+        buf: LazyBuf,
+        peer: int,
+        tag: int,
+        after: Sequence[int] = (),
+        round: int = 0,
+    ) -> int:
+        """Post a receive into ``buf`` from ``peer``."""
+        return self._add(_Step(
+            idx=len(self.steps), kind=_RECV, deps=tuple(after),
+            round=round, peer=peer, tag=tag, buf=buf,
+        ))
+
+    def compute(
+        self,
+        fn: Callable[[], None],
+        after: Sequence[int] = (),
+        round: int = 0,
+    ) -> int:
+        """Run a local action (combine/copy/pack) — zero simulated time."""
+        return self._add(_Step(
+            idx=len(self.steps), kind=_COMPUTE, deps=tuple(after),
+            round=round, fn=fn,
+        ))
+
+    def overhead(self, after: Sequence[int] = (), round: int = 0) -> int:
+        """Charge one software-overhead quantum (the degenerate-size
+        path every algorithm keeps for P == 1)."""
+        return self._add(_Step(
+            idx=len(self.steps), kind=_OVERHEAD, deps=tuple(after),
+            round=round,
+        ))
+
+    def describe(self) -> str:
+        """Human-readable round-by-round summary (tests/diagnostics)."""
+        by_round: dict = {}
+        for s in self.steps:
+            by_round.setdefault(s.round, []).append(s)
+        lines = []
+        for r in sorted(by_round):
+            ops = ", ".join(
+                f"{s.kind}"
+                + (f"->{s.peer}" if s.kind == _SEND else "")
+                + (f"<-{s.peer}" if s.kind == _RECV else "")
+                for s in by_round[r]
+            )
+            lines.append(f"round {r}: {ops}")
+        return "\n".join(lines)
+
+
+class ScheduleEngine:
+    """Executes schedules against a communicator's wire primitives.
+
+    The engine keeps a set of in-flight wire operations (each a spawned
+    simulated process driving ``_send_impl``/``_recv_impl``) and reacts
+    to the *first* completion, releasing dependent steps immediately.
+    Compute steps run inline the moment they unblock, exactly like the
+    numpy combines embedded in the old run-to-completion loops.
+    """
+
+    def __init__(self, comm) -> None:
+        self.comm = comm
+
+    # -- public entry points ------------------------------------------------
+    def start(self, ctx: MpiContext, sched: Schedule, name: str = "") -> Request:
+        """Run ``sched`` in its own process; return a :class:`Request`."""
+        proc = ctx.sim.process(
+            self.execute(ctx, sched),
+            name=name or f"sched(r{ctx.rank})",
+        )
+        return Request(proc)
+
+    def execute(
+        self, ctx: MpiContext, sched: Schedule
+    ) -> Generator[Event, Any, None]:
+        """Drive ``sched`` to completion from the calling process."""
+        from ...sim.primitives import AnyOf
+
+        import heapq
+
+        steps = sched.steps
+        n = len(steps)
+        if n == 0:
+            return
+        missing = [len(s.deps) for s in steps]
+        dependents: List[List[int]] = [[] for _ in steps]
+        for s in steps:
+            for d in s.deps:
+                dependents[d].append(s.idx)
+        #: Min-heap of startable step indices — lowest index first so
+        #: wire ops post in the order the algorithm listed them (send
+        #: before recv inside a round, like the old loops).
+        ready = [i for i in range(n) if missing[i] == 0]
+        heapq.heapify(ready)
+        running: dict = {}
+        done = 0
+
+        def finish(idx: int) -> None:
+            for j in dependents[idx]:
+                missing[j] -= 1
+                if missing[j] == 0:
+                    heapq.heappush(ready, j)
+
+        while done < n:
+            while ready:
+                idx = heapq.heappop(ready)
+                st = steps[idx]
+                if st.kind == _COMPUTE:
+                    st.fn()
+                    done += 1
+                    finish(idx)
+                    continue
+                proc = ctx.sim.process(
+                    self._wire_op(ctx, st),
+                    name=f"sched.{st.kind}(r{ctx.rank}:{st.idx})",
+                )
+                running[proc] = idx
+            if done >= n:
+                break
+            if not running:
+                raise MpiError(
+                    "schedule stalled: cyclic or dangling dependencies"
+                )
+            yield AnyOf(ctx.sim, list(running.keys()))
+            finished = sorted(
+                (p for p in running if p.triggered),
+                key=lambda p: running[p],
+            )
+            for p in finished:
+                idx = running.pop(p)
+                done += 1
+                finish(idx)
+
+    # -- step drivers -------------------------------------------------------
+    def _wire_op(
+        self, ctx: MpiContext, st: _Step
+    ) -> Generator[Event, Any, Any]:
+        if st.kind == _SEND:
+            yield from self.comm._send_impl(
+                ctx.rank, st.peer, st.resolve_buf(), st.tag
+            )
+        elif st.kind == _RECV:
+            status = yield from self.comm._recv_impl(
+                ctx.rank, st.peer, st.resolve_buf(), st.tag
+            )
+            return status
+        elif st.kind == _OVERHEAD:
+            yield self.comm._sw()
+        else:  # pragma: no cover - defensive
+            raise MpiError(f"unknown step kind {st.kind!r}")

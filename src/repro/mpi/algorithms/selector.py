@@ -5,8 +5,12 @@ geometry (bytes per rank, communicator size) plus — for the collectives
 that have a hierarchical variant — whether the communicator's placement
 makes the hierarchy worthwhile (``hier_ok``: equal locality groups on
 an oversubscribed fabric, fragmented ring order).  It returns the
-*name* of the algorithm to run; the registry maps names to
-implementations.  The thresholds live in
+*name* of the algorithm to run; the registries map names to
+implementations: :data:`ALGORITHMS` holds the blocking generator entry
+points, :data:`SCHEDULES` the ``build_*`` functions producing the
+round-based :class:`~repro.mpi.algorithms.schedule.Schedule` that both
+the blocking and the nonblocking (``ibcast``/``iallreduce``/…) paths
+execute.  The thresholds live in
 :class:`~repro.mpi.algorithms.tuning.CollectiveTuning` — autotuned per
 cluster by :mod:`repro.mpi.algorithms.autotune` unless the user pins
 their own — and are plumbed through both the raw-MPI layer
@@ -21,43 +25,68 @@ from typing import Callable, Dict, Optional
 from ..errors import MpiError
 from .base import is_pof2 as _is_pof2
 from .allgather import (
-    allgather_bruck,
-    allgather_recursive_doubling,
-    allgather_ring,
+    build_allgather_bruck,
+    build_allgather_recursive_doubling,
+    build_allgather_ring,
 )
 from .allreduce import (
-    allreduce_recursive_doubling,
-    allreduce_reduce_bcast,
-    allreduce_ring,
+    build_allreduce_recursive_doubling,
+    build_allreduce_reduce_bcast,
+    build_allreduce_ring,
 )
-from .alltoall import alltoall_pairwise, alltoall_shift
-from .bcast import bcast_binomial, bcast_hierarchical
-from .hierarchical import allreduce_hierarchical
+from .alltoall import (
+    build_alltoall_bruck,
+    build_alltoall_pairwise,
+    build_alltoall_shift,
+)
+from .bcast import (
+    build_bcast_binomial,
+    build_bcast_hierarchical,
+    build_bcast_pipelined,
+)
+from .hierarchical import build_allreduce_hierarchical
+from .reduce import build_reduce_binomial, build_reduce_rabenseifner
+from .schedule import blocking
 from .tuning import CollectiveTuning
 
-__all__ = ["ALGORITHMS", "AlgorithmSelector"]
+__all__ = ["ALGORITHMS", "SCHEDULES", "AlgorithmSelector"]
 
-#: Registry: collective → {algorithm name → implementation}.
-ALGORITHMS: Dict[str, Dict[str, Callable]] = {
+#: Registry: collective → {algorithm name → schedule builder}; what the
+#: nonblocking collectives hand to the progress engine, and the single
+#: source of truth the blocking registry below derives from.
+SCHEDULES: Dict[str, Dict[str, Callable]] = {
     "allreduce": {
-        "reduce_bcast": allreduce_reduce_bcast,
-        "recursive_doubling": allreduce_recursive_doubling,
-        "ring": allreduce_ring,
-        "hierarchical": allreduce_hierarchical,
+        "reduce_bcast": build_allreduce_reduce_bcast,
+        "recursive_doubling": build_allreduce_recursive_doubling,
+        "ring": build_allreduce_ring,
+        "hierarchical": build_allreduce_hierarchical,
     },
     "allgather": {
-        "ring": allgather_ring,
-        "recursive_doubling": allgather_recursive_doubling,
-        "bruck": allgather_bruck,
+        "ring": build_allgather_ring,
+        "recursive_doubling": build_allgather_recursive_doubling,
+        "bruck": build_allgather_bruck,
     },
     "alltoall": {
-        "shift": alltoall_shift,
-        "pairwise": alltoall_pairwise,
+        "shift": build_alltoall_shift,
+        "pairwise": build_alltoall_pairwise,
+        "bruck": build_alltoall_bruck,
     },
     "bcast": {
-        "binomial": bcast_binomial,
-        "hierarchical": bcast_hierarchical,
+        "binomial": build_bcast_binomial,
+        "hierarchical": build_bcast_hierarchical,
+        "pipelined": build_bcast_pipelined,
     },
+    "reduce": {
+        "binomial": build_reduce_binomial,
+        "rabenseifner": build_reduce_rabenseifner,
+    },
+}
+
+#: Registry: collective → {algorithm name → blocking implementation} —
+#: derived from :data:`SCHEDULES`, so the two can never diverge.
+ALGORITHMS: Dict[str, Dict[str, Callable]] = {
+    coll: {name: blocking(b) for name, b in menu.items()}
+    for coll, menu in SCHEDULES.items()
 }
 
 
@@ -124,13 +153,18 @@ class AlgorithmSelector:
             return "bruck"
         return "ring"
 
-    def alltoall(self, block_nbytes: int, size: int) -> str:
-        """Selection is schedule-based (pof2/force) today;
-        ``block_nbytes`` is reserved for a future small-message Bruck
-        threshold (see ROADMAP) and currently unused."""
+    def alltoall(
+        self, block_nbytes: int, size: int, uniform: bool = True
+    ) -> str:
         forced = self._forced("alltoall", self.tuning.force_alltoall)
         if forced is not None:
             return forced
+        if (
+            uniform
+            and size > 2
+            and 0 < block_nbytes <= self.tuning.alltoall_bruck_max_bytes
+        ):
+            return "bruck"
         if self.tuning.alltoall_pairwise and _is_pof2(size):
             return "pairwise"
         return "shift"
@@ -139,6 +173,15 @@ class AlgorithmSelector:
         forced = self._forced("bcast", self.tuning.force_bcast)
         if forced is not None:
             return forced
+        # Pipelined outranks hierarchical where both thresholds open:
+        # the autotuner only sets bcast_pipeline_min_bytes where the
+        # chain models a decisive (>=1.5x) win over BOTH tree shapes.
+        if (
+            size > 2
+            and self.tuning.bcast_pipeline_min_bytes is not None
+            and nbytes >= self.tuning.bcast_pipeline_min_bytes
+        ):
+            return "pipelined"
         if (
             hier_ok
             and size > 2
@@ -146,4 +189,17 @@ class AlgorithmSelector:
             and nbytes >= self.tuning.bcast_hier_min_bytes
         ):
             return "hierarchical"
+        return "binomial"
+
+    def reduce(self, nbytes: int, size: int) -> str:
+        forced = self._forced("reduce", self.tuning.force_reduce)
+        if forced is not None:
+            return forced
+        if (
+            _is_pof2(size)
+            and size > 2
+            and self.tuning.reduce_raben_min_bytes is not None
+            and nbytes >= self.tuning.reduce_raben_min_bytes
+        ):
+            return "rabenseifner"
         return "binomial"

@@ -68,6 +68,27 @@ class CollectiveTuning:
     #: shift schedule.
     alltoall_pairwise: bool = True
 
+    #: Alltoall blocks at or below this use the Bruck packed schedule —
+    #: ⌈log2 P⌉ rounds moving (P/2)·log2 P blocks instead of P−1 rounds
+    #: of one block: the winning trade when per-round latency dominates,
+    #: and the only sub-linear schedule on non-power-of-two
+    #: communicators.  0 disables it (the flat-IB constants predate the
+    #: schedule; autotune derives a real crossover per fabric).
+    alltoall_bruck_max_bytes: int = 0
+
+    #: Broadcast payloads at or above this stream through the pipelined
+    #: (segmented chain) schedule instead of the binomial tree — the
+    #: chain approaches one nβ instead of ⌈log2 P⌉·nβ once segments
+    #: amortize their fixed costs.  ``None`` disables pipelining (the
+    #: pre-engine behaviour, kept as the constants' default).
+    bcast_pipeline_min_bytes: Optional[int] = None
+
+    #: Reduce payloads at or above this (power-of-two communicators
+    #: only) use the Rabenseifner reduce-scatter + gather schedule —
+    #: ≈2·nβ on the critical path versus the binomial tree's
+    #: ⌈log2 P⌉·nβ.  ``None`` keeps the seed binomial tree everywhere.
+    reduce_raben_min_bytes: Optional[int] = None
+
     #: Allreduce payloads at or above this decompose hierarchically
     #: (intra-domain reduce-scatter, inter-domain ring, intra-domain
     #: allgather) when the communicator's placement is fragmented
@@ -84,6 +105,7 @@ class CollectiveTuning:
     force_allgather: Optional[str] = None
     force_alltoall: Optional[str] = None
     force_bcast: Optional[str] = None
+    force_reduce: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -92,10 +114,16 @@ class CollectiveTuning:
             "allgather_rd_min_ranks",
             "allgather_rd_small_max_bytes",
             "allgather_bruck_max_bytes",
+            "alltoall_bruck_max_bytes",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
-        for name in ("allreduce_hier_min_bytes", "bcast_hier_min_bytes"):
+        for name in (
+            "allreduce_hier_min_bytes",
+            "bcast_hier_min_bytes",
+            "bcast_pipeline_min_bytes",
+            "reduce_raben_min_bytes",
+        ):
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ValueError(f"{name} must be >= 0 or None")
@@ -107,13 +135,14 @@ class CollectiveTuning:
 
 #: Tuning that pins every collective to the pre-engine (seed) algorithm:
 #: allreduce = binomial reduce + binomial bcast, allgather = ring,
-#: alltoall = shift, bcast = binomial.  Benchmarks use this as the
-#: fixed baseline.
+#: alltoall = shift, bcast = binomial, reduce = binomial.  Benchmarks
+#: use this as the fixed baseline.
 SEED_TUNING = CollectiveTuning(
     force_allreduce="reduce_bcast",
     force_allgather="ring",
     force_alltoall="shift",
     force_bcast="binomial",
+    force_reduce="binomial",
 )
 
 __all__.append("SEED_TUNING")

@@ -1,22 +1,29 @@
 """Collective operations over the simulated point-to-point layer.
 
-Fixed-schedule primitives (the shapes MVAPICH2-era implementations used):
+Every collective algorithm compiles to a round-based
+:class:`~repro.mpi.algorithms.schedule.Schedule` executed by the
+communicator's :class:`~repro.mpi.algorithms.schedule.ScheduleEngine`.
+The blocking MPI-2 entry points below run the schedule to completion in
+the calling process; the ``i``-prefixed MPI-3 entry points start the
+same schedule in a background process and return a
+:class:`~repro.mpi.communicator.Request` immediately, so a rank (or
+DCGN's comm thread) can overlap the collective with computation.
 
-* barrier — dissemination (⌈log2 P⌉ rounds of 0-byte messages);
-* reduce — binomial tree with elementwise operator combination;
-* gather/scatter — linear at the root.
-
-``allreduce``, ``allgather``, ``alltoall`` and ``bcast`` have a *menu*
-of algorithms (see :mod:`repro.mpi.algorithms`) and dispatch per call
-through the communicator's :class:`~repro.mpi.algorithms.AlgorithmSelector`,
-which picks by message size × communicator size — and, for the
-hierarchical allreduce/bcast variants, by whether the placement is
-fragmented across an oversubscribed topology.  The chosen algorithm is
-recorded in ``comm.stats`` as ``"<op>[<algo>]"``.
+``allreduce``, ``allgather``, ``alltoall``, ``bcast`` and ``reduce``
+have a *menu* of algorithms (see :mod:`repro.mpi.algorithms`) and
+dispatch per call through the communicator's
+:class:`~repro.mpi.algorithms.AlgorithmSelector`, which picks by
+message size × communicator size — and, for the hierarchical
+allreduce/bcast variants, by whether the placement is fragmented across
+an oversubscribed topology.  The chosen algorithm is recorded in
+``comm.stats`` as ``"<op>[<algo>]"``.  ``gather``/``scatter`` keep the
+fixed linear-at-root shape MVAPICH2-era implementations used.
 
 Every collective call consumes one slot of the internal tag space, kept
 consistent across ranks by the requirement (as in real MPI) that all
-ranks invoke collectives in the same order.
+ranks invoke collectives in the same order — for nonblocking
+collectives the tag block and algorithm are claimed synchronously at
+issue time, so mixed blocking/nonblocking sequences stay aligned.
 """
 
 from __future__ import annotations
@@ -39,59 +46,125 @@ __all__ = [
     "scatter",
     "allgather",
     "alltoall",
+    "ibarrier",
+    "ibcast",
+    "ireduce",
+    "iallreduce",
+    "iallgather",
+    "ialltoall",
+    "igather",
+    "iscatter",
 ]
 
 from .algorithms.base import (
+    hier_ok as _hier_ok,
     isend_internal as _isend_internal,
     next_tag as _next_tag,
     recv_internal as _recv_internal,
     send_internal as _send_internal,
 )
-from .algorithms.selector import ALGORITHMS
-from .communicator import MpiContext
+from .algorithms.barrier import build_barrier_dissemination
+from .algorithms.selector import SCHEDULES
+from .communicator import MpiContext, Request
 
 
-def barrier(ctx: MpiContext) -> Generator[Event, Any, None]:
-    """Dissemination barrier."""
+# ---------------------------------------------------------------------------
+# Schedule-building dispatch helpers (shared by blocking and nonblocking)
+# ---------------------------------------------------------------------------
+
+def _build_barrier(ctx: MpiContext):
     ctx.comm._count("barrier")
-    tag = _next_tag(ctx)
-    size, rank = ctx.size, ctx.rank
-    if size == 1:
-        yield ctx.comm._sw()
-        return
-    k = 1
-    while k < size:
-        dst = (rank + k) % size
-        src = (rank - k) % size
-        req = _isend_internal(ctx, None, dst, tag)
-        yield from _recv_internal(ctx, None, src, tag)
-        yield from req.wait()
-        k <<= 1
+    return build_barrier_dissemination(ctx)
 
 
-def _hier_ok(ctx: MpiContext) -> bool:
-    """Hierarchical variants apply when the placement is regular enough
-    (equal locality groups) *and* fragmented across the topology's
-    domains — a contiguous placement's flat ring/tree is already
-    near-optimal (one bottleneck crossing per domain)."""
-    comm = ctx.comm
-    return bool(
-        getattr(comm, "hier_capable", False)
-        and getattr(comm, "fragmented", False)
-    )
-
-
-def bcast(
-    ctx: MpiContext, buf: Payload, root: int = 0
-) -> Generator[Event, Any, None]:
-    """Topology-adaptive broadcast (binomial tree, or domain-leader
-    hierarchical on fragmented oversubscribed fabrics)."""
+def _build_bcast(ctx: MpiContext, buf: Payload, root: int):
     ctx.comm._count("bcast")
     ctx.comm._check_rank(root)
     nbytes = nbytes_of(buf) if buf is not None else 0
     algo = ctx.comm.selector.bcast(nbytes, ctx.size, hier_ok=_hier_ok(ctx))
     ctx.comm._count(f"bcast[{algo}]")
-    yield from ALGORITHMS["bcast"][algo](ctx, buf, root=root)
+    return SCHEDULES["bcast"][algo](ctx, buf, root=root)
+
+
+def _build_reduce(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbuf: Optional[Payload],
+    op: ReduceOp,
+    root: int,
+):
+    ctx.comm._count("reduce")
+    ctx.comm._check_rank(root)
+    nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0
+    algo = ctx.comm.selector.reduce(nbytes, ctx.size)
+    ctx.comm._count(f"reduce[{algo}]")
+    return SCHEDULES["reduce"][algo](ctx, sendbuf, recvbuf, op=op, root=root)
+
+
+def _build_allreduce(
+    ctx: MpiContext, sendbuf: Payload, recvbuf: Payload, op: ReduceOp
+):
+    ctx.comm._count("allreduce")
+    if payload_array(recvbuf) is None:
+        raise MpiError("allreduce requires a recv buffer on every rank")
+    nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0
+    algo = ctx.comm.selector.allreduce(
+        nbytes, ctx.size, hier_ok=_hier_ok(ctx)
+    )
+    ctx.comm._count(f"allreduce[{algo}]")
+    return SCHEDULES["allreduce"][algo](ctx, sendbuf, recvbuf, op)
+
+
+def _build_allgather(
+    ctx: MpiContext, sendbuf: Payload, recvbufs: Sequence[Payload]
+):
+    ctx.comm._count("allgather")
+    if len(recvbufs) != ctx.size:
+        raise MpiError("allgather needs one recv buffer per rank")
+    sizes = [nbytes_of(b) if payload_array(b) is not None else None
+             for b in recvbufs]
+    uniform = None not in sizes and len(set(sizes)) <= 1
+    block = sizes[ctx.rank] if uniform else 0
+    algo = ctx.comm.selector.allgather(block, ctx.size, uniform=uniform)
+    ctx.comm._count(f"allgather[{algo}]")
+    return SCHEDULES["allgather"][algo](ctx, sendbuf, recvbufs)
+
+
+def _build_alltoall(
+    ctx: MpiContext,
+    sendbufs: Sequence[Payload],
+    recvbufs: Sequence[Payload],
+):
+    ctx.comm._count("alltoall")
+    if len(sendbufs) != ctx.size or len(recvbufs) != ctx.size:
+        raise MpiError("alltoall needs one send and recv buffer per rank")
+    sizes = [
+        nbytes_of(b) if payload_array(b) is not None else None
+        for b in list(sendbufs) + list(recvbufs)
+    ]
+    uniform = None not in sizes and len(set(sizes)) <= 1
+    block = sizes[0] if uniform else 0
+    algo = ctx.comm.selector.alltoall(block, ctx.size, uniform=uniform)
+    ctx.comm._count(f"alltoall[{algo}]")
+    return SCHEDULES["alltoall"][algo](ctx, sendbufs, recvbufs)
+
+
+# ---------------------------------------------------------------------------
+# Blocking collectives (MPI-2): execute the schedule inline
+# ---------------------------------------------------------------------------
+
+def barrier(ctx: MpiContext) -> Generator[Event, Any, None]:
+    """Dissemination barrier."""
+    yield from ctx.comm.engine.execute(ctx, _build_barrier(ctx))
+
+
+def bcast(
+    ctx: MpiContext, buf: Payload, root: int = 0
+) -> Generator[Event, Any, None]:
+    """Topology-adaptive broadcast (binomial tree, domain-leader
+    hierarchical on fragmented oversubscribed fabrics, or segmented
+    pipeline for large payloads)."""
+    yield from ctx.comm.engine.execute(ctx, _build_bcast(ctx, buf, root))
 
 
 def reduce(
@@ -101,37 +174,11 @@ def reduce(
     op: ReduceOp = ReduceOp.SUM,
     root: int = 0,
 ) -> Generator[Event, Any, None]:
-    """Binomial-tree reduction to ``root``."""
-    ctx.comm._count("reduce")
-    ctx.comm._check_rank(root)
-    tag = _next_tag(ctx)
-    size, rank = ctx.size, ctx.rank
-    src_arr = payload_array(sendbuf)
-    if src_arr is None:
-        raise MpiError("reduce requires an array payload")
-    acc = src_arr.copy()
-    if size > 1:
-        vrank = (rank - root) % size
-        mask = 1
-        while mask < size:
-            if vrank & mask:
-                dst = ((vrank & ~mask) + root) % size
-                yield from _send_internal(ctx, acc, dst, tag)
-                break
-            partner_v = vrank | mask
-            if partner_v < size:
-                tmp = np.empty_like(acc)
-                partner = (partner_v + root) % size
-                yield from _recv_internal(ctx, tmp, partner, tag)
-                acc = op.combine(acc, tmp)
-            mask <<= 1
-    else:
-        yield ctx.comm._sw()
-    if rank == root:
-        out = payload_array(recvbuf)
-        if out is None:
-            raise MpiError("root needs a recv buffer for reduce")
-        out[...] = acc.reshape(out.shape)
+    """Size-adaptive reduction to ``root`` (binomial tree, or
+    Rabenseifner reduce-scatter + gather for large vectors)."""
+    yield from ctx.comm.engine.execute(
+        ctx, _build_reduce(ctx, sendbuf, recvbuf, op, root)
+    )
 
 
 def allreduce(
@@ -141,16 +188,103 @@ def allreduce(
     op: ReduceOp = ReduceOp.SUM,
 ) -> Generator[Event, Any, None]:
     """Size-adaptive allreduce (see :mod:`repro.mpi.algorithms`)."""
-    ctx.comm._count("allreduce")
-    if payload_array(recvbuf) is None:
-        raise MpiError("allreduce requires a recv buffer on every rank")
-    nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0
-    algo = ctx.comm.selector.allreduce(
-        nbytes, ctx.size, hier_ok=_hier_ok(ctx)
+    yield from ctx.comm.engine.execute(
+        ctx, _build_allreduce(ctx, sendbuf, recvbuf, op)
     )
-    ctx.comm._count(f"allreduce[{algo}]")
-    yield from ALGORITHMS["allreduce"][algo](ctx, sendbuf, recvbuf, op)
 
+
+def allgather(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbufs: Sequence[Payload],
+) -> Generator[Event, Any, None]:
+    """Size-adaptive allgather (ring, recursive doubling, or Bruck)."""
+    yield from ctx.comm.engine.execute(
+        ctx, _build_allgather(ctx, sendbuf, recvbufs)
+    )
+
+
+def alltoall(
+    ctx: MpiContext,
+    sendbufs: Sequence[Payload],
+    recvbufs: Sequence[Payload],
+) -> Generator[Event, Any, None]:
+    """Schedule-adaptive all-to-all (shift, pairwise, or Bruck)."""
+    yield from ctx.comm.engine.execute(
+        ctx, _build_alltoall(ctx, sendbufs, recvbufs)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Nonblocking collectives (MPI-3): start the schedule, return a Request
+# ---------------------------------------------------------------------------
+
+def ibarrier(ctx: MpiContext) -> Request:
+    """Nonblocking dissemination barrier."""
+    return ctx.comm.engine.start(
+        ctx, _build_barrier(ctx), name=f"ibarrier(r{ctx.rank})"
+    )
+
+
+def ibcast(ctx: MpiContext, buf: Payload, root: int = 0) -> Request:
+    """Nonblocking broadcast (same schedules as ``bcast``)."""
+    return ctx.comm.engine.start(
+        ctx, _build_bcast(ctx, buf, root), name=f"ibcast(r{ctx.rank})"
+    )
+
+
+def ireduce(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+    root: int = 0,
+) -> Request:
+    """Nonblocking reduction to ``root``."""
+    return ctx.comm.engine.start(
+        ctx, _build_reduce(ctx, sendbuf, recvbuf, op, root),
+        name=f"ireduce(r{ctx.rank})",
+    )
+
+
+def iallreduce(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbuf: Payload,
+    op: ReduceOp = ReduceOp.SUM,
+) -> Request:
+    """Nonblocking allreduce (same schedules as ``allreduce``)."""
+    return ctx.comm.engine.start(
+        ctx, _build_allreduce(ctx, sendbuf, recvbuf, op),
+        name=f"iallreduce(r{ctx.rank})",
+    )
+
+
+def iallgather(
+    ctx: MpiContext, sendbuf: Payload, recvbufs: Sequence[Payload]
+) -> Request:
+    """Nonblocking allgather."""
+    return ctx.comm.engine.start(
+        ctx, _build_allgather(ctx, sendbuf, recvbufs),
+        name=f"iallgather(r{ctx.rank})",
+    )
+
+
+def ialltoall(
+    ctx: MpiContext,
+    sendbufs: Sequence[Payload],
+    recvbufs: Sequence[Payload],
+) -> Request:
+    """Nonblocking all-to-all."""
+    return ctx.comm.engine.start(
+        ctx, _build_alltoall(ctx, sendbufs, recvbufs),
+        name=f"ialltoall(r{ctx.rank})",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rooted linear collectives (fixed schedules, as in the seed)
+# ---------------------------------------------------------------------------
 
 def gather(
     ctx: MpiContext,
@@ -167,6 +301,37 @@ def gather(
     ctx.comm._count("gather")
     ctx.comm._check_rank(root)
     tag = _next_tag(ctx)
+    yield from _gather_impl(ctx, sendbuf, recvbufs, root, tag)
+
+
+def igather(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbufs: Optional[Sequence[Payload]],
+    root: int = 0,
+) -> Request:
+    """Nonblocking linear gather.
+
+    The tag block is claimed synchronously (like every nonblocking
+    collective) so concurrent collectives stay aligned across ranks;
+    the wire work runs in a background process.
+    """
+    ctx.comm._count("gather")
+    ctx.comm._check_rank(root)
+    tag = _next_tag(ctx)
+    return Request(ctx.sim.process(
+        _gather_impl(ctx, sendbuf, recvbufs, root, tag),
+        name=f"igather(r{ctx.rank})",
+    ))
+
+
+def _gather_impl(
+    ctx: MpiContext,
+    sendbuf: Payload,
+    recvbufs: Optional[Sequence[Payload]],
+    root: int,
+    tag: int,
+) -> Generator[Event, Any, None]:
     size, rank = ctx.size, ctx.rank
     if rank == root:
         if recvbufs is None or len(recvbufs) != size:
@@ -202,6 +367,32 @@ def scatter(
     ctx.comm._count("scatter")
     ctx.comm._check_rank(root)
     tag = _next_tag(ctx)
+    yield from _scatter_impl(ctx, sendbufs, recvbuf, root, tag)
+
+
+def iscatter(
+    ctx: MpiContext,
+    sendbufs: Optional[Sequence[Payload]],
+    recvbuf: Payload,
+    root: int = 0,
+) -> Request:
+    """Nonblocking linear scatter (tag claimed synchronously)."""
+    ctx.comm._count("scatter")
+    ctx.comm._check_rank(root)
+    tag = _next_tag(ctx)
+    return Request(ctx.sim.process(
+        _scatter_impl(ctx, sendbufs, recvbuf, root, tag),
+        name=f"iscatter(r{ctx.rank})",
+    ))
+
+
+def _scatter_impl(
+    ctx: MpiContext,
+    sendbufs: Optional[Sequence[Payload]],
+    recvbuf: Payload,
+    root: int,
+    tag: int,
+) -> Generator[Event, Any, None]:
     size, rank = ctx.size, ctx.rank
     if rank == root:
         if sendbufs is None or len(sendbufs) != size:
@@ -219,35 +410,3 @@ def scatter(
             yield from r.wait()
     else:
         yield from _recv_internal(ctx, recvbuf, root, tag)
-
-
-def allgather(
-    ctx: MpiContext,
-    sendbuf: Payload,
-    recvbufs: Sequence[Payload],
-) -> Generator[Event, Any, None]:
-    """Size-adaptive allgather (ring or recursive doubling)."""
-    ctx.comm._count("allgather")
-    if len(recvbufs) != ctx.size:
-        raise MpiError("allgather needs one recv buffer per rank")
-    sizes = [nbytes_of(b) if payload_array(b) is not None else None
-             for b in recvbufs]
-    uniform = None not in sizes and len(set(sizes)) <= 1
-    block = sizes[ctx.rank] if uniform else 0
-    algo = ctx.comm.selector.allgather(block, ctx.size, uniform=uniform)
-    ctx.comm._count(f"allgather[{algo}]")
-    yield from ALGORITHMS["allgather"][algo](ctx, sendbuf, recvbufs)
-
-
-def alltoall(
-    ctx: MpiContext,
-    sendbufs: Sequence[Payload],
-    recvbufs: Sequence[Payload],
-) -> Generator[Event, Any, None]:
-    """Schedule-adaptive all-to-all (shift, or pairwise on pof2 P)."""
-    ctx.comm._count("alltoall")
-    if len(sendbufs) != ctx.size or len(recvbufs) != ctx.size:
-        raise MpiError("alltoall needs one send and recv buffer per rank")
-    algo = ctx.comm.selector.alltoall(0, ctx.size)
-    ctx.comm._count(f"alltoall[{algo}]")
-    yield from ALGORITHMS["alltoall"][algo](ctx, sendbufs, recvbufs)

@@ -98,6 +98,7 @@ class Communicator:
     ) -> None:
         from .algorithms import AlgorithmSelector
         from .algorithms.autotune import autotune_tuning
+        from .algorithms.schedule import ScheduleEngine
 
         if not placement:
             raise MpiError("placement must name at least one rank")
@@ -113,6 +114,8 @@ class Communicator:
         )
         #: Per-call collective algorithm selection (collectives.py asks).
         self.selector = AlgorithmSelector(self.tuning)
+        #: Nonblocking progress engine executing collective schedules.
+        self.engine = ScheduleEngine(self)
         self._match: List[FilterStore] = [
             FilterStore(self.sim, name=f"mpi.match[{r}]")
             for r in range(self.size)
@@ -476,3 +479,82 @@ class MpiContext:
         from . import collectives as c
 
         yield from c.alltoall(self, sendbufs, recvbufs)
+
+    # -- nonblocking collectives (MPI-3 style) -----------------------------
+    # Each returns a :class:`Request` immediately; the collective's
+    # schedule progresses in the background (the communicator's
+    # ScheduleEngine) while this rank keeps computing.  As in real MPI,
+    # all ranks must issue their collectives in the same order — the
+    # algorithm and tag block are claimed synchronously at call time.
+    def ibarrier(self) -> Request:
+        """Nonblocking dissemination barrier."""
+        from . import collectives as c
+
+        return c.ibarrier(self)
+
+    def ibcast(self, buf: Payload, root: int = 0) -> Request:
+        """Nonblocking broadcast."""
+        from . import collectives as c
+
+        return c.ibcast(self, buf, root=root)
+
+    def ireduce(
+        self,
+        sendbuf: Payload,
+        recvbuf: Payload,
+        op: "ReduceOp" = ReduceOp.SUM,
+        root: int = 0,
+    ) -> Request:
+        """Nonblocking reduction to the root."""
+        from . import collectives as c
+
+        return c.ireduce(self, sendbuf, recvbuf, op=op, root=root)
+
+    def iallreduce(
+        self,
+        sendbuf: Payload,
+        recvbuf: Payload,
+        op: "ReduceOp" = ReduceOp.SUM,
+    ) -> Request:
+        """Nonblocking allreduce."""
+        from . import collectives as c
+
+        return c.iallreduce(self, sendbuf, recvbuf, op=op)
+
+    def iallgather(
+        self, sendbuf: Payload, recvbufs: Sequence[Payload]
+    ) -> Request:
+        """Nonblocking allgather."""
+        from . import collectives as c
+
+        return c.iallgather(self, sendbuf, recvbufs)
+
+    def ialltoall(
+        self, sendbufs: Sequence[Payload], recvbufs: Sequence[Payload]
+    ) -> Request:
+        """Nonblocking all-to-all."""
+        from . import collectives as c
+
+        return c.ialltoall(self, sendbufs, recvbufs)
+
+    def igather(
+        self,
+        sendbuf: Payload,
+        recvbufs: Optional[Sequence[Payload]] = None,
+        root: int = 0,
+    ) -> Request:
+        """Nonblocking linear gather."""
+        from . import collectives as c
+
+        return c.igather(self, sendbuf, recvbufs, root=root)
+
+    def iscatter(
+        self,
+        sendbufs: Optional[Sequence[Payload]],
+        recvbuf: Payload,
+        root: int = 0,
+    ) -> Request:
+        """Nonblocking linear scatter."""
+        from . import collectives as c
+
+        return c.iscatter(self, sendbufs, recvbuf, root=root)

@@ -1,0 +1,344 @@
+"""Nonblocking edge cases: isend/irecv wildcard matching under
+out-of-order completion, double-wait, test-before-completion — and the
+DCGN kernel-side i-APIs (iSendTo/iRecvFrom/iAllreduce slot requests)."""
+
+import numpy as np
+import pytest
+
+from repro.dcgn import ANY, DcgnConfig, DcgnRuntime, NodeConfig
+from repro.gpusim import LaunchConfig
+from repro.hw import build_cluster, paper_cluster
+from repro.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MpiJob,
+    block_placement,
+)
+from repro.sim import Simulator, us
+
+
+def make_job(n_ranks=3, n_nodes=3):
+    sim = Simulator()
+    cluster = build_cluster(sim, paper_cluster(nodes=n_nodes, gpus_per_node=0))
+    return sim, MpiJob(cluster, block_placement(n_ranks, n_nodes))
+
+
+# ---------------------------------------------------------------------------
+# MPI-layer isend/irecv edge cases
+# ---------------------------------------------------------------------------
+
+class TestWildcardOutOfOrder:
+    def test_any_source_matches_first_arrival(self):
+        """Two wildcard irecvs complete in arrival order, not in the
+        order senders were ranked."""
+        sim, job = make_job()
+        statuses = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                a = np.zeros(4, dtype=np.int32)
+                b = np.zeros(4, dtype=np.int32)
+                r1 = ctx.irecv(a, source=ANY_SOURCE, tag=ANY_TAG)
+                r2 = ctx.irecv(b, source=ANY_SOURCE, tag=ANY_TAG)
+                s1 = yield from r1.wait()
+                s2 = yield from r2.wait()
+                statuses.extend([s1, s2])
+            elif ctx.rank == 1:
+                # Rank 1 delays, so rank 2's message arrives first.
+                yield ctx.sim.timeout(us(500.0))
+                yield from ctx.send(
+                    np.full(4, 11, dtype=np.int32), dest=0, tag=7
+                )
+            else:
+                yield from ctx.send(
+                    np.full(4, 22, dtype=np.int32), dest=0, tag=9
+                )
+
+        job.start(prog)
+        job.run()
+        assert [s.source for s in statuses] == [2, 1]
+        assert [s.tag for s in statuses] == [9, 7]
+
+    def test_tagged_irecv_skips_mismatched_arrival(self):
+        """A tag-filtered irecv must not steal an earlier message with
+        another tag; the wildcard posted later picks that one up."""
+        sim, job = make_job(2, 2)
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                tagged = np.zeros(1, dtype=np.int64)
+                wild = np.zeros(1, dtype=np.int64)
+                r_tag = ctx.irecv(tagged, source=ANY_SOURCE, tag=5)
+                r_wild = ctx.irecv(wild, source=ANY_SOURCE, tag=ANY_TAG)
+                s_tag = yield from r_tag.wait()
+                s_wild = yield from r_wild.wait()
+                out["tagged"] = (int(tagged[0]), s_tag.tag)
+                out["wild"] = (int(wild[0]), s_wild.tag)
+            else:
+                yield from ctx.send(np.array([100]), dest=0, tag=3)
+                yield from ctx.send(np.array([200]), dest=0, tag=5)
+
+        job.start(prog)
+        job.run()
+        assert out["tagged"] == (200, 5)
+        assert out["wild"] == (100, 3)
+
+    def test_out_of_order_completion_of_posted_irecvs(self):
+        """irecvs posted for specific sources complete as their peers
+        send, independent of posting order."""
+        sim, job = make_job()
+        order = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                bufs = [np.zeros(2, dtype=np.int32) for _ in range(2)]
+                r1 = ctx.irecv(bufs[0], source=1)  # posted first
+                r2 = ctx.irecv(bufs[1], source=2)
+                # Rank 2 sends immediately; rank 1 is slow, so r2
+                # completes first although posted second.
+                yield from r2.wait()
+                order.append("r2")
+                assert not r1.test()
+                yield from r1.wait()
+                order.append("r1")
+            elif ctx.rank == 1:
+                yield ctx.sim.timeout(us(800.0))
+                yield from ctx.send(np.zeros(2, dtype=np.int32), dest=0)
+            else:
+                yield from ctx.send(np.zeros(2, dtype=np.int32), dest=0)
+
+        job.start(prog)
+        job.run()
+        assert order == ["r2", "r1"]
+
+
+class TestRequestSemantics:
+    def test_double_wait_returns_same_value(self):
+        sim, job = make_job(2, 2)
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                buf = np.zeros(3, dtype=np.int32)
+                req = ctx.irecv(buf, source=1)
+                s1 = yield from req.wait()
+                s2 = yield from req.wait()  # waiting again is legal
+                out["statuses"] = (s1, s2)
+            else:
+                yield from ctx.send(np.arange(3, dtype=np.int32), dest=0)
+
+        job.start(prog)
+        job.run()
+        s1, s2 = out["statuses"]
+        assert s1 is s2
+        assert s1.source == 1
+
+    def test_test_before_and_after_completion(self):
+        sim, job = make_job(2, 2)
+        flags = {}
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                buf = np.zeros(1, dtype=np.int64)
+                req = ctx.irecv(buf, source=1)
+                flags["before"] = req.test()
+                yield from req.wait()
+                flags["after"] = req.test()
+            else:
+                yield ctx.sim.timeout(us(300.0))
+                yield from ctx.send(np.array([1]), dest=0)
+
+        job.start(prog)
+        job.run()
+        assert flags == {"before": False, "after": True}
+
+    def test_isend_double_wait_and_test(self):
+        sim, job = make_job(2, 2)
+        out = {}
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                req = ctx.isend(np.zeros(8, dtype=np.int64), dest=1)
+                yield from req.wait()
+                assert req.test()
+                yield from req.wait()  # second wait is a no-op join
+                out["ok"] = True
+            else:
+                yield from ctx.recv(np.zeros(8, dtype=np.int64), source=0)
+
+        job.start(prog)
+        job.run()
+        assert out["ok"]
+
+
+# ---------------------------------------------------------------------------
+# DCGN kernel-side nonblocking slot requests
+# ---------------------------------------------------------------------------
+
+def make_runtime(nodes=2, cpu_threads=0, gpus=1):
+    sim = Simulator()
+    cluster = build_cluster(
+        sim, paper_cluster(nodes=nodes, gpus_per_node=max(1, gpus))
+    )
+    cfg = DcgnConfig.homogeneous(
+        nodes, cpu_threads=cpu_threads, gpus=gpus, slots_per_gpu=1
+    )
+    return sim, cluster, DcgnRuntime(cluster, cfg)
+
+
+class TestGpuNonblocking:
+    def test_isend_irecv_overlap_and_integrity(self):
+        sim, cluster, rt = make_runtime(nodes=2)
+        out = {}
+
+        def kernel(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            peer = 1 - rank
+            sbuf = kctx.device.alloc(1024, dtype=np.uint8, name="s")
+            rbuf = kctx.device.alloc(1024, dtype=np.uint8, name="r")
+            sbuf.data[...] = rank + 10
+            hs = yield from comm.isend(0, peer, sbuf)
+            hr = yield from comm.irecv(0, peer, rbuf)
+            assert not hr.test()
+            # Kernel keeps computing while the exchange progresses.
+            yield from kctx.compute(seconds=2e-3)
+            yield from hs.wait()
+            status = yield from hr.wait()
+            assert hr.test()
+            out[rank] = (int(rbuf.data[0]), status.source)
+            sbuf.free()
+            rbuf.free()
+
+        rt.launch_gpu(kernel, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=10.0)
+        assert out[0] == (11, 1)
+        assert out[1] == (10, 0)
+
+    def test_paper_aliases_exist(self):
+        from repro.dcgn import GpuCommApi
+
+        assert GpuCommApi.iSendTo is GpuCommApi.isend
+        assert GpuCommApi.iRecvFrom is GpuCommApi.irecv
+        assert GpuCommApi.iAllreduce is GpuCommApi.iallreduce
+        assert GpuCommApi.iBroadcast is GpuCommApi.ibroadcast
+
+    def test_iallreduce_from_kernel(self):
+        sim, cluster, rt = make_runtime(nodes=3)
+        out = {}
+
+        def kernel(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            buf = kctx.device.alloc(16, dtype=np.float64, name="x")
+            buf.data[...] = float(rank + 1)
+            h = yield from comm.iallreduce(0, buf, op="sum")
+            yield from kctx.compute(seconds=1e-3)
+            yield from h.wait()
+            out[rank] = float(buf.data[0])
+            buf.free()
+
+        rt.launch_gpu(kernel, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=10.0)
+        assert out == {0: 6.0, 1: 6.0, 2: 6.0}
+
+    def test_ibroadcast_and_ibarrier_from_kernel(self):
+        sim, cluster, rt = make_runtime(nodes=2)
+        out = {}
+
+        def kernel(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            buf = kctx.device.alloc(64, dtype=np.uint8, name="b")
+            if rank == 0:
+                buf.data[...] = 42
+            h = yield from comm.ibroadcast(0, 0, buf)
+            hb = yield from comm.ibarrier(0)
+            yield from h.wait()
+            yield from hb.wait()
+            out[rank] = int(buf.data[0])
+            buf.free()
+
+        rt.launch_gpu(kernel, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=10.0)
+        assert out == {0: 42, 1: 42}
+
+    def test_overlap_beats_blocking_exchange(self):
+        """The nonblocking exchange hides wire time under compute."""
+
+        def elapsed(overlapped):
+            sim, cluster, rt = make_runtime(nodes=2)
+            marks = {}
+
+            def kernel(kctx):
+                comm = kctx.comm
+                rank = comm.rank(0)
+                peer = 1 - rank
+                sbuf = kctx.device.alloc(
+                    2 * 1024 * 1024, dtype=np.uint8, name="s"
+                )
+                rbuf = kctx.device.alloc(
+                    2 * 1024 * 1024, dtype=np.uint8, name="r"
+                )
+                t0 = kctx.sim.now
+                if overlapped:
+                    hs = yield from comm.isend(0, peer, sbuf)
+                    hr = yield from comm.irecv(0, peer, rbuf)
+                    yield from kctx.compute(seconds=8e-3)
+                    yield from hs.wait()
+                    yield from hr.wait()
+                else:
+                    yield from comm.sendrecv(0, peer, sbuf, peer, rbuf)
+                    yield from kctx.compute(seconds=8e-3)
+                if rank == 0:
+                    marks["t"] = kctx.sim.now - t0
+                sbuf.free()
+                rbuf.free()
+
+            rt.launch_gpu(kernel, config=LaunchConfig(grid_blocks=1))
+            rt.run(max_time=30.0)
+            return marks["t"]
+
+        t_block = elapsed(False)
+        t_over = elapsed(True)
+        assert t_over < t_block / 1.3
+
+
+class TestCpuNonblocking:
+    def test_cpu_iallreduce_and_ibarrier(self):
+        sim, cluster, rt = make_runtime(nodes=2, cpu_threads=1, gpus=0)
+        out = {}
+
+        def cpu_kernel(ctx):
+            send = np.full(8, ctx.rank + 1.0)
+            recv = np.zeros(8)
+            h = yield from ctx.iallreduce(send, recv, op="sum")
+            yield from ctx.compute(seconds=1e-3)
+            yield from h.wait()
+            hb = yield from ctx.ibarrier()
+            yield from hb.wait()
+            out[ctx.rank] = recv[0]
+
+        rt.launch_cpu(cpu_kernel)
+        rt.run(max_time=10.0)
+        assert out == {0: 3.0, 1: 3.0}
+
+    def test_cpu_ibroadcast(self):
+        sim, cluster, rt = make_runtime(nodes=2, cpu_threads=1, gpus=0)
+        out = {}
+
+        def cpu_kernel(ctx):
+            buf = (
+                np.arange(32, dtype=np.int64)
+                if ctx.rank == 0
+                else np.zeros(32, dtype=np.int64)
+            )
+            h = yield from ctx.ibroadcast(0, buf)
+            yield from ctx.compute(seconds=5e-4)
+            yield from h.wait()
+            out[ctx.rank] = buf.copy()
+
+        rt.launch_cpu(cpu_kernel)
+        rt.run(max_time=10.0)
+        assert np.array_equal(out[1], np.arange(32))
