@@ -26,7 +26,7 @@ Quick tour::
 
 from .comm_thread import CommThread
 from .config import CollectiveTuning, DcgnConfig, NodeConfig
-from .cpu_api import CpuKernelContext, DcgnRequestHandle
+from .cpu_api import CpuGroupComm, CpuKernelContext, DcgnRequestHandle
 from .errors import (
     CollectiveMismatch,
     CommViolation,
@@ -34,7 +34,8 @@ from .errors import (
     DcgnError,
     DcgnTimeout,
 )
-from .gpu_api import GpuCommApi, GpuRequestHandle
+from .gpu_api import GpuCommApi, GpuGroupComm, GpuRequestHandle
+from .groups import DcgnGroup, GroupTable, WORLD_GID
 from .mpi_compat import DcgnMpiAdapter
 from .gpu_thread import GpuKernelThread
 from .polling import AdaptiveBurstPolicy, FixedIntervalPolicy, PollPolicy
@@ -61,9 +62,14 @@ __all__ = [
     "CommThread",
     "GpuKernelThread",
     "CpuKernelContext",
+    "CpuGroupComm",
     "DcgnRequestHandle",
     "GpuCommApi",
+    "GpuGroupComm",
     "GpuRequestHandle",
+    "DcgnGroup",
+    "GroupTable",
+    "WORLD_GID",
     "DcgnMpiAdapter",
     "DcgnRuntime",
     "DcgnReport",

@@ -39,6 +39,7 @@ from ..mpi.status import ANY_SOURCE
 from ..sim.core import Event, Simulator, us
 from ..sim.sync import Signal
 from .errors import CollectiveMismatch, DcgnError
+from .groups import GroupTable, WORLD_GID
 from .queues import WorkQueue
 from .ranks import ANY, RankMap
 from .requests import COLLECTIVE_OPS, CommRequest, CommStatus
@@ -73,9 +74,17 @@ class _Unexpected:
 
 @dataclass
 class _CollState:
-    """Per-node staging state of one collective operation."""
+    """Per-node staging state of one collective operation.
+
+    ``gid`` scopes the collective to a slot group (``WORLD_GID`` = the
+    whole job): staging waits for the group's *local* members only, the
+    MPI phase runs on the group's node sub-communicator, and ordering
+    is per group — collectives on disjoint groups progress
+    independently and overlap on the wire.
+    """
 
     seq: int
+    gid: int = WORLD_GID
     kind: Optional[str] = None
     root: int = -1
     op_name: str = ""
@@ -92,12 +101,18 @@ class CommThread:
         mpi_ctx: MpiContext,
         rankmap: RankMap,
         kick: Signal,
+        groups: GroupTable,
         name: str = "",
     ) -> None:
         self.sim = sim
         self.node = node
         self.mpi = mpi_ctx
         self.rankmap = rankmap
+        #: Slot-group registry.  Must be the ONE table shared by all of
+        #: the job's comm threads — a per-thread table would give every
+        #: node a different sub-communicator object for the same group
+        #: and their collectives would never match.
+        self.groups = groups
         self.params = node.params
         self.name = name or f"dcgn.comm{node.node_id}"
         #: Internal wake-up signal: fired on queue puts and shutdown so
@@ -116,9 +131,9 @@ class CommThread:
         self.kick = kick
         self._pending_recvs: List[CommRequest] = []
         self._unexpected: List[_Unexpected] = []
-        self._colls: Dict[int, _CollState] = {}
-        self._next_coll = 0
-        self._local_participants = len(rankmap.local_ranks(node.node_id))
+        #: (gid, seq) → staging state; ordering is enforced per gid.
+        self._colls: Dict[Tuple[int, int], _CollState] = {}
+        self._next_coll: Dict[int, int] = {}
         self._wire_seq = 0
         self._inflight_sends = 0
         #: Collectives whose MPI phase is progressing in the background
@@ -178,11 +193,13 @@ class CommThread:
                     yield from self._handle_wire_arrival()
                     self._post_header_irecv()
                     made_progress = True
-                while self._try_pop_ready_collective():
+                while True:
+                    key = self._ready_collective()
+                    if key is None:
+                        break
                     made_progress = True
-                    # _try_pop_ready_collective marked it; execute now.
-                    state = self._colls.pop(self._next_coll)
-                    self._next_coll += 1
+                    state = self._colls.pop(key)
+                    self._next_coll[key[0]] = key[1] + 1
                     yield from self._execute_collective(state)
             if self._shutdown and self._quiescent():
                 break
@@ -209,7 +226,7 @@ class CommThread:
         return (
             len(self.workq) > 0
             or (self._hdr_req is not None and self._hdr_req.test())
-            or self._try_pop_ready_collective()
+            or self._ready_collective() is not None
             or (self._shutdown and self._quiescent())
         )
 
@@ -380,20 +397,30 @@ class CommThread:
         self._kick_if_cpu_involved((req.src_vrank, entry.src_vrank))
 
     # -- collectives -------------------------------------------------------
+    def _local_quorum(self, gid: int) -> int:
+        """How many of the group's members live on this node."""
+        return self.groups.local_count(gid, self.node.node_id)
+
     def _stage_collective(self, req: CommRequest) -> None:
         seq = req.extra.get("coll_seq")
         if seq is None:
             raise DcgnError(f"collective {req!r} missing coll_seq")
-        if seq < self._next_coll:
+        gid = int(req.extra.get("gid", WORLD_GID))
+        if gid != WORLD_GID and req.src_vrank not in self.groups.group(gid):
             raise CollectiveMismatch(
-                f"collective #{seq} already executed; vrank "
+                f"vrank {req.src_vrank} issued a collective on group "
+                f"{gid} it does not belong to"
+            )
+        if seq < self._next_coll.get(gid, 0):
+            raise CollectiveMismatch(
+                f"collective #{seq} (group {gid}) already executed; vrank "
                 f"{req.src_vrank} replayed a stale sequence number "
                 "(participants disagree on how many collectives ran)"
             )
-        state = self._colls.get(seq)
+        state = self._colls.get((gid, seq))
         if state is None:
-            state = _CollState(seq=seq)
-            self._colls[seq] = state
+            state = _CollState(seq=seq, gid=gid)
+            self._colls[(gid, seq)] = state
         if state.kind is None:
             state.kind = req.op
             state.root = req.root
@@ -414,17 +441,28 @@ class CommThread:
                     f"collective #{seq}: reduce-op mismatch"
                 )
         state.entries.append(req)
-        if len(state.entries) > self._local_participants:
+        if len(state.entries) > self._local_quorum(gid):
             raise CollectiveMismatch(
-                f"collective #{seq}: more entries than local participants"
+                f"collective #{seq} (group {gid}): more entries than "
+                "local participants"
             )
 
-    def _try_pop_ready_collective(self) -> bool:
-        state = self._colls.get(self._next_coll)
-        return (
-            state is not None
-            and len(state.entries) == self._local_participants
-        )
+    def _ready_collective(self) -> Optional[Tuple[int, int]]:
+        """The next fully staged collective, if any.
+
+        Per group, collectives execute in sequence order; across groups
+        any fully staged head-of-line collective may go — their MPI
+        phases run on disjoint sub-communicators (own tag spaces), so
+        relative order between groups is free, which is exactly what
+        lets disjoint-group collectives overlap.
+        """
+        for (gid, seq), state in sorted(self._colls.items()):
+            if (
+                seq == self._next_coll.get(gid, 0)
+                and len(state.entries) == self._local_quorum(gid)
+            ):
+                return (gid, seq)
+        return None
 
     def _kick_if_cpu_involved(self, vranks) -> None:
         """Fire the node kick when a completed op involved local CPU ranks.
@@ -448,26 +486,36 @@ class CommThread:
         """Stage the collective and hand its wire phase to a completer.
 
         Staging (payload assembly, local combine trees) runs inline so
-        every node issues the MPI-level operation for collective #seq in
-        the same order — the nonblocking collectives claim their tag
-        blocks synchronously at issue time, which keeps concurrent
-        collectives aligned across nodes.  The MPI phase then progresses
-        in the background (the communicator's schedule engine) while
-        this thread returns to servicing kernel requests: that is the
-        compute/communication overlap the paper's dedicated comm thread
-        exists to provide.
+        every node issues the MPI-level operation for collective #seq
+        of a given group in the same order — the nonblocking
+        collectives claim their tag blocks synchronously at issue time,
+        which keeps concurrent collectives aligned across nodes.  The
+        MPI phase runs on the *group's* node sub-communicator (its own
+        tag space and schedule engine) and progresses in the background
+        while this thread returns to servicing kernel requests: that is
+        the compute/communication overlap the paper's dedicated comm
+        thread exists to provide, and what lets collectives on disjoint
+        slot groups share the wire.
         """
         self._bump(f"coll.{state.kind}")
+        info = self.groups.info(state.gid)
+        mpi = (
+            self.mpi
+            if state.gid == WORLD_GID
+            else info.ctx_for(self.node.node_id)
+        )
         if state.kind == "barrier":
-            self._spawn_completer(state, self.mpi.ibarrier(), None)
+            self._spawn_completer(state, mpi.ibarrier(), None)
         elif state.kind == "bcast":
-            self._start_bcast(state)
+            self._start_bcast(state, info, mpi)
         elif state.kind in ("reduce", "allreduce"):
-            yield from self._exec_reduce(state)
+            yield from self._exec_reduce(state, info, mpi)
         elif state.kind == "gather":
-            yield from self._exec_gather(state)
+            yield from self._exec_gather(state, info, mpi)
         elif state.kind == "scatter":
-            self._start_scatter(state)
+            self._start_scatter(state, info, mpi)
+        elif state.kind == "split":
+            yield from self._exec_split(state)
         else:
             raise DcgnError(f"unhandled collective {state.kind!r}")
 
@@ -497,7 +545,7 @@ class CommThread:
 
         self.sim.process(runner(), name=f"{self.name}.coll{state.seq}")
 
-    def _start_bcast(self, state: _CollState) -> None:
+    def _start_bcast(self, state: _CollState, info, mpi) -> None:
         root_vrank = state.root
         root_node = self.rankmap.node_of(root_vrank)
         nbytes = max(e.nbytes for e in state.entries)
@@ -512,7 +560,7 @@ class CommThread:
             # "one buffer is selected at random from those specified" — we
             # use a staging buffer, equivalent cost-wise.
             mpi_buf = np.empty(nbytes, dtype=np.uint8)
-        req = self.mpi.ibcast(mpi_buf, root=root_node)
+        req = mpi.ibcast(mpi_buf, root=info.mpi_rank_of_node(root_node))
 
         def finish():
             # Local dispersal: memcpy to CPU participants, data handoff
@@ -538,7 +586,9 @@ class CommThread:
 
         self._spawn_completer(state, req, finish)
 
-    def _exec_reduce(self, state: _CollState) -> Generator[Event, Any, None]:
+    def _exec_reduce(
+        self, state: _CollState, info, mpi
+    ) -> Generator[Event, Any, None]:
         op = ReduceOp(state.op_name or "sum")
         root_vrank = state.root
         contributions = sorted(state.entries, key=lambda e: e.src_vrank)
@@ -579,7 +629,7 @@ class CommThread:
         acc = level[0]
         result = np.empty_like(acc)
         if state.kind == "allreduce":
-            mreq = self.mpi.iallreduce(acc, result, op=op)
+            mreq = mpi.iallreduce(acc, result, op=op)
 
             def finish_allreduce():
                 for req in state.entries:
@@ -596,7 +646,9 @@ class CommThread:
         else:
             root_node = self.rankmap.node_of(root_vrank)
             recvbuf = result if self.node.node_id == root_node else None
-            mreq = self.mpi.ireduce(acc, recvbuf, op=op, root=root_node)
+            mreq = mpi.ireduce(
+                acc, recvbuf, op=op, root=info.mpi_rank_of_node(root_node)
+            )
 
             def finish_reduce():
                 for req in state.entries:
@@ -616,17 +668,24 @@ class CommThread:
     def _local_vranks_in_order(self) -> List[int]:
         return self.rankmap.local_ranks(self.node.node_id)
 
-    def _exec_gather(self, state: _CollState) -> Generator[Event, Any, None]:
+    def _exec_gather(
+        self, state: _CollState, info, mpi
+    ) -> Generator[Event, Any, None]:
         """Gather equal-size contributions to the root vrank.
 
         Every entry carries ``extra["chunk"]`` — the per-rank chunk size
         in bytes (agreed by all participants, as in MPI_Gather).
+        Results assemble in *group-rank* order (vrank order for the
+        world group).
         """
         root_vrank = state.root
         root_node = self.rankmap.node_of(root_vrank)
         chunk = int(state.entries[0].extra["chunk"])
-        # Assemble this node's contribution in vrank order.
-        local = sorted(state.entries, key=lambda e: e.src_vrank)
+        # Assemble this node's contribution in group-rank order.
+        local = sorted(
+            state.entries,
+            key=lambda e: info.group.rank_of(e.src_vrank),
+        )
         sendbuf = np.zeros(chunk * len(local), dtype=np.uint8)
         for i, e in enumerate(local):
             if e.data is None:
@@ -642,18 +701,27 @@ class CommThread:
         cores = max(1, self.node.cores)
         for _ in range((len(local) + cores - 1) // cores):
             yield from self.node.memcpy.copy(None, None, nbytes=chunk)
+        sub_root = info.mpi_rank_of_node(root_node)
         if self.node.node_id == root_node:
             recvbufs = [
                 np.zeros(
-                    chunk * len(self.rankmap.local_ranks(n)), dtype=np.uint8
+                    chunk * len(info.local_vranks(n)), dtype=np.uint8
                 )
-                for n in range(self.mpi.size)
+                for n in info.nodes
             ]
-            mreq = self.mpi.igather(sendbuf, recvbufs, root=root_node)
+            mreq = mpi.igather(sendbuf, recvbufs, root=sub_root)
 
             def finish_gather_root():
-                # Assemble the full result in global vrank order.
-                total = np.concatenate(recvbufs)
+                # Assemble the full result in global group-rank order
+                # (a key-reordered group need not be node-major, so
+                # each member's chunk lands at its group-rank offset).
+                total = np.zeros(chunk * info.group.size, dtype=np.uint8)
+                for i, node in enumerate(info.nodes):
+                    for j, member in enumerate(info.local_vranks(node)):
+                        g = info.group.rank_of(member)
+                        total[g * chunk : (g + 1) * chunk] = recvbufs[i][
+                            j * chunk : (j + 1) * chunk
+                        ]
                 root_entry = next(
                     e for e in state.entries if e.src_vrank == root_vrank
                 )
@@ -667,19 +735,24 @@ class CommThread:
 
             self._spawn_completer(state, mreq, finish_gather_root)
         else:
-            mreq = self.mpi.igather(sendbuf, None, root=root_node)
+            mreq = mpi.igather(sendbuf, None, root=sub_root)
             self._spawn_completer(state, mreq, None)
 
-    def _start_scatter(self, state: _CollState) -> None:
+    def _start_scatter(self, state: _CollState, info, mpi) -> None:
         """Scatter equal-size chunks from the root vrank.
 
-        Every entry carries ``extra["chunk"]`` (bytes per rank).
+        Every entry carries ``extra["chunk"]`` (bytes per rank); the
+        root's buffer is read in group-rank order.
         """
         root_vrank = state.root
         root_node = self.rankmap.node_of(root_vrank)
-        local = sorted(state.entries, key=lambda e: e.src_vrank)
+        local = sorted(
+            state.entries,
+            key=lambda e: info.group.rank_of(e.src_vrank),
+        )
         chunk = int(state.entries[0].extra["chunk"])
         recvbuf = np.zeros(chunk * len(local), dtype=np.uint8)
+        sub_root = info.mpi_rank_of_node(root_node)
         if self.node.node_id == root_node:
             root_entry = next(
                 e for e in state.entries if e.src_vrank == root_vrank
@@ -688,14 +761,18 @@ class CommThread:
                 raise DcgnError("scatter root entry has no payload")
             full = root_entry.data.view(np.uint8).reshape(-1)
             sendbufs = []
-            offset = 0
-            for n in range(self.mpi.size):
-                n_local = len(self.rankmap.local_ranks(n))
-                sendbufs.append(full[offset : offset + chunk * n_local].copy())
-                offset += chunk * n_local
-            mreq = self.mpi.iscatter(sendbufs, recvbuf, root=root_node)
+            for n in info.nodes:
+                pieces = [
+                    full[
+                        info.group.rank_of(m) * chunk
+                        : (info.group.rank_of(m) + 1) * chunk
+                    ]
+                    for m in info.local_vranks(n)
+                ]
+                sendbufs.append(np.concatenate(pieces))
+            mreq = mpi.iscatter(sendbufs, recvbuf, root=sub_root)
         else:
-            mreq = self.mpi.iscatter(None, recvbuf, root=root_node)
+            mreq = mpi.iscatter(None, recvbuf, root=sub_root)
 
         def finish_scatter():
             for i, req in enumerate(local):
@@ -713,6 +790,47 @@ class CommThread:
                 )
 
         self._spawn_completer(state, mreq, finish_scatter)
+
+    def _exec_split(self, state: _CollState) -> Generator[Event, Any, None]:
+        """Collective ``comm_split`` over the whole job.
+
+        Every virtual rank contributes a (color, key) pair; the comm
+        threads allgather the triples over the node communicator (real
+        wire cost, like ``MPI_Comm_split``'s internal exchange), then
+        each derives the identical grouping and registers it in the
+        shared :class:`~repro.dcgn.groups.GroupTable` — which builds
+        one node-level MPI sub-communicator per color.  Each entry
+        completes carrying its group descriptor (``None`` for negative
+        colors, mirroring ``MPI_UNDEFINED``).
+        """
+        local = sorted(state.entries, key=lambda e: e.src_vrank)
+        mine = np.zeros(3 * len(local), dtype=np.int64)
+        for i, e in enumerate(local):
+            mine[3 * i : 3 * i + 3] = (
+                e.src_vrank,
+                int(e.extra.get("color", -1)),
+                int(e.extra.get("key", 0)),
+            )
+        recv = [
+            np.empty(
+                3 * len(self.rankmap.local_ranks(n)), dtype=np.int64
+            )
+            for n in range(self.mpi.size)
+        ]
+        yield from self.mpi.allgather(mine, recv)
+        triples = []
+        for buf in recv:
+            for i in range(buf.size // 3):
+                triples.append(
+                    (int(buf[3 * i]), int(buf[3 * i + 1]),
+                     int(buf[3 * i + 2]))
+                )
+        groups = self.groups.register_split(state.seq, triples)
+        for e in state.entries:
+            color = int(e.extra.get("color", -1))
+            e.extra["group"] = groups.get(color)
+            e.complete(CommStatus(source=-1, nbytes=0))
+        self._kick_if_cpu_involved([e.src_vrank for e in state.entries])
 
     # -- misc ------------------------------------------------------------
     def _bump(self, key: str) -> None:

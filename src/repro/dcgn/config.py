@@ -17,14 +17,16 @@ allreduce  ``reduce_bcast`` (binomial reduce + bcast, the seed fixed
 allgather  ``ring`` (P−1 block hops, bandwidth-optimal, any P),
            ``recursive_doubling`` (⌈log2 P⌉ rounds; small blocks on
            power-of-two communicators), ``bruck`` (⌈log2 P⌉ rounds;
-           small blocks, any P)
+           small blocks, any P), ``hierarchical`` (gather → leader
+           ring → broadcast on fragmented oversubscribed fabrics)
 alltoall   ``shift`` (send to rank+k / recv from rank−k),
            ``pairwise`` (XOR partners; power-of-two communicators),
-           ``bruck`` (⌈log2 P⌉ packed rounds; small blocks, any P)
+           ``bruck`` (⌈log2 P⌉ packed rounds; small blocks, any P),
+           ``hierarchical`` (domain super-bucket exchange)
 bcast      ``binomial`` (seed), ``hierarchical`` (domain leaders),
            ``pipelined`` (segmented chain; large payloads)
 reduce     ``binomial`` (seed), ``rabenseifner`` (reduce-scatter +
-           gather; large vectors, power-of-two communicators)
+           gather; large vectors, any communicator size)
 ========== ===========================================================
 
 Selection is per call, by message size × communicator size ×
@@ -47,7 +49,7 @@ node-level MPI communicator that the comm threads drive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..hw.cluster import Cluster
 from ..mpi.algorithms import CollectiveTuning
@@ -92,20 +94,37 @@ class DcgnConfig:
     ``tuning`` overrides the collective-algorithm selection thresholds
     of the node-level MPI layer the comm threads use (see the module
     docstring for the menu and threshold semantics).
+
+    ``slot_groups`` declares named groups of virtual ranks up front
+    (``{"row0": [0, 1, 2], ...}``): the runtime builds each one a
+    dedicated node-level MPI sub-communicator with its own tag space,
+    and kernels fetch the group handle by name (CPU
+    ``ctx.group("row0")``, GPU ``ctx.comm.group(slot, "row0")``) to run
+    collectives scoped to the group.  Kernels can also form groups
+    dynamically with the collective ``split(color, key)``.
     """
 
     nodes: tuple
     tuning: Optional[CollectiveTuning] = None
+    slot_groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
 
     def __init__(
         self,
         nodes: Sequence[NodeConfig],
         tuning: Optional[CollectiveTuning] = None,
+        slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
     ) -> None:
         if not nodes:
             raise DcgnConfigError("job needs at least one node")
         object.__setattr__(self, "nodes", tuple(nodes))
         object.__setattr__(self, "tuning", tuning)
+        groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+        if slot_groups:
+            groups = tuple(
+                (str(name), tuple(int(v) for v in vranks))
+                for name, vranks in slot_groups.items()
+            )
+        object.__setattr__(self, "slot_groups", groups)
 
     @classmethod
     def homogeneous(
@@ -115,6 +134,7 @@ class DcgnConfig:
         gpus: int = 0,
         slots_per_gpu: int = 1,
         tuning: Optional[CollectiveTuning] = None,
+        slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
     ) -> "DcgnConfig":
         """Same configuration on every node (the paper's usual setup)."""
         return cls(
@@ -127,6 +147,7 @@ class DcgnConfig:
             ]
             * n_nodes,
             tuning=tuning,
+            slot_groups=slot_groups,
         )
 
     @property

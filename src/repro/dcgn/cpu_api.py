@@ -9,7 +9,7 @@ blames for DCGN's small-message overhead (§5.2).
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Union
+from typing import Any, Dict, Generator, Optional, Union
 
 import numpy as np
 
@@ -18,11 +18,12 @@ from ..mpi.datatypes import payload_array
 from ..sim.core import Event, Simulator, us
 from .comm_thread import CommThread
 from .errors import CommViolation
+from .groups import DcgnGroup
 from .queues import sleep_poll_wait
 from .ranks import ANY, RankMap
 from .requests import CommRequest, CommStatus
 
-__all__ = ["CpuKernelContext", "DcgnRequestHandle"]
+__all__ = ["CpuKernelContext", "CpuGroupComm", "DcgnRequestHandle"]
 
 HostPayload = Union[np.ndarray, HostBuffer]
 
@@ -71,6 +72,10 @@ class CpuKernelContext:
         self._rankmap = rankmap
         self._params = comm.params
         self._coll_seq = 0
+        #: Per-group collective sequence counters (shared across every
+        #: handle this context creates for the same group, so repeated
+        #: ``group(...)`` lookups never desynchronize the staging).
+        self._group_seqs: Dict[int, int] = {}
 
     # -- identity ----------------------------------------------------------
     @property
@@ -466,13 +471,12 @@ class CpuKernelContext:
         )
         yield from self._issue(req)
 
-    def gather(
+    def _gather_request(
         self,
         root: int,
         sendbuf: HostPayload,
-        recvbuf: Optional[HostPayload] = None,
-    ) -> Generator[Event, Any, None]:
-        """dcgn::gather — equal chunks from every rank to ``root``."""
+        recvbuf: Optional[HostPayload],
+    ) -> CommRequest:
         self._check_peer(root)
         sarr = self._array(sendbuf, "gather")
         chunk = int(sarr.nbytes)
@@ -488,7 +492,7 @@ class CpuKernelContext:
                 m = min(dview.size, sview.size)
                 dview[:m] = sview[:m]
 
-        req = CommRequest(
+        return CommRequest(
             op="gather",
             src_vrank=self.vrank,
             root=root,
@@ -497,15 +501,35 @@ class CpuKernelContext:
             deliver=deliver,
             extra={"coll_seq": self._next_coll(), "chunk": chunk},
         )
-        yield from self._issue(req)
 
-    def scatter(
+    def gather(
+        self,
+        root: int,
+        sendbuf: HostPayload,
+        recvbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gather — equal chunks from every rank to ``root``."""
+        yield from self._issue(self._gather_request(root, sendbuf, recvbuf))
+
+    def igather(
+        self,
+        root: int,
+        sendbuf: HostPayload,
+        recvbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking gather: issue and keep computing (the comm
+        thread already progresses the MPI phase asynchronously)."""
+        handle = yield from self._issue_async(
+            self._gather_request(root, sendbuf, recvbuf)
+        )
+        return handle
+
+    def _scatter_request(
         self,
         root: int,
         recvbuf: HostPayload,
-        sendbuf: Optional[HostPayload] = None,
-    ) -> Generator[Event, Any, None]:
-        """dcgn::scatter — equal chunks from ``root`` to every rank."""
+        sendbuf: Optional[HostPayload],
+    ) -> CommRequest:
         self._check_peer(root)
         rarr = self._array(recvbuf, "scatter")
         chunk = int(rarr.nbytes)
@@ -522,7 +546,7 @@ class CpuKernelContext:
                 raise CommViolation("root needs a send buffer for scatter")
             sarr = self._array(sendbuf, "scatter")
             data = sarr.copy()
-        req = CommRequest(
+        return CommRequest(
             op="scatter",
             src_vrank=self.vrank,
             root=root,
@@ -531,4 +555,329 @@ class CpuKernelContext:
             deliver=deliver,
             extra={"coll_seq": self._next_coll(), "chunk": chunk},
         )
+
+    def scatter(
+        self,
+        root: int,
+        recvbuf: HostPayload,
+        sendbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::scatter — equal chunks from ``root`` to every rank."""
+        yield from self._issue(self._scatter_request(root, recvbuf, sendbuf))
+
+    def iscatter(
+        self,
+        root: int,
+        recvbuf: HostPayload,
+        sendbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking scatter: issue and keep computing."""
+        handle = yield from self._issue_async(
+            self._scatter_request(root, recvbuf, sendbuf)
+        )
+        return handle
+
+    # -- slot groups -------------------------------------------------------
+    def split(
+        self, color: int, key: int = 0
+    ) -> Generator[Event, Any, Optional["CpuGroupComm"]]:
+        """Collective ``comm_split`` over every virtual rank in the job.
+
+        All ranks must call it (in the same collective order); ranks
+        sharing a ``color`` get a :class:`CpuGroupComm` over the new
+        group, ordered by (key, vrank); a negative color opts out and
+        returns ``None``.
+        """
+        req = CommRequest(
+            op="split",
+            src_vrank=self.vrank,
+            extra={
+                "coll_seq": self._next_coll(),
+                "color": int(color),
+                "key": int(key),
+            },
+        )
         yield from self._issue(req)
+        group = req.extra.get("group")
+        if group is None:
+            return None
+        return CpuGroupComm(self, group)
+
+    def group(self, name: str) -> "CpuGroupComm":
+        """Handle for a slot group declared in ``DcgnConfig``."""
+        group = self._comm.groups.by_name(name)
+        if self.vrank not in group:
+            raise CommViolation(
+                f"vrank {self.vrank} is not a member of group {name!r}"
+            )
+        return CpuGroupComm(self, group)
+
+
+class CpuGroupComm:
+    """Slot-group communication scope for a CPU kernel.
+
+    Returned by :meth:`CpuKernelContext.split` /
+    :meth:`CpuKernelContext.group`.  Collectives issued here are scoped
+    to the group: the comm thread stages them against the group's local
+    membership, runs the MPI phase on the group's own node
+    sub-communicator (own tag space), and progresses them independently
+    of world collectives — concurrent collectives on disjoint groups
+    overlap on the wire.  ``root`` arguments are **group-local ranks**,
+    as in MPI.  Each group has its own collective ordering: every
+    member must issue the group's collectives in the same order, but
+    no order is required *between* groups.
+    """
+
+    def __init__(self, ctx: CpuKernelContext, group: DcgnGroup) -> None:
+        self._ctx = ctx
+        self.group = group
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This kernel's rank within the group."""
+        return self.group.rank_of(self._ctx.vrank)
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CpuGroupComm {self.group.name!r} "
+            f"rank={self.rank}/{self.size}>"
+        )
+
+    # -- plumbing ----------------------------------------------------------
+    def _next_coll(self) -> int:
+        seqs = self._ctx._group_seqs
+        seq = seqs.get(self.group.gid, 0)
+        seqs[self.group.gid] = seq + 1
+        return seq
+
+    def _extra(self, **kw) -> dict:
+        return {
+            "coll_seq": self._next_coll(),
+            "gid": self.group.gid,
+            **kw,
+        }
+
+    def _root_vrank(self, root: int) -> int:
+        if not (0 <= root < self.group.size):
+            raise CommViolation(
+                f"group root {root} out of range [0,{self.group.size})"
+            )
+        return self.group.vranks[root]
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Barrier across the group's members."""
+        req = CommRequest(
+            op="barrier", src_vrank=self._ctx.vrank, extra=self._extra()
+        )
+        yield from self._ctx._issue(req)
+
+    def ibarrier(self) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking group barrier."""
+        req = CommRequest(
+            op="barrier", src_vrank=self._ctx.vrank, extra=self._extra()
+        )
+        handle = yield from self._ctx._issue_async(req)
+        return handle
+
+    def _bcast_request(self, root: int, buf, nbytes) -> CommRequest:
+        root_vrank = self._root_vrank(root)
+        arr = self._ctx._array(buf, "broadcast")
+        n = int(nbytes) if nbytes is not None else int(arr.nbytes)
+        if self._ctx.vrank == root_vrank:
+            return CommRequest(
+                op="bcast", src_vrank=self._ctx.vrank, root=root_vrank,
+                nbytes=n, data=arr.copy(), extra=self._extra(),
+            )
+
+        def deliver(data: np.ndarray) -> None:
+            dview = arr.view(np.uint8).reshape(-1)
+            sview = data.view(np.uint8).reshape(-1)
+            m = min(dview.size, sview.size)
+            dview[:m] = sview[:m]
+
+        return CommRequest(
+            op="bcast", src_vrank=self._ctx.vrank, root=root_vrank,
+            nbytes=n, deliver=deliver, extra=self._extra(),
+        )
+
+    def broadcast(
+        self, root: int, buf: HostPayload, nbytes: Optional[int] = None
+    ) -> Generator[Event, Any, None]:
+        """Broadcast from group rank ``root`` to the group."""
+        yield from self._ctx._issue(self._bcast_request(root, buf, nbytes))
+
+    def ibroadcast(
+        self, root: int, buf: HostPayload, nbytes: Optional[int] = None
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking group broadcast."""
+        handle = yield from self._ctx._issue_async(
+            self._bcast_request(root, buf, nbytes)
+        )
+        return handle
+
+    def _allreduce_request(self, sendbuf, recvbuf, op: str) -> CommRequest:
+        sarr = self._ctx._array(sendbuf, "allreduce")
+        rarr = self._ctx._array(recvbuf, "allreduce")
+
+        def deliver(data: np.ndarray) -> None:
+            rarr[...] = data.reshape(rarr.shape)
+
+        return CommRequest(
+            op="allreduce",
+            src_vrank=self._ctx.vrank,
+            nbytes=int(sarr.nbytes),
+            data=sarr.copy(),
+            deliver=deliver,
+            extra=self._extra(reduce_op=op),
+        )
+
+    def allreduce(
+        self, sendbuf: HostPayload, recvbuf: HostPayload, op: str = "sum"
+    ) -> Generator[Event, Any, None]:
+        """Allreduce across the group's members."""
+        yield from self._ctx._issue(
+            self._allreduce_request(sendbuf, recvbuf, op)
+        )
+
+    def iallreduce(
+        self, sendbuf: HostPayload, recvbuf: HostPayload, op: str = "sum"
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking group allreduce."""
+        handle = yield from self._ctx._issue_async(
+            self._allreduce_request(sendbuf, recvbuf, op)
+        )
+        return handle
+
+    def reduce(
+        self,
+        root: int,
+        sendbuf: HostPayload,
+        recvbuf: Optional[HostPayload] = None,
+        op: str = "sum",
+    ) -> Generator[Event, Any, None]:
+        """Reduce to group rank ``root``."""
+        root_vrank = self._root_vrank(root)
+        sarr = self._ctx._array(sendbuf, "reduce")
+        deliver = None
+        if self._ctx.vrank == root_vrank:
+            if recvbuf is None:
+                raise CommViolation("root needs a recv buffer for reduce")
+            rarr = self._ctx._array(recvbuf, "reduce")
+
+            def deliver(data: np.ndarray) -> None:
+                rarr[...] = data.reshape(rarr.shape)
+
+        req = CommRequest(
+            op="reduce",
+            src_vrank=self._ctx.vrank,
+            root=root_vrank,
+            nbytes=int(sarr.nbytes),
+            data=sarr.copy(),
+            deliver=deliver,
+            extra=self._extra(reduce_op=op),
+        )
+        yield from self._ctx._issue(req)
+
+    def _gather_request(self, root, sendbuf, recvbuf) -> CommRequest:
+        root_vrank = self._root_vrank(root)
+        sarr = self._ctx._array(sendbuf, "gather")
+        chunk = int(sarr.nbytes)
+        deliver = None
+        if self._ctx.vrank == root_vrank:
+            if recvbuf is None:
+                raise CommViolation("root needs a recv buffer for gather")
+            rarr = self._ctx._array(recvbuf, "gather")
+
+            def deliver(data: np.ndarray) -> None:
+                dview = rarr.view(np.uint8).reshape(-1)
+                sview = data.view(np.uint8).reshape(-1)
+                m = min(dview.size, sview.size)
+                dview[:m] = sview[:m]
+
+        return CommRequest(
+            op="gather",
+            src_vrank=self._ctx.vrank,
+            root=root_vrank,
+            nbytes=chunk,
+            data=sarr.copy(),
+            deliver=deliver,
+            extra=self._extra(chunk=chunk),
+        )
+
+    def gather(
+        self,
+        root: int,
+        sendbuf: HostPayload,
+        recvbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, None]:
+        """Gather equal chunks to group rank ``root`` (group order)."""
+        yield from self._ctx._issue(
+            self._gather_request(root, sendbuf, recvbuf)
+        )
+
+    def igather(
+        self,
+        root: int,
+        sendbuf: HostPayload,
+        recvbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking group gather."""
+        handle = yield from self._ctx._issue_async(
+            self._gather_request(root, sendbuf, recvbuf)
+        )
+        return handle
+
+    def _scatter_request(self, root, recvbuf, sendbuf) -> CommRequest:
+        root_vrank = self._root_vrank(root)
+        rarr = self._ctx._array(recvbuf, "scatter")
+        chunk = int(rarr.nbytes)
+
+        def deliver(data: np.ndarray) -> None:
+            dview = rarr.view(np.uint8).reshape(-1)
+            sview = data.view(np.uint8).reshape(-1)
+            m = min(dview.size, sview.size)
+            dview[:m] = sview[:m]
+
+        data = None
+        if self._ctx.vrank == root_vrank:
+            if sendbuf is None:
+                raise CommViolation("root needs a send buffer for scatter")
+            data = self._ctx._array(sendbuf, "scatter").copy()
+        return CommRequest(
+            op="scatter",
+            src_vrank=self._ctx.vrank,
+            root=root_vrank,
+            nbytes=chunk,
+            data=data,
+            deliver=deliver,
+            extra=self._extra(chunk=chunk),
+        )
+
+    def scatter(
+        self,
+        root: int,
+        recvbuf: HostPayload,
+        sendbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, None]:
+        """Scatter equal chunks from group rank ``root`` (group order)."""
+        yield from self._ctx._issue(
+            self._scatter_request(root, recvbuf, sendbuf)
+        )
+
+    def iscatter(
+        self,
+        root: int,
+        recvbuf: HostPayload,
+        sendbuf: Optional[HostPayload] = None,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Nonblocking group scatter."""
+        handle = yield from self._ctx._issue_async(
+            self._scatter_request(root, recvbuf, sendbuf)
+        )
+        return handle

@@ -26,10 +26,11 @@ from ..gpusim.mailbox import MailboxRequest, SlotMailboxes
 from ..gpusim.memory import DeviceBuffer
 from ..sim.core import Event
 from .errors import CommViolation
+from .groups import DcgnGroup, GroupTable
 from .ranks import ANY, RankMap
 from .requests import CommStatus
 
-__all__ = ["GpuCommApi", "GpuRequestHandle"]
+__all__ = ["GpuCommApi", "GpuGroupComm", "GpuRequestHandle"]
 
 
 class GpuRequestHandle:
@@ -67,16 +68,19 @@ class GpuCommApi:
         rankmap: RankMap,
         node_id: int,
         gpu_index: int,
-        coll_counters: Dict[int, int],
+        coll_counters: Dict,
+        groups: Optional[GroupTable] = None,
     ) -> None:
         self._ctx = block_ctx
         self._mbox = mailboxes
         self._rankmap = rankmap
         self._node_id = node_id
         self._gpu_index = gpu_index
-        #: Per-slot collective counters, shared across blocks and launches
-        #: (owned by the GPU-kernel thread).
+        #: Per-slot (and per slot-group) collective counters, shared
+        #: across blocks and launches (owned by the GPU-kernel thread).
         self._coll_counters = coll_counters
+        #: Slot-group registry (the job's shared GroupTable).
+        self._groups = groups
 
     # -- identity --------------------------------------------------------
     @property
@@ -115,6 +119,12 @@ class GpuCommApi:
     def _next_coll(self, slot: int) -> int:
         seq = self._coll_counters.get(slot, 0)
         self._coll_counters[slot] = seq + 1
+        return seq
+
+    def _next_group_coll(self, slot: int, gid: int) -> int:
+        key = (gid, slot)
+        seq = self._coll_counters.get(key, 0)
+        self._coll_counters[key] = seq + 1
         return seq
 
     # -- point-to-point ------------------------------------------------------
@@ -330,3 +340,305 @@ class GpuCommApi:
     #: Paper-style alias (dcgn::gpu::iAllReduce).
     iAllreduce = iallreduce
     iBroadcast = ibroadcast
+
+    # -- gather / scatter ---------------------------------------------------
+    def gather(
+        self,
+        slot: int,
+        root: int,
+        sendbuf: DeviceBuffer,
+        recvbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gpu::gather — equal chunks to virtual rank ``root``
+        (which supplies ``recvbuf``)."""
+        req = yield from self._post_gather(slot, root, sendbuf, recvbuf)
+        yield from self._mbox.wait(req)
+
+    def igather(
+        self,
+        slot: int,
+        root: int,
+        sendbuf: DeviceBuffer,
+        recvbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking gather: post and keep computing (the comm thread
+        progresses the collective asynchronously)."""
+        req = yield from self._post_gather(slot, root, sendbuf, recvbuf)
+        return GpuRequestHandle(self._mbox, req)
+
+    def _post_gather(self, slot, root, sendbuf, recvbuf, extra=None):
+        self._check_buf(sendbuf, "gather")
+        self._check_peer(root)
+        if recvbuf is not None:
+            self._check_buf(recvbuf, "gather")
+        elif self.rank(slot) == root:
+            raise CommViolation("gather root needs a recv buffer")
+        args = dict(extra or {})
+        if "coll_seq" not in args:
+            args["coll_seq"] = self._next_coll(slot)
+        req = yield from self._mbox.post(
+            slot, "gather", root=root, buf=sendbuf, rbuf=recvbuf,
+            nbytes=sendbuf.nbytes, **args,
+        )
+        return req
+
+    def scatter(
+        self,
+        slot: int,
+        root: int,
+        recvbuf: DeviceBuffer,
+        sendbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gpu::scatter — equal chunks from virtual rank ``root``
+        (which supplies ``sendbuf``)."""
+        req = yield from self._post_scatter(slot, root, recvbuf, sendbuf)
+        yield from self._mbox.wait(req)
+
+    def iscatter(
+        self,
+        slot: int,
+        root: int,
+        recvbuf: DeviceBuffer,
+        sendbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking scatter: post and keep computing."""
+        req = yield from self._post_scatter(slot, root, recvbuf, sendbuf)
+        return GpuRequestHandle(self._mbox, req)
+
+    def _post_scatter(self, slot, root, recvbuf, sendbuf, extra=None):
+        self._check_buf(recvbuf, "scatter")
+        self._check_peer(root)
+        if sendbuf is not None:
+            self._check_buf(sendbuf, "scatter")
+        elif self.rank(slot) == root:
+            raise CommViolation("scatter root needs a send buffer")
+        args = dict(extra or {})
+        if "coll_seq" not in args:
+            args["coll_seq"] = self._next_coll(slot)
+        req = yield from self._mbox.post(
+            slot, "scatter", root=root, buf=recvbuf, sbuf=sendbuf,
+            nbytes=recvbuf.nbytes, **args,
+        )
+        return req
+
+    # -- slot groups --------------------------------------------------------
+    def split(
+        self, slot: int, color: int, key: int = 0
+    ) -> Generator[Event, Any, Optional["GpuGroupComm"]]:
+        """Collective ``comm_split`` over every virtual rank in the job.
+
+        Every slot (and every CPU rank) must call it in the same
+        collective order; slots sharing a ``color`` get a
+        :class:`GpuGroupComm` over the new group, ordered by
+        (key, vrank).  A negative color opts out and returns ``None``.
+        """
+        seq = self._next_coll(slot)
+        req = yield from self._mbox.post(
+            slot, "split", color=int(color), key=int(key), coll_seq=seq
+        )
+        group = yield from self._mbox.wait(req)
+        if group is None:
+            return None
+        return GpuGroupComm(self, group)
+
+    def group(self, name: str) -> "GpuGroupComm":
+        """Handle for a slot group declared in ``DcgnConfig``."""
+        if self._groups is None:
+            raise CommViolation("this job has no slot-group registry")
+        return GpuGroupComm(self, self._groups.by_name(name))
+
+
+class GpuGroupComm:
+    """Slot-group communication scope inside a GPU kernel.
+
+    Returned by :meth:`GpuCommApi.split` / :meth:`GpuCommApi.group`.
+    Collectives here are scoped to the group — staged against the
+    group's membership and progressed on the group's own node-level MPI
+    sub-communicator, independently of world collectives, so disjoint
+    groups' collectives overlap on the wire.  ``root`` arguments are
+    **group-local ranks**; each group orders its own collectives.
+    """
+
+    def __init__(self, api: GpuCommApi, group: DcgnGroup) -> None:
+        self._api = api
+        self.group = group
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def rank(self, slot: int) -> int:
+        """The slot's rank within the group."""
+        return self.group.rank_of(self._api.rank(slot))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<GpuGroupComm {self.group.name!r} size={self.size}>"
+
+    # -- plumbing -----------------------------------------------------------
+    def _check_member(self, slot: int) -> int:
+        vrank = self._api.rank(slot)
+        if vrank not in self.group:
+            raise CommViolation(
+                f"slot {slot} (vrank {vrank}) is not a member of group "
+                f"{self.group.name!r}"
+            )
+        return vrank
+
+    def _extra(self, slot: int) -> Dict:
+        return {
+            "coll_seq": self._api._next_group_coll(slot, self.group.gid),
+            "gid": self.group.gid,
+        }
+
+    def _root_vrank(self, root: int) -> int:
+        if not (0 <= root < self.group.size):
+            raise CommViolation(
+                f"group root {root} out of range [0,{self.group.size})"
+            )
+        return self.group.vranks[root]
+
+    # -- collectives --------------------------------------------------------
+    def barrier(self, slot: int) -> Generator[Event, Any, None]:
+        """Barrier across the group."""
+        self._check_member(slot)
+        req = yield from self._api._mbox.post(
+            slot, "barrier", **self._extra(slot)
+        )
+        yield from self._api._mbox.wait(req)
+
+    def ibarrier(self, slot: int) -> Generator[Event, Any, GpuRequestHandle]:
+        """Nonblocking group barrier."""
+        self._check_member(slot)
+        req = yield from self._api._mbox.post(
+            slot, "barrier", **self._extra(slot)
+        )
+        return GpuRequestHandle(self._api._mbox, req)
+
+    def broadcast(
+        self,
+        slot: int,
+        root: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """Broadcast from *group rank* ``root`` across the group."""
+        self._check_member(slot)
+        self._api._check_buf(buf, "broadcast")
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._api._mbox.post(
+            slot, "bcast", root=self._root_vrank(root), buf=buf,
+            nbytes=n, **self._extra(slot),
+        )
+        yield from self._api._mbox.wait(req)
+
+    def ibroadcast(
+        self,
+        slot: int,
+        root: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, GpuRequestHandle]:
+        """Nonblocking group broadcast."""
+        self._check_member(slot)
+        self._api._check_buf(buf, "ibroadcast")
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._api._mbox.post(
+            slot, "bcast", root=self._root_vrank(root), buf=buf,
+            nbytes=n, **self._extra(slot),
+        )
+        return GpuRequestHandle(self._api._mbox, req)
+
+    def allreduce(
+        self,
+        slot: int,
+        buf: DeviceBuffer,
+        op: str = "sum",
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """In-place allreduce across the group."""
+        self._check_member(slot)
+        self._api._check_buf(buf, "allreduce")
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._api._mbox.post(
+            slot, "allreduce", buf=buf, nbytes=n, reduce_op=op,
+            **self._extra(slot),
+        )
+        yield from self._api._mbox.wait(req)
+
+    def iallreduce(
+        self,
+        slot: int,
+        buf: DeviceBuffer,
+        op: str = "sum",
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, GpuRequestHandle]:
+        """Nonblocking in-place group allreduce."""
+        self._check_member(slot)
+        self._api._check_buf(buf, "iallreduce")
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        req = yield from self._api._mbox.post(
+            slot, "allreduce", buf=buf, nbytes=n, reduce_op=op,
+            **self._extra(slot),
+        )
+        return GpuRequestHandle(self._api._mbox, req)
+
+    def gather(
+        self,
+        slot: int,
+        root: int,
+        sendbuf: DeviceBuffer,
+        recvbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, None]:
+        """Gather equal chunks to *group rank* ``root`` (group order)."""
+        self._check_member(slot)
+        req = yield from self._api._post_gather(
+            slot, self._root_vrank(root), sendbuf, recvbuf,
+            extra=self._extra(slot),
+        )
+        yield from self._api._mbox.wait(req)
+
+    def igather(
+        self,
+        slot: int,
+        root: int,
+        sendbuf: DeviceBuffer,
+        recvbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, GpuRequestHandle]:
+        """Nonblocking group gather."""
+        self._check_member(slot)
+        req = yield from self._api._post_gather(
+            slot, self._root_vrank(root), sendbuf, recvbuf,
+            extra=self._extra(slot),
+        )
+        return GpuRequestHandle(self._api._mbox, req)
+
+    def scatter(
+        self,
+        slot: int,
+        root: int,
+        recvbuf: DeviceBuffer,
+        sendbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, None]:
+        """Scatter equal chunks from *group rank* ``root``."""
+        self._check_member(slot)
+        req = yield from self._api._post_scatter(
+            slot, self._root_vrank(root), recvbuf, sendbuf,
+            extra=self._extra(slot),
+        )
+        yield from self._api._mbox.wait(req)
+
+    def iscatter(
+        self,
+        slot: int,
+        root: int,
+        recvbuf: DeviceBuffer,
+        sendbuf: Optional[DeviceBuffer] = None,
+    ) -> Generator[Event, Any, GpuRequestHandle]:
+        """Nonblocking group scatter."""
+        self._check_member(slot)
+        req = yield from self._api._post_scatter(
+            slot, self._root_vrank(root), recvbuf, sendbuf,
+            extra=self._extra(slot),
+        )
+        return GpuRequestHandle(self._api._mbox, req)

@@ -141,6 +141,7 @@ class GpuKernelThread:
                 node_id=self.device.node_id,
                 gpu_index=self.gpu_index,
                 coll_counters=self._coll_counters,
+                groups=self.comm.groups,
             )
 
         yield self.sim.timeout(us(self.device.params.kernel_launch_us))
@@ -290,6 +291,14 @@ class GpuKernelThread:
             self.device.node_id, self.gpu_index, slot
         )
 
+    @staticmethod
+    def _coll_extra(args: dict, **extra) -> dict:
+        """Collective request extras (slot-group id passes through)."""
+        out = {"coll_seq": int(args["coll_seq"]), **extra}
+        if "gid" in args:
+            out["gid"] = int(args["gid"])
+        return out
+
     def _ingest(
         self, mbox: SlotMailboxes, mreq: MailboxRequest
     ) -> Generator[Event, Any, None]:
@@ -301,7 +310,7 @@ class GpuKernelThread:
         nbytes = int(args.get("nbytes", 0))
         needs_payload_read = op == "send" or (
             op == "bcast" and args.get("root") == vrank
-        ) or op == "allreduce"
+        ) or op in ("allreduce", "gather")
         data: Optional[np.ndarray] = None
         if needs_payload_read:
             if dbuf is None:
@@ -314,6 +323,14 @@ class GpuKernelThread:
             flat = dbuf.data.reshape(-1)
             count = nbytes // dbuf.data.itemsize
             data = flat[:count].copy()
+        elif op == "scatter" and args.get("root") == vrank:
+            # Scatter root: the *full* send buffer travels to the host.
+            sbuf: Optional[DeviceBuffer] = args.get("sbuf")
+            if sbuf is None:
+                raise DcgnError("scatter root request without send buffer")
+            if not self.params.dcgn.future_gpu_direct:
+                yield from self.device.pcie.read(sbuf.nbytes)
+            data = sbuf.data.reshape(-1).copy()
         done = self.sim.event(name=f"{self.name}.creq")
         if op == "send":
             creq = CommRequest(
@@ -339,7 +356,7 @@ class GpuKernelThread:
                 op="barrier",
                 src_vrank=vrank,
                 done=done,
-                extra={"coll_seq": int(args["coll_seq"])},
+                extra=self._coll_extra(args),
             )
             writeback = None
         elif op == "bcast":
@@ -351,7 +368,7 @@ class GpuKernelThread:
                 nbytes=nbytes,
                 data=data,
                 done=done,
-                extra={"coll_seq": int(args["coll_seq"])},
+                extra=self._coll_extra(args),
             )
             writeback = dbuf if root != vrank else None
         elif op == "allreduce":
@@ -361,12 +378,47 @@ class GpuKernelThread:
                 nbytes=nbytes,
                 data=data,
                 done=done,
-                extra={
-                    "coll_seq": int(args["coll_seq"]),
-                    "reduce_op": args.get("reduce_op", "sum"),
-                },
+                extra=self._coll_extra(
+                    args, reduce_op=args.get("reduce_op", "sum")
+                ),
             )
             writeback = dbuf
+        elif op == "gather":
+            root = int(args["root"])
+            creq = CommRequest(
+                op="gather",
+                src_vrank=vrank,
+                root=root,
+                nbytes=nbytes,
+                data=data,
+                done=done,
+                extra=self._coll_extra(args, chunk=nbytes),
+            )
+            writeback = args.get("rbuf") if root == vrank else None
+        elif op == "scatter":
+            root = int(args["root"])
+            creq = CommRequest(
+                op="scatter",
+                src_vrank=vrank,
+                root=root,
+                nbytes=nbytes,
+                data=data,
+                done=done,
+                extra=self._coll_extra(args, chunk=nbytes),
+            )
+            writeback = dbuf
+        elif op == "split":
+            creq = CommRequest(
+                op="split",
+                src_vrank=vrank,
+                done=done,
+                extra={
+                    "coll_seq": int(args["coll_seq"]),
+                    "color": int(args.get("color", -1)),
+                    "key": int(args.get("key", 0)),
+                },
+            )
+            writeback = None
         else:
             raise DcgnError(f"unknown GPU mailbox op {op!r}")
         creq.stamp("posted", mreq.posted_at)
@@ -383,9 +435,14 @@ class GpuKernelThread:
         """Write results back to the device and release the kernel."""
         creq = entry.creq
         if entry.dbuf is not None and creq.data is not None:
-            # Payload write (recv / bcast non-root / allreduce result).
+            # Payload write (recv / bcast non-root / allreduce result /
+            # gather root / scatter piece).
             n = min(creq.status.nbytes if creq.status else creq.nbytes,
                     creq.nbytes)
+            if creq.op == "gather":
+                # The root's result is the whole group's contribution
+                # set, not one chunk.
+                n = int(creq.data.view(np.uint8).reshape(-1).size)
             if not self.params.dcgn.future_gpu_direct:
                 yield from self.device.pcie.write(n)
             # else: future hardware — incoming payloads land in device
@@ -400,7 +457,12 @@ class GpuKernelThread:
         self.sim.trace(
             "gpu_thread.writeback", thread=self.name, op=creq.op
         )
-        entry.mbox.complete(entry.mreq, result=creq.status)
+        # Splits resolve to the group descriptor (None = opted out)
+        # rather than a wire status.
+        result = (
+            creq.extra.get("group") if creq.op == "split" else creq.status
+        )
+        entry.mbox.complete(entry.mreq, result=result)
 
     def _prune(self) -> None:
         self._handles = [h for h in self._handles if not h.finished]

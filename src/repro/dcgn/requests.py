@@ -14,7 +14,8 @@ __all__ = ["CommRequest", "CommStatus", "P2P_OPS", "COLLECTIVE_OPS"]
 
 P2P_OPS = frozenset({"send", "recv"})
 COLLECTIVE_OPS = frozenset(
-    {"barrier", "bcast", "scatter", "gather", "allreduce", "reduce"}
+    {"barrier", "bcast", "scatter", "gather", "allreduce", "reduce",
+     "split"}
 )
 
 _req_ids = itertools.count()

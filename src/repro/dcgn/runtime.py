@@ -26,6 +26,7 @@ from .config import DcgnConfig
 from .cpu_api import CpuKernelContext
 from .errors import DcgnConfigError, DcgnTimeout
 from .gpu_thread import GpuKernelThread
+from .groups import DcgnGroup, GroupTable
 from .polling import PollPolicy
 from .ranks import RankMap
 
@@ -54,6 +55,13 @@ class DcgnRuntime:
             placement=list(range(config.n_nodes)),
             tuning=config.tuning,
         )
+        #: Slot-group registry: the world group, every group declared in
+        #: ``config.slot_groups`` (each backed by its own node-level MPI
+        #: sub-communicator), and any groups kernels later form via the
+        #: collective ``split``.  Shared by all comm threads.
+        self.groups = GroupTable(self.rankmap, self.node_comm)
+        for gname, vranks in config.slot_groups:
+            self.groups.declare(gname, vranks)
         #: Per-node kick signals (CPU request activity wakes GPU pollers).
         self.kicks: List[Signal] = [
             Signal(self.sim, name=f"dcgn.kick{n}")
@@ -66,6 +74,7 @@ class DcgnRuntime:
                 self.node_comm.ctx(n),
                 self.rankmap,
                 kick=self.kicks[n],
+                groups=self.groups,
             )
             for n in range(config.n_nodes)
         ]
@@ -91,6 +100,10 @@ class DcgnRuntime:
     def size(self) -> int:
         """Total virtual ranks."""
         return self.rankmap.size
+
+    def group(self, name: str) -> DcgnGroup:
+        """A declared slot group by name (``"world"`` always exists)."""
+        return self.groups.by_name(name)
 
     def cpu_context(self, vrank: int) -> CpuKernelContext:
         """Build the kernel context for a CPU virtual rank."""

@@ -8,9 +8,17 @@ from .algorithms import (
     autotune_tuning,
     derive_tuning,
 )
-from .communicator import HEADER_BYTES, Communicator, MpiContext, Request
+from .communicator import (
+    COMM_TYPE_LOCALITY,
+    COMM_TYPE_NODE,
+    HEADER_BYTES,
+    Communicator,
+    MpiContext,
+    Request,
+)
 from .datatypes import ReduceOp, payload_array, snapshot
 from .errors import MpiError, RankError, TagError, TruncationError
+from .group import GROUP_EMPTY, UNDEFINED, Group
 from .job import (
     MpiJob,
     block_placement,
@@ -30,6 +38,11 @@ __all__ = [
     "MpiContext",
     "Request",
     "HEADER_BYTES",
+    "Group",
+    "GROUP_EMPTY",
+    "UNDEFINED",
+    "COMM_TYPE_NODE",
+    "COMM_TYPE_LOCALITY",
     "ReduceOp",
     "payload_array",
     "snapshot",

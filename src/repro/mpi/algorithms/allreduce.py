@@ -31,13 +31,15 @@ import numpy as np
 
 from ..datatypes import Payload, ReduceOp, payload_array
 from ..errors import MpiError
-from .base import hier_ok as _hier_ok, next_tag
+from .base import hier_ok as _hier_ok, largest_pof2, next_tag
 from .schedule import Schedule
 
 __all__ = [
     "build_allreduce_reduce_bcast",
     "build_allreduce_recursive_doubling",
     "build_allreduce_ring",
+    "append_ring_reduce_scatter",
+    "append_ring_allgather",
 ]
 
 
@@ -108,9 +110,7 @@ def build_allreduce_recursive_doubling(
         )
         return sched
     tag = next_tag(ctx)
-    pof2 = 1
-    while pof2 * 2 <= size:
-        pof2 *= 2
+    pof2 = largest_pof2(size)
     rem = size - pof2
     deps: List[int] = []
     rnd = 0
@@ -171,6 +171,83 @@ def build_allreduce_recursive_doubling(
     return sched
 
 
+def _ring_chunker(acc: np.ndarray, size: int):
+    """Chunk accessor for a ring over ``size`` pieces of ``acc``."""
+    n = acc.size
+    bounds: List[int] = [(c * n) // size for c in range(size + 1)]
+
+    def chunk(c: int) -> np.ndarray:
+        c %= size
+        return acc[bounds[c] : bounds[c + 1]]
+
+    return chunk
+
+
+def append_ring_reduce_scatter(
+    sched,
+    ctx,
+    acc: np.ndarray,
+    op: ReduceOp,
+    tag: int,
+    after=(),
+    round0: int = 0,
+) -> List[int]:
+    """Ring reduce-scatter over ``ctx``'s communicator (tag offsets
+    0..3): after P−1 steps rank *r* owns the fully combined chunk
+    ``(r+1) mod P`` of the flat ``acc``.
+
+    Shared by the flat ring allreduce and — through a
+    :class:`~repro.mpi.algorithms.schedule.SubSchedule` bound to an
+    intra-domain or peer communicator — the hierarchical composition.
+    No defensive copies on the sends: ``_send_impl`` snapshots at send
+    time and each step only writes the (disjoint) received chunk.
+    """
+    size, rank = ctx.size, ctx.rank
+    chunk = _ring_chunker(acc, size)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    deps = list(after)
+    for step in range(size - 1):
+        send_c = chunk(rank - step)
+        recv_c = chunk(rank - step - 1)
+        tmp = np.empty_like(recv_c)
+        rnd = round0 + step
+        s = sched.send(send_c, right, tag + step % 4, after=deps, round=rnd)
+        r = sched.recv(tmp, left, tag + step % 4, after=deps, round=rnd)
+
+        def combine(tmp=tmp, recv_c=recv_c):
+            recv_c[...] = op.combine(tmp, recv_c)
+
+        deps = [sched.compute(combine, after=(s, r), round=rnd)]
+    return deps
+
+
+def append_ring_allgather(
+    sched,
+    ctx,
+    acc: np.ndarray,
+    tag: int,
+    after=(),
+    round0: int = 0,
+) -> List[int]:
+    """Ring allgather of the chunks a reduce-scatter left behind (tag
+    offsets 0..3): circulates from each rank's owned chunk
+    ``(r+1) mod P`` until every rank holds all of ``acc``."""
+    size, rank = ctx.size, ctx.rank
+    chunk = _ring_chunker(acc, size)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    deps = list(after)
+    for step in range(size - 1):
+        rnd = round0 + step
+        s = sched.send(chunk(rank + 1 - step), right, tag + step % 4,
+                       after=deps, round=rnd)
+        r = sched.recv(chunk(rank - step), left, tag + step % 4,
+                       after=deps, round=rnd)
+        deps = [s, r]
+    return deps
+
+
 def build_allreduce_ring(
     ctx,
     sendbuf: Payload,
@@ -183,7 +260,7 @@ def build_allreduce_ring(
     (trailing chunks may be empty when count < P).
     """
     src, out = _setup(ctx, sendbuf, recvbuf)
-    size, rank = ctx.size, ctx.rank
+    size = ctx.size
     sched = Schedule()
     acc = src.copy().reshape(-1)
     if size == 1:
@@ -194,39 +271,10 @@ def build_allreduce_ring(
         )
         return sched
     tag = next_tag(ctx)
-    n = acc.size
-    bounds: List[int] = [(c * n) // size for c in range(size + 1)]
-
-    def chunk(c: int) -> np.ndarray:
-        c %= size
-        return acc[bounds[c] : bounds[c + 1]]
-
-    right = (rank + 1) % size
-    left = (rank - 1) % size
-    deps: List[int] = []
-    # Reduce-scatter (tag offsets 0..3): after P−1 steps this rank owns
-    # the fully combined chunk (rank+1) mod P.
-    # No defensive copies on the sends: _send_impl snapshots at send
-    # time and each step only writes the (disjoint) received chunk.
-    for step in range(size - 1):
-        send_c = chunk(rank - step)
-        recv_c = chunk(rank - step - 1)
-        tmp = np.empty_like(recv_c)
-        s = sched.send(send_c, right, tag + step % 4, after=deps, round=step)
-        r = sched.recv(tmp, left, tag + step % 4, after=deps, round=step)
-
-        def combine(tmp=tmp, recv_c=recv_c):
-            recv_c[...] = op.combine(tmp, recv_c)
-
-        deps = [sched.compute(combine, after=(s, r), round=step)]
-    # Allgather (tag offsets 4..7): circulate the finished chunks.
-    for step in range(size - 1):
-        rnd = size - 1 + step
-        s = sched.send(chunk(rank + 1 - step), right, tag + 4 + step % 4,
-                       after=deps, round=rnd)
-        r = sched.recv(chunk(rank - step), left, tag + 4 + step % 4,
-                       after=deps, round=rnd)
-        deps = [s, r]
+    deps = append_ring_reduce_scatter(sched, ctx, acc, op, tag)
+    deps = append_ring_allgather(
+        sched, ctx, acc, tag + 4, after=deps, round0=size - 1
+    )
     sched.compute(
         lambda: out.__setitem__(..., acc.reshape(out.shape)),
         after=deps,

@@ -30,15 +30,18 @@ What this kills relative to the constants:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...hw.params import IbParams
 from ...sim.core import us
+from .base import largest_pof2
 from .tuning import CollectiveTuning
 
 __all__ = [
     "autotune_tuning",
     "derive_tuning",
+    "subfabric_profile",
     "clear_cache",
     "p2p_time",
     "cost_allreduce",
@@ -150,10 +153,25 @@ def cost_allgather(
 ) -> float:
     """Analytic allgather cost (uncontended regime: allgather selection
     is size-driven, and its ring/doubling schedules keep per-step
-    crossings sparse even when fragmented)."""
+    crossings sparse even when fragmented).  The ``hierarchical``
+    schedule is the exception — it exists for the fragmented
+    oversubscribed regime, so it is costed against the bottleneck
+    terms; the derivation compares it to a fragmented-ring baseline
+    (every step a loaded crossing), not to this function's ``ring``."""
     a, b = prof.alpha_s, prof.beta_s_per_B
     if P <= 1:
         return 0.0
+    if algo == "hierarchical":
+        s, G = prof.domain_size, prof.n_domains
+        if s < 2 or G < 2:
+            return math.inf
+        gather = (s - 1) * p2p_time(block_nbytes, a, b, ib)
+        ring = (G - 1) * p2p_time(
+            s * block_nbytes, prof.cross_alpha_s,
+            prof.cross_beta_s_per_B, ib,
+        )
+        fanout = _log2ceil(s) * p2p_time(P * block_nbytes, a, b, ib)
+        return gather + ring + fanout
     if algo == "ring":
         return (P - 1) * p2p_time(block_nbytes, a, b, ib)
     if algo == "recursive_doubling":
@@ -229,11 +247,13 @@ def cost_reduce(algo: str, P: int, nbytes: int, prof, ib: IbParams) -> float:
     if algo == "binomial":
         return _log2ceil(P) * p2p_time(nbytes, a, b, ib)
     if algo == "rabenseifner":
-        if P & (P - 1) or P <= 2:
+        if P <= 2:
             return math.inf
-        total = 0.0
+        pof2 = largest_pof2(P)
+        # Non-powers of two pay one extra full-size fold-in round.
+        total = 0.0 if pof2 == P else p2p_time(nbytes, a, b, ib)
         part = nbytes
-        for _ in range(_log2ceil(P)):
+        for _ in range(_log2ceil(pof2)):
             part = math.ceil(part / 2)
             # One halving round and its mirrored gather round.
             total += 2.0 * p2p_time(part, a, b, ib)
@@ -253,6 +273,16 @@ def cost_alltoall(
     a, b = prof.alpha_s, prof.beta_s_per_B
     if P <= 1:
         return 0.0
+    if algo == "hierarchical":
+        s, G = prof.domain_size, prof.n_domains
+        if s < 2 or G < 2:
+            return math.inf
+        updown = 2.0 * (s - 1) * p2p_time(P * block_nbytes, a, b, ib)
+        exchange = (G - 1) * p2p_time(
+            s * s * block_nbytes, prof.cross_alpha_s,
+            prof.cross_beta_s_per_B, ib,
+        )
+        return updown + exchange
     if algo in ("shift", "pairwise"):
         return (P - 1) * p2p_time(block_nbytes, a, b, ib)
     if algo == "bruck":
@@ -374,7 +404,9 @@ def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
 
     # Rabenseifner reduce: same shape as the allreduce ring crossover —
     # bandwidth-optimal once nβ dominates the extra log P latencies.
-    raben_sizes = [4, 8, 16, 32, 64, 128]
+    # Non-powers of two are swept too: their fold-in round raises the
+    # crossover, and the threshold must be safe for every P.
+    raben_sizes = [4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128]
 
     def raben_ok(p: int, n: int) -> bool:
         return (
@@ -419,6 +451,37 @@ def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
         if n_bhier < _UNBOUNDED:
             bcast_hier_min = n_bhier
 
+    # Hierarchical allgather/alltoall: costed against the *fragmented*
+    # flat schedules (every step a loaded bottleneck crossing — the
+    # only regime hier_ok admits them in), with the same eager-floor
+    # guard as the hierarchical allreduce.
+    ag_hier_min = None
+    a2a_hier_min = None
+    if (
+        prof.oversubscription > 1.0
+        and prof.domain_size >= 2
+        and prof.n_domains >= 2
+    ):
+        P_hier = prof.domain_size * prof.n_domains
+
+        def frag_linear(n: int) -> float:
+            return (P_hier - 1) * p2p_time(
+                n, prof.cross_alpha_s, _cross_beta_eff(n, prof, ib), ib
+            )
+
+        n_aghier = _first_grid_where(
+            lambda n: cost_allgather("hierarchical", P_hier, n, prof, ib)
+            < frag_linear(n) - _EPS
+        )
+        if n_aghier < _UNBOUNDED:
+            ag_hier_min = max(n_aghier, ib.eager_threshold // 2)
+        n_a2ahier = _first_grid_where(
+            lambda n: cost_alltoall("hierarchical", P_hier, n, prof, ib)
+            < frag_linear(n) - _EPS
+        )
+        if n_a2ahier < _UNBOUNDED:
+            a2a_hier_min = max(n_a2ahier, ib.eager_threshold // 2)
+
     return CollectiveTuning(
         allreduce_ring_min_bytes=ring_min,
         allgather_rd_max_bytes=rd_max,
@@ -430,12 +493,63 @@ def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
         reduce_raben_min_bytes=raben_min,
         allreduce_hier_min_bytes=hier_min,
         bcast_hier_min_bytes=bcast_hier_min,
+        allgather_hier_min_bytes=ag_hier_min,
+        alltoall_hier_min_bytes=a2a_hier_min,
     )
 
 
-def autotune_tuning(cluster) -> CollectiveTuning:
-    """Per-cluster tuning, derived once and cached by fabric shape."""
-    prof = cluster.interconnect.topology.profile()
+def subfabric_profile(topology, nodes: Sequence[int]):
+    """The :class:`~repro.hw.topology.base.FabricProfile` of the slice
+    of the fabric a set of nodes actually spans.
+
+    A derived communicator sees only its own nodes: an intra-pod
+    communicator never crosses the spine, so its profile collapses to
+    the pod-local α/β with no oversubscription — which is exactly what
+    its collective thresholds should be tuned against.  A communicator
+    spanning several domains keeps the cross-bottleneck terms but with
+    the domain structure *it* sees (its domain count, its largest
+    domain).  The result is frozen/hashable, so it keys the same
+    derivation cache full-fabric profiles use.
+    """
+    prof = topology.profile()
+    uniq = sorted(set(int(n) for n in nodes))
+    domains: Dict[int, List[int]] = {}
+    for n in uniq:
+        domains.setdefault(topology.locality_group(n), []).append(n)
+    if len(domains) <= 1:
+        # Never crosses the fabric bottleneck: pod-local hops only.
+        return replace(
+            prof,
+            n_nodes=len(uniq),
+            cross_alpha_s=prof.alpha_s,
+            cross_beta_s_per_B=prof.beta_s_per_B,
+            cross_load_beta_s_per_B=prof.beta_s_per_B,
+            oversubscription=1.0,
+            n_domains=len(uniq),
+            domain_size=1,
+        )
+    return replace(
+        prof,
+        n_nodes=len(uniq),
+        n_domains=len(domains),
+        domain_size=max(len(v) for v in domains.values()),
+    )
+
+
+def autotune_tuning(
+    cluster, nodes: Optional[Sequence[int]] = None
+) -> CollectiveTuning:
+    """Per-cluster tuning, derived once and cached by fabric shape.
+
+    ``nodes`` restricts the derivation to the sub-fabric those nodes
+    span (what derived communicators pass); the cache is keyed by the
+    resulting profile, so every communicator over the same sub-fabric
+    shape shares one derivation.
+    """
+    topo = cluster.interconnect.topology
+    prof = (
+        topo.profile() if nodes is None else subfabric_profile(topo, nodes)
+    )
     ib = cluster.spec.params.ib
     key = (prof, ib)
     tuning = _CACHE.get(key)

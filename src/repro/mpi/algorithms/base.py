@@ -19,6 +19,7 @@ from ..datatypes import Payload
 __all__ = [
     "TAG_STRIDE",
     "is_pof2",
+    "largest_pof2",
     "hier_ok",
     "next_tag",
     "isend_internal",
@@ -35,11 +36,26 @@ def is_pof2(n: int) -> bool:
     return n > 0 and not (n & (n - 1))
 
 
+def largest_pof2(n: int) -> int:
+    """The largest power of two ≤ ``n`` (``n`` ≥ 1).
+
+    The participant count of the fold-in schedules (recursive-doubling
+    allreduce, Rabenseifner reduce) — and what the autotune cost model
+    must price identically.
+    """
+    pof2 = 1
+    while pof2 * 2 <= n:
+        pof2 *= 2
+    return pof2
+
+
 def hier_ok(ctx: MpiContext) -> bool:
-    """Hierarchical variants apply when the placement is regular enough
-    (equal locality groups) *and* fragmented across the topology's
-    domains — a contiguous placement's flat ring/tree is already
-    near-optimal (one bottleneck crossing per domain)."""
+    """Hierarchical variants apply when the placement spans ≥ 2
+    locality domains with some intra-domain structure to exploit
+    (``hier_capable`` — group sizes may differ, the sub-communicator
+    composition handles unequal pods) *and* is fragmented across the
+    topology's domains — a contiguous placement's flat ring/tree is
+    already near-optimal (one bottleneck crossing per domain)."""
     comm = ctx.comm
     return bool(
         getattr(comm, "hier_capable", False)

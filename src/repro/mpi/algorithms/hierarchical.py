@@ -1,41 +1,74 @@
-"""Hierarchical allreduce: intra-domain / inter-domain phase decomposition.
+"""Hierarchical collectives composed from real sub-communicators.
 
 On an oversubscribed fabric with a fragmented rank placement, every
-step of the flat ring allreduce crosses the bottleneck uplinks, paying
-the oversubscription factor on each of its 2·(P−1) steps.  The
-hierarchical schedule crosses only in its middle phase, and only with
-1/s of the payload per member (s = domain size, G = domain count):
+step of a flat schedule crosses the bottleneck uplinks, paying the
+oversubscription factor each time.  The hierarchical schedules cross
+only in their middle phase — and these days that decomposition is
+*literally* communicator composition: the communicator's
+:meth:`~repro.mpi.communicator.Communicator.hier_comms` bundle supplies
+an **intra-domain** communicator per locality group, a **leader**
+communicator (first member of each group), and — for equal-size groups
+— one **peer** communicator per member index.  Each phase is an
+ordinary collective schedule built *against the sub-communicator* (its
+local ranks, its tag space) and spliced into one composite
+:class:`~repro.mpi.algorithms.schedule.Schedule` through
+:class:`~repro.mpi.algorithms.schedule.SubSchedule`, so no domain rank
+arithmetic is hand-rolled here.
 
-1. *intra-domain reduce-scatter* (ring over the s domain members, s−1
-   steps of n/s) — member i ends owning chunk i, combined within its
-   domain.  Ranks sharing a node exchange over shm here; ranks sharing
-   a pod stay behind their leaf switch.
-2. *inter-domain ring allreduce* of chunk i across the G domains
-   (member i of every domain; 2·(G−1) steps of n/(s·G)) — the only
-   phase that crosses uplinks, moving the information-theoretic minimum
-   2·n·(G−1)/G bytes per domain.
-3. *intra-domain ring allgather* (s−1 steps of n/s) — every member
-   recovers the full reduced vector.
-
-Requires equal-size locality groups (the regular-pod case the selector
-checks); all phases tolerate empty chunks when count < s·G.  Compiled
-to a :class:`~repro.mpi.algorithms.schedule.Schedule` like every other
-algorithm in the package.
+* ``allreduce`` — equal pods (s members × G domains): intra-domain
+  ring reduce-scatter → peer-communicator ring allreduce of the owned
+  chunk (the only phase crossing uplinks, moving n/(s·G) per step) →
+  intra-domain ring allgather.  *Unequal* pods: intra-domain binomial
+  reduce to the domain leader → ring allreduce on the leader
+  communicator → intra-domain binomial broadcast.  The equal-pod path
+  reproduces the PR 2 hand-rolled schedule step for step; the unequal
+  path is what the old code refused to run.
+* ``allgather`` — intra-domain gather to the leader → ring allgather
+  of the (possibly unequal) domain blocks on the leader communicator →
+  intra-domain broadcast + local scatter into the per-rank buffers.
+* ``alltoall`` — intra-domain gather of per-destination buckets to the
+  leader → leader-communicator alltoall of domain super-buckets →
+  intra-domain dispersal (uniform block sizes; the selector guards).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..datatypes import Payload, ReduceOp, payload_array
 from ..errors import MpiError
+from .allreduce import append_ring_allgather, append_ring_reduce_scatter
 from .base import next_tag
-from .schedule import Schedule
+from .schedule import Schedule, SubSchedule
 
-__all__ = ["build_allreduce_hierarchical"]
+__all__ = [
+    "build_allreduce_hierarchical",
+    "build_allgather_hierarchical",
+    "build_alltoall_hierarchical",
+]
 
+
+def _hier_setup(ctx):
+    """Common preamble: the communicator's sub-communicator bundle."""
+    comm = ctx.comm
+    groups: List[List[int]] = getattr(comm, "locality_groups", None)
+    if not groups or len(groups) < 2:
+        raise MpiError(
+            "hierarchical collectives need >= 2 locality groups; "
+            "use the flat schedules on single-domain communicators"
+        )
+    return comm.hier_comms(), groups
+
+
+def _u8(arr: np.ndarray) -> np.ndarray:
+    return arr.view(np.uint8).reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# Allreduce
+# ---------------------------------------------------------------------------
 
 def build_allreduce_hierarchical(
     ctx,
@@ -50,15 +83,6 @@ def build_allreduce_hierarchical(
         raise MpiError("allreduce requires an array payload")
     if out is None:
         raise MpiError("allreduce requires a recv buffer on every rank")
-    groups: List[List[int]] = getattr(ctx.comm, "locality_groups", None)
-    if not groups:
-        raise MpiError("hierarchical allreduce needs locality groups")
-    sizes = {len(g) for g in groups}
-    if len(sizes) != 1:
-        raise MpiError(
-            "hierarchical allreduce needs equal-size locality groups "
-            f"(got sizes {sorted(len(g) for g in groups)})"
-        )
     sched = Schedule()
     acc = src.copy().reshape(-1)
     if ctx.size == 1:
@@ -68,96 +92,325 @@ def build_allreduce_hierarchical(
             after=(sched.last,),
         )
         return sched
-    tag = next_tag(ctx)
-    g_idx, m_idx = next(
-        (g, m)
-        for g, members in enumerate(groups)
-        for m, r in enumerate(members)
-        if r == ctx.rank
-    )
-    members = groups[g_idx]
-    s, G = len(members), len(groups)
-    n = acc.size
-    # Domain-level partition: member i owns chunk i after phase 1.
-    b1 = [(c * n) // s for c in range(s + 1)]
+    hier, _groups = _hier_setup(ctx)
+    if hier.equal_groups:
+        _allreduce_equal_pods(sched, ctx, hier, acc, out, op)
+    else:
+        _allreduce_unequal_pods(sched, ctx, hier, acc, out, op)
+    return sched
 
-    def chunk(c: int) -> np.ndarray:
-        c %= s
-        return acc[b1[c] : b1[c + 1]]
 
+def _allreduce_equal_pods(sched, ctx, hier, acc, out, op) -> None:
+    """Equal pods: intra RS → peer-comm ring allreduce → intra AG.
+
+    Same message sequence as the PR 2 hand-rolled schedule, but every
+    phase is the ordinary ring schedule over a sub-communicator.
+    """
+    intra = hier.intra_ctx(ctx.rank)
+    peer = hier.peer_ctx(ctx.rank)
+    s = intra.size
+    intra_sub = SubSchedule(sched, intra)
     deps: List[int] = []
-    rnd = 0
-    # Phase 1 (tags +0/+1) — intra-domain ring reduce-scatter.
+    itag = next_tag(intra)
     if s > 1:
-        right = members[(m_idx + 1) % s]
-        left = members[(m_idx - 1) % s]
-        for step in range(s - 1):
-            send_c = chunk(m_idx - step)
-            recv_c = chunk(m_idx - step - 1)
-            tmp = np.empty_like(recv_c)
-            snd = sched.send(send_c, right, tag + step % 2, after=deps,
-                             round=rnd)
-            rcv = sched.recv(tmp, left, tag + step % 2, after=deps,
-                             round=rnd)
-
-            def combine(tmp=tmp, recv_c=recv_c):
-                recv_c[...] = op.combine(tmp, recv_c)
-
-            deps = [sched.compute(combine, after=(snd, rcv), round=rnd)]
-            rnd += 1
-
-    # Phase 2 (tags +2..+5) — ring allreduce of my chunk across domains.
-    # After the reduce-scatter this member owns chunk (m_idx+1) mod s
-    # (same convention as allreduce_ring).
-    if G > 1:
-        mine = chunk(m_idx + 1) if s > 1 else chunk(m_idx)
-        nc = mine.size
-        b2 = [(c * nc) // G for c in range(G + 1)]
-
-        def sub(c: int) -> np.ndarray:
-            c %= G
-            return mine[b2[c] : b2[c + 1]]
-
-        right = groups[(g_idx + 1) % G][m_idx]
-        left = groups[(g_idx - 1) % G][m_idx]
-        for step in range(G - 1):
-            send_c = sub(g_idx - step)
-            recv_c = sub(g_idx - step - 1)
-            tmp = np.empty_like(recv_c)
-            snd = sched.send(send_c, right, tag + 2 + step % 2, after=deps,
-                             round=rnd)
-            rcv = sched.recv(tmp, left, tag + 2 + step % 2, after=deps,
-                             round=rnd)
-
-            def combine2(tmp=tmp, recv_c=recv_c):
-                recv_c[...] = op.combine(tmp, recv_c)
-
-            deps = [sched.compute(combine2, after=(snd, rcv), round=rnd)]
-            rnd += 1
-        for step in range(G - 1):
-            snd = sched.send(sub(g_idx + 1 - step), right,
-                             tag + 4 + step % 2, after=deps, round=rnd)
-            rcv = sched.recv(sub(g_idx - step), left,
-                             tag + 4 + step % 2, after=deps, round=rnd)
-            deps = [snd, rcv]
-            rnd += 1
-
-    # Phase 3 (tags +6/+7) — intra-domain ring allgather of the chunks
-    # (circulating from the owned chunk (m_idx+1) mod s outward).
+        deps = append_ring_reduce_scatter(
+            intra_sub, intra, acc, op, itag
+        )
+    # After the reduce-scatter this member owns chunk (m+1) mod s; the
+    # peer communicator (member m of every domain) allreduces it.
+    n = acc.size
+    bounds = [(c * n) // s for c in range(s + 1)]
+    own = (intra.rank + 1) % s if s > 1 else 0
+    mine = acc[bounds[own] : bounds[own + 1]]
+    if peer is not None and peer.size > 1:
+        peer_sub = SubSchedule(sched, peer)
+        ptag = next_tag(peer)
+        rnd = sched.n_rounds
+        deps = append_ring_reduce_scatter(
+            peer_sub, peer, mine, op, ptag, after=deps, round0=rnd
+        )
+        deps = append_ring_allgather(
+            peer_sub, peer, mine, ptag + 4, after=deps,
+            round0=sched.n_rounds,
+        )
     if s > 1:
-        right = members[(m_idx + 1) % s]
-        left = members[(m_idx - 1) % s]
-        for step in range(s - 1):
-            snd = sched.send(chunk(m_idx + 1 - step), right,
-                             tag + 6 + step % 2, after=deps, round=rnd)
-            rcv = sched.recv(chunk(m_idx - step), left,
-                             tag + 6 + step % 2, after=deps, round=rnd)
-            deps = [snd, rcv]
-            rnd += 1
-
+        deps = append_ring_allgather(
+            intra_sub, intra, acc, itag + 4, after=deps,
+            round0=sched.n_rounds,
+        )
     sched.compute(
         lambda: out.__setitem__(..., acc.reshape(out.shape)),
         after=deps,
     )
+
+
+def _allreduce_unequal_pods(sched, ctx, hier, acc, out, op) -> None:
+    """Unequal pods: ring allreduce on a locality-reordered comm.
+
+    The peer rings of the equal-pod path need member *i* to exist in
+    every domain; with ragged pod sizes the hierarchy is instead
+    exploited through *rank reordering*: ``split(color=0, key=domain)``
+    yields a communicator whose rank order walks the pods contiguously,
+    so every step of the ordinary ring allreduce crosses each domain
+    boundary exactly once — G simultaneous crossings, one per uplink,
+    each **uncontended** — where the fragmented flat ring crossed the
+    loaded bottleneck on every hop.  Works for any pod sizes (including
+    singletons); the allreduce result is rank-symmetric, so no data
+    reordering is needed.
+    """
+    rctx = hier.reordered_ctx(ctx.rank)
+    sub = SubSchedule(sched, rctx)
+    tag = next_tag(rctx)
+    deps = append_ring_reduce_scatter(sub, rctx, acc, op, tag)
+    deps = append_ring_allgather(
+        sub, rctx, acc, tag + 4, after=deps, round0=sched.n_rounds
+    )
+    sched.compute(
+        lambda: out.__setitem__(..., acc.reshape(out.shape)),
+        after=deps,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Allgather
+# ---------------------------------------------------------------------------
+
+def build_allgather_hierarchical(
+    ctx,
+    sendbuf: Payload,
+    recvbufs: Sequence[Payload],
+) -> Schedule:
+    """Topology-aware allgather: gather → leader ring → broadcast.
+
+    Every rank's block first travels to its domain leader (leaf-switch
+    traffic); the leaders then ring-allgather the concatenated domain
+    blocks — the only phase crossing the fabric bottleneck, once per
+    domain instead of once per rank — and finally fan the full vector
+    out inside their domains.  Handles unequal pod sizes and unequal
+    block sizes (the vector variant).
+    """
+    from .bcast import _append_binomial
+
+    mine = payload_array(sendbuf)
+    if mine is None:
+        raise MpiError("hierarchical allgather requires an array payload")
+    arrays = [payload_array(b) for b in recvbufs]
+    if any(a is None for a in arrays):
+        raise MpiError(
+            "hierarchical allgather needs a recv buffer for every rank"
+        )
+    sched = Schedule()
+    hier, groups = _hier_setup(ctx)
+    comm = ctx.comm
+    intra = hier.intra_ctx(ctx.rank)
+    s = intra.size
+    G = len(groups)
+    gi = hier.dom_of[ctx.rank]
+
+    # Assembly order: domain-major, member-minor (parent-rank order
+    # within each group) — offsets are derived per rank, so unequal
+    # blocks fall out naturally.
+    block_bytes = [a.nbytes for a in arrays]
+    offset: Dict[int, int] = {}
+    off = 0
+    for g in groups:
+        for r in g:
+            offset[r] = off
+            off += block_bytes[r]
+    total = off
+    full = np.empty(total, dtype=np.uint8)
+    dom_lo = [offset[g[0]] for g in groups]
+    dom_hi = [offset[g[-1]] + block_bytes[g[-1]] for g in groups]
+
+    intra_sub = SubSchedule(sched, intra)
+    itag = next_tag(intra)
+    deps: List[int] = []
+    members = groups[gi]
+    if intra.rank == 0:
+        # Leader: collect the domain's blocks (own block via memcpy).
+        my_r = ctx.rank
+
+        def own_copy():
+            full[offset[my_r] : offset[my_r] + block_bytes[my_r]] = _u8(mine)
+
+        deps = [sched.compute(own_copy)]
+        for m in range(1, s):
+            r_parent = members[m]
+            lo = offset[r_parent]
+            deps.append(intra_sub.recv(
+                full[lo : lo + block_bytes[r_parent]], m, itag
+            ))
+    elif s > 1:
+        deps = [intra_sub.send(_u8(mine), 0, itag)]
+
+    # Leader ring over the (unequal) domain blocks of ``full``.
+    leader = hier.leader_ctx(ctx.rank)
+    if leader is not None and leader.size > 1:
+        lsub = SubSchedule(sched, leader)
+        ltag = next_tag(leader)
+        right = (leader.rank + 1) % G
+        left = (leader.rank - 1) % G
+        rnd0 = sched.n_rounds
+        for step in range(G - 1):
+            send_d = (gi - step) % G
+            recv_d = (gi - step - 1) % G
+            snd = lsub.send(full[dom_lo[send_d] : dom_hi[send_d]], right,
+                            ltag + step % 4, after=deps, round=rnd0 + step)
+            rcv = lsub.recv(full[dom_lo[recv_d] : dom_hi[recv_d]], left,
+                            ltag + step % 4, after=deps, round=rnd0 + step)
+            deps = [snd, rcv]
+
+    # Intra-domain broadcast of the assembled vector.
+    btag = next_tag(intra)
+    if s > 1:
+        deps = _append_binomial(
+            intra_sub, intra, full, list(range(s)), 0, btag,
+            after=deps, round0=sched.n_rounds,
+        )
+
+    def scatter_out():
+        for r, arr in enumerate(arrays):
+            lo = offset[r]
+            _u8(arr)[...] = full[lo : lo + block_bytes[r]]
+
+    sched.compute(scatter_out, after=deps)
     return sched
 
+
+# ---------------------------------------------------------------------------
+# Alltoall
+# ---------------------------------------------------------------------------
+
+def build_alltoall_hierarchical(
+    ctx,
+    sendbufs: Sequence[Payload],
+    recvbufs: Sequence[Payload],
+) -> Schedule:
+    """Topology-aware alltoall: bucket-gather → leader exchange →
+    dispersal.
+
+    Members ship their whole per-destination payload to the domain
+    leader; leaders exchange per-domain *super-buckets* (all the data
+    domain g holds for domain d, in one transfer) so the bottleneck
+    sees G−1 large transfers per leader instead of P−1 small ones per
+    rank; leaders then deal each member its slice.  Uniform block sizes
+    only (as the selector guarantees).
+    """
+    mine = [payload_array(b) for b in sendbufs]
+    outs = [payload_array(b) for b in recvbufs]
+    if any(a is None for a in mine) or any(a is None for a in outs):
+        raise MpiError(
+            "hierarchical alltoall needs array payloads on every rank"
+        )
+    B = mine[0].nbytes
+    if any(a.nbytes != B for a in mine) or any(
+        a.nbytes != B for a in outs
+    ):
+        raise MpiError("hierarchical alltoall needs uniform block sizes")
+    sched = Schedule()
+    hier, groups = _hier_setup(ctx)
+    intra = hier.intra_ctx(ctx.rank)
+    s = intra.size
+    G = len(groups)
+    gi = hier.dom_of[ctx.rank]
+    members = groups[gi]
+    sizes = [len(g) for g in groups]
+    P = ctx.size
+
+    # Destination order inside every payload: domain-major,
+    # member-minor (``dm_order``), so a domain's bucket is contiguous.
+    dm_order: List[int] = [r for g in groups for r in g]
+    dstart = [0] * (G + 1)
+    for d in range(G):
+        dstart[d + 1] = dstart[d] + sizes[d] * B
+
+    def payload_of(send_arrays) -> np.ndarray:
+        return np.concatenate([_u8(send_arrays[j]) for j in dm_order])
+
+    intra_sub = SubSchedule(sched, intra)
+    itag = next_tag(intra)
+    deps: List[int] = []
+    if intra.rank == 0:
+        # Leader: stage[m] = member m's full payload in dm_order.
+        stage: List[Optional[np.ndarray]] = [None] * s
+
+        def own_stage():
+            stage[0] = payload_of(mine)
+
+        deps = [sched.compute(own_stage)]
+        for m in range(1, s):
+            buf = np.empty(P * B, dtype=np.uint8)
+            stage[m] = buf
+            deps.append(intra_sub.recv(buf, m, itag))
+
+        # Leader exchange: shift schedule over super-buckets.  The
+        # super-bucket for domain d concatenates every local member's
+        # bucket for d — resolved lazily, once phase 1 delivered.
+        inbuf: List[Optional[np.ndarray]] = [None] * G
+
+        def super_bucket(d: int) -> np.ndarray:
+            return np.concatenate(
+                [stage[m][dstart[d] : dstart[d + 1]] for m in range(s)]
+            )
+
+        def keep_own(d=gi):
+            inbuf[d] = super_bucket(d)
+
+        deps = [sched.compute(keep_own, after=deps)]
+        leader = hier.leader_ctx(ctx.rank)
+        if leader is not None and leader.size > 1:
+            lsub = SubSchedule(sched, leader)
+            ltag = next_tag(leader)
+            rnd0 = sched.n_rounds
+            for k in range(1, G):
+                dst = (gi + k) % G
+                src = (gi - k) % G
+                rbuf = np.empty(sizes[src] * s * B, dtype=np.uint8)
+                inbuf[src] = rbuf
+                snd = lsub.send(
+                    lambda d=dst: super_bucket(d), dst, ltag + (k - 1) % 4,
+                    after=deps, round=rnd0 + k - 1,
+                )
+                rcv = lsub.recv(rbuf, src, ltag + (k - 1) % 4,
+                                after=deps, round=rnd0 + k - 1)
+                deps = [snd, rcv]
+
+        # Dispersal: member m's result is, per source domain d and
+        # source member index q, the m-th block of bucket (q → my
+        # domain) inside inbuf[d].
+        def member_result(m: int) -> np.ndarray:
+            parts = []
+            for d in range(G):
+                buf = inbuf[d]
+                for q in range(sizes[d]):
+                    lo = (q * s + m) * B
+                    parts.append(buf[lo : lo + B])
+            return np.concatenate(parts)
+
+        dtag = next_tag(intra)
+        rnd = sched.n_rounds
+        for m in range(1, s):
+            intra_sub.send(
+                lambda m=m: member_result(m), m, dtag,
+                after=deps, round=rnd,
+            )
+
+        def own_unpack():
+            res = member_result(0)
+            for k, j in enumerate(dm_order):
+                _u8(outs[j])[...] = res[k * B : (k + 1) * B]
+
+        sched.compute(own_unpack, after=deps)
+    else:
+        # Member: ship the payload up, await the dealt result.
+        snd = intra_sub.send(lambda: payload_of(mine), 0, itag)
+        dtag = next_tag(intra)
+        res = np.empty(P * B, dtype=np.uint8)
+        rcv = intra_sub.recv(res, 0, dtag)
+
+        def unpack():
+            for k, j in enumerate(dm_order):
+                _u8(outs[j])[...] = res[k * B : (k + 1) * B]
+
+        sched.compute(unpack, after=(snd, rcv))
+    return sched

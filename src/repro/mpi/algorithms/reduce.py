@@ -7,7 +7,8 @@
   binomial gather of the combined chunks to the root: 2·⌈log2 P⌉
   rounds but only ≈2·nβ total bytes on the critical path — the
   bandwidth-optimal root-ended reduction (Rabenseifner 2004), selected
-  for large messages on power-of-two communicators.
+  for large messages on any communicator size (non-powers of two pay
+  one extra fold-in round first).
 
 Both compile to :class:`~repro.mpi.algorithms.schedule.Schedule` DAGs;
 ``mpi/collectives.py`` dispatches blocking ``reduce`` (and the new
@@ -24,7 +25,7 @@ import numpy as np
 
 from ..datatypes import Payload, ReduceOp, payload_array
 from ..errors import MpiError
-from .base import is_pof2, next_tag
+from .base import largest_pof2, next_tag
 from .schedule import Schedule
 
 __all__ = [
@@ -116,16 +117,19 @@ def build_reduce_rabenseifner(
 ) -> Schedule:
     """Recursive-halving reduce-scatter + binomial gather to the root.
 
-    Power-of-two communicators only (the selector guards); tolerates
+    Any communicator size: on non-powers of two the ``rem = P − pof2``
+    excess virtual ranks first fold their full vector into virtual rank
+    ``vr − pof2`` (one extra round, mirroring the recursive-doubling
+    allreduce fold-in; no fold-out — only the root needs the result and
+    virtual rank 0 always participates), then the power-of-two
+    participant set runs the standard halving + gather.  Tolerates
     element counts below P (trailing chunks are empty).  Chunk c of the
     vector ends fully combined on virtual rank c after the halving
     phase, then the gather phase folds the chunk ranges upward to the
-    root in ⌈log2 P⌉ doubling rounds.
+    root in ⌈log2 pof2⌉ doubling rounds.
     """
     src, out = _setup(ctx, sendbuf, recvbuf, root)
     size, rank = ctx.size, ctx.rank
-    if not is_pof2(size):
-        raise MpiError("rabenseifner reduce needs power-of-two P")
     sched = Schedule()
     acc = src.copy().reshape(-1)
     if size == 1:
@@ -137,8 +141,10 @@ def build_reduce_rabenseifner(
         return sched
     tag = next_tag(ctx)
     vr = (rank - root) % size
+    pof2 = largest_pof2(size)
+    rem = size - pof2
     n = acc.size
-    bounds = [(c * n) // size for c in range(size + 1)]
+    bounds = [(c * n) // pof2 for c in range(pof2 + 1)]
 
     def seg(lo: int, hi: int) -> np.ndarray:
         return acc[bounds[lo] : bounds[hi]]
@@ -147,11 +153,32 @@ def build_reduce_rabenseifner(
         return (v + root) % size
 
     deps: List[int] = []
+    rnd = 0
+    # Fold-in (tag offset 6) — the excess virtual ranks (vr ≥ pof2)
+    # hand their whole vector to vr − pof2 and are done; the receiver
+    # combines it and carries both contributions forward.
+    if rem:
+        if vr >= pof2:
+            sched.send(acc, real(vr - pof2), tag + 6, after=deps,
+                       round=rnd)
+            return sched
+        if vr < rem:
+            fold_src = real(vr + pof2)
+            tmp0 = np.empty_like(acc)
+            r = sched.recv(tmp0, fold_src, tag + 6, after=deps, round=rnd)
+
+            def fold_in(tmp0=tmp0, fold_src=fold_src):
+                acc[...] = (
+                    op.combine(tmp0, acc) if fold_src < rank
+                    else op.combine(acc, tmp0)
+                )
+
+            deps = [sched.compute(fold_in, after=(r,), round=rnd)]
+        rnd += 1
     # Phase 1 (tag offsets 0/1) — recursive halving reduce-scatter: each
     # round trades half of the live range with the partner at distance
     # ``half`` and combines the kept half.
-    lo, hi = 0, size
-    rnd = 0
+    lo, hi = 0, pof2
     while hi - lo > 1:
         half = (hi - lo) // 2
         mid = lo + half
@@ -183,18 +210,18 @@ def build_reduce_rabenseifner(
     # v − mask.
     mask = 1
     own_lo, own_hi = vr, vr + 1
-    while mask < size:
+    while mask < pof2:
         if vr & mask:
             dst = real(vr - mask)
             deps = [sched.send(seg(own_lo, own_hi), dst, tag + 2 + rnd % 2,
                                after=deps, round=rnd)]
             break
         partner_v = vr + mask
-        if partner_v < size:
-            deps = [sched.recv(seg(partner_v, min(partner_v + mask, size)),
+        if partner_v < pof2:
+            deps = [sched.recv(seg(partner_v, min(partner_v + mask, pof2)),
                                real(partner_v), tag + 2 + rnd % 2,
                                after=deps, round=rnd)]
-            own_hi = min(partner_v + mask, size)
+            own_hi = min(partner_v + mask, pof2)
         mask <<= 1
         rnd += 1
     if rank == root:

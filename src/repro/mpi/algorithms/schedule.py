@@ -98,6 +98,12 @@ class _Step:
     #: Compute steps: the local action (runs in zero simulated time,
     #: like the inline numpy combines of the old generator loops).
     fn: Optional[Callable[[], None]] = None
+    #: Wire steps: the context this step runs under — a *derived*
+    #: communicator's :class:`MpiContext` when the hierarchical
+    #: collectives route a phase through a sub-communicator (``peer``
+    #: and ``tag`` are then that communicator's).  ``None`` = the
+    #: executing rank's own context.
+    via: Optional[MpiContext] = None
 
     def resolve_buf(self) -> Payload:
         return self.buf() if callable(self.buf) else self.buf
@@ -139,11 +145,17 @@ class Schedule:
         tag: int,
         after: Sequence[int] = (),
         round: int = 0,
+        via: Optional[MpiContext] = None,
     ) -> int:
-        """Post a send of ``buf`` to ``peer`` once ``after`` completed."""
+        """Post a send of ``buf`` to ``peer`` once ``after`` completed.
+
+        ``via`` routes the step through a derived communicator's
+        context: ``peer`` and ``tag`` are then in *that* communicator's
+        rank and tag space.
+        """
         return self._add(_Step(
             idx=len(self.steps), kind=_SEND, deps=tuple(after),
-            round=round, peer=peer, tag=tag, buf=buf,
+            round=round, peer=peer, tag=tag, buf=buf, via=via,
         ))
 
     def recv(
@@ -153,11 +165,13 @@ class Schedule:
         tag: int,
         after: Sequence[int] = (),
         round: int = 0,
+        via: Optional[MpiContext] = None,
     ) -> int:
-        """Post a receive into ``buf`` from ``peer``."""
+        """Post a receive into ``buf`` from ``peer`` (``via`` as in
+        :meth:`send`)."""
         return self._add(_Step(
             idx=len(self.steps), kind=_RECV, deps=tuple(after),
-            round=round, peer=peer, tag=tag, buf=buf,
+            round=round, peer=peer, tag=tag, buf=buf, via=via,
         ))
 
     def compute(
@@ -195,6 +209,60 @@ class Schedule:
             )
             lines.append(f"round {r}: {ops}")
         return "\n".join(lines)
+
+
+class SubSchedule:
+    """A :class:`Schedule` view bound to a derived communicator.
+
+    Hands an unmodified schedule *builder* (binomial reduce, ring
+    allgather, broadcast appenders …) a sub-communicator to build
+    against: every wire step the builder adds is stamped ``via`` the
+    bound context, so its peers and tags live in the sub-communicator
+    while the steps land in the composite parent schedule.  This is how
+    the hierarchical collectives compose intra-domain and inter-domain
+    phases out of the ordinary algorithms instead of hand-rolling rank
+    arithmetic.
+    """
+
+    def __init__(self, sched: Schedule, via: MpiContext) -> None:
+        self._sched = sched
+        self.via = via
+
+    def send(self, buf, peer, tag, after=(), round=0, via=None) -> int:
+        return self._sched.send(
+            buf, peer, tag, after=after, round=round,
+            via=via if via is not None else self.via,
+        )
+
+    def recv(self, buf, peer, tag, after=(), round=0, via=None) -> int:
+        return self._sched.recv(
+            buf, peer, tag, after=after, round=round,
+            via=via if via is not None else self.via,
+        )
+
+    def compute(self, fn, after=(), round=0) -> int:
+        return self._sched.compute(fn, after=after, round=round)
+
+    def overhead(self, after=(), round=0) -> int:
+        return self._sched.overhead(after=after, round=round)
+
+    @property
+    def steps(self):
+        return self._sched.steps
+
+    @property
+    def last(self) -> int:
+        return self._sched.last
+
+    @property
+    def n_rounds(self) -> int:
+        return self._sched.n_rounds
+
+    def __len__(self) -> int:
+        return len(self._sched)
+
+
+__all__.append("SubSchedule")
 
 
 class ScheduleEngine:
@@ -284,16 +352,21 @@ class ScheduleEngine:
     def _wire_op(
         self, ctx: MpiContext, st: _Step
     ) -> Generator[Event, Any, Any]:
+        # A `via` step runs in a derived communicator's rank/tag space
+        # (its own matching stores — tag isolation for free); the wire
+        # underneath is the same cluster interconnect either way.
+        tctx = st.via if st.via is not None else ctx
+        comm = tctx.comm
         if st.kind == _SEND:
-            yield from self.comm._send_impl(
-                ctx.rank, st.peer, st.resolve_buf(), st.tag
+            yield from comm._send_impl(
+                tctx.rank, st.peer, st.resolve_buf(), st.tag
             )
         elif st.kind == _RECV:
-            status = yield from self.comm._recv_impl(
-                ctx.rank, st.peer, st.resolve_buf(), st.tag
+            status = yield from comm._recv_impl(
+                tctx.rank, st.peer, st.resolve_buf(), st.tag
             )
             return status
         elif st.kind == _OVERHEAD:
-            yield self.comm._sw()
+            yield comm._sw()
         else:  # pragma: no cover - defensive
             raise MpiError(f"unknown step kind {st.kind!r}")

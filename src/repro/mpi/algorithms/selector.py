@@ -44,7 +44,11 @@ from .bcast import (
     build_bcast_hierarchical,
     build_bcast_pipelined,
 )
-from .hierarchical import build_allreduce_hierarchical
+from .hierarchical import (
+    build_allgather_hierarchical,
+    build_allreduce_hierarchical,
+    build_alltoall_hierarchical,
+)
 from .reduce import build_reduce_binomial, build_reduce_rabenseifner
 from .schedule import blocking
 from .tuning import CollectiveTuning
@@ -65,11 +69,13 @@ SCHEDULES: Dict[str, Dict[str, Callable]] = {
         "ring": build_allgather_ring,
         "recursive_doubling": build_allgather_recursive_doubling,
         "bruck": build_allgather_bruck,
+        "hierarchical": build_allgather_hierarchical,
     },
     "alltoall": {
         "shift": build_alltoall_shift,
         "pairwise": build_alltoall_pairwise,
         "bruck": build_alltoall_bruck,
+        "hierarchical": build_alltoall_hierarchical,
     },
     "bcast": {
         "binomial": build_bcast_binomial,
@@ -128,11 +134,22 @@ class AlgorithmSelector:
         return "recursive_doubling"
 
     def allgather(
-        self, block_nbytes: int, size: int, uniform: bool = True
+        self,
+        block_nbytes: int,
+        size: int,
+        uniform: bool = True,
+        hier_ok: bool = False,
     ) -> str:
         forced = self._forced("allgather", self.tuning.force_allgather)
         if forced is not None:
             return forced
+        if (
+            hier_ok
+            and size > 2
+            and self.tuning.allgather_hier_min_bytes is not None
+            and block_nbytes >= self.tuning.allgather_hier_min_bytes
+        ):
+            return "hierarchical"
         enough_ranks = (
             size >= self.tuning.allgather_rd_min_ranks
             or block_nbytes <= self.tuning.allgather_rd_small_max_bytes
@@ -154,11 +171,23 @@ class AlgorithmSelector:
         return "ring"
 
     def alltoall(
-        self, block_nbytes: int, size: int, uniform: bool = True
+        self,
+        block_nbytes: int,
+        size: int,
+        uniform: bool = True,
+        hier_ok: bool = False,
     ) -> str:
         forced = self._forced("alltoall", self.tuning.force_alltoall)
         if forced is not None:
             return forced
+        if (
+            hier_ok
+            and uniform
+            and size > 2
+            and self.tuning.alltoall_hier_min_bytes is not None
+            and block_nbytes >= self.tuning.alltoall_hier_min_bytes
+        ):
+            return "hierarchical"
         if (
             uniform
             and size > 2
@@ -195,9 +224,11 @@ class AlgorithmSelector:
         forced = self._forced("reduce", self.tuning.force_reduce)
         if forced is not None:
             return forced
+        # Any-P: non-powers of two fold their excess ranks in first
+        # (one extra full-size round, priced into the autotuned
+        # crossover).
         if (
-            _is_pof2(size)
-            and size > 2
+            size > 2
             and self.tuning.reduce_raben_min_bytes is not None
             and nbytes >= self.tuning.reduce_raben_min_bytes
         ):

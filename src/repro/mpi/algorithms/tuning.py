@@ -83,10 +83,13 @@ class CollectiveTuning:
     #: pre-engine behaviour, kept as the constants' default).
     bcast_pipeline_min_bytes: Optional[int] = None
 
-    #: Reduce payloads at or above this (power-of-two communicators
-    #: only) use the Rabenseifner reduce-scatter + gather schedule —
-    #: ≈2·nβ on the critical path versus the binomial tree's
-    #: ⌈log2 P⌉·nβ.  ``None`` keeps the seed binomial tree everywhere.
+    #: Reduce payloads at or above this use the Rabenseifner
+    #: reduce-scatter + gather schedule — ≈2·nβ on the critical path
+    #: versus the binomial tree's ⌈log2 P⌉·nβ.  Any communicator size:
+    #: non-powers of two fold the excess ranks into the nearest
+    #: power-of-two participant set first (one extra full-size round,
+    #: which the autotuned crossover accounts for).  ``None`` keeps the
+    #: seed binomial tree everywhere.
     reduce_raben_min_bytes: Optional[int] = None
 
     #: Allreduce payloads at or above this decompose hierarchically
@@ -98,6 +101,16 @@ class CollectiveTuning:
 
     #: Same gate for the hierarchical (domain-leader) broadcast.
     bcast_hier_min_bytes: Optional[int] = None
+
+    #: Allgather blocks at or above this decompose hierarchically
+    #: (gather to domain leaders → leader ring of domain blocks →
+    #: intra-domain broadcast) on fragmented oversubscribed placements.
+    #: ``None`` disables (always, on flat fabrics).
+    allgather_hier_min_bytes: Optional[int] = None
+
+    #: Same gate for the hierarchical alltoall (domain super-bucket
+    #: exchange between leaders); uniform block sizes only.
+    alltoall_hier_min_bytes: Optional[int] = None
 
     #: Pin an algorithm by name (see ``ALGORITHMS`` in
     #: :mod:`repro.mpi.algorithms.selector`); ``None`` = size-adaptive.
@@ -123,6 +136,8 @@ class CollectiveTuning:
             "bcast_hier_min_bytes",
             "bcast_pipeline_min_bytes",
             "reduce_raben_min_bytes",
+            "allgather_hier_min_bytes",
+            "alltoall_hier_min_bytes",
         ):
             value = getattr(self, name)
             if value is not None and value < 0:

@@ -125,7 +125,9 @@ def _build_allgather(
              for b in recvbufs]
     uniform = None not in sizes and len(set(sizes)) <= 1
     block = sizes[ctx.rank] if uniform else 0
-    algo = ctx.comm.selector.allgather(block, ctx.size, uniform=uniform)
+    algo = ctx.comm.selector.allgather(
+        block, ctx.size, uniform=uniform, hier_ok=_hier_ok(ctx)
+    )
     ctx.comm._count(f"allgather[{algo}]")
     return SCHEDULES["allgather"][algo](ctx, sendbuf, recvbufs)
 
@@ -144,7 +146,9 @@ def _build_alltoall(
     ]
     uniform = None not in sizes and len(set(sizes)) <= 1
     block = sizes[0] if uniform else 0
-    algo = ctx.comm.selector.alltoall(block, ctx.size, uniform=uniform)
+    algo = ctx.comm.selector.alltoall(
+        block, ctx.size, uniform=uniform, hier_ok=_hier_ok(ctx)
+    )
     ctx.comm._count(f"alltoall[{algo}]")
     return SCHEDULES["alltoall"][algo](ctx, sendbufs, recvbufs)
 

@@ -1,4 +1,4 @@
-"""The simulated MPI library: communicator, contexts, point-to-point.
+"""The simulated MPI library: communicator, groups, contexts, p2p.
 
 Semantics follow MPI (and mpi4py's buffer interface) closely:
 
@@ -13,6 +13,16 @@ Semantics follow MPI (and mpi4py's buffer interface) closely:
   wildcards; non-overtaking order is preserved.
 * Payloads are real NumPy arrays, snapshotted at send time and copied
   into the receive buffer at completion.
+* Communicators are **derivable**: :meth:`Communicator.split` /
+  :meth:`~Communicator.split_type` / :meth:`~Communicator.dup` /
+  :meth:`~Communicator.create` build sub-communicators over
+  :class:`~repro.mpi.group.Group`\\ s of ranks.  Every derived
+  communicator owns its own matching stores, tag space,
+  :class:`~repro.mpi.algorithms.schedule.ScheduleEngine` and autotuned
+  :class:`~repro.mpi.algorithms.CollectiveTuning` (derived from the
+  *sub-fabric* its nodes span — an intra-pod communicator tunes for
+  pod-local α/β), so collectives on disjoint sub-communicators overlap
+  on the wire without tag coordination.
 
 The communicator is deliberately *process-agnostic*: any simulated
 process (a plain MPI rank, a DCGN communication thread, a GAS master)
@@ -23,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence, Union
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,15 +43,28 @@ from ..sim.core import Event, Process, Simulator, us
 from ..sim.stores import FilterStore
 from .datatypes import Payload, ReduceOp, payload_array, snapshot
 from .errors import MpiError, RankError, TagError, TruncationError
+from .group import Group, UNDEFINED
 from .status import ANY_SOURCE, ANY_TAG, Status
 
-__all__ = ["Communicator", "MpiContext", "Request", "HEADER_BYTES"]
+__all__ = [
+    "Communicator",
+    "MpiContext",
+    "Request",
+    "HEADER_BYTES",
+    "COMM_TYPE_NODE",
+    "COMM_TYPE_LOCALITY",
+]
 
 #: Size of protocol headers on the wire (match/envelope data).
 HEADER_BYTES = 64
 
 #: User tags must be below this; collectives use the space above it.
 INTERNAL_TAG_BASE = 1 << 20
+
+#: ``split_type`` kinds: ranks sharing a node / a topology locality
+#: domain (a fat-tree pod, a torus row) land in the same communicator.
+COMM_TYPE_NODE = "node"
+COMM_TYPE_LOCALITY = "locality"
 
 
 @dataclass
@@ -81,13 +104,21 @@ class Request:
 
 
 class Communicator:
-    """COMM_WORLD for one job: rank→node placement + matching state.
+    """A communicator: rank→node placement + matching state.
+
+    Built directly over a cluster it is the job's COMM_WORLD; built via
+    :meth:`split` / :meth:`split_type` / :meth:`dup` / :meth:`create`
+    it is a *derived* communicator over a :class:`Group` of the
+    parent's ranks, with its own tag space, matching stores, schedule
+    engine and per-sub-fabric autotuned thresholds.
 
     ``tuning`` overrides the collective-algorithm selection thresholds
     (see :class:`repro.mpi.algorithms.CollectiveTuning`); by default the
-    thresholds are *autotuned* from the cluster's fabric topology and
-    ``IbParams`` (:mod:`repro.mpi.algorithms.autotune`), cached per
-    fabric shape.
+    thresholds are *autotuned* from the fabric the communicator's nodes
+    actually span (:mod:`repro.mpi.algorithms.autotune`), cached per
+    sub-fabric profile — so an intra-pod communicator tunes for
+    pod-local α/β while its parent tunes for the whole machine.  An
+    explicit ``tuning`` is inherited by derived communicators.
     """
 
     def __init__(
@@ -95,6 +126,9 @@ class Communicator:
         cluster: Cluster,
         placement: Sequence[int],
         tuning: Optional["CollectiveTuning"] = None,
+        parent: Optional["Communicator"] = None,
+        world_ranks: Optional[Sequence[int]] = None,
+        name: str = "world",
     ) -> None:
         from .algorithms import AlgorithmSelector
         from .algorithms.autotune import autotune_tuning
@@ -109,18 +143,47 @@ class Communicator:
         self.sim: Simulator = cluster.sim
         self.placement = list(placement)
         self.size = len(placement)
-        self.tuning = (
-            tuning if tuning is not None else autotune_tuning(cluster)
+        #: Parent communicator (None for a world communicator).
+        self.parent = parent
+        #: The root (world) communicator this one ultimately derives from.
+        self.root_comm: "Communicator" = (
+            parent.root_comm if parent is not None else self
         )
+        #: Local rank → rank in the root communicator (identity at root).
+        self.world_ranks: Tuple[int, ...] = (
+            tuple(range(self.size))
+            if world_ranks is None
+            else tuple(int(w) for w in world_ranks)
+        )
+        if len(self.world_ranks) != self.size:
+            raise MpiError("world_ranks must match the placement length")
+        self._world_index = {w: r for r, w in enumerate(self.world_ranks)}
+        self.name = name
+        #: The tuning *argument* (None = autotune); derived communicators
+        #: inherit an explicit tuning, else autotune their sub-fabric.
+        self._tuning_arg = tuning
+        if tuning is not None:
+            self.tuning = tuning
+        elif parent is None:
+            self.tuning = autotune_tuning(cluster)
+        else:
+            self.tuning = autotune_tuning(
+                cluster, nodes=tuple(self.placement)
+            )
         #: Per-call collective algorithm selection (collectives.py asks).
         self.selector = AlgorithmSelector(self.tuning)
         #: Nonblocking progress engine executing collective schedules.
         self.engine = ScheduleEngine(self)
         self._match: List[FilterStore] = [
-            FilterStore(self.sim, name=f"mpi.match[{r}]")
+            FilterStore(self.sim, name=f"mpi.match[{name}:{r}]")
             for r in range(self.size)
         ]
         self._coll_seq = [0] * self.size
+        #: Per-rank counters sequencing collective ``split`` calls.
+        self._split_seq = [0] * self.size
+        #: split seq → (per-rank sub-communicators, retrievals left).
+        self._split_built: Dict[int, Tuple[List, int]] = {}
+        self._hier: Optional[_HierComms] = None
         #: Operation counters for reports/tests.
         self.stats: Dict[str, int] = {}
         self._ib = cluster.spec.params.ib
@@ -131,11 +194,13 @@ class Communicator:
 
         ``locality_groups`` (domain-ordered, ranks sorted within) feeds
         the hierarchical collectives; ``hier_capable`` says whether the
-        grouping is regular enough for them (≥ 2 equal-size groups);
-        ``fragmented`` says whether the rank-order ring crosses domains
-        more often than a contiguous placement would — the regime where
-        hierarchical schedules pay off (a contiguous ring touches each
-        domain boundary once, so the flat ring is already near-optimal).
+        grouping offers any hierarchy to exploit (≥ 2 groups, at least
+        one of them non-trivial — sizes may differ, the sub-communicator
+        composition handles unequal pods); ``fragmented`` says whether
+        the rank-order ring crosses domains more often than a contiguous
+        placement would — the regime where hierarchical schedules pay
+        off (a contiguous ring touches each domain boundary once, so
+        the flat ring is already near-optimal).
         """
         topo = self.cluster.interconnect.topology
         domains = [topo.locality_group(n) for n in self.placement]
@@ -146,12 +211,10 @@ class Communicator:
         self.locality_groups: List[List[int]] = [
             by_domain[d] for d in sorted(by_domain)
         ]
-        group_sizes = {len(g) for g in self.locality_groups}
         #: True when hierarchical collectives can run on this placement.
         self.hier_capable: bool = (
             len(self.locality_groups) >= 2
-            and len(group_sizes) == 1
-            and group_sizes.pop() >= 2
+            and max(len(g) for g in self.locality_groups) >= 2
         )
         crossings = sum(
             1
@@ -160,6 +223,188 @@ class Communicator:
         )
         #: True when rank order is scattered across domains.
         self.fragmented: bool = crossings > len(self.locality_groups)
+
+    # -- groups and derived communicators ----------------------------------
+    @property
+    def group(self) -> Group:
+        """This communicator's members as a :class:`Group` of world ids."""
+        return Group(self.world_ranks)
+
+    def rank_of_world(self, world_id: int) -> int:
+        """Local rank of a world process id (UNDEFINED if absent)."""
+        return self._world_index.get(int(world_id), UNDEFINED)
+
+    def _derive(
+        self, world_ranks: Sequence[int], name: str
+    ) -> "Communicator":
+        root = self.root_comm
+        placement = [root.placement[w] for w in world_ranks]
+        return Communicator(
+            self.cluster,
+            placement,
+            tuning=self._tuning_arg,
+            parent=self,
+            world_ranks=world_ranks,
+            name=name,
+        )
+
+    def split(
+        self,
+        colors: Sequence[int],
+        keys: Optional[Sequence[int]] = None,
+    ) -> List[Optional["Communicator"]]:
+        """``MPI_Comm_split`` with the whole color/key vector in hand.
+
+        ``colors[r]`` / ``keys[r]`` are what rank ``r`` would pass;
+        ranks with color :data:`~repro.mpi.group.UNDEFINED` opt out.
+        Returns one entry per rank: its new communicator (shared between
+        the ranks of one color) or ``None``.  Ranks order within each
+        new communicator by (key, parent rank).  This is the
+        deterministic driver-level constructor; simulated ranks use the
+        collective :meth:`MpiContext.split`, which exchanges the
+        color/key pairs over the wire and lands here.
+        """
+        if len(colors) != self.size:
+            raise MpiError("split needs one color per rank")
+        if keys is None:
+            keys = [0] * self.size
+        if len(keys) != self.size:
+            raise MpiError("split needs one key per rank")
+        by_color: Dict[int, List[int]] = {}
+        for r in range(self.size):
+            color = int(colors[r])
+            if color == UNDEFINED:
+                continue
+            if color < 0:
+                raise MpiError(
+                    f"split color must be >= 0 or UNDEFINED, got {color}"
+                )
+            by_color.setdefault(color, []).append(r)
+        comms: Dict[int, Communicator] = {}
+        for color, members in by_color.items():
+            members.sort(key=lambda r: (int(keys[r]), r))
+            comms[color] = self._derive(
+                [self.world_ranks[r] for r in members],
+                name=f"{self.name}/split{color}",
+            )
+        self._count("comm_split")
+        return [
+            comms[int(colors[r])] if int(colors[r]) != UNDEFINED else None
+            for r in range(self.size)
+        ]
+
+    def split_type(
+        self, kind: str, keys: Optional[Sequence[int]] = None
+    ) -> List["Communicator"]:
+        """Topology-aware split: one communicator per node
+        (:data:`COMM_TYPE_NODE`) or per fabric locality domain
+        (:data:`COMM_TYPE_LOCALITY` — a fat-tree pod, a torus row),
+        colors derived from the placement and
+        :meth:`~repro.hw.topology.base.Topology.locality_group`.
+        """
+        return self.split(self._type_colors(kind), keys)
+
+    def _type_colors(self, kind: str) -> List[int]:
+        if kind == COMM_TYPE_NODE:
+            return list(self.placement)
+        if kind == COMM_TYPE_LOCALITY:
+            topo = self.cluster.interconnect.topology
+            return [topo.locality_group(n) for n in self.placement]
+        raise MpiError(
+            f"unknown split_type kind {kind!r}; use COMM_TYPE_NODE or "
+            f"COMM_TYPE_LOCALITY"
+        )
+
+    def dup(self) -> "Communicator":
+        """A congruent communicator: same members, fresh tag space."""
+        self._count("comm_dup")
+        return self._derive(self.world_ranks, name=f"{self.name}/dup")
+
+    def create(self, group: Group) -> Optional["Communicator"]:
+        """``MPI_Comm_create``: a communicator over ``group``'s members
+        (which must all belong to this communicator); ``None`` for the
+        empty group."""
+        for w in group.members:
+            if w not in self._world_index:
+                raise MpiError(
+                    f"group member {w} is not part of communicator "
+                    f"{self.name!r}"
+                )
+        if group.size == 0:
+            return None
+        self._count("comm_create")
+        return self._derive(group.members, name=f"{self.name}/create")
+
+    def hier_comms(self) -> "_HierComms":
+        """The derived-communicator bundle hierarchical collectives run
+        on: an intra-domain communicator per locality group, a leader
+        communicator (first member of each group), and — when every
+        group has the same size — one *peer* communicator per member
+        index (member *i* of every domain), which is what the
+        bandwidth-optimal equal-pod allreduce rings over.  Built lazily
+        on first use and cached; construction itself is free, like the
+        implicit world communicator.
+        """
+        if self._hier is None:
+            groups = self.locality_groups
+            dom_of = [0] * self.size
+            member_idx = [0] * self.size
+            for gi, g in enumerate(groups):
+                for mi, r in enumerate(g):
+                    dom_of[r] = gi
+                    member_idx[r] = mi
+            intra = self.split(dom_of)
+            leader_ranks = [g[0] for g in groups]
+            leader = self.create(self.group.incl(leader_ranks))
+            sizes = {len(g) for g in groups}
+            peers: Optional[List[Optional[Communicator]]] = None
+            if len(sizes) == 1 and len(groups[0]) >= 2 and len(groups) >= 2:
+                peers = self.split(member_idx, keys=dom_of)
+            # Locality-contiguous reordering of the whole communicator:
+            # neighbor schedules (rings) on it cross each domain
+            # boundary exactly once per step, uncontended — the general
+            # any-pod-size fallback.
+            reordered = self.split([0] * self.size, keys=dom_of)
+            self._hier = _HierComms(
+                comm=self,
+                intra=intra,
+                leader=leader,
+                peers=peers,
+                reordered=reordered,
+                dom_of=dom_of,
+                member_idx=member_idx,
+                leader_ranks=leader_ranks,
+            )
+        return self._hier
+
+    # -- collective-split bookkeeping (MpiContext.split lands here) --------
+    def _split_claim(self, rank: int) -> int:
+        seq = self._split_seq[rank]
+        self._split_seq[rank] += 1
+        return seq
+
+    def _split_result(
+        self, seq: int, rank: int, pairs: Sequence[Tuple[int, int]]
+    ) -> Optional["Communicator"]:
+        """Per-rank pickup of a collective split's result.
+
+        The first rank whose color/key exchange completes constructs
+        the sub-communicators (deterministically — every rank gathered
+        identical pairs); later ranks reuse them.  State is dropped
+        once every rank has picked up.
+        """
+        entry = self._split_built.get(seq)
+        if entry is None:
+            built = self.split([p[0] for p in pairs], [p[1] for p in pairs])
+            entry = (built, self.size)
+            self._split_built[seq] = entry
+        built, remaining = entry
+        remaining -= 1
+        if remaining == 0:
+            del self._split_built[seq]
+        else:
+            self._split_built[seq] = (built, remaining)
+        return built[rank]
 
     # -- helpers -----------------------------------------------------------
     def ctx(self, rank: int) -> "MpiContext":
@@ -283,6 +528,53 @@ class Communicator:
         dview[: sview.size] = sview
 
 
+@dataclass
+class _HierComms:
+    """Derived-communicator bundle for hierarchical collectives.
+
+    ``intra[r]`` is rank *r*'s intra-domain communicator; ``leader`` is
+    the communicator over the first member of each locality group (or
+    ``None`` when there is a single group); ``peers[r]`` — equal-size
+    groups only — is the communicator joining member index
+    ``member_idx[r]`` of every group, ordered by domain.
+    """
+
+    comm: "Communicator"
+    intra: List[Optional["Communicator"]]
+    leader: Optional["Communicator"]
+    peers: Optional[List[Optional["Communicator"]]]
+    reordered: List[Optional["Communicator"]]
+    dom_of: List[int]
+    member_idx: List[int]
+    leader_ranks: List[int]
+
+    @property
+    def equal_groups(self) -> bool:
+        """True when the peer communicators exist (equal-size pods)."""
+        return self.peers is not None
+
+    def reordered_ctx(self, rank: int) -> "MpiContext":
+        """This rank's context on the locality-contiguous reordering."""
+        sub = self.reordered[rank]
+        return sub.ctx(sub.rank_of_world(self.comm.world_ranks[rank]))
+
+    def intra_ctx(self, rank: int) -> "MpiContext":
+        sub = self.intra[rank]
+        return sub.ctx(sub.rank_of_world(self.comm.world_ranks[rank]))
+
+    def leader_ctx(self, rank: int) -> Optional["MpiContext"]:
+        if self.leader is None or rank not in self.leader_ranks:
+            return None
+        sub = self.leader
+        return sub.ctx(sub.rank_of_world(self.comm.world_ranks[rank]))
+
+    def peer_ctx(self, rank: int) -> Optional["MpiContext"]:
+        if self.peers is None:
+            return None
+        sub = self.peers[rank]
+        return sub.ctx(sub.rank_of_world(self.comm.world_ranks[rank]))
+
+
 class MpiContext:
     """Rank-bound facade: what an MPI process calls.
 
@@ -305,7 +597,67 @@ class MpiContext:
         return self.comm.node_of(self.rank)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<MpiContext rank={self.rank}/{self.size}>"
+        return (
+            f"<MpiContext rank={self.rank}/{self.size}"
+            f" comm={self.comm.name!r}>"
+        )
+
+    # -- derived communicators (collective calls) ---------------------------
+    def split(
+        self, color: int, key: int = 0
+    ) -> Generator[Event, Any, Optional["MpiContext"]]:
+        """``MPI_Comm_split``: every rank of this communicator calls
+        with its own ``color``/``key``; ranks sharing a color get a new
+        communicator ordered by (key, parent rank).  Returns this
+        rank's context on the new communicator, or ``None`` for color
+        :data:`~repro.mpi.group.UNDEFINED`.
+
+        The color/key pairs travel over the wire (an allgather, as in
+        real MPI), so the call is collective and costs what the
+        exchange costs; constructing the communicator objects
+        themselves is free.
+        """
+        comm = self.comm
+        from . import collectives as c
+
+        seq = comm._split_claim(self.rank)
+        mine = np.array([int(color), int(key)], dtype=np.int64)
+        recv = [np.empty(2, dtype=np.int64) for _ in range(comm.size)]
+        yield from c.allgather(self, mine, recv)
+        pairs = [(int(b[0]), int(b[1])) for b in recv]
+        sub = comm._split_result(seq, self.rank, pairs)
+        if sub is None:
+            return None
+        return sub.ctx(sub.rank_of_world(comm.world_ranks[self.rank]))
+
+    def split_type(
+        self, kind: str, key: int = 0
+    ) -> Generator[Event, Any, Optional["MpiContext"]]:
+        """Topology-aware split (:data:`COMM_TYPE_NODE` /
+        :data:`COMM_TYPE_LOCALITY`): the color is derived from where
+        this rank's node sits in the fabric."""
+        color = self.comm._type_colors(kind)[self.rank]
+        sub = yield from self.split(color, key)
+        return sub
+
+    def dup(self) -> Generator[Event, Any, "MpiContext"]:
+        """Collective duplicate: same members and order, fresh tag
+        space (what a library layer uses to keep its traffic isolated
+        from the application's)."""
+        sub = yield from self.split(0, self.rank)
+        return sub
+
+    def create(
+        self, group: Group
+    ) -> Generator[Event, Any, Optional["MpiContext"]]:
+        """``MPI_Comm_create``: collective over the parent; ranks in
+        ``group`` (world ids) get a communicator ordered by group rank,
+        everyone else ``None``."""
+        my_world = self.comm.world_ranks[self.rank]
+        gr = group.rank(my_world)
+        color = 0 if gr != UNDEFINED else UNDEFINED
+        sub = yield from self.split(color, gr if gr != UNDEFINED else 0)
+        return sub
 
     # -- blocking p2p ------------------------------------------------------
     def send(

@@ -1,0 +1,143 @@
+"""Process groups: the ordered rank sets beneath derived communicators.
+
+MPI builds every sub-communicator out of one primitive — an ordered set
+of processes (``MPI_Group``) plus the constructors that combine them
+(union / intersection / difference / incl / excl) and
+``MPI_Group_translate_ranks`` to map rank numbers between two groups.
+The QCDSP message-passing layer the paper descends from organizes its
+grid communication the same way: every collective is an operation over
+an indexed subset of the machine, never implicitly over the world.
+
+A :class:`Group` here is a value object: an ordered tuple of *world*
+process ids (ranks of the job's root communicator).  It carries no
+simulation state, so group algebra is free and deterministic — the
+expensive part (building a communicator over the group) lives in
+:meth:`repro.mpi.communicator.Communicator.create`.
+
+Ordering semantics follow MPI exactly:
+
+* ``union`` — members of ``self`` in order, then members of ``other``
+  not already present, in ``other``'s order;
+* ``intersection`` / ``difference`` — members of ``self`` that are /
+  are not in ``other``, in ``self``'s order;
+* ``incl(ranks)`` — a reordered subset: local ranks of ``self`` in the
+  *given* order (so ``incl`` also permutes);
+* ``excl(ranks)`` — ``self`` minus the named local ranks, order kept.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .errors import MpiError, RankError
+
+__all__ = ["Group", "UNDEFINED", "GROUP_EMPTY"]
+
+#: Returned by rank queries / ``translate_ranks`` when a process is not
+#: a member (mirrors ``MPI_UNDEFINED``); also the ``color`` value that
+#: opts a rank out of :meth:`Communicator.split`.
+UNDEFINED = -1
+
+
+class Group:
+    """An ordered, duplicate-free set of world process ids."""
+
+    __slots__ = ("_members", "_index")
+
+    def __init__(self, members: Iterable[int] = ()) -> None:
+        mem: Tuple[int, ...] = tuple(int(m) for m in members)
+        index = {}
+        for i, m in enumerate(mem):
+            if m < 0:
+                raise RankError(f"negative process id {m} in group")
+            if m in index:
+                raise MpiError(f"duplicate process id {m} in group")
+            index[m] = i
+        self._members = mem
+        self._index = index
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """World process ids, in group-rank order."""
+        return self._members
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def rank(self, world_id: int) -> int:
+        """Group rank of ``world_id`` (:data:`UNDEFINED` if absent)."""
+        return self._index.get(int(world_id), UNDEFINED)
+
+    def __contains__(self, world_id: int) -> bool:
+        return int(world_id) in self._index
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group{self._members!r}"
+
+    # -- set algebra (MPI_Group_union & friends) ---------------------------
+    def union(self, other: "Group") -> "Group":
+        extra = [m for m in other._members if m not in self._index]
+        return Group(self._members + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group(m for m in self._members if m in other._index)
+
+    def difference(self, other: "Group") -> "Group":
+        return Group(m for m in self._members if m not in other._index)
+
+    # -- subsetting (MPI_Group_incl/excl) ----------------------------------
+    def _check_local(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise RankError(
+                f"group rank {rank} out of range [0,{self.size})"
+            )
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """Subset (and permutation) by *group-local* ranks."""
+        out: List[int] = []
+        for r in ranks:
+            self._check_local(r)
+            out.append(self._members[r])
+        return Group(out)
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        """Everything but the named *group-local* ranks, order kept."""
+        drop = set()
+        for r in ranks:
+            self._check_local(r)
+            drop.add(r)
+        return Group(
+            m for i, m in enumerate(self._members) if i not in drop
+        )
+
+    # -- rank translation (MPI_Group_translate_ranks) ----------------------
+    def translate_ranks(
+        self, ranks: Sequence[int], other: "Group"
+    ) -> List[int]:
+        """Map *group-local* ranks of ``self`` to ranks in ``other``.
+
+        Processes absent from ``other`` translate to :data:`UNDEFINED`.
+        """
+        out: List[int] = []
+        for r in ranks:
+            self._check_local(r)
+            out.append(other.rank(self._members[r]))
+        return out
+
+
+#: The empty group (mirrors ``MPI_GROUP_EMPTY``).
+GROUP_EMPTY = Group()

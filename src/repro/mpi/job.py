@@ -22,14 +22,20 @@ def block_placement(n_ranks: int, n_nodes: int) -> List[int]:
 
     This matches the paper's setup note for Figure 7: "Up to two MPI
     processes ... run on the same node" — 8 ranks over 4 nodes become
-    [0,0,1,1,2,2,3,3].
+    [0,0,1,1,2,2,3,3].  Uneven divisions follow standard MPI block
+    semantics: the first ``n_ranks mod n_nodes`` nodes take one extra
+    rank — 7 ranks over 3 nodes become [0,0,0,1,1,2,2] — so odd rank
+    counts run on any cluster.  Fewer ranks than nodes leaves the
+    trailing nodes empty.
     """
-    if n_ranks % n_nodes != 0:
-        raise MpiError(
-            f"{n_ranks} ranks do not divide evenly over {n_nodes} nodes"
-        )
-    per = n_ranks // n_nodes
-    return [r // per for r in range(n_ranks)]
+    if n_ranks < 1 or n_nodes < 1:
+        raise MpiError("block_placement needs >= 1 rank and >= 1 node")
+    base, extra = divmod(n_ranks, n_nodes)
+    placement: List[int] = []
+    for node in range(n_nodes):
+        count = base + (1 if node < extra else 0)
+        placement.extend([node] * count)
+    return placement
 
 
 def round_robin_placement(n_ranks: int, n_nodes: int) -> List[int]:

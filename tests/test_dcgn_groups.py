@@ -1,0 +1,314 @@
+"""DCGN slot groups: declared groups, collective split, group
+collectives on CPU and GPU, concurrency across disjoint groups, and the
+nonblocking gather/scatter kernel APIs."""
+
+import numpy as np
+import pytest
+
+from repro.dcgn import (
+    CollectiveMismatch,
+    DcgnConfig,
+    DcgnConfigError,
+    DcgnRuntime,
+    WORLD_GID,
+)
+from repro.gpusim import LaunchConfig
+from repro.hw import ClusterSpec, build_cluster
+from repro.sim import Simulator
+
+
+def make_runtime(n_nodes, cpu_threads=0, gpus=0, slots=1, slot_groups=None):
+    sim = Simulator()
+    cluster = build_cluster(
+        sim, ClusterSpec(nodes=n_nodes, gpus_per_node=max(gpus, 1))
+    )
+    cfg = DcgnConfig.homogeneous(
+        n_nodes, cpu_threads=cpu_threads, gpus=gpus, slots_per_gpu=slots,
+        slot_groups=slot_groups,
+    )
+    return sim, DcgnRuntime(cluster, cfg)
+
+
+class TestGroupTable:
+    def test_world_group_exists(self):
+        sim, rt = make_runtime(2, cpu_threads=2)
+        world = rt.group("world")
+        assert world.gid == WORLD_GID
+        assert world.vranks == (0, 1, 2, 3)
+
+    def test_declared_groups_validated(self):
+        with pytest.raises(DcgnConfigError, match="out of range"):
+            make_runtime(2, cpu_threads=1, slot_groups={"bad": [5]})
+        with pytest.raises(DcgnConfigError, match="duplicate"):
+            make_runtime(2, cpu_threads=2, slot_groups={"bad": [1, 1]})
+        sim, rt = make_runtime(
+            2, cpu_threads=2, slot_groups={"a": [0, 3], "b": [1, 2]}
+        )
+        assert rt.group("a").vranks == (0, 3)
+        # Each declared group gets its own node-level sub-communicator.
+        info = rt.groups.info(rt.group("a").gid)
+        assert info.nodes == [0, 1]
+        assert info.subcomm is not rt.node_comm
+
+
+class TestCpuGroups:
+    def test_declared_group_collectives(self):
+        sim, rt = make_runtime(
+            2, cpu_threads=2,
+            slot_groups={"even": [0, 2], "odd": [1, 3]},
+        )
+        results = {}
+
+        def kern(ctx):
+            grp = ctx.group("even" if ctx.rank % 2 == 0 else "odd")
+            assert grp.size == 2
+            send = np.full(16, ctx.rank + 1, dtype=np.int64)
+            recv = np.zeros(16, dtype=np.int64)
+            yield from grp.allreduce(send, recv)
+            results[ctx.rank] = int(recv[0])
+            yield from grp.barrier()
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert results == {0: 4, 2: 4, 1: 6, 3: 6}
+
+    def test_split_colors_and_optout(self):
+        sim, rt = make_runtime(2, cpu_threads=3)  # 6 vranks
+        out = {}
+
+        def kern(ctx):
+            color = ctx.rank % 2 if ctx.rank < 4 else -1
+            grp = yield from ctx.split(color, key=-ctx.rank)
+            if grp is None:
+                out[ctx.rank] = None
+                return
+            # key=-rank reverses the member order.
+            out[ctx.rank] = (grp.group.vranks, grp.rank)
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert out[4] is None and out[5] is None
+        assert out[0] == ((2, 0), 1)
+        assert out[2] == ((2, 0), 0)
+        assert out[1] == ((3, 1), 1)
+        assert out[3] == ((3, 1), 0)
+
+    def test_group_bcast_and_gather_scatter(self):
+        sim, rt = make_runtime(3, cpu_threads=2)  # 6 vranks, 3 nodes
+        checks = []
+
+        def kern(ctx):
+            row = yield from ctx.split(ctx.rank // 3)  # rows of 3
+            buf = np.full(8, ctx.rank if row.rank == 0 else -1,
+                          dtype=np.int64)
+            yield from row.broadcast(0, buf)
+            checks.append(buf[0] == (ctx.rank // 3) * 3)
+            send = np.full(4, ctx.rank, dtype=np.int64)
+            recv = np.zeros(12, dtype=np.int64) if row.rank == 2 else None
+            yield from row.gather(2, send, recv)
+            if recv is not None:
+                base = (ctx.rank // 3) * 3
+                checks.append(
+                    list(recv[::4]) == [base, base + 1, base + 2]
+                )
+            back = np.zeros(4, dtype=np.int64)
+            yield from row.scatter(2, back, recv)
+            checks.append(int(back[0]) == ctx.rank)
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert all(checks) and len(checks) == 6 * 2 + 2
+
+    def test_disjoint_group_collectives_overlap(self):
+        """Two disjoint groups' collectives must not serialize: the
+        2-group run is faster than the same payload world-wide."""
+        nbytes = 1 << 20
+
+        def run(n_groups):
+            sim, rt = make_runtime(4, cpu_threads=1)
+            done = {}
+
+            def kern(ctx):
+                grp = yield from ctx.split(ctx.rank % n_groups)
+                send = np.zeros(nbytes, dtype=np.uint8)
+                recv = np.zeros(nbytes, dtype=np.uint8)
+                t0 = ctx.sim.now
+                yield from grp.allreduce(send, recv, op="max")
+                done[ctx.rank] = ctx.sim.now - t0
+
+            rt.launch_cpu(kern)
+            rt.run()
+            return max(done.values())
+
+        assert run(2) < run(1)
+
+    def test_group_collective_mismatch_detected(self):
+        sim, rt = make_runtime(1, cpu_threads=2,
+                               slot_groups={"g": [0, 1]})
+
+        def kern(ctx):
+            grp = ctx.group("g")
+            if ctx.rank == 0:
+                yield from grp.barrier()
+            else:
+                buf = np.zeros(4, dtype=np.int64)
+                yield from grp.broadcast(0, buf)
+
+        rt.launch_cpu(kern)
+        with pytest.raises(CollectiveMismatch):
+            rt.run()
+
+    def test_cpu_igather_iscatter(self):
+        sim, rt = make_runtime(2, cpu_threads=1)
+        overlap = {}
+
+        def kern(ctx):
+            send = np.full(8, ctx.rank + 1, dtype=np.int64)
+            recv = np.zeros(16, dtype=np.int64) if ctx.rank == 0 else None
+            h = yield from ctx.igather(0, send, recv)
+            t0 = ctx.sim.now
+            yield from ctx.compute(5e-6)
+            overlap[ctx.rank] = ctx.sim.now - t0
+            yield from h.wait()
+            if ctx.rank == 0:
+                assert list(recv) == [1] * 8 + [2] * 8
+            back = np.zeros(8, dtype=np.int64)
+            h2 = yield from ctx.iscatter(0, back, recv)
+            yield from h2.wait()
+            assert (back == ctx.rank + 1).all()
+
+        rt.launch_cpu(kern)
+        rt.run()
+        # The compute section ran undisturbed while the gather flew.
+        assert all(abs(v - 5e-6) < 1e-9 for v in overlap.values())
+
+
+class TestGpuGroups:
+    def test_gpu_split_and_group_collectives(self):
+        sim, rt = make_runtime(4, gpus=1)
+        res = {}
+
+        def gk(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            half = yield from comm.split(0, color=rank // 2, key=rank)
+            assert half.size == 2
+            dev = kctx.device
+            buf = dev.alloc((4,), dtype="int64", name="b")
+            buf.data[...] = rank + 1
+            yield from half.allreduce(0, buf)
+            res[rank] = int(buf.data[0])
+            yield from half.barrier(0)
+            yield from comm.barrier(0)
+
+        rt.launch_gpu(gk, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=60.0)
+        assert res == {0: 3, 1: 3, 2: 7, 3: 7}
+
+    def test_gpu_declared_group_broadcast(self):
+        sim, rt = make_runtime(
+            4, gpus=1, slot_groups={"low": [0, 1], "high": [2, 3]}
+        )
+        res = {}
+
+        def gk(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            grp = comm.group("low" if rank < 2 else "high")
+            dev = kctx.device
+            buf = dev.alloc((4,), dtype="int64", name="b")
+            buf.data[...] = rank * 11 if grp.rank(0) == 0 else -1
+            yield from grp.broadcast(0, 0, buf)
+            res[rank] = int(buf.data[0])
+            yield from comm.barrier(0)
+
+        rt.launch_gpu(gk, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=60.0)
+        assert res == {0: 0, 1: 0, 2: 22, 3: 22}
+
+    def test_gpu_igather_iscatter(self):
+        sim, rt = make_runtime(2, gpus=1)
+
+        def gk(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            dev = kctx.device
+            sb = dev.alloc((4,), dtype="int64", name="s")
+            sb.data[...] = rank + 7
+            rb = dev.alloc((8,), dtype="int64", name="r") if rank == 0 else None
+            h = yield from comm.igather(0, 0, sb, rb)
+            yield from kctx.compute(2e-6)
+            yield from h.wait()
+            if rank == 0:
+                assert list(rb.data) == [7] * 4 + [8] * 4
+            rcv = dev.alloc((4,), dtype="int64", name="rc")
+            full = None
+            if rank == 0:
+                full = dev.alloc((8,), dtype="int64", name="f")
+                full.data[...] = np.arange(8)
+            h2 = yield from comm.iscatter(0, 0, rcv, full)
+            yield from h2.wait()
+            expect = [0, 1, 2, 3] if rank == 0 else [4, 5, 6, 7]
+            assert list(rcv.data) == expect
+            yield from comm.barrier(0)
+
+        rt.launch_gpu(gk, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=60.0)
+
+    def test_gpu_group_gather_group_rank_order(self):
+        """Group gather assembles by group rank even when the group's
+        vrank order is not node-major (key-reordered split)."""
+        sim, rt = make_runtime(4, gpus=1)
+
+        def gk(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            # Reverse order: group ranks 0..3 are vranks 3..0.
+            grp = yield from comm.split(0, color=0, key=-rank)
+            assert grp.rank(0) == 3 - rank
+            dev = kctx.device
+            sb = dev.alloc((2,), dtype="int64", name="s")
+            sb.data[...] = rank
+            rb = None
+            if grp.rank(0) == 0:
+                rb = dev.alloc((8,), dtype="int64", name="r")
+            yield from grp.gather(0, 0, sb, rb)
+            if rb is not None:
+                assert list(rb.data) == [3, 3, 2, 2, 1, 1, 0, 0]
+            yield from comm.barrier(0)
+
+        rt.launch_gpu(gk, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=60.0)
+
+
+class TestMixedCpuGpuGroups:
+    def test_cross_kind_group(self):
+        """A slot group spanning CPU ranks and GPU slots."""
+        # vranks: node0 = cpu 0, gpu-slot 1; node1 = cpu 2, gpu-slot 3.
+        res = {}
+
+        def cpu_kern(ctx):
+            grp = ctx.group("mixed")
+            send = np.full(4, ctx.rank + 1, dtype=np.int64)
+            recv = np.zeros(4, dtype=np.int64)
+            yield from grp.allreduce(send, recv)
+            res[ctx.rank] = int(recv[0])
+
+        def gpu_kern(kctx):
+            comm = kctx.comm
+            rank = comm.rank(0)
+            grp = comm.group("mixed")
+            dev = kctx.device
+            buf = dev.alloc((4,), dtype="int64", name="b")
+            buf.data[...] = rank + 1
+            yield from grp.allreduce(0, buf)
+            res[rank] = int(buf.data[0])
+
+        sim, rt = make_runtime(
+            2, cpu_threads=1, gpus=1,
+            slot_groups={"mixed": [0, 1, 2, 3]},
+        )
+        rt.launch_cpu(cpu_kern)
+        rt.launch_gpu(gpu_kern, config=LaunchConfig(grid_blocks=1))
+        rt.run(max_time=60.0)
+        assert res == {0: 10, 1: 10, 2: 10, 3: 10}

@@ -1,0 +1,435 @@
+"""Groups, derived communicators, and hierarchical-on-subcomm tests.
+
+Covers the PR 4 redesign: group algebra, ``split`` with non-contiguous
+colors and key-reordered ranks, collectives on sub-communicators at
+non-power-of-two sizes, concurrent collectives on disjoint
+sub-communicators, hierarchical collectives on *unequal* pods, and
+tag-space isolation between parent and derived communicators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import ClusterSpec, TopologySpec, build_cluster
+from repro.mpi import (
+    COMM_TYPE_LOCALITY,
+    COMM_TYPE_NODE,
+    CollectiveTuning,
+    Group,
+    GROUP_EMPTY,
+    MpiError,
+    MpiJob,
+    RankError,
+    ReduceOp,
+    UNDEFINED,
+    block_placement,
+    pod_cyclic_placement,
+)
+from repro.sim import Simulator
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_job(n_ranks, n_nodes=None, tuning=None, topo=None, placement=None):
+    sim = Simulator()
+    nodes = n_nodes if n_nodes is not None else n_ranks
+    spec = ClusterSpec(nodes=nodes, gpus_per_node=0, topology=topo)
+    cluster = build_cluster(sim, spec)
+    if placement is None:
+        placement = block_placement(n_ranks, nodes)
+    return sim, MpiJob(cluster, placement, tuning=tuning)
+
+
+def fattree(pod=4, over=2.0):
+    return TopologySpec(kind="fattree", pod_size=pod, oversubscription=over)
+
+
+# ---------------------------------------------------------------------------
+# Group algebra
+# ---------------------------------------------------------------------------
+
+class TestGroupAlgebra:
+    def test_incl_is_ordered_subset_and_permutation(self):
+        g = Group([10, 20, 30, 40])
+        assert g.incl([2, 0]).members == (30, 10)
+        assert g.incl([2, 0]).rank(30) == 0
+
+    def test_excl_keeps_order(self):
+        g = Group([10, 20, 30, 40])
+        assert g.excl([1, 3]).members == (10, 30)
+
+    def test_union_intersection_difference(self):
+        a = Group([1, 2, 3])
+        b = Group([3, 4, 2])
+        assert a.union(b).members == (1, 2, 3, 4)
+        assert a.intersection(b).members == (2, 3)
+        assert a.difference(b).members == (1,)
+
+    def test_translate_ranks(self):
+        a = Group([5, 6, 7, 8])
+        b = Group([8, 5])
+        assert a.translate_ranks([0, 1, 3], b) == [1, UNDEFINED, 0]
+
+    def test_empty_and_errors(self):
+        assert GROUP_EMPTY.size == 0
+        with pytest.raises(MpiError):
+            Group([1, 1])
+        with pytest.raises(RankError):
+            Group([1]).incl([2])
+
+    def test_comm_group_roundtrip(self):
+        sim, job = make_job(4)
+        g = job.comm.group
+        assert g.members == (0, 1, 2, 3)
+        sub = job.comm.create(g.incl([3, 1]))
+        assert sub.world_ranks == (3, 1)
+        assert sub.rank_of_world(1) == 1
+        assert job.comm.create(GROUP_EMPTY) is None
+        with pytest.raises(MpiError, match="not part of"):
+            job.comm.create(Group([7]))
+
+
+# ---------------------------------------------------------------------------
+# split / split_type / dup / create (collective, per-rank)
+# ---------------------------------------------------------------------------
+
+class TestSplit:
+    def test_split_non_contiguous_colors_and_key_reorder(self):
+        """Colors need not be dense; keys reorder ranks within a color."""
+        sim, job = make_job(6)
+        out = {}
+        colors = [9, 300, 9, UNDEFINED, 300, 9]
+        keys = [2, 0, 1, 0, 5, 0]  # color 9: ranks 5,2,0; color 300: 1,4
+
+        def prog(ctx):
+            sub = yield from ctx.split(colors[ctx.rank], keys[ctx.rank])
+            if sub is None:
+                out[ctx.rank] = None
+            else:
+                out[ctx.rank] = (sub.size, sub.rank,
+                                 sub.comm.world_ranks)
+
+        job.start(prog)
+        job.run()
+        assert out[3] is None
+        assert out[5] == (3, 0, (5, 2, 0))
+        assert out[2] == (3, 1, (5, 2, 0))
+        assert out[0] == (3, 2, (5, 2, 0))
+        assert out[1] == (2, 0, (1, 4))
+        assert out[4] == (2, 1, (1, 4))
+
+    def test_split_collectives_non_pof2(self):
+        """Collectives on a derived comm at non-power-of-two size."""
+        sim, job = make_job(7)
+        results = {}
+
+        def prog(ctx):
+            # Ranks 0..4 form a 5-wide subcomm; 5,6 opt out.
+            color = 0 if ctx.rank < 5 else UNDEFINED
+            sub = yield from ctx.split(color)
+            if sub is None:
+                return
+            send = np.full(100, ctx.rank + 1, dtype=np.int64)
+            recv = np.zeros(100, dtype=np.int64)
+            yield from sub.allreduce(send, recv, op=ReduceOp.SUM)
+            results[ctx.rank] = int(recv[0])
+            recvs = [np.zeros(100, dtype=np.int64) for _ in range(5)]
+            yield from sub.allgather(send, recvs)
+            assert [int(b[0]) for b in recvs] == [1, 2, 3, 4, 5]
+
+        job.start(prog)
+        job.run()
+        assert all(results[r] == 15 for r in range(5))
+
+    def test_dup_same_order_fresh_comm(self):
+        sim, job = make_job(3)
+        out = {}
+
+        def prog(ctx):
+            d = yield from ctx.dup()
+            out[ctx.rank] = (d.rank, d.comm is ctx.comm)
+
+        job.start(prog)
+        job.run()
+        assert out == {0: (0, False), 1: (1, False), 2: (2, False)}
+
+    def test_create_orders_by_group(self):
+        sim, job = make_job(4)
+        out = {}
+
+        def prog(ctx):
+            sub = yield from ctx.create(Group([2, 0]))
+            out[ctx.rank] = None if sub is None else sub.rank
+
+        job.start(prog)
+        job.run()
+        assert out == {0: 1, 1: None, 2: 0, 3: None}
+
+    def test_split_type_node_and_locality(self):
+        sim, job = make_job(
+            8, n_nodes=4, topo=fattree(pod=2),
+            placement=block_placement(8, 4),
+        )
+        out = {}
+
+        def prog(ctx):
+            node_comm = yield from ctx.split_type(COMM_TYPE_NODE)
+            pod_comm = yield from ctx.split_type(COMM_TYPE_LOCALITY)
+            out[ctx.rank] = (node_comm.size, pod_comm.size)
+
+        job.start(prog)
+        job.run()
+        # 2 ranks per node, pods of 2 nodes => 4 ranks per pod comm.
+        assert all(v == (2, 4) for v in out.values())
+
+    def test_tag_space_isolation_parent_vs_derived(self):
+        """Messages on the parent cannot match receives on the derived
+        communicator even for the same (source, tag) pair."""
+        sim, job = make_job(2)
+        got = {}
+
+        def prog(ctx):
+            sub = yield from ctx.split(0, ctx.rank)
+            if ctx.rank == 0:
+                # Same peer, same tag, two different communicators.
+                a = np.array([111], dtype=np.int64)
+                b = np.array([222], dtype=np.int64)
+                r1 = ctx.isend(a, 1, tag=5)
+                yield from sub.send(b, 1, tag=5)
+                yield from r1.wait()
+            else:
+                buf_sub = np.zeros(1, dtype=np.int64)
+                buf_par = np.zeros(1, dtype=np.int64)
+                # Receive on the derived comm FIRST: must get the
+                # derived-comm payload, not the earlier parent send.
+                yield from sub.recv(buf_sub, 0, tag=5)
+                yield from ctx.recv(buf_par, 0, tag=5)
+                got["sub"] = int(buf_sub[0])
+                got["par"] = int(buf_par[0])
+
+        job.start(prog)
+        job.run()
+        assert got == {"sub": 222, "par": 111}
+
+    def test_concurrent_collectives_on_disjoint_subcomms(self):
+        """Disjoint sub-communicators run collectives concurrently:
+        total time is bounded by the max, not the sum."""
+        n = 8
+        nbytes = 1 * MB
+
+        def run(n_groups):
+            sim, job = make_job(n)
+            done = {}
+
+            def prog(ctx):
+                color = ctx.rank % n_groups
+                sub = yield from ctx.split(color, ctx.rank)
+                send = np.zeros(nbytes, dtype=np.uint8)
+                recv = np.zeros(nbytes, dtype=np.uint8)
+                t0 = ctx.sim.now
+                yield from sub.allreduce(send, recv, op=ReduceOp.MAX)
+                done[ctx.rank] = ctx.sim.now - t0
+
+            job.start(prog)
+            job.run()
+            return max(done.values())
+
+        # Two disjoint 4-wide comms vs one 8-wide: the split halves
+        # must not serialize behind each other.
+        t_two = run(2)
+        t_one = run(1)
+        assert t_two < t_one
+
+    def test_subcomm_autotunes_for_subfabric(self):
+        """An intra-pod communicator derives pod-local thresholds (no
+        oversubscription), distinct from the parent's."""
+        sim, job = make_job(
+            8, n_nodes=8, topo=fattree(pod=4),
+            placement=list(range(8)),
+        )
+        comm = job.comm
+        subs = comm.split_type(COMM_TYPE_LOCALITY)
+        pod_comm = subs[0]
+        assert pod_comm.size == 4
+        # The parent saw an oversubscribed fabric: hierarchical gates
+        # may be open; the pod-local comm never crosses the spine.
+        assert pod_comm.tuning.allreduce_hier_min_bytes is None
+        assert not pod_comm.hier_capable
+
+    def test_explicit_tuning_inherited_by_derived(self):
+        sim, job = make_job(4, tuning=CollectiveTuning(force_allreduce="ring"))
+        sub = job.comm.split([0, 0, 1, 1])[0]
+        assert sub.tuning.force_allreduce == "ring"
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical collectives on sub-communicators
+# ---------------------------------------------------------------------------
+
+class TestHierarchicalSubcomms:
+    @pytest.mark.parametrize("n_nodes", [6, 7, 9])
+    def test_unequal_pod_allreduce(self, n_nodes):
+        """Pods of unequal size (pod_size 4 over 6/7/9 nodes) run the
+        leader-based hierarchical allreduce correctly."""
+        sim, job = make_job(
+            n_nodes, n_nodes=n_nodes, topo=fattree(),
+            placement=list(range(n_nodes)),
+            tuning=CollectiveTuning(force_allreduce="hierarchical"),
+        )
+        results = {}
+
+        def prog(ctx):
+            send = np.arange(500, dtype=np.int64) * (ctx.rank + 1)
+            recv = np.zeros(500, dtype=np.int64)
+            yield from ctx.allreduce(send, recv, op=ReduceOp.SUM)
+            results[ctx.rank] = recv
+
+        job.start(prog)
+        job.run()
+        factor = sum(range(1, n_nodes + 1))
+        expected = np.arange(500, dtype=np.int64) * factor
+        for r in range(n_nodes):
+            assert np.array_equal(results[r], expected)
+        assert job.comm.stats.get("allreduce[hierarchical]") == n_nodes
+
+    @pytest.mark.parametrize("n_nodes", [6, 8, 9])
+    def test_hierarchical_allgather(self, n_nodes):
+        sim, job = make_job(
+            n_nodes, n_nodes=n_nodes, topo=fattree(),
+            placement=pod_cyclic_placement(n_nodes, 4)
+            if n_nodes % 4 == 0 else list(range(n_nodes)),
+            tuning=CollectiveTuning(force_allgather="hierarchical"),
+        )
+
+        def prog(ctx):
+            send = np.full(37, ctx.rank, dtype=np.int64)
+            recvs = [np.zeros(37, dtype=np.int64) for _ in range(ctx.size)]
+            yield from ctx.allgather(send, recvs)
+            for j in range(ctx.size):
+                assert (recvs[j] == j).all()
+
+        job.start(prog)
+        job.run()
+        assert job.comm.stats.get("allgather[hierarchical]") == n_nodes
+
+    def test_hierarchical_allgather_vector_blocks(self):
+        """Unequal per-rank block sizes (the vector variant)."""
+        sim, job = make_job(
+            6, n_nodes=6, topo=fattree(), placement=list(range(6)),
+            tuning=CollectiveTuning(force_allgather="hierarchical"),
+        )
+
+        def prog(ctx):
+            send = np.full(10 * (ctx.rank + 1), ctx.rank, dtype=np.int64)
+            recvs = [
+                np.zeros(10 * (j + 1), dtype=np.int64)
+                for j in range(ctx.size)
+            ]
+            yield from ctx.allgather(send, recvs)
+            for j in range(ctx.size):
+                assert recvs[j].size == 10 * (j + 1)
+                assert (recvs[j] == j).all()
+
+        job.start(prog)
+        job.run()
+
+    @pytest.mark.parametrize("n_nodes", [6, 8])
+    def test_hierarchical_alltoall(self, n_nodes):
+        sim, job = make_job(
+            n_nodes, n_nodes=n_nodes, topo=fattree(),
+            placement=list(range(n_nodes)),
+            tuning=CollectiveTuning(force_alltoall="hierarchical"),
+        )
+
+        def prog(ctx):
+            sends = [
+                np.full(21, ctx.rank * 100 + j, dtype=np.int64)
+                for j in range(ctx.size)
+            ]
+            recvs = [np.zeros(21, dtype=np.int64) for _ in range(ctx.size)]
+            yield from ctx.alltoall(sends, recvs)
+            for j in range(ctx.size):
+                assert (recvs[j] == j * 100 + ctx.rank).all()
+
+        job.start(prog)
+        job.run()
+        assert job.comm.stats.get("alltoall[hierarchical]") == n_nodes
+
+    def test_unequal_pod_hierarchical_beats_flat_ring(self):
+        """On a fragmented 2:1 fat tree with unequal pods, the
+        leader-based hierarchical allreduce beats the flat ring."""
+        n_nodes, nbytes = 18, 1 * MB
+
+        def timed(force):
+            sim, job = make_job(
+                n_nodes, n_nodes=20, topo=fattree(),
+                placement=pod_cyclic_placement(20, 4)[:n_nodes],
+                tuning=CollectiveTuning(force_allreduce=force),
+            )
+
+            def prog(ctx):
+                send = np.zeros(nbytes, dtype=np.uint8)
+                recv = np.zeros(nbytes, dtype=np.uint8)
+                yield from ctx.allreduce(send, recv, op=ReduceOp.MAX)
+
+            job.start(prog)
+            job.run()
+            return sim.now
+
+        assert timed("hierarchical") < timed("ring") / 1.2
+
+    def test_nonblocking_hierarchical_on_subcomms(self):
+        """iallreduce through the hierarchical schedule still overlaps."""
+        sim, job = make_job(
+            8, n_nodes=8, topo=fattree(),
+            placement=pod_cyclic_placement(8, 4),
+            tuning=CollectiveTuning(force_allreduce="hierarchical"),
+        )
+        results = {}
+
+        def prog(ctx):
+            send = np.full(64, ctx.rank + 1, dtype=np.int64)
+            recv = np.zeros(64, dtype=np.int64)
+            req = ctx.iallreduce(send, recv, op=ReduceOp.SUM)
+            yield ctx.sim.timeout(1e-6)
+            yield from req.wait()
+            results[ctx.rank] = int(recv[0])
+
+        job.start(prog)
+        job.run()
+        assert all(v == 36 for v in results.values())
+
+
+# ---------------------------------------------------------------------------
+# block_placement uneven blocks (satellite bugfix)
+# ---------------------------------------------------------------------------
+
+class TestBlockPlacement:
+    def test_uneven_blocks(self):
+        assert block_placement(7, 3) == [0, 0, 0, 1, 1, 2, 2]
+
+    def test_even_unchanged(self):
+        assert block_placement(8, 4) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_fewer_ranks_than_nodes(self):
+        assert block_placement(2, 4) == [0, 1]
+
+    def test_invalid(self):
+        with pytest.raises(MpiError):
+            block_placement(0, 4)
+
+    def test_odd_ranks_run_collectives(self):
+        """An odd rank count on a small cluster actually runs."""
+        sim, job = make_job(5, n_nodes=2)
+        results = {}
+
+        def prog(ctx):
+            send = np.full(8, ctx.rank + 1, dtype=np.int64)
+            recv = np.zeros(8, dtype=np.int64)
+            yield from ctx.allreduce(send, recv, op=ReduceOp.SUM)
+            results[ctx.rank] = int(recv[0])
+
+        job.start(prog)
+        job.run()
+        assert all(v == 15 for v in results.values())

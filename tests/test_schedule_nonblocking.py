@@ -265,6 +265,8 @@ def test_pipelined_bcast_beats_binomial_large():
 
 @pytest.mark.parametrize("n_ranks,root,count", [
     (4, 0, 4096), (8, 3, 1000), (16, 15, 3), (4, 1, 0),
+    # Non-powers of two: the excess ranks fold in first.
+    (3, 0, 100), (6, 5, 1000), (7, 2, 4096), (12, 0, 17),
 ])
 def test_rabenseifner_reduce_correct(n_ranks, root, count):
     sim, job = make_job(
@@ -286,17 +288,26 @@ def test_rabenseifner_reduce_correct(n_ranks, root, count):
     )
 
 
-def test_rabenseifner_rejects_non_pof2():
-    sim, job = make_job(6, tuning=CollectiveTuning(force_reduce="rabenseifner"))
+def test_rabenseifner_non_pof2_matches_binomial_result():
+    """Non-power-of-two Rabenseifner (fold-in round) agrees with the
+    binomial tree bit for bit on integer payloads."""
 
-    def prog(ctx):
-        send = np.zeros(64, dtype=np.int64)
-        recv = np.zeros(64, dtype=np.int64) if ctx.rank == 0 else None
-        yield from ctx.reduce(send, recv, root=0)
+    def run(force):
+        sim, job = make_job(6, tuning=CollectiveTuning(force_reduce=force))
+        out = {}
 
-    job.start(prog)
-    with pytest.raises(MpiError, match="power-of-two"):
+        def prog(ctx):
+            send = np.arange(64, dtype=np.int64) * (ctx.rank + 1)
+            recv = np.zeros(64, dtype=np.int64) if ctx.rank == 0 else None
+            yield from ctx.reduce(send, recv, op=ReduceOp.SUM, root=0)
+            if ctx.rank == 0:
+                out["result"] = recv
+
+        job.start(prog)
         job.run()
+        return out["result"]
+
+    assert np.array_equal(run("rabenseifner"), run("binomial"))
 
 
 def test_rabenseifner_beats_binomial_large():
@@ -368,7 +379,7 @@ def test_selector_new_menus():
     assert sel.bcast(4 * MB, 16) == "pipelined"
     assert sel.bcast(4 * KB, 16) == "binomial"
     assert sel.reduce(1 * MB, 16) == "rabenseifner"
-    assert sel.reduce(1 * MB, 12) == "binomial"  # non-pof2 guard
+    assert sel.reduce(1 * MB, 12) == "rabenseifner"  # any-P since PR 4
     assert sel.reduce(1 * KB, 16) == "binomial"
     with pytest.raises(MpiError, match="unknown reduce algorithm"):
         AlgorithmSelector(CollectiveTuning(force_reduce="nope")).reduce(1, 4)

@@ -380,22 +380,29 @@ class TestHierarchicalCollectives:
         job.run()
         assert job.comm.stats.get("allreduce[ring]") == 16
 
-    def test_unequal_groups_refuse_hierarchical(self):
-        # 6 nodes, pod_size 4 => pods of 4 and 2: not hier-capable.
+    def test_unequal_groups_run_hierarchical(self):
+        # 6 nodes, pod_size 4 => pods of 4 and 2: unequal pods are
+        # hier-capable since the sub-communicator rebuild (PR 4) — the
+        # leader-based composition replaces the old hard error.
         sim, job = make_topo_job(
             fattree_spec(), 6,
             tuning=CollectiveTuning(force_allreduce="hierarchical"),
         )
-        assert not job.comm.hier_capable
+        assert job.comm.hier_capable
+        results = {}
 
         def prog(ctx):
-            send = np.zeros(1024, dtype=np.uint8)
-            recv = np.zeros(1024, dtype=np.uint8)
-            yield from ctx.allreduce(send, recv, op=ReduceOp.MAX)
+            send = np.full(256, ctx.rank + 1, dtype=np.int64)
+            recv = np.zeros(256, dtype=np.int64)
+            yield from ctx.allreduce(send, recv, op=ReduceOp.SUM)
+            results[ctx.rank] = recv
 
         job.start(prog)
-        with pytest.raises(MpiError, match="equal-size locality groups"):
-            job.run()
+        job.run()
+        expected = np.full(256, sum(range(1, 7)), dtype=np.int64)
+        for r in range(6):
+            assert np.array_equal(results[r], expected)
+        assert job.comm.stats.get("allreduce[hierarchical]") == 6
 
     def test_forced_hierarchical_any_equal_grouping(self):
         """Even a contiguous placement can run it when forced."""
