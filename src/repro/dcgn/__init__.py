@@ -43,6 +43,7 @@ from .queues import WorkQueue, sleep_poll_wait
 from .ranks import ANY, CpuRank, GpuSlotRank, RankMap
 from .requests import CommRequest, CommStatus
 from .runtime import DcgnReport, DcgnRuntime
+from .windows import DcgnWindow, DcgnWindowTable
 
 __all__ = [
     "CollectiveTuning",
@@ -73,6 +74,8 @@ __all__ = [
     "DcgnMpiAdapter",
     "DcgnRuntime",
     "DcgnReport",
+    "DcgnWindow",
+    "DcgnWindowTable",
     "DcgnError",
     "DcgnConfigError",
     "DcgnTimeout",

@@ -42,7 +42,8 @@ from .errors import CollectiveMismatch, DcgnError
 from .groups import GroupTable, WORLD_GID
 from .queues import WorkQueue
 from .ranks import ANY, RankMap
-from .requests import COLLECTIVE_OPS, CommRequest, CommStatus
+from .requests import COLLECTIVE_OPS, RMA_OPS, CommRequest, CommStatus
+from .windows import DcgnWindowTable
 
 __all__ = ["CommThread", "HDR_TAG", "PAYLOAD_TAG_BASE"]
 
@@ -102,6 +103,7 @@ class CommThread:
         rankmap: RankMap,
         kick: Signal,
         groups: GroupTable,
+        windows: Optional[DcgnWindowTable] = None,
         name: str = "",
     ) -> None:
         self.sim = sim
@@ -113,6 +115,8 @@ class CommThread:
         #: node a different sub-communicator object for the same group
         #: and their collectives would never match.
         self.groups = groups
+        #: One-sided window registry (shared; None = job has no windows).
+        self.windows = windows
         self.params = node.params
         self.name = name or f"dcgn.comm{node.node_id}"
         #: Internal wake-up signal: fired on queue puts and shutdown so
@@ -331,6 +335,8 @@ class CommThread:
             yield from self._handle_send(req)
         elif req.op == "recv":
             yield from self._handle_recv(req)
+        elif req.op in RMA_OPS:
+            yield from self._handle_rma(req)
         elif req.op in COLLECTIVE_OPS:
             self._stage_collective(req)
         else:
@@ -395,6 +401,80 @@ class CommThread:
             )
         self._bump("p2p_delivered")
         self._kick_if_cpu_involved((req.src_vrank, entry.src_vrank))
+
+    # -- one-sided windows -------------------------------------------------
+    def _handle_rma(self, req: CommRequest) -> Generator[Event, Any, None]:
+        """Drive a kernel's one-sided operation against a window.
+
+        Matching-free by construction: the origin comm thread issues the
+        wire-level RMA op (eager bounce or zero-copy RDMA, per the
+        autotuned threshold) and the *target* node's comm thread never
+        sees a request at all — the bytes land in (or are read from)
+        its registered window region while it services its own kernels.
+        The kernel's request completes at *remote* completion, so a
+        completed put is already visible to the target.
+        """
+        if self.windows is None:
+            raise DcgnError("this job declares no windows")
+        win = self.windows.by_name(str(req.extra["win"]))
+        target = req.peer
+        offset = int(req.extra.get("offset", 0))
+        count = req.nbytes // win.dtype.itemsize
+        win.check_range(target, offset, count)
+        tnode, base = win.locate(target)
+        woff = base + offset
+        me = self.node.node_id
+        if req.op == "rma_put":
+            if req.data is None:
+                raise DcgnError(f"{req!r} has no payload snapshot")
+            payload = np.ascontiguousarray(req.data.reshape(-1)[:count])
+            proc = yield from win.win.start_put(
+                me, tnode, payload, woff, snapshot=False
+            )
+
+            def finish(req=req, n=int(payload.nbytes)):
+                req.complete(CommStatus(source=req.src_vrank, nbytes=n))
+
+        elif req.op == "rma_accumulate":
+            if req.data is None:
+                raise DcgnError(f"{req!r} has no payload snapshot")
+            payload = np.ascontiguousarray(req.data.reshape(-1)[:count])
+            op = req.extra.get("reduce_op", "sum")
+            proc = yield from win.win.start_accumulate(
+                me, tnode, payload, op=op, offset=woff, snapshot=False
+            )
+
+            def finish(req=req, n=int(payload.nbytes)):
+                req.complete(CommStatus(source=req.src_vrank, nbytes=n))
+
+        elif req.op == "rma_get":
+            recv = np.empty(count, dtype=win.dtype)
+            proc = yield from win.win.start_get(me, tnode, recv, woff)
+
+            def finish(req=req, recv=recv):
+                if req.deliver is not None:
+                    req.deliver(recv)
+                else:
+                    req.data = recv
+                req.complete(
+                    CommStatus(source=target, nbytes=int(recv.nbytes))
+                )
+
+        else:  # pragma: no cover - defensive
+            raise DcgnError(f"unknown RMA op {req.op!r}")
+        self._inflight_sends += 1
+        self._bump(f"rma.{req.op}")
+
+        def runner():
+            try:
+                yield proc
+                finish()
+                self._kick_if_cpu_involved((req.src_vrank,))
+            finally:
+                self._inflight_sends -= 1
+                self._wake.fire()
+
+        self.sim.process(runner(), name=f"{self.name}.rma{req.req_id}")
 
     # -- collectives -------------------------------------------------------
     def _local_quorum(self, gid: int) -> int:
@@ -515,7 +595,7 @@ class CommThread:
         elif state.kind == "scatter":
             self._start_scatter(state, info, mpi)
         elif state.kind == "split":
-            yield from self._exec_split(state)
+            self._start_split(state)
         else:
             raise DcgnError(f"unhandled collective {state.kind!r}")
 
@@ -590,6 +670,11 @@ class CommThread:
         self, state: _CollState, info, mpi
     ) -> Generator[Event, Any, None]:
         op = ReduceOp(state.op_name or "sum")
+        if op is ReduceOp.REPLACE:
+            raise CollectiveMismatch(
+                "ReduceOp.REPLACE is only valid for one-sided "
+                "accumulate, not reduce/allreduce"
+            )
         root_vrank = state.root
         contributions = sorted(state.entries, key=lambda e: e.src_vrank)
         level: List[np.ndarray] = []
@@ -791,7 +876,7 @@ class CommThread:
 
         self._spawn_completer(state, mreq, finish_scatter)
 
-    def _exec_split(self, state: _CollState) -> Generator[Event, Any, None]:
+    def _start_split(self, state: _CollState) -> None:
         """Collective ``comm_split`` over the whole job.
 
         Every virtual rank contributes a (color, key) pair; the comm
@@ -802,6 +887,12 @@ class CommThread:
         one node-level MPI sub-communicator per color.  Each entry
         completes carrying its group descriptor (``None`` for negative
         colors, mirroring ``MPI_UNDEFINED``).
+
+        The color/key allgather is issued *nonblockingly* (its tag
+        block claimed synchronously, like every staged collective) and
+        resolved by a background completer, so the exchange hides
+        behind kernel traffic instead of stalling the comm thread —
+        the same overlap discipline the data collectives follow.
         """
         local = sorted(state.entries, key=lambda e: e.src_vrank)
         mine = np.zeros(3 * len(local), dtype=np.int64)
@@ -817,20 +908,23 @@ class CommThread:
             )
             for n in range(self.mpi.size)
         ]
-        yield from self.mpi.allgather(mine, recv)
-        triples = []
-        for buf in recv:
-            for i in range(buf.size // 3):
-                triples.append(
-                    (int(buf[3 * i]), int(buf[3 * i + 1]),
-                     int(buf[3 * i + 2]))
-                )
-        groups = self.groups.register_split(state.seq, triples)
-        for e in state.entries:
-            color = int(e.extra.get("color", -1))
-            e.extra["group"] = groups.get(color)
-            e.complete(CommStatus(source=-1, nbytes=0))
-        self._kick_if_cpu_involved([e.src_vrank for e in state.entries])
+        mreq = self.mpi.iallgather(mine, recv)
+
+        def finish_split():
+            triples = []
+            for buf in recv:
+                for i in range(buf.size // 3):
+                    triples.append(
+                        (int(buf[3 * i]), int(buf[3 * i + 1]),
+                         int(buf[3 * i + 2]))
+                    )
+            groups = self.groups.register_split(state.seq, triples)
+            for e in state.entries:
+                color = int(e.extra.get("color", -1))
+                e.extra["group"] = groups.get(color)
+                e.complete(CommStatus(source=-1, nbytes=0))
+
+        self._spawn_completer(state, mreq, finish_split)
 
     # -- misc ------------------------------------------------------------
     def _bump(self, key: str) -> None:

@@ -102,17 +102,26 @@ class DcgnConfig:
     ``ctx.group("row0")``, GPU ``ctx.comm.group(slot, "row0")``) to run
     collectives scoped to the group.  Kernels can also form groups
     dynamically with the collective ``split(color, key)``.
+
+    ``windows`` declares one-sided windows
+    (``{"halo": count}`` — ``count`` float64 elements per virtual rank
+    — or ``{"halo": (count, "uint8")}`` for an explicit dtype): every
+    virtual rank gets a registered region, and kernels move data into
+    any other rank's region matching-free (CPU ``ctx.put(...)``, GPU
+    ``ctx.comm.put(slot, ...)``; see :mod:`repro.dcgn.windows`).
     """
 
     nodes: tuple
     tuning: Optional[CollectiveTuning] = None
     slot_groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    windows: Tuple[Tuple[str, Tuple[int, str]], ...] = ()
 
     def __init__(
         self,
         nodes: Sequence[NodeConfig],
         tuning: Optional[CollectiveTuning] = None,
         slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
+        windows: Optional[Mapping[str, object]] = None,
     ) -> None:
         if not nodes:
             raise DcgnConfigError("job needs at least one node")
@@ -125,6 +134,15 @@ class DcgnConfig:
                 for name, vranks in slot_groups.items()
             )
         object.__setattr__(self, "slot_groups", groups)
+        wins: Tuple[Tuple[str, Tuple[int, str]], ...] = ()
+        if windows:
+            from .windows import normalize_window_spec
+
+            wins = tuple(
+                (str(name), normalize_window_spec(spec))
+                for name, spec in windows.items()
+            )
+        object.__setattr__(self, "windows", wins)
 
     @classmethod
     def homogeneous(
@@ -135,6 +153,7 @@ class DcgnConfig:
         slots_per_gpu: int = 1,
         tuning: Optional[CollectiveTuning] = None,
         slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
+        windows: Optional[Mapping[str, object]] = None,
     ) -> "DcgnConfig":
         """Same configuration on every node (the paper's usual setup)."""
         return cls(
@@ -148,6 +167,7 @@ class DcgnConfig:
             * n_nodes,
             tuning=tuning,
             slot_groups=slot_groups,
+            windows=windows,
         )
 
     @property

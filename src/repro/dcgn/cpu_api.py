@@ -28,6 +28,17 @@ __all__ = ["CpuKernelContext", "CpuGroupComm", "DcgnRequestHandle"]
 HostPayload = Union[np.ndarray, HostBuffer]
 
 
+def _check_reduce_op_name(op) -> str:
+    """Validate an accumulate op at kernel issue time (catchable),
+    instead of letting ``ReduceOp(op)`` blow up the comm thread."""
+    from ..mpi.datatypes import ReduceOp
+
+    try:
+        return ReduceOp(str(op)).value
+    except ValueError:
+        raise CommViolation(f"unknown accumulate op {op!r}") from None
+
+
 class DcgnRequestHandle:
     """Handle for an asynchronous DCGN operation (dcgn async send/recv).
 
@@ -283,6 +294,148 @@ class CpuKernelContext:
             self.sim, rreq.done, self._params.dcgn.cpu_wait_poll_us
         )
         return status
+
+    # -- one-sided windows (matching-free) ---------------------------------
+    def _check_window(
+        self, win: str, target: int, arr: np.ndarray, offset: int, what: str
+    ) -> None:
+        """Validate a one-sided access at issue time (kernel-side): the
+        window exists, dtypes match, and the target range is in bounds
+        — mistakes surface as catchable kernel errors instead of a
+        silent cast or a dead comm thread."""
+        table = self._comm.windows
+        if table is None:
+            raise CommViolation("this job declares no windows")
+        window = table.by_name(str(win))
+        if target == ANY or not (0 <= target < self._rankmap.size):
+            raise CommViolation(
+                f"{what} needs a concrete target virtual rank, got "
+                f"{target} (one-sided ops have no wildcard matching)"
+            )
+        window.locate(target)  # raises if the vrank has no region
+        if arr.dtype != window.dtype:
+            raise CommViolation(
+                f"{what}: buffer dtype {arr.dtype} does not match window "
+                f"{window.name!r} dtype {window.dtype}"
+            )
+        window.check_range(target, int(offset), arr.size)
+
+    def _rma_put_request(
+        self, win: str, dest: int, buf: HostPayload, offset: int, op=None
+    ) -> CommRequest:
+        self._check_peer(dest)
+        arr = self._array(buf, "put")
+        self._check_window(win, dest, arr, offset, "put")
+        extra = {"win": str(win), "offset": int(offset)}
+        kind = "rma_put"
+        if op is not None:
+            kind = "rma_accumulate"
+            extra["reduce_op"] = _check_reduce_op_name(op)
+        return CommRequest(
+            op=kind,
+            src_vrank=self.vrank,
+            peer=dest,
+            nbytes=int(arr.nbytes),
+            data=arr.copy(),
+            extra=extra,
+        )
+
+    def put(
+        self,
+        win: str,
+        dest: int,
+        buf: HostPayload,
+        offset: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::put — one-sided write of ``buf`` into virtual rank
+        ``dest``'s region of window ``win`` at element ``offset``.
+
+        No matching receive exists anywhere: the local comm thread
+        drives an RDMA write into the target's registered region and
+        the *target* comm thread is never involved.  Returns once the
+        data is visible at the target (remote completion)."""
+        yield from self._issue(self._rma_put_request(win, dest, buf, offset))
+
+    def iput(
+        self,
+        win: str,
+        dest: int,
+        buf: HostPayload,
+        offset: int = 0,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Asynchronous one-sided put (payload snapshotted at issue);
+        ``wait`` guarantees remote completion."""
+        handle = yield from self._issue_async(
+            self._rma_put_request(win, dest, buf, offset)
+        )
+        return handle
+
+    def accumulate(
+        self,
+        win: str,
+        dest: int,
+        buf: HostPayload,
+        op: str = "sum",
+        offset: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::accumulate — one-sided read-modify-write into ``dest``'s
+        window region (``"replace"`` gives an ordered overwrite).
+        Same-pair accumulates apply in program order."""
+        yield from self._issue(
+            self._rma_put_request(win, dest, buf, offset, op=op)
+        )
+
+    def _rma_get_request(
+        self, win: str, source: int, buf: HostPayload, offset: int
+    ) -> CommRequest:
+        self._check_peer(source)
+        arr = self._array(buf, "get")
+        if not arr.flags["C_CONTIGUOUS"]:
+            # deliver writes through reshape(-1): a non-contiguous view
+            # would receive into a silent temporary copy.
+            raise CommViolation("get needs a C-contiguous result buffer")
+        self._check_window(win, source, arr, offset, "get")
+
+        def deliver(data: np.ndarray) -> None:
+            flat = arr.reshape(-1)
+            src = data.reshape(-1)[: flat.size]
+            flat[: src.size] = src
+
+        return CommRequest(
+            op="rma_get",
+            src_vrank=self.vrank,
+            peer=source,
+            nbytes=int(arr.nbytes),
+            deliver=deliver,
+            extra={"win": str(win), "offset": int(offset)},
+        )
+
+    def get(
+        self,
+        win: str,
+        source: int,
+        buf: HostPayload,
+        offset: int = 0,
+    ) -> Generator[Event, Any, CommStatus]:
+        """dcgn::get — one-sided read of virtual rank ``source``'s
+        window region into ``buf``; the target never posts anything."""
+        status = yield from self._issue(
+            self._rma_get_request(win, source, buf, offset)
+        )
+        return status
+
+    def iget(
+        self,
+        win: str,
+        source: int,
+        buf: HostPayload,
+        offset: int = 0,
+    ) -> Generator[Event, Any, DcgnRequestHandle]:
+        """Asynchronous one-sided get into ``buf`` (read after wait)."""
+        handle = yield from self._issue_async(
+            self._rma_get_request(win, source, buf, offset)
+        )
+        return handle
 
     # -- nonblocking collectives -------------------------------------------
     def iallreduce(

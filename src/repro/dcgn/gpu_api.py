@@ -29,6 +29,7 @@ from .errors import CommViolation
 from .groups import DcgnGroup, GroupTable
 from .ranks import ANY, RankMap
 from .requests import CommStatus
+from .windows import DcgnWindowTable
 
 __all__ = ["GpuCommApi", "GpuGroupComm", "GpuRequestHandle"]
 
@@ -70,6 +71,7 @@ class GpuCommApi:
         gpu_index: int,
         coll_counters: Dict,
         groups: Optional[GroupTable] = None,
+        windows: Optional[DcgnWindowTable] = None,
     ) -> None:
         self._ctx = block_ctx
         self._mbox = mailboxes
@@ -81,6 +83,8 @@ class GpuCommApi:
         self._coll_counters = coll_counters
         #: Slot-group registry (the job's shared GroupTable).
         self._groups = groups
+        #: One-sided window registry (kernel-side validation).
+        self._windows = windows
 
     # -- identity --------------------------------------------------------
     @property
@@ -251,6 +255,140 @@ class GpuCommApi:
     #: Paper-style aliases (dcgn::gpu::iSendTo / iRecvFrom).
     iSendTo = isend
     iRecvFrom = irecv
+
+    # -- one-sided windows (GPU-sourced, matching-free) --------------------
+    def _check_window(
+        self,
+        win: str,
+        target: int,
+        buf: DeviceBuffer,
+        nbytes: Optional[int],
+        offset: int,
+        what: str,
+    ) -> int:
+        """Kernel-side validation of a one-sided access: the window
+        exists, dtypes match, the byte count fits the device buffer
+        and divides into whole elements, and the target range is in
+        bounds — so mistakes surface inside the kernel instead of
+        killing a service thread (or silently truncating)."""
+        self._check_buf(buf, what)
+        if target == ANY or not (0 <= target < self._rankmap.size):
+            raise CommViolation(
+                f"gpu::{what} needs a concrete target virtual rank, got "
+                f"{target} (one-sided ops have no wildcard matching)"
+            )
+        if self._windows is None:
+            raise CommViolation("this job declares no windows")
+        window = self._windows.by_name(str(win))
+        window.locate(target)  # raises if the vrank has no region
+        if buf.data.dtype != window.dtype:
+            raise CommViolation(
+                f"gpu::{what}: buffer dtype {buf.data.dtype} does not "
+                f"match window {window.name!r} dtype {window.dtype}"
+            )
+        n = int(nbytes) if nbytes is not None else buf.nbytes
+        if n > buf.nbytes:
+            raise CommViolation(
+                f"gpu::{what}: nbytes {n} exceeds device buffer "
+                f"{buf.name!r} of {buf.nbytes} B"
+            )
+        if n % window.dtype.itemsize != 0:
+            raise CommViolation(
+                f"gpu::{what}: nbytes {n} is not a whole number of "
+                f"{window.dtype} elements"
+            )
+        window.check_range(target, int(offset), n // window.dtype.itemsize)
+        return n
+
+    def put(
+        self,
+        slot: int,
+        win: str,
+        dest: int,
+        buf: DeviceBuffer,
+        offset: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gpu::put — push ``buf`` straight into virtual rank
+        ``dest``'s region of window ``win`` (element ``offset``).
+
+        The paper's GPU-as-source idea taken to its limit: no matching
+        receive exists anywhere — not on the target GPU, not even in
+        the target node's comm thread.  The host thread harvests the
+        descriptor, reads the payload over PCIe, and the local comm
+        thread RDMA-writes it into the remote window.  Completion is
+        *remote*: when the call returns, a neighbor kernel reading its
+        own window (after its own synchronization) sees the halo."""
+        n = self._check_window(win, dest, buf, nbytes, offset, "put")
+        req = yield from self._mbox.post(
+            slot, "rma_put", win=str(win), dest=dest, buf=buf, nbytes=n,
+            offset=int(offset),
+        )
+        yield from self._mbox.wait(req)
+
+    def iput(
+        self,
+        slot: int,
+        win: str,
+        dest: int,
+        buf: DeviceBuffer,
+        offset: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, "GpuRequestHandle"]:
+        """Nonblocking slot put: post the descriptor and keep computing
+        (``wait`` guarantees remote completion)."""
+        n = self._check_window(win, dest, buf, nbytes, offset, "iput")
+        req = yield from self._mbox.post(
+            slot, "rma_put", win=str(win), dest=dest, buf=buf, nbytes=n,
+            offset=int(offset),
+        )
+        return GpuRequestHandle(self._mbox, req)
+
+    def get(
+        self,
+        slot: int,
+        win: str,
+        source: int,
+        buf: DeviceBuffer,
+        offset: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, CommStatus]:
+        """dcgn::gpu::get — one-sided read of ``source``'s window
+        region into ``buf``; the source rank never participates."""
+        n = self._check_window(win, source, buf, nbytes, offset, "get")
+        req = yield from self._mbox.post(
+            slot, "rma_get", win=str(win), source=source, buf=buf,
+            nbytes=n, offset=int(offset),
+        )
+        status = yield from self._mbox.wait(req)
+        return status
+
+    def accumulate(
+        self,
+        slot: int,
+        win: str,
+        dest: int,
+        buf: DeviceBuffer,
+        op: str = "sum",
+        offset: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Event, Any, None]:
+        """dcgn::gpu::accumulate — one-sided read-modify-write into
+        ``dest``'s window region; ``"replace"`` is an ordered
+        overwrite.  Same-pair accumulates apply in program order."""
+        from .cpu_api import _check_reduce_op_name
+
+        n = self._check_window(
+            win, dest, buf, nbytes, offset, "accumulate"
+        )
+        req = yield from self._mbox.post(
+            slot, "rma_acc", win=str(win), dest=dest, buf=buf, nbytes=n,
+            offset=int(offset), reduce_op=_check_reduce_op_name(op),
+        )
+        yield from self._mbox.wait(req)
+
+    #: Paper-style aliases.
+    iPutTo = iput
 
     # -- collectives -------------------------------------------------------
     def barrier(self, slot: int) -> Generator[Event, Any, None]:

@@ -142,6 +142,7 @@ class GpuKernelThread:
                 gpu_index=self.gpu_index,
                 coll_counters=self._coll_counters,
                 groups=self.comm.groups,
+                windows=self.comm.windows,
             )
 
         yield self.sim.timeout(us(self.device.params.kernel_launch_us))
@@ -291,6 +292,19 @@ class GpuKernelThread:
             self.device.node_id, self.gpu_index, slot
         )
 
+    def _check_window_dtype(self, args: dict, dbuf) -> None:
+        """Device-buffer dtype must match the window's — a mismatch
+        would silently truncate/cast through the byte-count math."""
+        if self.comm.windows is None:
+            raise DcgnError("this job declares no windows")
+        window = self.comm.windows.by_name(str(args["win"]))
+        if dbuf is None or dbuf.data.dtype != window.dtype:
+            got = "no buffer" if dbuf is None else str(dbuf.data.dtype)
+            raise DcgnError(
+                f"window {window.name!r} expects dtype {window.dtype}, "
+                f"kernel posted {got}"
+            )
+
     @staticmethod
     def _coll_extra(args: dict, **extra) -> dict:
         """Collective request extras (slot-group id passes through)."""
@@ -310,7 +324,7 @@ class GpuKernelThread:
         nbytes = int(args.get("nbytes", 0))
         needs_payload_read = op == "send" or (
             op == "bcast" and args.get("root") == vrank
-        ) or op in ("allreduce", "gather")
+        ) or op in ("allreduce", "gather", "rma_put", "rma_acc")
         data: Optional[np.ndarray] = None
         if needs_payload_read:
             if dbuf is None:
@@ -405,6 +419,51 @@ class GpuKernelThread:
                 data=data,
                 done=done,
                 extra=self._coll_extra(args, chunk=nbytes),
+            )
+            writeback = dbuf
+        elif op == "rma_put":
+            self._check_window_dtype(args, dbuf)
+            creq = CommRequest(
+                op="rma_put",
+                src_vrank=vrank,
+                peer=int(args["dest"]),
+                nbytes=nbytes,
+                data=data,
+                done=done,
+                extra={
+                    "win": str(args["win"]),
+                    "offset": int(args.get("offset", 0)),
+                },
+            )
+            writeback = None
+        elif op == "rma_acc":
+            self._check_window_dtype(args, dbuf)
+            creq = CommRequest(
+                op="rma_accumulate",
+                src_vrank=vrank,
+                peer=int(args["dest"]),
+                nbytes=nbytes,
+                data=data,
+                done=done,
+                extra={
+                    "win": str(args["win"]),
+                    "offset": int(args.get("offset", 0)),
+                    "reduce_op": str(args.get("reduce_op", "sum")),
+                },
+            )
+            writeback = None
+        elif op == "rma_get":
+            self._check_window_dtype(args, dbuf)
+            creq = CommRequest(
+                op="rma_get",
+                src_vrank=vrank,
+                peer=int(args["source"]),
+                nbytes=nbytes,
+                done=done,
+                extra={
+                    "win": str(args["win"]),
+                    "offset": int(args.get("offset", 0)),
+                },
             )
             writeback = dbuf
         elif op == "split":

@@ -10,13 +10,16 @@ import numpy as np
 
 from ..sim.core import Event
 
-__all__ = ["CommRequest", "CommStatus", "P2P_OPS", "COLLECTIVE_OPS"]
+__all__ = ["CommRequest", "CommStatus", "P2P_OPS", "COLLECTIVE_OPS", "RMA_OPS"]
 
 P2P_OPS = frozenset({"send", "recv"})
 COLLECTIVE_OPS = frozenset(
     {"barrier", "bcast", "scatter", "gather", "allreduce", "reduce",
      "split"}
 )
+#: One-sided window operations: handled entirely by the *origin* comm
+#: thread (no staging, no matching, no target-side request).
+RMA_OPS = frozenset({"rma_put", "rma_get", "rma_accumulate"})
 
 _req_ids = itertools.count()
 

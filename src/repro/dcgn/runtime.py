@@ -29,6 +29,7 @@ from .gpu_thread import GpuKernelThread
 from .groups import DcgnGroup, GroupTable
 from .polling import PollPolicy
 from .ranks import RankMap
+from .windows import DcgnWindow, DcgnWindowTable
 
 __all__ = ["DcgnRuntime"]
 
@@ -62,6 +63,12 @@ class DcgnRuntime:
         self.groups = GroupTable(self.rankmap, self.node_comm)
         for gname, vranks in config.slot_groups:
             self.groups.declare(gname, vranks)
+        #: One-sided window registry (``config.windows`` plus any
+        #: :meth:`create_window` calls before ``run``); shared by all
+        #: comm threads so any origin can reach any target region.
+        self.windows = DcgnWindowTable(self.rankmap, self.node_comm)
+        for wname, spec in config.windows:
+            self.windows.declare(wname, spec)
         #: Per-node kick signals (CPU request activity wakes GPU pollers).
         self.kicks: List[Signal] = [
             Signal(self.sim, name=f"dcgn.kick{n}")
@@ -75,6 +82,7 @@ class DcgnRuntime:
                 self.rankmap,
                 kick=self.kicks[n],
                 groups=self.groups,
+                windows=self.windows,
             )
             for n in range(config.n_nodes)
         ]
@@ -104,6 +112,15 @@ class DcgnRuntime:
     def group(self, name: str) -> DcgnGroup:
         """A declared slot group by name (``"world"`` always exists)."""
         return self.groups.by_name(name)
+
+    def window(self, name: str) -> "DcgnWindow":
+        """A declared one-sided window by name."""
+        return self.windows.by_name(name)
+
+    def create_window(self, name: str, spec) -> "DcgnWindow":
+        """Declare a window before launching kernels (same forms as
+        ``DcgnConfig(windows=...)``)."""
+        return self.windows.declare(name, spec)
 
     def cpu_context(self, vrank: int) -> CpuKernelContext:
         """Build the kernel context for a CPU virtual rank."""

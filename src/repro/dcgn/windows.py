@@ -1,0 +1,143 @@
+"""DCGN windows: one-sided memory regions addressable by virtual rank.
+
+The paper's DCGN sources *two-sided* communication from data-parallel
+code; windows take the next step and make it **matching-free**.  A
+:class:`DcgnWindow` gives every virtual rank a typed region of host
+memory on its node; any kernel — CPU thread or GPU slot — can ``put``,
+``get`` or ``accumulate`` against any other rank's region, and no
+request is ever staged on the *target* node: the origin's comm thread
+drives a one-sided :class:`~repro.mpi.rma.Window` operation whose bytes
+land in the target region by RDMA, while the target comm thread keeps
+servicing its own kernels undisturbed.  (Contrast with p2p, where the
+target's comm thread must match the message and the receiver must have
+posted a recv — both gone here.)
+
+Layout: each node owns one registered buffer concatenating its local
+ranks' regions in virtual-rank order; the node-level MPI window is
+created over those buffers in the permanently-exposed ``passive_all``
+mode (the comm thread — the node's sole MPI caller — provides the
+ordering an epoch would).  ``locate`` translates a virtual rank into
+(node, element offset) for the comm thread's wire operation.
+
+Windows are declared up front — ``DcgnConfig(windows={...})`` or
+``DcgnRuntime.create_window`` — because registration is collective over
+the node communicator, exactly like ``MPI_Win_create``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..mpi.communicator import Communicator
+from ..mpi.rma import Window
+from .errors import DcgnConfigError, DcgnError
+from .ranks import RankMap
+
+__all__ = ["DcgnWindow", "DcgnWindowTable", "normalize_window_spec"]
+
+#: Accepted declaration forms: element count (float64 implied) or
+#: (count, dtype-name).
+WindowSpec = Union[int, Tuple[int, str]]
+
+
+def normalize_window_spec(spec: WindowSpec) -> Tuple[int, str]:
+    """Canonicalize a window declaration to (count, dtype name)."""
+    if isinstance(spec, (int, np.integer)):
+        count, dtype = int(spec), "float64"
+    else:
+        count, dtype = int(spec[0]), str(spec[1])
+    if count < 1:
+        raise DcgnConfigError("window needs at least one element per rank")
+    np.dtype(dtype)  # raises on unknown names
+    return count, dtype
+
+
+class DcgnWindow:
+    """One named window: ``count`` elements of ``dtype`` per virtual rank."""
+
+    def __init__(
+        self,
+        wid: int,
+        name: str,
+        count: int,
+        dtype: str,
+        rankmap: RankMap,
+        node_comm: Communicator,
+    ) -> None:
+        self.wid = wid
+        self.name = name
+        self.count = count
+        self.dtype = np.dtype(dtype)
+        self._rankmap = rankmap
+        #: vrank → element offset of its region in its node's buffer.
+        self._base: Dict[int, int] = {}
+        bufs: List[np.ndarray] = []
+        for node in range(node_comm.size):
+            local = rankmap.local_ranks(node)
+            for i, v in enumerate(local):
+                self._base[v] = i * count
+            bufs.append(np.zeros(max(1, len(local)) * count, dtype=self.dtype))
+        self.win = Window(
+            node_comm, bufs, name=f"dcgn.win.{name}", passive_all=True
+        )
+
+    @property
+    def bytes_per_rank(self) -> int:
+        return self.count * self.dtype.itemsize
+
+    def locate(self, vrank: int) -> Tuple[int, int]:
+        """(node, element offset) of ``vrank``'s region."""
+        base = self._base.get(vrank)
+        if base is None:
+            raise DcgnError(
+                f"vrank {vrank} has no region in window {self.name!r}"
+            )
+        return self._rankmap.node_of(vrank), base
+
+    def region(self, vrank: int) -> np.ndarray:
+        """``vrank``'s region (host memory; driver/tests view)."""
+        node, base = self.locate(vrank)
+        return self.win.region(node)[base : base + self.count]
+
+    def check_range(self, vrank: int, offset: int, count: int) -> None:
+        """Validate an access of ``count`` elements at ``offset``."""
+        if offset < 0 or offset + count > self.count:
+            raise DcgnError(
+                f"window {self.name!r}: [{offset}, {offset + count}) "
+                f"outside the {self.count}-element region of vrank {vrank}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DcgnWindow {self.name!r} {self.dtype}x{self.count}/rank>"
+        )
+
+
+class DcgnWindowTable:
+    """All windows of one DCGN job (shared across its comm threads)."""
+
+    def __init__(self, rankmap: RankMap, node_comm: Communicator) -> None:
+        self._rankmap = rankmap
+        self._node_comm = node_comm
+        self._by_name: Dict[str, DcgnWindow] = {}
+        self._next_wid = 0
+
+    def declare(self, name: str, spec: WindowSpec) -> DcgnWindow:
+        if name in self._by_name:
+            raise DcgnConfigError(f"duplicate window name {name!r}")
+        count, dtype = normalize_window_spec(spec)
+        win = DcgnWindow(
+            self._next_wid, name, count, dtype, self._rankmap,
+            self._node_comm,
+        )
+        self._next_wid += 1
+        self._by_name[name] = win
+        return win
+
+    def by_name(self, name: str) -> DcgnWindow:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DcgnError(f"no window named {name!r}") from None

@@ -89,6 +89,11 @@ class IbParams:
     intra_bw_GBps: float = 2.2
     #: Per-rank software overhead of an MPI call (µs).
     sw_overhead_us: float = 0.25
+    #: Origin-side cost of posting a one-sided (RMA) operation: build
+    #: the work-queue element and ring the NIC doorbell (µs).  Cheaper
+    #: than ``sw_overhead_us`` because the one-sided path skips the
+    #: send/recv matching software stack entirely.
+    rma_setup_us: float = 0.2
 
 
 @dataclass(frozen=True)

@@ -17,8 +17,9 @@ from .communicator import (
     Request,
 )
 from .datatypes import ReduceOp, payload_array, snapshot
-from .errors import MpiError, RankError, TagError, TruncationError
+from .errors import MpiError, RankError, RmaError, TagError, TruncationError
 from .group import GROUP_EMPTY, UNDEFINED, Group
+from .rma import Window, WinContext
 from .job import (
     MpiJob,
     block_placement,
@@ -55,6 +56,9 @@ __all__ = [
     "pod_cyclic_placement",
     "MpiError",
     "RankError",
+    "RmaError",
     "TagError",
     "TruncationError",
+    "Window",
+    "WinContext",
 ]

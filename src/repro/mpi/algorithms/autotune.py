@@ -49,6 +49,7 @@ __all__ = [
     "cost_alltoall",
     "cost_bcast",
     "cost_reduce",
+    "cost_rma_put",
 ]
 
 #: Size of protocol headers on the wire — must match
@@ -295,6 +296,29 @@ def cost_alltoall(
     raise ValueError(f"unknown alltoall algorithm {algo!r}")
 
 
+def cost_rma_put(mode: str, nbytes: int, prof, ib: IbParams) -> float:
+    """Analytic one-sided put cost (mirrors ``repro.mpi.rma``).
+
+    ``eager``: one wire transfer with the payload inlined behind the
+    header, then a bounce copy through the target host's staging path
+    (the intra-node α/β — the same channel the simulator charges).
+    ``rendezvous``: an rkey/validation header round-trip, then the
+    payload written directly into the registered window (zero-copy —
+    no target-side copy at all).  Costed at the fabric's bottleneck
+    crossing, since a one-sided target may be anywhere in the machine.
+    """
+    setup = us(ib.rma_setup_us)
+    a, b = prof.cross_alpha_s, prof.cross_beta_s_per_B
+    wire = a + (HEADER_BYTES + nbytes) * b
+    if mode == "eager":
+        bounce = us(ib.intra_lat_us) + nbytes / (ib.intra_bw_GBps * 1e9)
+        return setup + wire + bounce
+    if mode == "rendezvous":
+        hdr = a + HEADER_BYTES * b
+        return setup + 2.0 * hdr + wire
+    raise ValueError(f"unknown RMA put mode {mode!r}")
+
+
 # ---------------------------------------------------------------------------
 # Threshold derivation
 # ---------------------------------------------------------------------------
@@ -482,6 +506,19 @@ def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
         if n_a2ahier < _UNBOUNDED:
             a2a_hier_min = max(n_a2ahier, ib.eager_threshold // 2)
 
+    # RMA eager/rendezvous: eager wins while the target bounce copy is
+    # cheaper than the rkey round-trip; the crossover therefore grows
+    # with the fabric's latency (a torus keeps eager puts longer than
+    # the flat switch).  Largest grid prefix where eager still wins.
+    rma_eager = 0
+    for n in _GRID:
+        if (
+            cost_rma_put("eager", n, prof, ib)
+            > cost_rma_put("rendezvous", n, prof, ib) + _EPS
+        ):
+            break
+        rma_eager = n
+
     return CollectiveTuning(
         allreduce_ring_min_bytes=ring_min,
         allgather_rd_max_bytes=rd_max,
@@ -495,6 +532,7 @@ def derive_tuning(prof, ib: IbParams) -> CollectiveTuning:
         bcast_hier_min_bytes=bcast_hier_min,
         allgather_hier_min_bytes=ag_hier_min,
         alltoall_hier_min_bytes=a2a_hier_min,
+        rma_eager_max_bytes=rma_eager,
     )
 
 

@@ -277,6 +277,9 @@ class ScheduleEngine:
 
     def __init__(self, comm) -> None:
         self.comm = comm
+        #: Schedules currently executing (inline or background); the
+        #: collective ``Comm_free`` drains this before releasing state.
+        self.active = 0
 
     # -- public entry points ------------------------------------------------
     def start(self, ctx: MpiContext, sched: Schedule, name: str = "") -> Request:
@@ -291,6 +294,15 @@ class ScheduleEngine:
         self, ctx: MpiContext, sched: Schedule
     ) -> Generator[Event, Any, None]:
         """Drive ``sched`` to completion from the calling process."""
+        self.active += 1
+        try:
+            yield from self._execute(ctx, sched)
+        finally:
+            self.active -= 1
+
+    def _execute(
+        self, ctx: MpiContext, sched: Schedule
+    ) -> Generator[Event, Any, None]:
         from ...sim.primitives import AnyOf
 
         import heapq

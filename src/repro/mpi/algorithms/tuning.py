@@ -112,6 +112,17 @@ class CollectiveTuning:
     #: exchange between leaders); uniform block sizes only.
     alltoall_hier_min_bytes: Optional[int] = None
 
+    #: One-sided (RMA) puts/accumulates at or below this ride the eager
+    #: protocol: one wire transfer with the payload inlined behind the
+    #: header, landed through a bounce copy on the target host.  Above
+    #: it the origin pays an rkey/rendezvous header round-trip and the
+    #: payload is written **directly** into the registered window memory
+    #: (zero-copy RDMA).  Autotune derives the crossover — where the
+    #: target-side bounce copy starts costing more than the extra
+    #: round-trip — from the fabric's α/β, so a high-latency fabric
+    #: keeps eager puts longer.
+    rma_eager_max_bytes: int = 8 * _KB
+
     #: Pin an algorithm by name (see ``ALGORITHMS`` in
     #: :mod:`repro.mpi.algorithms.selector`); ``None`` = size-adaptive.
     force_allreduce: Optional[str] = None
@@ -128,6 +139,7 @@ class CollectiveTuning:
             "allgather_rd_small_max_bytes",
             "allgather_bruck_max_bytes",
             "alltoall_bruck_max_bytes",
+            "rma_eager_max_bytes",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")

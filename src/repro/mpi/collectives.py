@@ -86,6 +86,17 @@ def _build_bcast(ctx: MpiContext, buf: Payload, root: int):
     return SCHEDULES["bcast"][algo](ctx, buf, root=root)
 
 
+def _check_reduce_op(op: ReduceOp, what: str) -> None:
+    """``REPLACE`` exists for one-sided accumulate only: in a
+    reduction tree, which rank's contribution "wins" would depend on
+    the schedule — a silent nondeterminism, so reject it loudly."""
+    if op is ReduceOp.REPLACE:
+        raise MpiError(
+            f"ReduceOp.REPLACE is only valid for one-sided accumulate, "
+            f"not {what}"
+        )
+
+
 def _build_reduce(
     ctx: MpiContext,
     sendbuf: Payload,
@@ -95,6 +106,7 @@ def _build_reduce(
 ):
     ctx.comm._count("reduce")
     ctx.comm._check_rank(root)
+    _check_reduce_op(op, "reduce")
     nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0
     algo = ctx.comm.selector.reduce(nbytes, ctx.size)
     ctx.comm._count(f"reduce[{algo}]")
@@ -105,6 +117,7 @@ def _build_allreduce(
     ctx: MpiContext, sendbuf: Payload, recvbuf: Payload, op: ReduceOp
 ):
     ctx.comm._count("allreduce")
+    _check_reduce_op(op, "allreduce")
     if payload_array(recvbuf) is None:
         raise MpiError("allreduce requires a recv buffer on every rank")
     nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0

@@ -184,6 +184,21 @@ class Communicator:
         #: split seq → (per-rank sub-communicators, retrievals left).
         self._split_built: Dict[int, Tuple[List, int]] = {}
         self._hier: Optional[_HierComms] = None
+        #: True once :meth:`free` ran; every subsequent use raises.
+        self._freed = False
+        #: Ranks that have completed the collective :meth:`MpiContext.free`.
+        self._free_calls = 0
+        #: Point-to-point operations currently inside the wire protocol
+        #: (the collective free drains these before releasing state).
+        self._inflight_ops = 0
+        #: Per-rank counters sequencing collective window creations.
+        self._win_seq = [0] * self.size
+        #: win seq → per-rank deposited local buffers.
+        self._win_deposits: Dict[int, Dict[int, Any]] = {}
+        #: win seq → (shared Window, retrievals left).
+        self._win_built: Dict[int, Tuple[Any, int]] = {}
+        #: Windows ever created over this communicator (id allocation).
+        self._win_count = 0
         #: Operation counters for reports/tests.
         self.stats: Dict[str, int] = {}
         self._ib = cluster.spec.params.ib
@@ -223,6 +238,56 @@ class Communicator:
         )
         #: True when rank order is scattered across domains.
         self.fragmented: bool = crossings > len(self.locality_groups)
+
+    # -- lifetime ----------------------------------------------------------
+    def _ensure_alive(self) -> None:
+        if self._freed:
+            raise MpiError(
+                f"communicator {self.name!r} has been freed "
+                "(MPI_Comm_free); operations on it are erroneous"
+            )
+
+    def free(self) -> None:
+        """``MPI_Comm_free`` for a *derived* communicator (driver-level;
+        simulated ranks use the collective :meth:`MpiContext.free`).
+
+        Releases the heavy per-communicator state — matching stores,
+        schedule engine, split/window bookkeeping, the hierarchical
+        sub-communicator bundle — so long split-heavy runs keep bounded
+        memory.  The communicator is unusable afterwards: any operation
+        raises :class:`~repro.mpi.errors.MpiError`.  World communicators
+        cannot be freed.
+        """
+        self._ensure_alive()
+        if self.parent is None:
+            raise MpiError("cannot free a world communicator")
+        if self._inflight_ops or self.engine.active:
+            raise MpiError(
+                f"cannot free communicator {self.name!r} with "
+                "operations in flight (use the collective "
+                "MpiContext.free, which drains them)"
+            )
+        self._free_now()
+
+    def _free_now(self) -> None:
+        """Release state (idempotent entry for the collective free)."""
+        if self._freed:
+            return
+        self._freed = True
+        # Recursively retire the derived communicators the hierarchical
+        # bundle holds — they are unreachable once self is freed.
+        hier = self._hier
+        self._hier = None
+        if hier is not None:
+            for sub in hier.children():
+                if sub is not None and not sub._freed:
+                    sub._free_now()
+        self._match.clear()
+        self._split_built.clear()
+        self._win_deposits.clear()
+        self._win_built.clear()
+        self.engine = None
+        self._count_unchecked("comm_free")
 
     # -- groups and derived communicators ----------------------------------
     @property
@@ -406,9 +471,43 @@ class Communicator:
             self._split_built[seq] = (built, remaining)
         return built[rank]
 
+    # -- collective-window bookkeeping (MpiContext.win_create lands here) --
+    def _win_claim(self, rank: int) -> int:
+        seq = self._win_seq[rank]
+        self._win_seq[rank] += 1
+        return seq
+
+    def _win_deposit(self, seq: int, rank: int, buf: Any) -> None:
+        self._win_deposits.setdefault(seq, {})[rank] = buf
+
+    def _win_result(self, seq: int, rank: int) -> Any:
+        """Per-rank pickup of a collective window creation.
+
+        The first rank whose size exchange completes constructs the
+        shared :class:`~repro.mpi.rma.Window` from the deposited
+        buffers (every rank deposited before entering the exchange);
+        later ranks reuse it.  State is dropped once all have picked up.
+        """
+        entry = self._win_built.get(seq)
+        if entry is None:
+            from .rma import Window
+
+            deposits = self._win_deposits.pop(seq)
+            bufs = [deposits.get(r) for r in range(self.size)]
+            entry = (Window(self, bufs), self.size)
+            self._win_built[seq] = entry
+        win, remaining = entry
+        remaining -= 1
+        if remaining == 0:
+            del self._win_built[seq]
+        else:
+            self._win_built[seq] = (win, remaining)
+        return win
+
     # -- helpers -----------------------------------------------------------
     def ctx(self, rank: int) -> "MpiContext":
         """The context a process uses to act as ``rank``."""
+        self._ensure_alive()
         self._check_rank(rank)
         return MpiContext(self, rank)
 
@@ -429,6 +528,10 @@ class Communicator:
             raise TagError(f"user tag {tag} out of range")
 
     def _count(self, op: str) -> None:
+        self._ensure_alive()
+        self.stats[op] = self.stats.get(op, 0) + 1
+
+    def _count_unchecked(self, op: str) -> None:
         self.stats[op] = self.stats.get(op, 0) + 1
 
     def _sw(self) -> Event:
@@ -452,34 +555,43 @@ class Communicator:
         buf: Payload,
         tag: int,
     ) -> Generator[Event, Any, None]:
-        yield self._sw()
-        nbytes = nbytes_of(buf) if buf is not None else 0
-        data = snapshot(buf)
-        self.sim.trace("mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes)
-        if nbytes <= self._ib.eager_threshold:
-            yield from self._wire(src, dst, nbytes + HEADER_BYTES)
+        self._ensure_alive()
+        self._inflight_ops += 1
+        try:
+            yield self._sw()
+            nbytes = nbytes_of(buf) if buf is not None else 0
+            data = snapshot(buf)
+            self.sim.trace(
+                "mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes
+            )
+            if nbytes <= self._ib.eager_threshold:
+                yield from self._wire(src, dst, nbytes + HEADER_BYTES)
+                self._match[dst].put(
+                    _WireMsg(
+                        "eager", src=src, tag=tag, nbytes=nbytes, data=data
+                    )
+                )
+                return
+            # Rendezvous: RTS -> (receiver matches, sends CTS) -> payload.
+            cts = self.sim.event(name=f"cts({src}->{dst})")
+            arrived = self.sim.event(name=f"payload({src}->{dst})")
+            yield from self._wire(src, dst, HEADER_BYTES)
             self._match[dst].put(
-                _WireMsg("eager", src=src, tag=tag, nbytes=nbytes, data=data)
+                _WireMsg(
+                    "rts",
+                    src=src,
+                    tag=tag,
+                    nbytes=nbytes,
+                    data=data,
+                    cts=cts,
+                    payload_arrived=arrived,
+                )
             )
-            return
-        # Rendezvous: RTS -> (receiver matches, sends CTS) -> payload.
-        cts = self.sim.event(name=f"cts({src}->{dst})")
-        arrived = self.sim.event(name=f"payload({src}->{dst})")
-        yield from self._wire(src, dst, HEADER_BYTES)
-        self._match[dst].put(
-            _WireMsg(
-                "rts",
-                src=src,
-                tag=tag,
-                nbytes=nbytes,
-                data=data,
-                cts=cts,
-                payload_arrived=arrived,
-            )
-        )
-        yield cts
-        yield from self._wire(src, dst, nbytes)
-        arrived.succeed(data)
+            yield cts
+            yield from self._wire(src, dst, nbytes)
+            arrived.succeed(data)
+        finally:
+            self._inflight_ops -= 1
 
     def _recv_impl(
         self,
@@ -488,28 +600,34 @@ class Communicator:
         buf: Payload,
         tag: int,
     ) -> Generator[Event, Any, Status]:
-        yield self._sw()
+        self._ensure_alive()
+        self._inflight_ops += 1
+        try:
+            yield self._sw()
 
-        def matches(m: _WireMsg) -> bool:
-            if src != ANY_SOURCE and m.src != src:
-                return False
-            if tag != ANY_TAG and m.tag != tag:
-                return False
-            return True
+            def matches(m: _WireMsg) -> bool:
+                if src != ANY_SOURCE and m.src != src:
+                    return False
+                if tag != ANY_TAG and m.tag != tag:
+                    return False
+                return True
 
-        msg: _WireMsg = yield self._match[me].get(matches)
-        if msg.kind == "rts":
-            # Grant the clear-to-send, then wait for the payload.
-            yield from self._wire(me, msg.src, HEADER_BYTES)
-            msg.cts.succeed(None)
-            data = yield msg.payload_arrived
-        else:
-            data = msg.data
-        self._deliver(buf, data, msg.nbytes)
-        self.sim.trace(
-            "mpi.recv", me=me, src=msg.src, tag=msg.tag, nbytes=msg.nbytes
-        )
-        return Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+            msg: _WireMsg = yield self._match[me].get(matches)
+            if msg.kind == "rts":
+                # Grant the clear-to-send, then wait for the payload.
+                yield from self._wire(me, msg.src, HEADER_BYTES)
+                msg.cts.succeed(None)
+                data = yield msg.payload_arrived
+            else:
+                data = msg.data
+            self._deliver(buf, data, msg.nbytes)
+            self.sim.trace(
+                "mpi.recv", me=me, src=msg.src, tag=msg.tag,
+                nbytes=msg.nbytes,
+            )
+            return Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+        finally:
+            self._inflight_ops -= 1
 
     @staticmethod
     def _deliver(buf: Payload, data: Optional[np.ndarray], nbytes: int) -> None:
@@ -552,6 +670,21 @@ class _HierComms:
     def equal_groups(self) -> bool:
         """True when the peer communicators exist (equal-size pods)."""
         return self.peers is not None
+
+    def children(self) -> List[Optional["Communicator"]]:
+        """Every derived communicator in the bundle (deduplicated)."""
+        subs: List[Optional["Communicator"]] = []
+        seen = set()
+        for sub in (
+            list(self.intra)
+            + [self.leader]
+            + list(self.peers or [])
+            + list(self.reordered)
+        ):
+            if sub is not None and id(sub) not in seen:
+                seen.add(id(sub))
+                subs.append(sub)
+        return subs
 
     def reordered_ctx(self, rank: int) -> "MpiContext":
         """This rank's context on the locality-contiguous reordering."""
@@ -658,6 +791,67 @@ class MpiContext:
         color = 0 if gr != UNDEFINED else UNDEFINED
         sub = yield from self.split(color, gr if gr != UNDEFINED else 0)
         return sub
+
+    def free(self) -> Generator[Event, Any, None]:
+        """``MPI_Comm_free``: collective retirement of a derived
+        communicator.  Every rank calls it; after an internal barrier
+        the *last* rank to arrive releases the matching stores,
+        schedule engine and split/window bookkeeping (earlier arrivals
+        may still have barrier traffic draining — freeing eagerly
+        would yank the stores out from under them), and any further
+        use raises :class:`~repro.mpi.errors.MpiError`."""
+        comm = self.comm
+        if comm.parent is None:
+            raise MpiError("cannot free a world communicator")
+        from . import collectives as c
+
+        yield from c.barrier(self)
+        comm._free_calls += 1
+        if comm._free_calls >= comm.size:
+            # MPI allows pending nonblocking ops at free time (their
+            # completion is merely deferred): drain p2p ops *and*
+            # background collective schedules before the stores go
+            # away.  A pending receive that can never match turns this
+            # into a visible hang — the MPI-legal outcome of freeing a
+            # communicator while a wildcard recv waits.
+            while comm._inflight_ops > 0 or comm.engine.active > 0:
+                yield self.sim.timeout(us(1.0))
+            comm._free_now()
+
+    # -- one-sided windows (implementations in .rma) -----------------------
+    def win_create(
+        self, buf: Any
+    ) -> Generator[Event, Any, "WinContext"]:
+        """``MPI_Win_create``: collective; every rank exposes ``buf``
+        (a NumPy array, :class:`~repro.hw.memory.HostBuffer`,
+        :class:`~repro.gpusim.memory.DeviceBuffer`, or ``None`` for a
+        zero-size window) and gets back its rank-bound
+        :class:`~repro.mpi.rma.WinContext`.  The per-rank sizes travel
+        over the wire (an allgather, as in a real registration
+        exchange); building the window object itself is free."""
+        comm = self.comm
+        from . import collectives as c
+
+        seq = comm._win_claim(self.rank)
+        comm._win_deposit(seq, self.rank, buf)
+        # ndarray, HostBuffer and DeviceBuffer all expose .nbytes.
+        nbytes = 0 if buf is None else int(buf.nbytes)
+        mine = np.array([nbytes], dtype=np.int64)
+        recv = [np.empty(1, dtype=np.int64) for _ in range(comm.size)]
+        yield from c.allgather(self, mine, recv)
+        win = comm._win_result(seq, self.rank)
+        return win.ctx(self.rank)
+
+    def win_allocate(
+        self, count: int, dtype=np.float64
+    ) -> Generator[Event, Any, "WinContext"]:
+        """``MPI_Win_allocate``: collective; allocates ``count``
+        elements of ``dtype`` in simulated host memory on this rank's
+        node and exposes them as a window."""
+        node = self.comm.cluster.nodes[self.node_id]
+        buf = node.alloc(count, dtype=dtype, name=f"win.r{self.rank}")
+        wctx = yield from self.win_create(buf)
+        return wctx
 
     # -- blocking p2p ------------------------------------------------------
     def send(

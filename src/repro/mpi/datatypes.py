@@ -15,7 +15,14 @@ Payload = Union[np.ndarray, HostBuffer, int, None]
 
 
 class ReduceOp(enum.Enum):
-    """MPI reduction operations (the subset the apps use)."""
+    """MPI reduction operations (the subset the apps use).
+
+    ``REPLACE`` exists for one-sided ``accumulate`` (MPI_REPLACE): it
+    turns an accumulate into an element-wise overwrite that still
+    honours the per-origin ordering guarantee.  Two-sided reductions
+    must not use it (which rank's contribution "wins" would be
+    schedule-dependent).
+    """
 
     SUM = "sum"
     PROD = "prod"
@@ -25,9 +32,12 @@ class ReduceOp(enum.Enum):
     LOR = "lor"
     BAND = "band"
     BOR = "bor"
+    REPLACE = "replace"
 
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise ``a OP b`` (never in place)."""
+        if self is ReduceOp.REPLACE:
+            return b.copy()
         if self is ReduceOp.SUM:
             return a + b
         if self is ReduceOp.PROD:

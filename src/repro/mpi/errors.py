@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["MpiError", "TruncationError", "RankError", "TagError"]
+__all__ = [
+    "MpiError",
+    "TruncationError",
+    "RankError",
+    "TagError",
+    "RmaError",
+]
 
 
 class MpiError(Exception):
@@ -19,3 +25,9 @@ class RankError(MpiError):
 
 class TagError(MpiError):
     """Invalid tag (negative, or colliding with the internal tag space)."""
+
+
+class RmaError(MpiError):
+    """One-sided (RMA) semantics violation: an operation outside any
+    access epoch, a freed window, an out-of-bounds target region, or a
+    synchronization call that does not match the window's state."""

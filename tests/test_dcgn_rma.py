@@ -1,0 +1,348 @@
+"""DCGN one-sided windows: kernel-driven put/get/accumulate, and the
+nonblocking group-split staging."""
+
+import numpy as np
+import pytest
+
+from repro.dcgn import DcgnConfig, DcgnError, DcgnRuntime
+from repro.hw import build_cluster, paper_cluster
+from repro.sim import Simulator
+
+
+def make_runtime(nodes=2, cpu_threads=2, gpus=0, windows=None, **kw):
+    sim = Simulator()
+    cluster = build_cluster(
+        sim, paper_cluster(nodes=nodes, gpus_per_node=gpus)
+    )
+    cfg = DcgnConfig.homogeneous(
+        nodes, cpu_threads=cpu_threads, gpus=gpus, windows=windows, **kw
+    )
+    return sim, DcgnRuntime(cluster, cfg)
+
+
+class TestCpuWindows:
+    def test_put_get_ring(self):
+        sim, rt = make_runtime(nodes=2, cpu_threads=2, windows={"halo": 4})
+
+        def kern(ctx):
+            right = (ctx.rank + 1) % ctx.size
+            yield from ctx.put(
+                "halo", right, np.full(2, float(ctx.rank) + 1.0)
+            )
+            yield from ctx.barrier()
+            buf = np.zeros(4)
+            yield from ctx.get("halo", ctx.rank, buf)
+            return buf[:2].tolist()
+
+        rt.launch_cpu(kern)
+        rep = rt.run()
+        results = rep.cpu_results()
+        for rank, got in enumerate(results):
+            left = (rank - 1) % rt.size
+            assert got == [float(left) + 1.0] * 2
+        stats = rep.comm_stats()
+        assert stats["rma.rma_put"] == rt.size
+        assert stats["rma.rma_get"] == rt.size
+
+    def test_accumulate_sum_and_replace_order(self):
+        sim, rt = make_runtime(nodes=2, cpu_threads=1, windows={"acc": 2})
+
+        def kern(ctx):
+            if ctx.rank == 0:
+                yield from ctx.accumulate(
+                    "acc", 1, np.full(2, 5.0), op="sum"
+                )
+                yield from ctx.accumulate(
+                    "acc", 1, np.full(1, 2.0), op="replace"
+                )
+            yield from ctx.barrier()
+
+        rt.launch_cpu(kern)
+        rep = rt.run()
+        region = rt.window("acc").region(1)
+        assert list(region) == [2.0, 5.0]
+
+    def test_iput_iget_overlap(self):
+        sim, rt = make_runtime(nodes=2, cpu_threads=1, windows={"w": 2})
+
+        def kern(ctx):
+            peer = 1 - ctx.rank
+            h = yield from ctx.iput("w", peer, np.full(2, 3.0))
+            yield from ctx.compute(1e-4)
+            yield from h.wait()
+            yield from ctx.barrier()
+            buf = np.zeros(2)
+            g = yield from ctx.iget("w", ctx.rank, buf)
+            yield from g.wait()
+            return buf.tolist()
+
+        rt.launch_cpu(kern)
+        rep = rt.run()
+        assert rep.cpu_results() == [[3.0, 3.0]] * 2
+
+    def test_remote_completion_means_visible(self):
+        """A completed put is already visible at the target — no recv,
+        no barrier needed for the bytes themselves."""
+        sim, rt = make_runtime(nodes=2, cpu_threads=1, windows={"w": 1})
+        seen = {}
+
+        def kern(ctx):
+            if ctx.rank == 0:
+                yield from ctx.put("w", 1, np.full(1, 4.5))
+                seen["at_return"] = float(rt.window("w").region(1)[0])
+            else:
+                yield from ctx.compute(0.01)
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert seen["at_return"] == 4.5
+
+    def test_noncontiguous_get_buffer_raises(self):
+        from repro.dcgn.errors import CommViolation
+
+        sim, rt = make_runtime(nodes=1, cpu_threads=1, windows={"w": 4})
+        caught = {}
+
+        def kern(ctx):
+            block = np.zeros((4, 4))
+            try:
+                yield from ctx.get("w", 0, block[:, :1])
+            except CommViolation as e:
+                caught["msg"] = str(e)
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert "C-contiguous" in caught["msg"]
+
+    def test_unknown_window_raises(self):
+        sim, rt = make_runtime(nodes=1, cpu_threads=1, windows={"w": 1})
+
+        def kern(ctx):
+            yield from ctx.put("nope", 0, np.ones(1))
+
+        rt.launch_cpu(kern)
+        with pytest.raises(DcgnError, match="no window named"):
+            rt.run()
+
+    def test_wildcard_target_and_bad_op_raise_kernel_side(self):
+        from repro.dcgn import ANY
+        from repro.dcgn.errors import CommViolation
+
+        sim, rt = make_runtime(nodes=1, cpu_threads=1, windows={"w": 2})
+        caught = {}
+
+        def kern(ctx):
+            try:
+                yield from ctx.put("w", ANY, np.ones(1))
+            except CommViolation as e:
+                caught["any"] = str(e)
+            try:
+                yield from ctx.accumulate("w", 0, np.ones(1), op="bogus")
+            except CommViolation as e:
+                caught["op"] = str(e)
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert "concrete target" in caught["any"]
+        assert "unknown accumulate op" in caught["op"]
+
+    def test_dtype_mismatch_raises_at_issue(self):
+        from repro.dcgn.errors import CommViolation
+
+        sim, rt = make_runtime(nodes=1, cpu_threads=1, windows={"w": 4})
+        caught = {}
+
+        def kern(ctx):
+            try:
+                yield from ctx.get(
+                    "w", 0, np.zeros(4, dtype=np.float32)
+                )
+            except CommViolation as e:
+                caught["get"] = str(e)
+            try:
+                yield from ctx.put(
+                    "w", 0, np.ones(4, dtype=np.float32)
+                )
+            except CommViolation as e:
+                caught["put"] = str(e)
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert "does not match window" in caught["get"]
+        assert "does not match window" in caught["put"]
+
+    def test_out_of_range_offset_raises(self):
+        sim, rt = make_runtime(nodes=1, cpu_threads=1, windows={"w": 2})
+
+        def kern(ctx):
+            yield from ctx.put("w", 0, np.ones(2), offset=1)
+
+        rt.launch_cpu(kern)
+        with pytest.raises(DcgnError, match="outside"):
+            rt.run()
+
+
+class TestGpuWindows:
+    def test_gpu_put_get(self):
+        sim, rt = make_runtime(
+            nodes=2, cpu_threads=0, gpus=1, windows={"halo": 4}
+        )
+
+        def kern(kctx):
+            comm = kctx.comm
+            me = comm.rank(0)
+            right = (me + 1) % comm.size
+            dev = kctx.device
+            src = dev.alloc(2, fill=float(me) + 10.0)
+            yield from comm.put(0, "halo", right, src)
+            yield from comm.barrier(0)
+            dst = dev.alloc(4)
+            yield from comm.get(0, "halo", me, dst)
+            out = dst.data[:2].tolist()
+            src.free()
+            dst.free()
+            return out
+
+        rt.launch_gpu(kern)
+        rep = rt.run()
+        results = rep.gpu_block_results()
+        flat = [r[0] for r in results]
+        assert flat == [[11.0, 11.0], [10.0, 10.0]]
+
+    def test_gpu_accumulate(self):
+        sim, rt = make_runtime(
+            nodes=2, cpu_threads=0, gpus=1, windows={"acc": 2}
+        )
+
+        def kern(kctx):
+            comm = kctx.comm
+            me = comm.rank(0)
+            dev = kctx.device
+            ones = dev.alloc(2, fill=1.0)
+            yield from comm.accumulate(0, "acc", 0, ones, op="sum")
+            yield from comm.barrier(0)
+            ones.free()
+
+        rt.launch_gpu(kern)
+        rt.run()
+        assert list(rt.window("acc").region(0)) == [2.0, 2.0]
+
+    def test_gpu_oversized_nbytes_rejected_kernel_side(self):
+        from repro.dcgn.errors import CommViolation
+
+        sim, rt = make_runtime(
+            nodes=1, cpu_threads=0, gpus=1, windows={"w": 4}
+        )
+        caught = {}
+
+        def kern(kctx):
+            comm = kctx.comm
+            src = kctx.device.alloc(2, fill=1.0)
+            try:
+                yield from comm.put(0, "w", 0, src, nbytes=4 * 8)
+            except CommViolation as e:
+                caught["msg"] = str(e)
+            try:
+                yield from comm.put(0, "w", 0, src, offset=3)
+            except Exception as e:
+                caught["range"] = str(e)
+            src.free()
+
+        rt.launch_gpu(kern)
+        rt.run()
+        assert "exceeds device buffer" in caught["msg"]
+        assert "outside" in caught["range"]
+
+    def test_gpu_iput_overlaps_compute(self):
+        sim, rt = make_runtime(
+            nodes=2, cpu_threads=0, gpus=1, windows={"w": 2}
+        )
+
+        def kern(kctx):
+            comm = kctx.comm
+            me = comm.rank(0)
+            dev = kctx.device
+            src = dev.alloc(2, fill=float(me))
+            h = yield from comm.iput(0, "w", 1 - me, src)
+            yield from kctx.compute(seconds=1e-4)
+            yield from h.wait()
+            yield from comm.barrier(0)
+            src.free()
+
+        rt.launch_gpu(kern)
+        rt.run()
+        assert list(rt.window("w").region(0)) == [1.0, 1.0]
+        assert list(rt.window("w").region(1)) == [0.0, 0.0]
+
+
+class TestWindowDeclaration:
+    def test_typed_spec_and_create_window(self):
+        sim, rt = make_runtime(nodes=1, cpu_threads=2)
+        win = rt.create_window("bytes", (8, "uint8"))
+        assert win.dtype == np.uint8
+        assert win.bytes_per_rank == 8
+
+        def kern(ctx):
+            yield from ctx.put(
+                "bytes", 1 - ctx.rank,
+                np.full(4, ctx.rank + 1, dtype=np.uint8),
+            )
+            yield from ctx.barrier()
+
+        rt.launch_cpu(kern)
+        rt.run()
+        assert list(win.region(0)[:4]) == [2] * 4
+        assert list(win.region(1)[:4]) == [1] * 4
+
+    def test_duplicate_or_bad_declarations(self):
+        from repro.dcgn.errors import DcgnConfigError
+
+        sim, rt = make_runtime(nodes=1, cpu_threads=1)
+        rt.create_window("w", 4)
+        with pytest.raises(DcgnConfigError, match="duplicate"):
+            rt.create_window("w", 4)
+        with pytest.raises(DcgnConfigError, match="at least one"):
+            rt.create_window("empty", 0)
+        with pytest.raises(TypeError):
+            rt.create_window("badtype", (4, "not_a_dtype"))
+
+
+class TestNonblockingSplit:
+    def test_split_correct_after_staging_change(self):
+        sim, rt = make_runtime(nodes=2, cpu_threads=2)
+
+        def kern(ctx):
+            g = yield from ctx.split(ctx.rank % 2, key=-ctx.rank)
+            out = np.zeros(1)
+            yield from g.allreduce(np.full(1, float(ctx.rank)), out)
+            return (g.rank, out[0])
+
+        rt.launch_cpu(kern)
+        rep = rt.run()
+        results = rep.cpu_results()
+        # colors: even {0,2} sum 2, odd {1,3} sum 4; key=-rank reverses
+        # the member order within each group.
+        assert results[0] == (1, 2.0)
+        assert results[2] == (0, 2.0)
+        assert results[1] == (1, 4.0)
+        assert results[3] == (0, 4.0)
+
+    def test_back_to_back_splits_stay_ordered(self):
+        """Two consecutive splits: the second's staging may begin while
+        the first's allgather is still resolving in the background —
+        the per-gid sequence numbers must keep them straight."""
+        sim, rt = make_runtime(nodes=2, cpu_threads=2)
+
+        def kern(ctx):
+            g1 = yield from ctx.split(ctx.rank % 2)
+            g2 = yield from ctx.split(ctx.rank // 2)
+            out1, out2 = np.zeros(1), np.zeros(1)
+            yield from g1.allreduce(np.full(1, float(ctx.rank)), out1)
+            yield from g2.allreduce(np.full(1, float(ctx.rank)), out2)
+            return (out1[0], out2[0])
+
+        rt.launch_cpu(kern)
+        rep = rt.run()
+        results = rep.cpu_results()
+        # g1: {0,2}=2, {1,3}=4; g2: {0,1}=1, {2,3}=5.
+        assert results == [(2.0, 1.0), (4.0, 1.0), (2.0, 5.0), (4.0, 5.0)]

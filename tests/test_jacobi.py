@@ -1,0 +1,92 @@
+"""Jacobi halo-exchange app: every backend must match the reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import (
+    JacobiConfig,
+    MPI_BACKENDS,
+    reference,
+    run_dcgn,
+    run_mpi,
+)
+from repro.hw import ClusterSpec, build_cluster, paper_cluster
+from repro.sim import Simulator
+
+
+def mpi_cluster(n_nodes):
+    sim = Simulator()
+    return sim, build_cluster(
+        sim, ClusterSpec(nodes=n_nodes, gpus_per_node=0)
+    )
+
+
+class TestMpiBackends:
+    @pytest.mark.parametrize("backend", MPI_BACKENDS)
+    def test_matches_reference(self, backend):
+        cfg = JacobiConfig(p=4, rows_per_rank=3, cols=32, iters=4)
+        sim, cluster = mpi_cluster(4)
+        res = run_mpi(cluster, cfg, backend=backend)
+        # verify=True raises on mismatch inside run_mpi; also pin the
+        # checksum across backends via the reference.
+        assert res.extras["checksum"] == pytest.approx(
+            float(reference(cfg).sum())
+        )
+
+    @pytest.mark.parametrize("backend", MPI_BACKENDS)
+    def test_odd_rank_count(self, backend):
+        cfg = JacobiConfig(p=3, rows_per_rank=2, cols=16, iters=3)
+        sim, cluster = mpi_cluster(3)
+        run_mpi(cluster, cfg, backend=backend)
+
+    def test_multiple_ranks_per_node(self):
+        cfg = JacobiConfig(p=6, rows_per_rank=2, cols=16, iters=2)
+        sim, cluster = mpi_cluster(3)
+        run_mpi(cluster, cfg, backend="rma_fence")
+
+    def test_rma_beats_blocking_on_large_halos(self):
+        cfg = JacobiConfig(
+            p=4, rows_per_rank=2, cols=8192, iters=3, verify=False
+        )
+        times = {}
+        for backend in ("blocking", "rma_fence"):
+            sim, cluster = mpi_cluster(4)
+            times[backend] = run_mpi(cluster, cfg, backend=backend).elapsed
+        assert times["rma_fence"] < times["blocking"]
+
+    def test_unknown_backend_rejected(self):
+        sim, cluster = mpi_cluster(2)
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_mpi(
+                cluster, JacobiConfig(p=2, cols=8), backend="bogus"
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            JacobiConfig(p=1)
+        with pytest.raises(ValueError):
+            JacobiConfig(p=2, cols=2)
+        with pytest.raises(ValueError):
+            JacobiConfig(p=2, iters=0)
+
+
+class TestDcgn:
+    def test_gpu_kernel_rma_matches_reference(self):
+        cfg = JacobiConfig(p=4, rows_per_rank=3, cols=32, iters=3)
+        sim = Simulator()
+        cluster = build_cluster(
+            sim, paper_cluster(nodes=4, gpus_per_node=1)
+        )
+        res = run_dcgn(cluster, cfg)
+        assert res.model == "dcgn"
+        assert res.extras["checksum"] == pytest.approx(
+            float(reference(cfg).sum())
+        )
+
+    def test_two_slots_per_node(self):
+        cfg = JacobiConfig(p=4, rows_per_rank=2, cols=16, iters=2)
+        sim = Simulator()
+        cluster = build_cluster(
+            sim, paper_cluster(nodes=2, gpus_per_node=2)
+        )
+        run_dcgn(cluster, cfg)
