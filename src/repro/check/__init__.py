@@ -1,0 +1,54 @@
+"""Schedule-exploration model checking for the concurrent runtime.
+
+Public surface::
+
+    from repro.check import sweep, replay, SCENARIOS
+
+    report = sweep(200)            # all scenarios x 200 seeds
+    assert report.ok, report.table()
+
+    result = replay("lock-writers", seed=17)   # one seed, full trace
+
+CLI: ``python -m repro.check --sweep 200`` (see ``--help``).
+
+The pieces:
+
+* :mod:`repro.check.scenarios` — adversarial concurrent programs over
+  the real MPI/DCGN/RMA stack, each with an end-state invariant;
+* :mod:`repro.check.runner` — executes scenarios across seeds on
+  :class:`~repro.sim.ExploringSimulator` and classifies every schedule
+  as ok / deadlock / livelock / crash / invariant-violation;
+* :mod:`repro.check.buggy` — a deliberately wrong lock-order-inversion
+  fixture the sweep must *catch* (checker-has-teeth proof).
+"""
+
+from .buggy import BuggyGrantQueue
+from .errors import InvariantViolation
+from .runner import (
+    DEFAULT_LIVELOCK_WINDOW,
+    OUTCOMES,
+    ScenarioReport,
+    ScheduleResult,
+    SweepReport,
+    replay,
+    run_one,
+    sweep,
+)
+from .scenarios import SCENARIOS, ScenarioSpec, get_scenario, scenario_names
+
+__all__ = [
+    "BuggyGrantQueue",
+    "InvariantViolation",
+    "OUTCOMES",
+    "DEFAULT_LIVELOCK_WINDOW",
+    "ScheduleResult",
+    "ScenarioReport",
+    "SweepReport",
+    "run_one",
+    "replay",
+    "sweep",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,172 @@
+"""CLI for the schedule-exploration model checker.
+
+Examples::
+
+    # Sweep the whole scenario library across 200 seeds, write the
+    # classification JSON, exit nonzero on any failed scenario:
+    python -m repro.check --sweep 200 --json check_report.json
+
+    # Sweep one scenario:
+    python -m repro.check --sweep 500 --scenario lock-writers
+
+    # Replay a reported seed with its full schedule trace:
+    python -m repro.check --scenario pscw-skew --replay 17
+
+    # List scenarios:
+    python -m repro.check --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .runner import DEFAULT_LIVELOCK_WINDOW, replay, sweep
+from .scenarios import SCENARIOS
+
+
+def _list_scenarios() -> int:
+    width = max(len(n) for n in SCENARIOS)
+    for name, spec in SCENARIOS.items():
+        extra = ""
+        if spec.must_find is not None:
+            extra = f"  [must find: {spec.must_find}]"
+        print(f"{name:<{width}}  {spec.doc}{extra}")
+    return 0
+
+
+def _do_replay(name: str, seed: int, livelock_window: int, trace_limit: int) -> int:
+    result = replay(name, seed, livelock_window=livelock_window)
+    print(
+        f"scenario {name!r} seed {seed}: {result.outcome} "
+        f"(t={result.final_time:.6f}s, {result.steps} events, "
+        f"{result.decisions} scheduling decisions)"
+    )
+    if result.detail:
+        print(result.detail)
+    trace = result.trace or []
+    shown = trace[:trace_limit]
+    print(f"schedule trace ({len(shown)}/{len(trace)} decisions shown):")
+    for i, c in enumerate(shown):
+        picked = c.ready[c.picked]
+        others = ", ".join(
+            n for j, n in enumerate(c.ready) if j != c.picked
+        )
+        print(
+            f"  [{i:>4}] t={c.time:.9f} prio={c.priority} "
+            f"picked {picked!r} over [{others}]"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description=(
+            "Model-check the concurrent runtime by sweeping random-but-"
+            "replayable schedules and classifying each as ok / deadlock "
+            "/ livelock / crash / invariant-violation."
+        ),
+    )
+    parser.add_argument(
+        "--sweep",
+        type=int,
+        default=100,
+        metavar="N",
+        help="seeds per scenario (default 100)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="restrict to this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the sweep (default 0)",
+    )
+    parser.add_argument(
+        "--livelock-steps",
+        type=int,
+        default=DEFAULT_LIVELOCK_WINDOW,
+        metavar="K",
+        help=(
+            "same-instant events before a schedule counts as livelocked "
+            f"(default {DEFAULT_LIVELOCK_WINDOW})"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the classification report as JSON",
+    )
+    parser.add_argument(
+        "--replay",
+        type=int,
+        metavar="SEED",
+        help="replay one seed of --scenario with its schedule trace",
+    )
+    parser.add_argument(
+        "--trace-limit",
+        type=int,
+        default=50,
+        help="max trace decisions printed by --replay (default 50)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        return _list_scenarios()
+
+    names = args.scenario
+    if names:
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            parser.error(
+                f"unknown scenario(s): {', '.join(unknown)} "
+                f"(valid: {', '.join(SCENARIOS)})"
+            )
+
+    if args.replay is not None:
+        if not names or len(names) != 1:
+            parser.error("--replay needs exactly one --scenario NAME")
+        return _do_replay(
+            names[0], args.replay, args.livelock_steps, args.trace_limit
+        )
+
+    def progress(name: str, done: int, total: int) -> None:
+        if not args.quiet and sys.stderr.isatty():
+            print(
+                f"\r{name:<26} {done}/{total} seeds", end="", file=sys.stderr
+            )
+            if done == total:
+                print(file=sys.stderr)
+
+    report = sweep(
+        args.sweep,
+        names=names,
+        base_seed=args.base_seed,
+        livelock_window=args.livelock_steps,
+        progress=progress,
+    )
+    print(report.table())
+    if args.json:
+        report.to_json(args.json)
+        print(f"classification JSON written to {args.json}")
+    if not report.ok:
+        failed = [n for n, r in report.scenarios.items() if not r.passed]
+        print(f"FAILED scenarios: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""A deliberately buggy fixture the sweep must catch.
+
+This module exists to prove the model checker has teeth: a checker that
+only ever reports "ok" is indistinguishable from one that checks
+nothing.  :class:`BuggyGrantQueue` is a **test-only** miniature of the
+RMA passive-target grant queue, protected by two mutexes — and its two
+code paths take them in *opposite* order, the classic lock-order
+inversion:
+
+* :meth:`enqueue` takes ``queue lock -> state lock``;
+* :meth:`grant` takes ``state lock -> queue lock``  (the bug).
+
+Both processes start at the same simulated instant, so essentially
+every legal schedule lets each side grab its first lock before the
+other grabs its second — and the run deadlocks.  The sweep must
+classify that deadlock (with the waits-for chain naming both mutexes)
+and replaying the reported seed must reproduce it — which is exactly
+what the ``buggy-grant-queue`` scenario requires.
+
+Nothing in the production runtime uses this class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sim.core import Event, Simulator
+from ..sim.resources import Mutex
+
+__all__ = ["BuggyGrantQueue"]
+
+
+class BuggyGrantQueue:
+    """Test-only grant queue with a lock-order inversion (see module doc)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._queue_lock = Mutex(sim, name="grantq.queue_lock")
+        self._state_lock = Mutex(sim, name="grantq.state_lock")
+        self.pending = 0
+        self.granted = 0
+
+    def _pause(self) -> Event:
+        """A zero-delay scheduling point inside the critical sections —
+        the moment a real implementation would be preempted."""
+        return self.sim.timeout(0.0)
+
+    def enqueue(self) -> Generator[Event, Any, None]:
+        """Add a lock request: queue lock, then state lock."""
+        yield self._queue_lock.request()
+        yield self._pause()
+        yield self._state_lock.request()
+        self.pending += 1
+        yield self._pause()
+        self._state_lock.release()
+        self._queue_lock.release()
+
+    def grant(self) -> Generator[Event, Any, None]:
+        """Grant a request: state lock, then queue lock — the INVERTED
+        order.  Deadlocks against a concurrent :meth:`enqueue` whenever
+        each side holds its first lock."""
+        yield self._state_lock.request()
+        yield self._pause()
+        yield self._queue_lock.request()
+        if self.pending > 0:
+            self.pending -= 1
+            self.granted += 1
+        yield self._pause()
+        self._queue_lock.release()
+        self._state_lock.release()

@@ -1,0 +1,17 @@
+"""Exception types for the schedule-exploration model checker."""
+
+from __future__ import annotations
+
+__all__ = ["InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A scenario's end-state invariant does not hold.
+
+    Raised by scenario code after a schedule completed without deadlock
+    or crash, but left the simulated state wrong (a lost update under a
+    lock, a value that never landed, an error that should have been
+    raised and wasn't).  The sweep runner classifies it separately from
+    crashes: a crash is the runtime detecting its own misuse, an
+    invariant violation is the checker catching silent corruption.
+    """

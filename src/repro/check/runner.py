@@ -1,0 +1,305 @@
+"""Sweep runner: execute scenarios across seeds and classify schedules.
+
+One *schedule* is one scenario executed on an
+:class:`~repro.sim.ExploringSimulator` with one seed; the seed fully
+determines the interleaving, so any result reproduces with
+``replay(scenario, seed)`` (or ``python -m repro.check --scenario NAME
+--replay SEED``).  Outcomes:
+
+``ok``
+    ran to completion, invariants hold.
+``deadlock``
+    the event heap drained with processes blocked
+    (:class:`~repro.sim.errors.DeadlockError`; the waits-for chains are
+    in the result detail).
+``livelock``
+    no simulated-time progress over ``livelock_window`` consecutive
+    events (:class:`~repro.sim.errors.LivelockError`).
+``crash``
+    any other exception out of the runtime.
+``invariant-violation``
+    the schedule completed but the end state is wrong
+    (:class:`~repro.check.errors.InvariantViolation` / assertion).
+
+A scenario *passes* a sweep when every seed's outcome is in its
+``expect`` set and, for fixtures with ``must_find`` (the deliberately
+buggy ones), the required outcome was observed at least once — a sweep
+that cannot catch the known-buggy fixture fails, proving the checker's
+teeth are real.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..sim.errors import DeadlockError, LivelockError
+from ..sim.explore import ExploringSimulator, ScheduleChoice
+from .errors import InvariantViolation
+from .scenarios import SCENARIOS, ScenarioSpec, get_scenario
+
+__all__ = [
+    "OUTCOMES",
+    "DEFAULT_LIVELOCK_WINDOW",
+    "ScheduleResult",
+    "ScenarioReport",
+    "SweepReport",
+    "run_one",
+    "replay",
+    "sweep",
+]
+
+#: Classification buckets, display-ordered.
+OUTCOMES = ("ok", "deadlock", "livelock", "crash", "invariant-violation")
+
+#: Consecutive same-instant events before a schedule counts as livelocked.
+#: Generous: a legitimate wide barrier fires hundreds of same-time
+#: events, a spin loop fires them forever.
+DEFAULT_LIVELOCK_WINDOW = 5_000
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one (scenario, seed) schedule."""
+
+    scenario: str
+    seed: int
+    outcome: str
+    detail: str = ""
+    final_time: float = 0.0
+    steps: int = 0
+    decisions: int = 0
+    #: Captured schedule trace (only when requested; replay fills it).
+    trace: Optional[List[ScheduleChoice]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "final_time": self.final_time,
+            "steps": self.steps,
+            "decisions": self.decisions,
+        }
+        if self.trace is not None:
+            d["trace"] = [
+                {
+                    "time": c.time,
+                    "priority": c.priority,
+                    "ready": list(c.ready),
+                    "picked": c.picked,
+                }
+                for c in self.trace
+            ]
+        return d
+
+
+def run_one(
+    spec: ScenarioSpec,
+    seed: int,
+    livelock_window: Optional[int] = DEFAULT_LIVELOCK_WINDOW,
+    capture_trace: bool = False,
+) -> ScheduleResult:
+    """Execute one schedule and classify it (never raises for the
+    outcomes it classifies — programming errors in the runner itself
+    still propagate)."""
+    sim = ExploringSimulator(
+        seed=seed,
+        livelock_window=livelock_window,
+        capture_trace=capture_trace,
+    )
+    outcome, detail = "ok", ""
+    try:
+        spec.run(sim)
+    except DeadlockError as exc:
+        outcome, detail = "deadlock", str(exc)
+    except LivelockError as exc:
+        outcome, detail = "livelock", str(exc)
+    except InvariantViolation as exc:
+        outcome, detail = "invariant-violation", str(exc)
+    except AssertionError as exc:
+        outcome, detail = "invariant-violation", f"assertion: {exc}"
+    except Exception as exc:  # noqa: BLE001 - classification is the point
+        outcome, detail = "crash", f"{type(exc).__name__}: {exc}"
+    return ScheduleResult(
+        scenario=spec.name,
+        seed=seed,
+        outcome=outcome,
+        detail=detail,
+        final_time=sim.now,
+        steps=sim.steps,
+        decisions=sim.decisions,
+        trace=list(sim.schedule_trace) if capture_trace else None,
+    )
+
+
+def replay(
+    name: str,
+    seed: int,
+    livelock_window: Optional[int] = DEFAULT_LIVELOCK_WINDOW,
+) -> ScheduleResult:
+    """Re-run one reported (scenario, seed) with trace capture on.
+
+    The seed is the schedule: the replay follows the identical
+    interleaving the sweep saw, with the full decision trace attached.
+    """
+    return run_one(
+        get_scenario(name),
+        seed,
+        livelock_window=livelock_window,
+        capture_trace=True,
+    )
+
+
+@dataclass
+class ScenarioReport:
+    """Aggregated sweep outcome of one scenario."""
+
+    name: str
+    doc: str
+    expect: List[str]
+    must_find: Optional[str]
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {o: 0 for o in OUTCOMES}
+    )
+    #: First seed whose outcome fell outside ``expect``.
+    first_unexpected: Optional[ScheduleResult] = None
+    #: First seed at which ``must_find`` was observed.
+    found_seed: Optional[int] = None
+    total_steps: int = 0
+    total_decisions: int = 0
+
+    @property
+    def passed(self) -> bool:
+        if self.first_unexpected is not None:
+            return False
+        if self.must_find is not None and self.found_seed is None:
+            return False
+        return True
+
+    def record(self, result: ScheduleResult, expect: frozenset) -> None:
+        self.counts[result.outcome] += 1
+        self.total_steps += result.steps
+        self.total_decisions += result.decisions
+        if result.outcome not in expect and self.first_unexpected is None:
+            self.first_unexpected = result
+        if (
+            self.must_find is not None
+            and result.outcome == self.must_find
+            and self.found_seed is None
+        ):
+            self.found_seed = result.seed
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "doc": self.doc,
+            "expect": self.expect,
+            "must_find": self.must_find,
+            "counts": dict(self.counts),
+            "passed": self.passed,
+            "found_seed": self.found_seed,
+            "total_steps": self.total_steps,
+            "total_decisions": self.total_decisions,
+        }
+        if self.first_unexpected is not None:
+            d["first_unexpected"] = self.first_unexpected.to_dict()
+        return d
+
+
+@dataclass
+class SweepReport:
+    """The classification table of a whole sweep."""
+
+    n_seeds: int
+    base_seed: int
+    livelock_window: Optional[int]
+    scenarios: Dict[str, ScenarioReport] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.passed for r in self.scenarios.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_seeds": self.n_seeds,
+            "base_seed": self.base_seed,
+            "livelock_window": self.livelock_window,
+            "ok": self.ok,
+            "scenarios": {
+                name: rep.to_dict() for name, rep in self.scenarios.items()
+            },
+        }
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def table(self) -> str:
+        """The human-readable classification table."""
+        header = (
+            f"{'scenario':<26} {'ok':>5} {'dead':>5} {'live':>5} "
+            f"{'crash':>5} {'inv':>5}  verdict"
+        )
+        lines = [header, "-" * len(header)]
+        for name, rep in self.scenarios.items():
+            c = rep.counts
+            verdict = "pass" if rep.passed else "FAIL"
+            note = ""
+            if rep.must_find is not None:
+                if rep.found_seed is not None:
+                    note = f" ({rep.must_find} found @ seed {rep.found_seed})"
+                else:
+                    note = f" ({rep.must_find} NOT found)"
+            elif rep.first_unexpected is not None:
+                fu = rep.first_unexpected
+                note = f" ({fu.outcome} @ seed {fu.seed})"
+            lines.append(
+                f"{name:<26} {c['ok']:>5} {c['deadlock']:>5} "
+                f"{c['livelock']:>5} {c['crash']:>5} "
+                f"{c['invariant-violation']:>5}  {verdict}{note}"
+            )
+        return "\n".join(lines)
+
+
+def sweep(
+    n_seeds: int,
+    names: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+    livelock_window: Optional[int] = DEFAULT_LIVELOCK_WINDOW,
+    progress: Optional[Any] = None,
+) -> SweepReport:
+    """Run every named scenario across ``n_seeds`` consecutive seeds.
+
+    ``progress`` (when given) is called as ``progress(scenario_name,
+    seeds_done, n_seeds)`` after each schedule — the CLI uses it for a
+    live line, tests leave it None.
+    """
+    specs: Iterable[ScenarioSpec] = (
+        [get_scenario(n) for n in names]
+        if names is not None
+        else list(SCENARIOS.values())
+    )
+    report = SweepReport(
+        n_seeds=n_seeds,
+        base_seed=base_seed,
+        livelock_window=livelock_window,
+    )
+    for spec in specs:
+        rep = ScenarioReport(
+            name=spec.name,
+            doc=spec.doc,
+            expect=sorted(spec.expect),
+            must_find=spec.must_find,
+        )
+        for i in range(n_seeds):
+            result = run_one(
+                spec, base_seed + i, livelock_window=livelock_window
+            )
+            rep.record(result, spec.expect)
+            if progress is not None:
+                progress(spec.name, i + 1, n_seeds)
+        report.scenarios[spec.name] = rep
+    return report

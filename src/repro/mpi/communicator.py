@@ -199,6 +199,10 @@ class Communicator:
         self._win_built: Dict[int, Tuple[Any, int]] = {}
         #: Windows ever created over this communicator (id allocation).
         self._win_count = 0
+        #: Live (not yet freed) windows exposed over this communicator;
+        #: :meth:`free` refuses while any remain (a landing RMA transfer
+        #: would write through released state).
+        self._windows: List[Any] = []
         #: Operation counters for reports/tests.
         self.stats: Dict[str, int] = {}
         self._ib = cluster.spec.params.ib
@@ -247,7 +251,11 @@ class Communicator:
                 "(MPI_Comm_free); operations on it are erroneous"
             )
 
-    def free(self) -> None:
+    def live_windows(self) -> List[Any]:
+        """Windows created over this communicator and not yet freed."""
+        return [w for w in self._windows if not w._freed]
+
+    def free(self, force: bool = False) -> None:
         """``MPI_Comm_free`` for a *derived* communicator (driver-level;
         simulated ranks use the collective :meth:`MpiContext.free`).
 
@@ -257,16 +265,36 @@ class Communicator:
         memory.  The communicator is unusable afterwards: any operation
         raises :class:`~repro.mpi.errors.MpiError`.  World communicators
         cannot be freed.
+
+        Freeing while one-sided windows are still live is erroneous (as
+        in MPI): an RMA transfer landing after the release would write
+        through freed state, so this raises unless ``force=True``.
+        **Force-free semantics:** ``force`` severs the live windows —
+        each is marked freed without completing its in-flight
+        operations, every later operation on it raises — and then
+        releases the communicator.  It is a teardown escape hatch
+        (tests, error recovery), not a substitute for the orderly
+        ``WinContext.free`` → ``free`` sequence.
         """
         self._ensure_alive()
         if self.parent is None:
             raise MpiError("cannot free a world communicator")
+        live = self.live_windows()
+        if live and not force:
+            names = ", ".join(repr(w.name) for w in live)
+            raise MpiError(
+                f"cannot free communicator {self.name!r} with live "
+                f"window(s) {names}; free them first (WinContext.free) "
+                "or pass force=True to sever them"
+            )
         if self._inflight_ops or self.engine.active:
             raise MpiError(
                 f"cannot free communicator {self.name!r} with "
                 "operations in flight (use the collective "
                 "MpiContext.free, which drains them)"
             )
+        for w in live:
+            w._freed = True
         self._free_now()
 
     def _free_now(self) -> None:
@@ -286,6 +314,7 @@ class Communicator:
         self._split_built.clear()
         self._win_deposits.clear()
         self._win_built.clear()
+        self._windows.clear()
         self.engine = None
         self._count_unchecked("comm_free")
 
@@ -608,9 +637,13 @@ class Communicator:
             def matches(m: _WireMsg) -> bool:
                 if src != ANY_SOURCE and m.src != src:
                     return False
-                if tag != ANY_TAG and m.tag != tag:
-                    return False
-                return True
+                if tag == ANY_TAG:
+                    # ANY_TAG is only ever posted by user code; internal
+                    # collective/RMA traffic lives above
+                    # INTERNAL_TAG_BASE (MPI: a separate context) and
+                    # must never satisfy a user wildcard.
+                    return m.tag < INTERNAL_TAG_BASE
+                return m.tag == tag
 
             msg: _WireMsg = yield self._match[me].get(matches)
             if msg.kind == "rts":
@@ -803,6 +836,13 @@ class MpiContext:
         comm = self.comm
         if comm.parent is None:
             raise MpiError("cannot free a world communicator")
+        live = comm.live_windows()
+        if live:
+            names = ", ".join(repr(w.name) for w in live)
+            raise MpiError(
+                f"cannot free communicator {comm.name!r} with live "
+                f"window(s) {names}; free them first (WinContext.free)"
+            )
         from . import collectives as c
 
         yield from c.barrier(self)

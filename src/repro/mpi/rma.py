@@ -171,6 +171,7 @@ class Window:
         self._eager_max = int(
             getattr(comm.tuning, "rma_eager_max_bytes", 8 * 1024)
         )
+        comm._windows.append(self)
         comm._count("win_create")
 
     # -- construction helpers ----------------------------------------------
@@ -259,6 +260,8 @@ class Window:
         self._device = []
         self._outgoing = []
         self._acc_tail.clear()
+        if self in self.comm._windows:
+            self.comm._windows.remove(self)
         self.comm._count("win_free")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -555,7 +558,16 @@ class Window:
         if st.can_grant(exclusive) and not st.waitq:
             st.holders[origin] = exclusive
             return
-        ev = self.sim.event(name=f"{self.name}.lockwait")
+        kind = "excl" if exclusive else "shared"
+        holders = ",".join(
+            f"r{o}" for o in sorted(st.holders)
+        ) or "granting"
+        ev = self.sim.event(
+            name=(
+                f"{self.name}.lockwait({kind} r{origin}@r{target} "
+                f"behind {holders})"
+            )
+        )
         st.waitq.append((ev, origin, exclusive))
         yield ev
 

@@ -26,7 +26,14 @@ from .core import (
     ms,
     us,
 )
-from .errors import DeadlockError, Interrupt, ScheduleError, SimulationError
+from .errors import (
+    DeadlockError,
+    Interrupt,
+    LivelockError,
+    ScheduleError,
+    SimulationError,
+)
+from .explore import ExploringSimulator, ScheduleChoice
 from .primitives import AllOf, AnyOf, all_of, any_of
 from .resources import BandwidthChannel, Mutex, Resource, acquire
 from .rng import RngStreams, stable_hash
@@ -49,6 +56,9 @@ __all__ = [
     "ScheduleError",
     "Interrupt",
     "DeadlockError",
+    "LivelockError",
+    "ExploringSimulator",
+    "ScheduleChoice",
     "AnyOf",
     "AllOf",
     "any_of",

@@ -14,7 +14,10 @@ Design notes
   :class:`Event`; the kernel resumes it with the event's value (or throws
   the event's exception) once the event fires.
 * The kernel is fully deterministic: ties in the event heap are broken by
-  a monotonically increasing sequence number.
+  a monotonically increasing sequence number.  The tie-break is pluggable
+  (:meth:`Simulator._pop_next`): :class:`~repro.sim.explore.ExploringSimulator`
+  overrides it to explore random-but-replayable interleavings of events
+  co-scheduled at one ``(time, priority)``.
 * Deadlock detection: when the heap drains while processes remain blocked,
   :meth:`Simulator.run` raises :class:`~repro.sim.errors.DeadlockError`
   (unless disabled).  This converts would-be hangs into testable failures.
@@ -364,11 +367,23 @@ class Simulator:
         raise StopSimulation(value)
 
     # -- execution -----------------------------------------------------
+    def _pop_next(self) -> tuple[float, int, int, Event]:
+        """Pop the next heap entry to process.
+
+        The tie-break among entries co-scheduled at the same
+        ``(time, priority)`` is the kernel's scheduling policy: here it
+        is the insertion sequence number (FIFO), which makes every run
+        fully deterministic.  :class:`~repro.sim.explore.ExploringSimulator`
+        overrides this to pick among the ready set under a seeded RNG —
+        every seed then explores one distinct legal interleaving.
+        """
+        return heapq.heappop(self._heap)
+
     def step(self) -> None:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("step() on empty event queue")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        t, _prio, _seq, event = self._pop_next()
         if t < self._now - 1e-18:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = t
@@ -409,10 +424,32 @@ class Simulator:
             return self._now
         if detect_deadlock and self._live:
             blocked = sorted(self._live, key=lambda p: p.name)
-            raise DeadlockError(blocked)
+            raise DeadlockError(
+                blocked, chains=[self._waits_chain(p) for p in blocked]
+            )
         if until is not None and until > self._now:
             self._now = until
         return self._now
+
+    def _waits_chain(self, proc: Process) -> list[str]:
+        """The waits-for chain of a blocked process.
+
+        Follows ``process -> blocking event -> owning process`` links:
+        when a process is joined on another process (the event *is* the
+        owning process), the chain continues through that process's own
+        blocking event, until it reaches a plain event or a cycle.
+        """
+        chain = [proc.name]
+        seen = {id(proc)}  # det: ok - membership only, never ordering
+        ev: Optional[Event] = proc._target
+        while ev is not None:
+            chain.append(ev.name or type(ev).__name__)
+            if isinstance(ev, Process) and id(ev) not in seen:
+                seen.add(id(ev))
+                ev = ev._target
+            else:
+                ev = None
+        return chain
 
     def peek(self) -> float:
         """Time of the next scheduled event (inf when empty)."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 
 class SimulationError(Exception):
@@ -49,12 +49,48 @@ class DeadlockError(SimulationError):
     of what each was waiting on, which makes tests of deliberately
     deadlocking configurations (e.g. the paper's block-scheduling deadlock,
     section 3.2.4) precise.
+
+    ``chains`` (when the kernel supplies them) are per-process *waits-for*
+    chains: each is the list ``[process name, blocking event name, owning
+    process name, its blocking event name, ...]`` obtained by following
+    join targets — a caught deadlock names the cycle without needing a
+    replay under a debugger.
     """
 
-    def __init__(self, blocked: Sequence[Any]) -> None:
+    def __init__(
+        self,
+        blocked: Sequence[Any],
+        chains: Optional[Sequence[Sequence[str]]] = None,
+    ) -> None:
         self.blocked = list(blocked)
+        self.chains = [list(c) for c in chains] if chains is not None else []
         lines = ", ".join(str(p) for p in self.blocked)
-        super().__init__(
+        msg = (
             f"deadlock: event queue empty with {len(self.blocked)} "
             f"blocked process(es): {lines}"
+        )
+        if self.chains:
+            msg += "\nwaits-for:\n" + "\n".join(
+                "  " + " -> ".join(chain) for chain in self.chains
+            )
+        super().__init__(msg)
+
+
+class LivelockError(SimulationError):
+    """The simulation kept processing events without advancing time.
+
+    Raised by :class:`~repro.sim.explore.ExploringSimulator` when more
+    than ``window`` consecutive events fire at one simulated instant —
+    the signature of a spin loop (processes re-scheduling zero-delay
+    events forever) that a drained-heap deadlock check can never see.
+    """
+
+    def __init__(self, at: float, window: int, spinning: Sequence[str]) -> None:
+        self.at = float(at)
+        self.window = int(window)
+        self.spinning = list(spinning)
+        names = ", ".join(self.spinning) if self.spinning else "<no processes>"
+        super().__init__(
+            f"livelock: {window} events processed at t={at:.9f} without "
+            f"simulated-time progress; live processes: {names}"
         )

@@ -1,0 +1,215 @@
+"""Tests for the schedule-exploration simulator (repro.sim.explore)."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    ExploringSimulator,
+    LivelockError,
+    Simulator,
+)
+from repro.sim.resources import Mutex
+
+
+def _three_way_race(sim):
+    """Three processes append at the same simulated instants — every
+    same-time tie is a genuine scheduling choice."""
+    order = []
+
+    def worker(tag):
+        for step in range(3):
+            yield sim.timeout(1.0)
+            order.append((tag, step))
+
+    for tag in "abc":
+        sim.process(worker(tag), name=f"worker.{tag}")
+    return order
+
+
+def test_same_seed_identical_schedule():
+    runs = []
+    for _ in range(2):
+        sim = ExploringSimulator(seed=42)
+        order = _three_way_race(sim)
+        sim.run()
+        runs.append((order, sim.now, sim.trace_signature(), sim.decisions))
+    assert runs[0] == runs[1]
+    assert runs[0][3] > 0  # the race really exercised the tie-break
+
+
+def test_different_seeds_distinct_interleavings():
+    orders = set()
+    for seed in range(8):
+        sim = ExploringSimulator(seed=seed)
+        order = _three_way_race(sim)
+        sim.run()
+        orders.add(tuple(order))
+    # 8 seeds over a 3-way x 3-step race: several distinct legal orders.
+    assert len(orders) >= 2
+
+
+def test_exploration_preserves_causality():
+    """Random tie-break only permutes same-instant events: a later
+    timeout can never run before an earlier one."""
+    for seed in range(5):
+        sim = ExploringSimulator(seed=seed)
+        times = []
+
+        def proc(delay):
+            yield sim.timeout(delay)
+            times.append(sim.now)
+
+        for d in (3.0, 1.0, 2.0):
+            sim.process(proc(d))
+        sim.run()
+        assert times == sorted(times)
+
+
+def test_fifo_default_unchanged():
+    """The base Simulator keeps strict FIFO tie-break — exploration is
+    opt-in, timing runs stay byte-stable."""
+    def run(sim):
+        order = []
+
+        def worker(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(worker(tag))
+        sim.run()
+        return order
+
+    assert run(Simulator()) == ["a", "b", "c"]
+
+
+def test_trace_records_ready_sets():
+    sim = ExploringSimulator(seed=7)
+    _three_way_race(sim)
+    sim.run()
+    assert sim.schedule_trace, "3-way race must hit at least one tie"
+    for choice in sim.schedule_trace:
+        assert len(choice.ready) >= 2
+        assert 0 <= choice.picked < len(choice.ready)
+    assert len(sim.trace_signature()) == len(sim.schedule_trace)
+
+
+def test_trace_capture_bounded():
+    sim = ExploringSimulator(seed=0, max_trace=2)
+    _three_way_race(sim)
+    sim.run()
+    assert len(sim.schedule_trace) <= 2
+    assert sim.decisions >= len(sim.schedule_trace)
+
+
+def test_deadlock_includes_waits_for_chain():
+    sim = ExploringSimulator(seed=0)
+
+    def stuck():
+        yield sim.event(name="never")
+
+    sim.process(stuck(), name="stuck")
+    with pytest.raises(DeadlockError) as exc_info:
+        sim.run()
+    err = exc_info.value
+    assert err.chains == [["stuck", "never"]]
+    assert "waits-for" in str(err)
+    assert "stuck -> never" in str(err)
+
+
+def test_deadlock_chain_follows_process_links():
+    sim = Simulator()
+
+    def leaf():
+        yield sim.event(name="leaf.block")
+
+    def waiter(p):
+        yield p
+
+    lp = sim.process(leaf(), name="leaf")
+    sim.process(waiter(lp), name="waiter")
+    with pytest.raises(DeadlockError) as exc_info:
+        sim.run()
+    chains = exc_info.value.chains
+    assert ["waiter", "leaf", "leaf.block"] in chains
+
+
+def test_livelock_detector_fires_on_spin():
+    sim = ExploringSimulator(seed=0, livelock_window=100)
+
+    def spinner():
+        while True:
+            yield sim.timeout(0.0)
+
+    sim.process(spinner(), name="spin")
+    with pytest.raises(LivelockError) as exc_info:
+        sim.run()
+    err = exc_info.value
+    assert err.window == 100
+    assert "spin" in err.spinning
+    assert sim.steps < 1000  # fired promptly, not after the heap grew
+
+
+def test_livelock_window_tolerates_bursts():
+    """A finite same-instant burst below the window must NOT trip the
+    detector (wide barriers are legal)."""
+    sim = ExploringSimulator(seed=0, livelock_window=100)
+
+    def burst():
+        for _ in range(50):
+            yield sim.timeout(0.0)
+        yield sim.timeout(1.0)
+
+    sim.process(burst(), name="burst")
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_exploration_with_mutex_stays_legal():
+    """Mutual exclusion holds under every explored schedule."""
+    for seed in range(6):
+        sim = ExploringSimulator(seed=seed)
+        lock = Mutex(sim, name="m")
+        inside = [0]
+        peak = [0]
+
+        def worker():
+            for _ in range(2):
+                yield lock.request()
+                inside[0] += 1
+                peak[0] = max(peak[0], inside[0])
+                yield sim.timeout(0.0)
+                inside[0] -= 1
+                lock.release()
+
+        for i in range(3):
+            sim.process(worker(), name=f"w{i}")
+        sim.run()
+        assert peak[0] == 1
+
+
+def test_replay_after_failure_reproduces_schedule():
+    """The property the sweep runner's replay depends on: re-running a
+    failing seed follows the identical decision sequence."""
+    def build(sim):
+        lock = Mutex(sim, name="m")
+
+        def a():
+            yield lock.request()
+            yield sim.timeout(1.0)
+            lock.release()
+
+        def b():
+            yield lock.request()
+            lock.release()
+
+        sim.process(a(), name="a")
+        sim.process(b(), name="b")
+
+    sigs = []
+    for _ in range(2):
+        sim = ExploringSimulator(seed=3)
+        build(sim)
+        sim.run()
+        sigs.append(sim.trace_signature())
+    assert sigs[0] == sigs[1]

@@ -312,3 +312,51 @@ class TestTimingShape:
         jobM.start(lambda ctx: prog(ctx, 1 << 20, "bM"))
         jobM.run()
         assert times["bM"] > 10 * times["b1"]
+
+
+class TestWildcardInternalIsolation:
+    """ANY_TAG wildcards must never match internal collective traffic.
+
+    Regression: the schedule-exploration checker (repro.check,
+    comm-free-drain scenario) found seeds where a user ``irecv`` posted
+    with ``ANY_TAG`` consumed an internal barrier message (tag >=
+    INTERNAL_TAG_BASE), starving the barrier's own receive and
+    deadlocking ranks that were still inside the collective.
+    """
+
+    def test_any_tag_skips_internal_messages(self):
+        from repro.sim import ExploringSimulator
+        from repro.mpi import block_placement, MpiJob
+        from repro.hw import build_cluster, paper_cluster
+
+        # The mis-match was schedule-dependent: sweep several seeds of
+        # an iallreduce racing a wildcard irecv + barrier.
+        for seed in range(10):
+            sim = ExploringSimulator(seed=seed)
+            cluster = build_cluster(sim, paper_cluster(nodes=2))
+            job = MpiJob(cluster, block_placement(2, 2))
+            got = {}
+
+            def prog(ctx):
+                out = np.zeros(64)
+                req = ctx.iallreduce(np.ones(64), out)
+                if ctx.rank == 0:
+                    yield from ctx.send(np.full(4, 7.0), dest=1, tag=3)
+                else:
+                    buf = np.zeros(4)
+                    st = yield from ctx.recv(
+                        buf, source=ANY_SOURCE, tag=ANY_TAG
+                    )
+                    got["status"] = st
+                    got["buf"] = buf.copy()
+                yield from ctx.barrier()
+                yield from req.wait()
+                got[f"allreduce{ctx.rank}"] = out.copy()
+
+            job.start(prog)
+            job.run()
+            # The wildcard matched the *user* message, not an internal one.
+            assert got["status"].tag == 3
+            assert np.all(got["buf"] == 7.0)
+            assert np.all(got["allreduce0"] == 2.0)
+            assert np.all(got["allreduce1"] == 2.0)

@@ -800,12 +800,51 @@ class TestCommFree:
         job.start(prog)
         job.run()
 
+    def test_free_with_live_window_raises(self):
+        """Carried-over ROADMAP bugfix: freeing a communicator that
+        still exposes a window is erroneous — the checker's
+        free-with-inflight-rput scenario depends on this being
+        well-defined."""
+        sim, cluster, job = make_job(4)
+        sub = job.comm.split([0, 0, 1, 1])[0]
+        win = Window.allocate(sub, 2, name="livewin")
+        with pytest.raises(MpiError, match="live window.*livewin"):
+            sub.free()
+        assert not sub._freed and not win._freed
+        # The orderly sequence: free the window, then the communicator.
+        win.free()
+        sub.free()
+        assert sub._freed
+
+    def test_collective_free_with_live_window_raises(self):
+        sim, cluster, job = make_job(2)
+
+        def prog(ctx):
+            sub = yield from ctx.split(0, key=ctx.rank)
+            w = yield from sub.win_allocate(2)
+            with pytest.raises(MpiError, match="live window"):
+                yield from sub.free()
+            yield from w.fence()
+            yield from w.free()
+            yield from sub.free()
+            return True
+
+        job.start(prog)
+        assert job.run() == [True, True]
+
+    def test_force_free_severs_live_windows(self):
+        sim, cluster, job = make_job(4)
+        sub = job.comm.split([0, 0, 1, 1])[0]
+        win = Window.allocate(sub, 2)
+        sub.free(force=True)
+        assert sub._freed and win._freed
+
     def test_window_over_freed_comm_raises(self):
         sim, cluster, job = make_job(4)
         subs = job.comm.split([0, 0, 1, 1])
         sub = subs[0]
         win = Window.allocate(sub, 2)
-        sub.free()
+        sub.free(force=True)
 
         def prog(ctx):
             w = win.ctx(0)

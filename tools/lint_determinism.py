@@ -1,0 +1,295 @@
+#!/usr/bin/env python
+"""Determinism lint for the simulated runtime.
+
+The whole value of the schedule-exploration checker (``repro.check``)
+rests on one property: *a seed is a schedule*.  Replaying a seed must
+reproduce the identical interleaving, which it cannot if the runtime
+consults any ordering source outside the seeded
+:class:`~repro.sim.ExploringSimulator`.  This lint walks the AST of the
+scheduling/matching-critical packages and rejects the three ways that
+property has historically been lost:
+
+``unseeded-rng``
+    Calls to the process-global ``random`` module RNG
+    (``random.random()``, ``random.shuffle()``, ...), ``random.Random()``
+    with no seed, the legacy ``numpy.random.*`` global functions, or
+    ``numpy.random.default_rng()`` with no seed.  All randomness must
+    flow from an explicit seed (``random.Random(seed)``,
+    ``np.random.default_rng(seed)``).
+
+``set-iteration``
+    Iterating directly over a set literal, set comprehension, or
+    ``set(...)``/``frozenset(...)`` call in a ``for`` loop or
+    comprehension.  Set iteration order depends on insertion history and
+    hash randomization; scheduling or matching decisions derived from it
+    differ run to run.  Sort first (``sorted(...)``) or keep a list.
+
+``id-ordering``
+    Using ``id()`` as a sort key (``sorted(xs, key=id)``, including via
+    a trivial lambda) or comparing ``id()`` values.  CPython addresses
+    vary across runs, so any order derived from them is unstable.
+    ``id()`` for identity/membership (dict keys, ``seen`` sets) is fine.
+
+Suppression: append ``# det: ok`` (with an optional reason after a
+second ``-``) to the offending line after a human has verified the use
+cannot influence ordering, e.g.::
+
+    seen = {id(proc)}  # det: ok - membership only, never ordering
+
+Usage::
+
+    python tools/lint_determinism.py            # lint the default paths
+    python tools/lint_determinism.py src tests  # explicit paths
+
+Exit status 1 when any finding survives suppression.  Wired into CI
+next to the tier-1 tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple
+
+#: Packages whose ordering decisions feed scheduling/matching.  apps/
+#: and bench/ are driver-level (their RNG use is seeded experiment
+#: input, checked by review rather than lint).
+DEFAULT_PATHS = [
+    "src/repro/sim",
+    "src/repro/mpi",
+    "src/repro/dcgn",
+    "src/repro/check",
+    "src/repro/gas",
+    "src/repro/gpusim",
+    "src/repro/hw",
+]
+
+#: ``random.<name>`` module-level calls that consult the global RNG.
+#: (Everything callable on the module that draws or mutates state.)
+_GLOBAL_RANDOM_FNS = {
+    "random", "randrange", "randint", "uniform", "triangular",
+    "randbytes", "choice", "choices", "sample", "shuffle", "betavariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "paretovariate", "vonmisesvariate", "weibullvariate",
+    "getrandbits", "seed", "setstate", "binomialvariate",
+}
+
+#: ``numpy.random`` attributes that are fine to reference: the modern
+#: seedable generator API.
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                 "PCG64", "Philox", "SFC64", "MT19937"}
+
+SUPPRESS_MARK = "det: ok"
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"[{self.rule}] {self.message}"
+        )
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name, else ''."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expressions whose iteration order is hash-dependent."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_id_key(node: ast.AST) -> bool:
+    """A ``key=`` argument that sorts by ``id``: bare ``id`` or a
+    one-liner lambda whose body is an ``id(...)`` call."""
+    if isinstance(node, ast.Name) and node.id == "id":
+        return True
+    if isinstance(node, ast.Lambda):
+        body = node.body
+        return (
+            isinstance(body, ast.Call)
+            and isinstance(body.func, ast.Name)
+            and body.func.id == "id"
+        )
+    return False
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: List[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.findings: List[Finding] = []
+
+    # -- helpers -----------------------------------------------------------
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = self.lines[node.lineno - 1]
+        return SUPPRESS_MARK in line
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        if not self._suppressed(node):
+            self.findings.append(
+                Finding(self.path, node.lineno, node.col_offset, rule, message)
+            )
+
+    # -- unseeded RNG ------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name.startswith("random."):
+            attr = name.split(".", 1)[1]
+            if attr in _GLOBAL_RANDOM_FNS:
+                self._flag(
+                    node, "unseeded-rng",
+                    f"{name}() uses the process-global RNG; draw from a "
+                    "seeded random.Random(seed) instance instead",
+                )
+            elif attr == "Random" and not node.args and not node.keywords:
+                self._flag(
+                    node, "unseeded-rng",
+                    "random.Random() with no seed is seeded from the OS; "
+                    "pass an explicit seed",
+                )
+        if name in ("np.random.default_rng", "numpy.random.default_rng"):
+            if not node.args and not node.keywords:
+                self._flag(
+                    node, "unseeded-rng",
+                    f"{name}() with no seed is nondeterministic; pass an "
+                    "explicit seed",
+                )
+        elif name.startswith(("np.random.", "numpy.random.")):
+            attr = name.rsplit(".", 1)[1]
+            if attr not in _NP_RANDOM_OK:
+                self._flag(
+                    node, "unseeded-rng",
+                    f"{name}() uses numpy's global RNG; use "
+                    "np.random.default_rng(seed)",
+                )
+        # id() as an ordering key of sorted/min/max.
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "sorted", "min", "max"
+        ):
+            for kw in node.keywords:
+                if kw.arg == "key" and _is_id_key(kw.value):
+                    self._flag(
+                        node, "id-ordering",
+                        f"{node.func.id}(..., key=id) orders by CPython "
+                        "address; use a stable key (name, index, seq)",
+                    )
+        self.generic_visit(node)
+
+    # -- set iteration -----------------------------------------------------
+    def _check_iter(self, it: ast.AST) -> None:
+        if _is_set_expr(it):
+            self._flag(
+                it, "set-iteration",
+                "iterating a set: order is hash-dependent; wrap in "
+                "sorted(...) or keep a list",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    # -- id() comparisons --------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        ordering_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        if any(isinstance(op, ordering_ops) for op in node.ops) and any(
+            _is_id_call(o) for o in operands
+        ):
+            self._flag(
+                node, "id-ordering",
+                "comparing id() values orders by CPython address; compare "
+                "a stable attribute instead",
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - broken file
+        return [Finding(str(path), exc.lineno or 0, 0, "syntax",
+                        f"cannot parse: {exc.msg}")]
+    linter = _Linter(str(path), source.splitlines())
+    linter.visit(tree)
+    return linter.findings
+
+
+def iter_files(paths: List[str]) -> Iterator[Path]:
+    for p in paths:
+        root = Path(p)
+        if root.is_file():
+            yield root
+        else:
+            yield from sorted(root.rglob("*.py"))
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Forbid nondeterministic ordering sources in the "
+        "scheduling/matching-critical packages (see module docstring).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=DEFAULT_PATHS,
+        help=f"files or directories to lint (default: {DEFAULT_PATHS})",
+    )
+    args = parser.parse_args(argv)
+
+    findings: List[Finding] = []
+    n_files = 0
+    for f in iter_files(args.paths):
+        n_files += 1
+        findings.extend(lint_file(f))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"\n{len(findings)} determinism finding(s) in {n_files} "
+            "file(s); fix or annotate with '# det: ok - <reason>'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism lint: {n_files} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
