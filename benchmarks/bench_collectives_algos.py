@@ -23,14 +23,10 @@ Fast smoke (CI):      python benchmarks/bench_collectives_algos.py --smoke
 Under pytest-benchmark: pytest benchmarks/bench_collectives_algos.py --benchmark-only -s
 """
 
-import argparse
-import json
-import os
 import sys
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+import common
+from common import KB, MB
 
 import numpy as np
 
@@ -44,9 +40,6 @@ from repro.mpi import (
 )
 from repro.sim import Simulator
 
-KB = 1024
-MB = 1024 * 1024
-
 FULL_SIZES = [1 * KB, 16 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB]
 FULL_NODES = [2, 4, 8, 12, 16, 32]
 SMOKE_SIZES = [1 * KB, 1 * MB]
@@ -56,9 +49,7 @@ SMOKE_NODES = [4, 16]
 #: stay tractable (logged, not silently truncated: see the table note).
 ALLTOALL_MAX_BYTES = 256 * KB
 
-JSON_PATH = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_collectives.json"
-)
+JSON_PATH = common.json_path("collectives")
 
 
 def _run_collective(op, n_nodes, nbytes, tuning):
@@ -85,6 +76,7 @@ def _run_collective(op, n_nodes, nbytes, tuning):
 
     job.start(prog)
     job.run()
+    common.track(sim)
     # Which algorithm did the adaptive path take?
     algo = next(
         (
@@ -194,36 +186,23 @@ def run(smoke=False, json_path=JSON_PATH):
         },
         "points": points,
     }
-    with open(json_path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    common.write_json(json_path, payload)
     return table, points, violations
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="fast subset for CI (2 sizes × 2 node counts)",
-    )
-    parser.add_argument(
-        "--json",
-        default=JSON_PATH,
-        help="where to record results (default: repo-root BENCH_collectives.json)",
+    parser = common.make_parser(
+        __doc__, JSON_PATH,
+        smoke_help="fast subset for CI (2 sizes × 2 node counts)",
     )
     args = parser.parse_args(argv)
     table, points, violations = run(smoke=args.smoke, json_path=args.json)
     print(table.render())
-    print(f"\nrecorded {len(points)} points to {os.path.abspath(args.json)}")
-    if violations:
-        print("\nACCEPTANCE VIOLATIONS:", file=sys.stderr)
-        for _, msg in violations:
-            print(f"  - {msg}", file=sys.stderr)
-        return 1
-    print("acceptance: adaptive <= fixed everywhere; "
-          ">1.2x win on >=16-node >=1MB allreduce")
-    return 0
+    return common.finish(
+        args.json, len(points), [msg for _, msg in violations],
+        "adaptive <= fixed everywhere; >1.2x win on >=16-node >=1MB "
+        "allreduce",
+    )
 
 
 def test_collectives_algo_sweep(benchmark):

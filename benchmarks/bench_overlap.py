@@ -27,14 +27,9 @@ Fast smoke (CI):      python benchmarks/bench_overlap.py --smoke
 Under pytest-benchmark: pytest benchmarks/bench_overlap.py --benchmark-only -s
 """
 
-import argparse
-import json
-import os
 import sys
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+import common
 
 from repro.apps.cannon import CannonConfig, run_dcgn as cannon_dcgn
 from repro.apps.nbody import NBodyConfig, run_dcgn as nbody_dcgn
@@ -61,16 +56,16 @@ SMOKE_NBODY = [NBODY_POINTS[0]]
 #: Acceptance: overlapped halo exchange must win this much end-to-end.
 MIN_OVERLAP_WIN = 1.3
 
-JSON_PATH = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_overlap.json"
-)
+JSON_PATH = common.json_path("overlap")
 
 
 def _run(app, nodes, cfg, overlap):
     sim = Simulator()
     cluster = build_cluster(sim, paper_cluster(nodes=nodes, gpus_per_node=1))
     runner = cannon_dcgn if app == "cannon" else nbody_dcgn
-    return runner(cluster, cfg, overlap=overlap).elapsed
+    elapsed = runner(cluster, cfg, overlap=overlap).elapsed
+    common.track(sim)
+    return elapsed
 
 
 def sweep(cannon_points, nbody_points):
@@ -151,38 +146,23 @@ def run(smoke=False, json_path=JSON_PATH):
         },
         "points": points,
     }
-    with open(json_path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    common.write_json(json_path, payload)
     return table, points, violations
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="fast subset for CI (one Cannon + one n-body point)",
-    )
-    parser.add_argument(
-        "--json",
-        default=JSON_PATH,
-        help="where to record results (default: repo-root BENCH_overlap.json)",
+    parser = common.make_parser(
+        __doc__, JSON_PATH,
+        smoke_help="fast subset for CI (one Cannon + one n-body point)",
     )
     args = parser.parse_args(argv)
     table, points, violations = run(smoke=args.smoke, json_path=args.json)
     print(table.render())
-    print(f"\nrecorded {len(points)} points to {os.path.abspath(args.json)}")
-    if violations:
-        print("\nACCEPTANCE VIOLATIONS:", file=sys.stderr)
-        for _, msg in violations:
-            print(f"  - {msg}", file=sys.stderr)
-        return 1
-    print(
-        f"acceptance: overlap never slower; >={MIN_OVERLAP_WIN}x win for "
-        "overlapped Cannon halo rotation on >=8 nodes"
+    return common.finish(
+        args.json, len(points), [msg for _, msg in violations],
+        f"overlap never slower; >={MIN_OVERLAP_WIN}x win for "
+        "overlapped Cannon halo rotation on >=8 nodes",
     )
-    return 0
 
 
 def test_overlap_sweep(benchmark):

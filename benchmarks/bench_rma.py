@@ -14,6 +14,11 @@ repository root.  CI gates:
    the regime is part of using the subsystem; fence's global barrier
    is the wrong tool at tiny halos, neighbor-scoped PSCW the right
    one).
+3. **Put coalescing ≥ 1.2× over per-chunk puts at tiny halos** — the
+   strided-halo fence variants issue each boundary row as 8 small
+   column-block puts; on a ``coalesce=True`` window they batch onto
+   one wire transfer per neighbor per epoch (MVAPICH2-style op
+   coalescing) instead of paying 8 fabric latencies.
 
 The nonblocking two-sided backend is recorded for context (RMA ties it
 once bandwidth dominates and additionally removes the receiver's
@@ -24,34 +29,32 @@ Run standalone:       python benchmarks/bench_rma.py
 Fast smoke (CI):      python benchmarks/bench_rma.py --smoke
 """
 
-import argparse
-import json
-import os
 import sys
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+import common
+from common import KB, MB
 
 from repro.apps.jacobi import JacobiConfig, run_dcgn, run_mpi
 from repro.bench.harness import Table, fmt_time
 from repro.hw import ClusterSpec, build_cluster, paper_cluster
 from repro.sim import Simulator
 
-KB = 1024
-MB = 1024 * 1024
-
 NODES_FULL = [4, 8, 16, 32]
 NODES_SMOKE = [4, 16]
 HALOS_FULL = [4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB]
 HALOS_SMOKE = [4 * KB, 64 * KB, 1 * MB]
 
+#: Tiny-halo sweep of the chunked (strided) fence variants: the regime
+#: where per-put wire latency dominates and coalescing pays.
+COALESCE_HALOS_FULL = [1 * KB, 4 * KB, 16 * KB]
+COALESCE_HALOS_SMOKE = [4 * KB]
+COALESCE_NODES_FULL = [4, 8, 16]
+COALESCE_NODES_SMOKE = [8]
+
 ITERS = 3
 ROWS_PER_RANK = 4
 
-JSON_PATH = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_rma.json"
-)
+JSON_PATH = common.json_path("rma")
 
 
 def _jacobi_time(n_nodes, halo_bytes, backend):
@@ -69,9 +72,11 @@ def _jacobi_time(n_nodes, halo_bytes, backend):
     cluster = build_cluster(
         sim, ClusterSpec(nodes=n_nodes, gpus_per_node=0)
     )
-    return run_mpi(
+    elapsed = run_mpi(
         cluster, cfg, backend=backend, placement=list(range(n_nodes))
     ).elapsed
+    common.track(sim)
+    return elapsed
 
 
 def bench_sweep(records, violations, smoke):
@@ -117,6 +122,37 @@ def bench_sweep(records, violations, smoke):
     print(table.render())
 
 
+def bench_coalescing(records, violations, smoke):
+    """Gate 3: coalesced strided-halo puts ≥ 1.2× over per-chunk puts."""
+    table = Table(
+        "strided halos (8 column-block puts per row): per-chunk puts vs "
+        "MVAPICH2-style coalescing",
+        ["nodes", "halo", "chunked", "coalesced", "win"],
+    )
+    nodes = COALESCE_NODES_SMOKE if smoke else COALESCE_NODES_FULL
+    halos = COALESCE_HALOS_SMOKE if smoke else COALESCE_HALOS_FULL
+    for n in nodes:
+        for hb in halos:
+            t_chunk = _jacobi_time(n, hb, "rma_fence_chunked")
+            t_coal = _jacobi_time(n, hb, "rma_fence_coalesced")
+            win = t_chunk / t_coal
+            table.add(*[
+                n, f"{hb // KB}KB", fmt_time(t_chunk), fmt_time(t_coal),
+                f"{win:.2f}×",
+            ])
+            records.append({
+                "series": "put_coalescing", "nodes": n, "halo_bytes": hb,
+                "chunked_s": t_chunk, "coalesced_s": t_coal, "win": win,
+            })
+            if win < 1.2:
+                violations.append(
+                    f"put coalescing win {win:.3f}x < 1.2x at {n} nodes "
+                    f"/ {hb} B halos"
+                )
+    print()
+    print(table.render())
+
+
 def bench_dcgn_point(records):
     """One GPU-kernel-driven RMA point (smoke of the whole path)."""
     cfg = JacobiConfig(p=4, rows_per_rank=4, cols=2048, iters=ITERS)
@@ -134,35 +170,23 @@ def bench_dcgn_point(records):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="reduced sweep for CI")
-    parser.add_argument(
-        "--json", default=JSON_PATH, metavar="PATH",
-        help="where to write the records (default: the committed "
-             "BENCH_rma.json — pass a scratch path to avoid clobbering "
-             "the full-sweep artifact with a smoke run)",
-    )
+    parser = common.make_parser(__doc__, JSON_PATH)
     args = parser.parse_args()
     records = []
     violations = []
     bench_sweep(records, violations, args.smoke)
+    bench_coalescing(records, violations, args.smoke)
     bench_dcgn_point(records)
-    with open(args.json, "w") as fh:
-        json.dump({"records": records, "violations": violations}, fh,
-                  indent=2)
-    print(f"\nrecorded {len(records)} points to {os.path.abspath(args.json)}")
-    print(
-        "acceptance: RMA fence >= 1.2x over blocking two-sided at >= 16 "
-        "nodes / >= 1 MB halos; RMA (best sync mode) never slower than "
-        "blocking two-sided anywhere in the sweep"
+    common.write_json(
+        args.json, {"records": records, "violations": violations}
     )
-    if violations:
-        print("\nGATE VIOLATIONS:")
-        for v in violations:
-            print(f"  - {v}")
-        return 1
-    return 0
+    return common.finish(
+        args.json, len(records), violations,
+        "RMA fence >= 1.2x over blocking two-sided at >= 16 nodes / "
+        ">= 1 MB halos; RMA (best sync mode) never slower than blocking "
+        "two-sided anywhere; put coalescing >= 1.2x over per-chunk puts "
+        "at tiny halos",
+    )
 
 
 if __name__ == "__main__":

@@ -28,14 +28,10 @@ Run standalone:       python benchmarks/bench_subcomm.py
 Fast smoke (CI):      python benchmarks/bench_subcomm.py --smoke
 """
 
-import argparse
-import json
-import os
 import sys
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+import common
+from common import KB, MB
 
 import numpy as np
 
@@ -49,9 +45,6 @@ from repro.mpi import (
     pod_cyclic_placement,
 )
 from repro.sim import Simulator
-
-KB = 1024
-MB = 1024 * 1024
 
 POD = 4
 OVER = 2.0
@@ -75,9 +68,7 @@ UNEQUAL_SMOKE = [(18, 20)]
 UNEQUAL_SIZES_FULL = [1 * MB, 4 * MB]
 UNEQUAL_SIZES_SMOKE = [1 * MB]
 
-JSON_PATH = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_subcomm.json"
-)
+JSON_PATH = common.json_path("subcomm")
 
 
 def _fattree_cluster(n_nodes):
@@ -106,6 +97,7 @@ def _allreduce_time(n_ranks, n_nodes, nbytes, force):
 
     job.start(prog)
     job.run()
+    common.track(sim)
     return sim.now
 
 
@@ -143,7 +135,9 @@ def _cannon_time(grid, n, variant, subcomms):
         sim, ClusterSpec(nodes=grid * grid, gpus_per_node=0)
     )
     cfg = CannonConfig(n=n, grid=grid)
-    return run_mpi(cluster, cfg, variant=variant, subcomms=subcomms).elapsed
+    elapsed = run_mpi(cluster, cfg, variant=variant, subcomms=subcomms).elapsed
+    common.track(sim)
+    return elapsed
 
 
 def bench_cannon(records, violations, smoke):
@@ -212,31 +206,22 @@ def bench_unequal_pods(records, violations, smoke):
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="reduced sweep for CI")
+    parser = common.make_parser(__doc__, JSON_PATH)
     args = parser.parse_args()
     records = []
     violations = []
     bench_hier_vs_handrolled(records, violations, args.smoke)
     bench_cannon(records, violations, args.smoke)
     bench_unequal_pods(records, violations, args.smoke)
-    with open(JSON_PATH, "w") as fh:
-        json.dump({"records": records, "violations": violations}, fh,
-                  indent=2)
-    print(f"\nrecorded {len(records)} points to {os.path.abspath(JSON_PATH)}")
-    print(
-        "acceptance: hierarchical-on-subcomms <= hand-rolled everywhere; "
-        "row/col Cannon >= world Cannon; concurrent per-row broadcasts "
-        ">= linear fan-out at q=4; unequal-pod hierarchical >= 1.2x "
-        "flat ring"
+    common.write_json(
+        args.json, {"records": records, "violations": violations}
     )
-    if violations:
-        print("\nGATE VIOLATIONS:")
-        for v in violations:
-            print(f"  - {v}")
-        return 1
-    return 0
+    return common.finish(
+        args.json, len(records), violations,
+        "hierarchical-on-subcomms <= hand-rolled everywhere; row/col "
+        "Cannon >= world Cannon; concurrent per-row broadcasts >= linear "
+        "fan-out at q=4; unequal-pod hierarchical >= 1.2x flat ring",
+    )
 
 
 if __name__ == "__main__":

@@ -28,14 +28,10 @@ Fast smoke (CI):      python benchmarks/bench_topology_collectives.py --smoke
 Under pytest-benchmark: pytest benchmarks/bench_topology_collectives.py --benchmark-only -s
 """
 
-import argparse
-import json
-import os
 import sys
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+import common
+from common import KB, MB
 
 import numpy as np
 
@@ -49,9 +45,6 @@ from repro.mpi import (
     pod_cyclic_placement,
 )
 from repro.sim import Simulator
-
-KB = 1024
-MB = 1024 * 1024
 
 FULL_SIZES = [4 * KB, 64 * KB, 1 * MB, 4 * MB]
 FULL_NODES = [8, 16, 32]
@@ -72,9 +65,7 @@ SCENARIOS = [
     ("torus2d", dict(kind="torus2d"), "contiguous"),
 ]
 
-JSON_PATH = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_topology.json"
-)
+JSON_PATH = common.json_path("topology")
 
 
 def _run(op, topo_kwargs, placement_mode, n_nodes, nbytes, tuning):
@@ -106,6 +97,7 @@ def _run(op, topo_kwargs, placement_mode, n_nodes, nbytes, tuning):
 
     job.start(prog)
     job.run()
+    common.track(sim)
     algo = next(
         (
             k.split("[")[1].rstrip("]")
@@ -282,39 +274,23 @@ def run(smoke=False, json_path=JSON_PATH):
         },
         "points": points,
     }
-    with open(json_path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    common.write_json(json_path, payload)
     return table, points, violations
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="fast subset for CI (2 sizes × 1 node count)",
-    )
-    parser.add_argument(
-        "--json",
-        default=JSON_PATH,
-        help="where to record results (default: repo-root BENCH_topology.json)",
+    parser = common.make_parser(
+        __doc__, JSON_PATH,
+        smoke_help="fast subset for CI (2 sizes × 1 node count)",
     )
     args = parser.parse_args(argv)
     table, points, violations = run(smoke=args.smoke, json_path=args.json)
     print(table.render())
-    print(f"\nrecorded {len(points)} points to {os.path.abspath(args.json)}")
-    if violations:
-        print("\nACCEPTANCE VIOLATIONS:", file=sys.stderr)
-        for _, msg in violations:
-            print(f"  - {msg}", file=sys.stderr)
-        return 1
-    print(
-        "acceptance: flat spec identical; autotuned <= constants "
-        "everywhere; >=1.2x win on scattered 2:1 fat tree "
-        ">=16-node >=1MB allreduce"
+    return common.finish(
+        args.json, len(points), [msg for _, msg in violations],
+        "flat spec identical; autotuned <= constants everywhere; "
+        ">=1.2x win on scattered 2:1 fat tree >=16-node >=1MB allreduce",
     )
-    return 0
 
 
 def test_topology_collectives_sweep(benchmark):

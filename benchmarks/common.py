@@ -1,0 +1,118 @@
+"""Shared plumbing for the gated benchmark scripts.
+
+Every ``bench_*.py`` under this directory used to carry its own copy of
+the same scaffolding: the ``sys.path`` bootstrap, the KB/MB constants,
+the repo-root ``BENCH_*.json`` path computation, the ``--smoke``/
+``--json`` argument parser, the JSON emit, and the violation print +
+exit-code dance.  This module is that scaffolding, written once:
+
+* :func:`add_src_to_path` — runs at import, so ``import common`` (or
+  ``from common import ...``) as the first local import is the whole
+  bootstrap.
+* :func:`json_path` — the committed repo-root artifact path for a
+  benchmark name.
+* :func:`make_parser` — the standard CLI: ``--smoke`` (alias
+  ``--quick``) for the reduced CI sweep, ``--json PATH`` to redirect
+  the artifact (so smoke runs don't clobber the committed full-sweep
+  JSON).
+* :func:`write_json` — atomic-enough artifact emit with trailing
+  newline.
+* :func:`finish` — the common epilogue: point count, aggregated
+  ``sim.stats`` counters, gate violations (to stderr) and the exit
+  code CI keys off.
+* :func:`track` — feed a finished :class:`~repro.sim.core.Simulator`
+  into the per-process stats aggregate that :func:`finish` prints
+  (events popped, heap pushes, payload copies elided, fast-path rounds
+  priced — the observability counters of the vectorized event core).
+"""
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterable, List, Optional
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.abspath(os.path.join(BENCH_DIR, ".."))
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def add_src_to_path() -> None:
+    """Make ``repro`` importable when run as a plain script."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+add_src_to_path()
+
+#: Aggregated simulator counters across every run this process made.
+_STATS_TOTALS: Dict[str, int] = {}
+
+
+def track(sim):
+    """Fold ``sim.stats`` into the process-wide aggregate (call after
+    the run finishes); returns ``sim`` so call sites can chain."""
+    for key, value in sim.stats.as_dict().items():
+        _STATS_TOTALS[key] = _STATS_TOTALS.get(key, 0) + value
+    return sim
+
+
+def stats_summary() -> Optional[str]:
+    """One line of aggregated counters, or ``None`` if nothing ran."""
+    if not _STATS_TOTALS:
+        return None
+    body = " ".join(f"{k}={v}" for k, v in _STATS_TOTALS.items())
+    return f"sim.stats totals: {body}"
+
+
+def json_path(name: str) -> str:
+    """The committed repo-root artifact path, e.g. ``BENCH_rma.json``."""
+    return os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+
+
+def make_parser(
+    doc: str, default_json: str, smoke_help: str = "reduced sweep for CI"
+) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument(
+        "--smoke", "--quick", dest="smoke", action="store_true",
+        help=smoke_help,
+    )
+    parser.add_argument(
+        "--json", default=default_json, metavar="PATH",
+        help="where to record results (default: the committed "
+             f"{os.path.basename(default_json)} — pass a scratch path "
+             "to avoid clobbering the full-sweep artifact with a "
+             "smoke run)",
+    )
+    return parser
+
+
+def write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def finish(
+    path: str,
+    n_points: int,
+    violations: Iterable[str],
+    ok_msg: str,
+) -> int:
+    """Common epilogue: record count, stats, violations, exit code."""
+    print(f"\nrecorded {n_points} points to {os.path.abspath(path)}")
+    line = stats_summary()
+    if line:
+        print(line)
+    violations = list(violations)
+    if violations:
+        print("\nGATE VIOLATIONS:", file=sys.stderr)
+        for v in violations:
+            print(f"  - {v}", file=sys.stderr)
+        return 1
+    print(f"acceptance: {ok_msg}")
+    return 0

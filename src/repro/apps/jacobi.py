@@ -25,6 +25,12 @@ sweeps against each other:
     Same puts under post-start-complete-wait: synchronization only
     with the actual neighbors instead of a world fence — the cheaper
     sync when the stencil's dependency graph is sparse.
+``rma_fence_chunked`` / ``rma_fence_coalesced``
+    The strided-halo variants: each boundary row leaves as many small
+    column-block puts per epoch.  ``chunked`` pays per-put wire
+    latency; ``coalesced`` runs the same puts on a ``coalesce=True``
+    window, so they batch onto one wire transfer per neighbor at the
+    fence (MVAPICH2-style operation coalescing).
 
 ``run_dcgn`` drives the same stencil from GPU kernels: each kernel
 pushes its boundary rows into the neighbor's window region with the
@@ -57,7 +63,18 @@ __all__ = [
 _TAG_DOWN = 11
 _TAG_UP = 12
 
-MPI_BACKENDS = ("blocking", "nonblocking", "rma_fence", "rma_pscw")
+MPI_BACKENDS = (
+    "blocking",
+    "nonblocking",
+    "rma_fence",
+    "rma_pscw",
+    "rma_fence_chunked",
+    "rma_fence_coalesced",
+)
+
+#: Column blocks per halo row in the chunked fence variants (the
+#: strided-halo pattern: many small puts per neighbor per epoch).
+_HALO_CHUNKS = 8
 
 
 @dataclass(frozen=True)
@@ -184,6 +201,25 @@ def _exchange_rma_fence(wctx, u, k, cols, up, down):
     yield from wctx.fence()
 
 
+def _exchange_rma_fence_chunked(wctx, u, k, cols, up, down):
+    """Column-blocked halo pushes: each boundary row leaves as
+    ``_HALO_CHUNKS`` separate small puts (the strided-halo pattern real
+    stencils with non-contiguous boundaries produce).  On a plain
+    window every chunk pays its own header and fabric latency; on a
+    ``coalesce=True`` window the per-neighbor chunks merge onto one
+    wire transfer at the fence — the MVAPICH2-style coalescing win
+    ``bench_rma.py`` gates."""
+    bounds = [(c * cols) // _HALO_CHUNKS for c in range(_HALO_CHUNKS + 1)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        if down is not None:
+            yield from wctx.put(down, u[k, lo:hi], offset=lo)
+        if up is not None:
+            yield from wctx.put(
+                up, u[1, lo:hi], offset=(k + 1) * cols + lo
+            )
+    yield from wctx.fence()
+
+
 def _exchange_rma_pscw(wctx, u, k, cols, up, down, nbrs):
     """Same puts under PSCW: synchronize with the neighbors only."""
     yield from wctx.post(nbrs)
@@ -225,9 +261,11 @@ def run_mpi(
         u = field[r * k : r * k + k + 2].copy()
         new = u.copy()
         wctx = None
-        if backend in ("rma_fence", "rma_pscw"):
-            wctx = yield from ctx.win_create(u)
-            if backend == "rma_fence":
+        if backend.startswith("rma_"):
+            wctx = yield from ctx.win_create(
+                u, coalesce=(backend == "rma_fence_coalesced")
+            )
+            if backend != "rma_pscw":
                 yield from wctx.fence()  # open the first epoch
         yield from ctx.barrier()
         if r == 0:
@@ -239,6 +277,10 @@ def run_mpi(
                 yield from _exchange_nonblocking(ctx, u, k, up, down)
             elif backend == "rma_fence":
                 yield from _exchange_rma_fence(
+                    wctx, u, k, cols, up, down
+                )
+            elif backend in ("rma_fence_chunked", "rma_fence_coalesced"):
+                yield from _exchange_rma_fence_chunked(
                     wctx, u, k, cols, up, down
                 )
             else:

@@ -135,9 +135,10 @@ def build_allgather_recursive_doubling(
         )
         recvpack = np.empty(peer_bytes, dtype=np.uint8)
         # The outgoing pack only exists once earlier rounds unpacked —
-        # resolve it lazily at send time.
+        # resolve it lazily at send time.  alias_ok: pack() returns a
+        # fresh concatenation nothing else can write.
         s = sched.send(lambda lo=my_lo, c=mask: pack(lo, c), partner, tag,
-                       after=deps, round=rnd)
+                       after=deps, round=rnd, alias_ok=True)
         r = sched.recv(recvpack, partner, tag, after=deps, round=rnd)
         deps = [s, sched.compute(
             lambda b=recvpack, lo=peer_lo, c=mask: unpack(b, lo, c),
@@ -185,9 +186,11 @@ def build_allgather_bruck(
         dst = (rank - step) % size
         src = (rank + step) % size
         recvpack = np.empty(count * block, dtype=np.uint8)
+        # alias_ok: the payload is a fresh concatenation, or work[0] —
+        # this rank's private copy of its own block, never written.
         s = sched.send(
             lambda c=count: np.concatenate(work[:c]) if c > 1 else work[0],
-            dst, tag + rnd % 2, after=deps, round=rnd,
+            dst, tag + rnd % 2, after=deps, round=rnd, alias_ok=True,
         )
         r = sched.recv(recvpack, src, tag + rnd % 2, after=deps, round=rnd)
 

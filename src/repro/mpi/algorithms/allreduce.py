@@ -82,7 +82,11 @@ def build_allreduce_reduce_bcast(
     nbytes = nbytes_of(recvbuf) if recvbuf is not None else 0
     algo = ctx.comm.selector.bcast(nbytes, ctx.size, hier_ok=_hier_ok(ctx))
     ctx.comm._count(f"bcast[{algo}]")
-    append_bcast(algo, sched, ctx, recvbuf, root=0, after=ends)
+    # The bcast leg's rounds start past the reduce leg's on EVERY rank:
+    # the offset is the binomial tree's global depth, not this rank's
+    # own round count (a leaf's reduce part is a single round).
+    append_bcast(algo, sched, ctx, recvbuf, root=0, after=ends,
+                 round0=(ctx.size - 1).bit_length())
     return sched
 
 
@@ -117,7 +121,11 @@ def build_allreduce_recursive_doubling(
     # Fold-in (tag offset 4): even ranks below 2·rem contribute and sit out.
     if rank < 2 * rem:
         if rank % 2 == 0:
-            deps = [sched.send(lambda: st["acc"], rank + 1, tag + 4)]
+            # alias_ok: acc is rebound, never mutated, and the fold-out
+            # recv that overwrites it is causally behind the partner's
+            # delivery of this message.
+            deps = [sched.send(lambda: st["acc"], rank + 1, tag + 4,
+                               alias_ok=True)]
             newrank = -1
         else:
             tmp0 = np.empty_like(st["acc"])
@@ -140,10 +148,10 @@ def build_allreduce_recursive_doubling(
                 else partner_new + rem
             )
             tmp = np.empty_like(st["acc"])
-            # No defensive copy: _send_impl snapshots at send time and
-            # acc is rebound (never mutated) before the round completes.
+            # alias_ok: acc is rebound (never mutated), so the in-flight
+            # view can never observe a later write.
             s = sched.send(lambda: st["acc"], partner, tag,
-                           after=deps, round=rnd)
+                           after=deps, round=rnd, alias_ok=True)
             r = sched.recv(tmp, partner, tag, after=deps, round=rnd)
 
             def combine(tmp=tmp, partner=partner):
@@ -159,8 +167,10 @@ def build_allreduce_recursive_doubling(
     if rank < 2 * rem:
         rnd += 1
         if rank % 2 == 1:
+            # alias_ok: acc holds this rank's final result; nothing
+            # writes it after this send.
             deps = [sched.send(lambda: st["acc"], rank - 1, tag + 5,
-                               after=deps, round=rnd)]
+                               after=deps, round=rnd, alias_ok=True)]
         else:
             deps = [sched.recv(lambda: st["acc"], rank + 1, tag + 5,
                                after=deps, round=rnd)]
@@ -212,7 +222,11 @@ def append_ring_reduce_scatter(
         recv_c = chunk(rank - step - 1)
         tmp = np.empty_like(recv_c)
         rnd = round0 + step
-        s = sched.send(send_c, right, tag + step % 4, after=deps, round=rnd)
+        # alias_ok: acc is collective-private and the sent chunk is next
+        # written only in the allgather phase, causally behind the right
+        # neighbor's delivery of this message.
+        s = sched.send(send_c, right, tag + step % 4, after=deps, round=rnd,
+                       alias_ok=True)
         r = sched.recv(tmp, left, tag + step % 4, after=deps, round=rnd)
 
         def combine(tmp=tmp, recv_c=recv_c):
@@ -240,8 +254,10 @@ def append_ring_allgather(
     deps = list(after)
     for step in range(size - 1):
         rnd = round0 + step
+        # alias_ok: acc is collective-private and a forwarded chunk is
+        # never written again after its send.
         s = sched.send(chunk(rank + 1 - step), right, tag + step % 4,
-                       after=deps, round=rnd)
+                       after=deps, round=rnd, alias_ok=True)
         r = sched.recv(chunk(rank - step), left, tag + step % 4,
                        after=deps, round=rnd)
         deps = [s, r]

@@ -146,9 +146,10 @@ def build_alltoall_bruck(
         dst = (rank + step) % size
         src = (rank - step) % size
         recvpack = np.empty(len(idxs) * block, dtype=np.uint8)
+        # alias_ok: the payload is a fresh concatenation of the slots.
         s = sched.send(
             lambda idxs=idxs: np.concatenate([slots[i] for i in idxs]),
-            dst, tag + rnd % 2, after=deps, round=rnd,
+            dst, tag + rnd % 2, after=deps, round=rnd, alias_ok=True,
         )
         r = sched.recv(recvpack, src, tag + rnd % 2, after=deps, round=rnd)
 

@@ -62,27 +62,36 @@ def _append_binomial(
     ridx = members.index(root)
     vrank = (idx - ridx) % size
     deps = list(after)
+    # The edge reaching the child at offset 2^j fires in global round
+    # n_rounds-1-j: the root peels off its largest subtree first, and
+    # every forwarded edge lands in the round its sender is first able
+    # to send.  Labeling rounds by that wall-clock position (rather
+    # than loop order) is what lets the analytic backend price the
+    # tree at its true log2(P) depth.
+    n_rounds = (size - 1).bit_length()
     # Phase 1 — non-roots receive from their parent.  ``mask`` stops at
     # the lowest set bit of vrank (or the first power of two >= size for
     # the root).
     mask = 1
-    rnd = round0
+    j = 0
     while mask < size:
         if vrank & mask:
             parent = members[((vrank - mask) + ridx) % size]
-            deps = [sched.recv(buf, parent, tag, after=deps, round=rnd)]
+            deps = [sched.recv(buf, parent, tag, after=deps,
+                               round=round0 + n_rounds - 1 - j)]
             break
         mask <<= 1
-        rnd += 1
+        j += 1
     # Phase 2 — forward to children: vrank + m for each m below mask.
     mask >>= 1
     while mask > 0:
         child_v = vrank + mask
         if child_v < size:
             child = members[(child_v + ridx) % size]
-            deps = [sched.send(buf, child, tag, after=deps, round=rnd)]
+            j = mask.bit_length() - 1
+            deps = [sched.send(buf, child, tag, after=deps,
+                               round=round0 + n_rounds - 1 - j)]
         mask >>= 1
-        rnd += 1
     return deps
 
 
@@ -97,13 +106,14 @@ def build_bcast_binomial(
 
 def append_bcast_binomial(
     sched: Schedule, ctx, buf: Payload, root: int = 0,
-    after: Sequence[int] = (),
+    after: Sequence[int] = (), round0: int = 0,
 ) -> List[int]:
     tag = next_tag(ctx)
     if ctx.size == 1:
         return [sched.overhead(after=after)]
     return _append_binomial(
-        sched, ctx, buf, list(range(ctx.size)), root, tag, after=after
+        sched, ctx, buf, list(range(ctx.size)), root, tag, after=after,
+        round0=round0,
     )
 
 
@@ -118,7 +128,7 @@ def build_bcast_hierarchical(
 
 def append_bcast_hierarchical(
     sched: Schedule, ctx, buf: Payload, root: int = 0,
-    after: Sequence[int] = (),
+    after: Sequence[int] = (), round0: int = 0,
 ) -> List[int]:
     """Requires the communicator to expose locality groups (every rank in
     exactly one group); the root acts as its own group's leader so the
@@ -139,11 +149,15 @@ def append_bcast_hierarchical(
     # Phase 1 (tag+0): binomial over the domain leaders.
     if ctx.rank in leaders:
         deps = _append_binomial(sched, ctx, buf, leaders, root, tag,
-                                after=deps)
-    # Phase 2 (tag+1): each leader fans out inside its domain.
+                                after=deps, round0=round0)
+    # Phase 2 (tag+1): each leader fans out inside its domain.  The
+    # phase boundary is the leader tree's depth — computed, not read
+    # off this rank's schedule, so every rank labels phase-2 rounds
+    # identically (non-leaders have no phase-1 steps to count).
+    leader_rounds = (len(leaders) - 1).bit_length()
     return _append_binomial(
         sched, ctx, buf, my_group, my_leader, tag + 1,
-        after=deps, round0=sched.n_rounds,
+        after=deps, round0=round0 + leader_rounds,
     )
 
 
@@ -189,6 +203,7 @@ def build_bcast_pipelined(
 def append_bcast_pipelined(
     sched: Schedule, ctx, buf: Payload, root: int = 0,
     after: Sequence[int] = (), segments: Optional[int] = None,
+    round0: int = 0,
 ) -> List[int]:
     from ..datatypes import payload_array
 
@@ -219,14 +234,15 @@ def append_bcast_pipelined(
             # Receive segment s from the predecessor; chained so the
             # wire keeps FIFO order on the single (src, tag) pair.
             r = sched.recv(seg, prev, tag, after=recvs[-1:] or list(after),
-                           round=s)
+                           round=round0 + s)
             recvs.append(r)
             ends = [r]
         if pos < size - 1:
             send_after = list(last_send)
             if pos > 0:
                 send_after.append(recvs[-1])
-            snd = sched.send(seg, nxt, tag, after=send_after, round=s)
+            snd = sched.send(seg, nxt, tag, after=send_after,
+                             round=round0 + s)
             last_send = [snd]
             ends = [snd] if pos == 0 else [recvs[-1], snd]
     if not ends:
@@ -245,7 +261,13 @@ _APPENDERS = {
 
 def append_bcast(
     algo: str, sched: Schedule, ctx, buf: Payload, root: int = 0,
-    after: Sequence[int] = (),
+    after: Sequence[int] = (), round0: int = 0,
 ) -> List[int]:
-    """Append the named broadcast schedule behind ``after``."""
-    return _APPENDERS[algo](sched, ctx, buf, root=root, after=after)
+    """Append the named broadcast schedule behind ``after``.
+
+    ``round0`` offsets the appended rounds past the host schedule's —
+    splices (reduce+bcast) must pass ``sched.n_rounds`` so the two
+    legs' rounds never overlap in the analytic per-round pricing.
+    """
+    return _APPENDERS[algo](sched, ctx, buf, root=root, after=after,
+                            round0=round0)

@@ -1,0 +1,394 @@
+"""Analytic fast-path execution backend for collective schedules.
+
+The exact :class:`~repro.mpi.algorithms.schedule.ScheduleEngine` spawns
+one simulated process per wire step and drives every packet through the
+matching stores — faithful, but at 256–1024 ranks the per-packet Python
+churn dominates wall-clock.  :class:`FastPathEngine` executes the *same*
+schedules (same builders, same selector decisions, same tag claims, same
+``comm.stats`` counters) without enqueueing a single packet:
+
+1. **Collect** — every rank's ``execute`` deposits its per-rank schedule
+   into a shared per-collective *instance*; the last-arriving rank
+   triggers completion (collectives are synchronizing, so nothing can
+   legally complete before the last rank shows up).
+2. **Interpret** — the per-rank DAGs run as a deterministic dataflow:
+   computes run inline, sends deliver payloads straight into matched
+   receive buffers (rank-0-first round-robin, one step per rank per
+   cycle; per-key FIFO message queues mirror the matcher's
+   non-overtaking order).  Data results are therefore *bit-identical* to
+   the exact simulator.
+3. **Price** — wire steps are logged as per-(rank, round) cost records;
+   the per-message cost comes from the topology's static
+   :meth:`~repro.hw.topology.base.Topology.wire_time` through an
+   interned ``(src_node, dst_node, nbytes)`` cache, mirroring the
+   eager/rendezvous protocol shapes of ``_send_impl``.  A round costs
+   the maximum over ranks of each rank's busier direction, and rank *r*
+   completes at ``max(arrival) + Σ round costs`` through its last
+   active round — the same per-round critical-path model the autotuner
+   (:mod:`~repro.mpi.algorithms.autotune`) already prices selections
+   with, now promoted to an execution backend.
+4. **Commit** — all per-rank completions go through one
+   :class:`~repro.sim.batch.EventBatch`, so 1024 rank completions cost
+   a handful of heap operations instead of thousands.
+
+What stays exact: point-to-point (``send``/``recv``/``isend``/...),
+``gather``/``scatter`` (linear, not schedule-based), and all RMA — only
+schedule-compiled collectives take the fast path.  Timings are
+approximate (no contention, no skew inside a collective) but agree with
+the exact simulator within tolerance at small P — enforced by
+``tests/test_fastpath.py`` — while selection thresholds, being driven
+by the same tuning, match exactly.  One documented conservatism: the
+per-round barrier model prices every labeled round in full, so trees
+whose straggler leaves fire early and overlap rounds in the exact
+engine (non-power-of-two binomial reduce) are overestimated by up to
+one round's cost.
+
+**Pricing-only mode** (``backend="pricing"``): skips the dataflow
+interpretation entirely and prices each rank's schedule straight off
+its step list — same per-round cost model, same simulated times, but
+receive buffers are left untouched (compute steps never run).  This is
+the sweep mode: a 1024-rank collective costs one pass over the steps
+plus a handful of numpy reductions, which is what makes the
+``BENCH_scale.json`` sweeps interactive.  Never use it when the
+program consumes the data it communicates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ...hw.memory import nbytes_of
+from ...sim.batch import EventBatch
+from ...sim.core import Event, us
+from ..datatypes import payload_array
+from ..errors import MpiError
+from .schedule import ScheduleEngine, Schedule, _Step
+
+__all__ = ["FastPathEngine"]
+
+_SEND = "send"
+_RECV = "recv"
+_COMPUTE = "compute"
+_OVERHEAD = "overhead"
+
+
+class _Instance:
+    """One collective call site: per-rank schedules awaiting the last
+    arrival."""
+
+    __slots__ = ("ctxs", "scheds", "dones", "arrived")
+
+    def __init__(self, size: int) -> None:
+        self.ctxs: List[Any] = [None] * size
+        self.scheds: List[Optional[Schedule]] = [None] * size
+        self.dones: List[Optional[Event]] = [None] * size
+        self.arrived = 0
+
+    def deposit(self, rank: int, ctx, sched: Schedule, done: Event) -> None:
+        if self.scheds[rank] is not None:
+            raise MpiError(
+                f"rank {rank} deposited twice into one collective "
+                "instance — collectives issued out of order?"
+            )
+        self.ctxs[rank] = ctx
+        self.scheds[rank] = sched
+        self.dones[rank] = done
+        self.arrived += 1
+
+
+class _RankState:
+    """Dataflow bookkeeping for one rank's DAG (mirrors ``_execute``)."""
+
+    __slots__ = (
+        "steps", "missing", "dependents", "ready", "ready_recv", "done"
+    )
+
+    def __init__(self, sched: Schedule) -> None:
+        steps = sched.steps
+        self.steps = steps
+        self.missing = [len(s.deps) for s in steps]
+        self.dependents: List[List[int]] = [[] for _ in steps]
+        for s in steps:
+            for d in s.deps:
+                self.dependents[d].append(s.idx)
+        # Receives ready to post are kept apart from other ready steps:
+        # the interpreter parks every ready receive before running any
+        # send, so deliveries hit a waiting buffer (zero-copy) instead
+        # of forcing a queue snapshot.
+        self.ready: List[int] = []
+        self.ready_recv: List[int] = []
+        for i in range(len(steps)):
+            if self.missing[i] == 0:
+                self._push(i)
+        heapq.heapify(self.ready)
+        heapq.heapify(self.ready_recv)
+        self.done = 0
+
+    def _push(self, idx: int) -> None:
+        if self.steps[idx].kind == _RECV:
+            heapq.heappush(self.ready_recv, idx)
+        else:
+            heapq.heappush(self.ready, idx)
+
+    def finish(self, idx: int) -> None:
+        self.done += 1
+        for j in self.dependents[idx]:
+            self.missing[j] -= 1
+            if self.missing[j] == 0:
+                self._push(j)
+
+
+class FastPathEngine(ScheduleEngine):
+    """Prices whole collective schedules analytically (see module doc).
+
+    Drop-in replacement for :class:`ScheduleEngine`: ``execute`` is
+    consumed via ``yield from`` by the blocking collectives and the
+    inherited :meth:`ScheduleEngine.start` spawns it for the
+    nonblocking ones.  The collective-instance sequence number is
+    claimed synchronously at issue time (``execute`` is a plain
+    function returning the generator), so mixed blocking/nonblocking
+    sequences stay aligned exactly like the tag-block claims.
+    """
+
+    def __init__(self, comm, price_only: bool = False) -> None:
+        super().__init__(comm)
+        self._claims = [0] * comm.size
+        self._instances: Dict[int, _Instance] = {}
+        #: Interned per-message costs: (src_node, dst_node, nbytes) → s.
+        self._wire_cache: Dict[Tuple[int, int, int], float] = {}
+        #: Skip the dataflow interpreter: price timings only, leave
+        #: receive buffers untouched (see module doc).
+        self.price_only = price_only
+
+    # -- entry points -------------------------------------------------------
+    def execute(
+        self, ctx, sched: Schedule
+    ) -> Generator[Event, Any, None]:
+        self.comm._ensure_alive()
+        seq = self._claims[ctx.rank]
+        self._claims[ctx.rank] += 1
+        return self._run(ctx, sched, seq)
+
+    def _run(
+        self, ctx, sched: Schedule, seq: int
+    ) -> Generator[Event, Any, None]:
+        self.active += 1
+        try:
+            inst = self._instances.get(seq)
+            if inst is None:
+                inst = _Instance(self.comm.size)
+                self._instances[seq] = inst
+            done = ctx.sim.event(name=f"fastpath(r{ctx.rank}#{seq})")
+            inst.deposit(ctx.rank, ctx, sched, done)
+            if inst.arrived == self.comm.size:
+                del self._instances[seq]
+                self._complete(inst)
+            yield done
+        finally:
+            self.active -= 1
+
+    # -- pricing ------------------------------------------------------------
+    def _msg_cost(self, comm, src_rank: int, dst_rank: int,
+                  nbytes: int) -> float:
+        src = comm.placement[src_rank]
+        dst = comm.placement[dst_rank]
+        key = (src, dst, nbytes)
+        cost = self._wire_cache.get(key)
+        if cost is None:
+            from ..communicator import HEADER_BYTES
+
+            ib = self.comm._ib
+            sw = us(ib.sw_overhead_us)
+            wt = self.comm.cluster.interconnect.wire_time
+            if nbytes <= ib.eager_threshold:
+                cost = sw + wt(src, dst, nbytes + HEADER_BYTES)
+            else:
+                # RTS → CTS → payload, as in _send_impl.
+                cost = (
+                    sw
+                    + wt(src, dst, HEADER_BYTES)
+                    + wt(dst, src, HEADER_BYTES)
+                    + wt(src, dst, nbytes)
+                )
+            self._wire_cache[key] = cost
+        return cost
+
+    # -- completion ---------------------------------------------------------
+    def _complete(self, inst: _Instance) -> None:
+        """Interpret the dataflow (exact data), price the rounds
+        (analytic time), and batch-commit the per-rank completions."""
+        comm = self.comm
+        sim = comm.sim
+        stats = sim.stats
+        size = comm.size
+        sw = us(comm._ib.sw_overhead_us)
+
+        n_rounds = max(
+            (inst.scheds[r].n_rounds for r in range(size)), default=0
+        )
+        # Per-(rank, round) accumulated wire time, by direction.
+        out_t = np.zeros((size, max(1, n_rounds)))
+        in_t = np.zeros((size, max(1, n_rounds)))
+        over_t = np.zeros((size, max(1, n_rounds)))
+        last_round = np.full(size, -1, dtype=np.int64)
+
+        if self.price_only:
+            self._price_steps(inst, out_t, in_t, over_t, last_round, sw)
+        else:
+            self._interpret(inst, out_t, in_t, over_t, last_round, sw)
+
+        # Price: a round costs the busiest rank's busier direction;
+        # rank r completes after its last active round.
+        per_rank_round = np.maximum(out_t, in_t) + over_t
+        round_cost = per_rank_round.max(axis=0)
+        elapsed = np.concatenate(([0.0], np.cumsum(round_cost)))
+        t0 = sim.now
+        stats.fastpath_collectives += 1
+        stats.fastpath_rounds += int(n_rounds)
+
+        batch = EventBatch(sim, name="fastpath")
+        for r in range(size):
+            t_r = t0 + float(elapsed[int(last_round[r]) + 1])
+            batch.add(t_r, inst.dones[r], None)
+        batch.commit()
+
+    def _price_steps(self, inst: _Instance, out_t, in_t, over_t,
+                     last_round, sw: float) -> None:
+        """Pricing-only pass: accumulate wire costs straight off each
+        rank's step list.  Dependencies never reorder which round a
+        cost lands in (steps carry their round), so no dataflow run is
+        needed; computes are skipped outright, so payloads stay
+        whatever they were."""
+        for r in range(len(inst.scheds)):
+            ctx_r = inst.ctxs[r]
+            for st in inst.scheds[r].steps:
+                if st.round > last_round[r]:
+                    last_round[r] = st.round
+                if st.kind == _SEND:
+                    tctx = st.via if st.via is not None else ctx_r
+                    buf = st.resolve_buf()
+                    nbytes = nbytes_of(buf) if buf is not None else 0
+                    out_t[r, st.round] += self._msg_cost(
+                        tctx.comm, tctx.rank, st.peer, nbytes
+                    )
+                elif st.kind == _RECV:
+                    # The matching send's size equals the posted
+                    # buffer's (schedule-compiled recvs are exact-size),
+                    # so the wire cost is computable locally.
+                    tctx = st.via if st.via is not None else ctx_r
+                    buf = st.resolve_buf()
+                    nbytes = nbytes_of(buf) if buf is not None else 0
+                    in_t[r, st.round] += self._msg_cost(
+                        tctx.comm, st.peer, tctx.rank, nbytes
+                    )
+                elif st.kind == _OVERHEAD:
+                    over_t[r, st.round] += sw
+
+    def _interpret(self, inst: _Instance, out_t, in_t, over_t,
+                   last_round, sw: float) -> None:
+        """Dataflow interpretation: exact data movement + pricing."""
+        from ..communicator import Communicator
+
+        comm = self.comm
+        stats = comm.sim.stats
+        size = comm.size
+
+        states = [_RankState(inst.scheds[r]) for r in range(size)]
+        #: (comm id, src, dst, tag) → FIFO of (payload, nbytes, cost).
+        queues: Dict[Tuple, List] = {}
+        #: same key → FIFO of (rank, recv buffer, round) still waiting.
+        parked: Dict[Tuple, List] = {}
+
+        def deliver_to(rank: int, buf, rnd: int, data, nbytes: int,
+                       cost: float) -> None:
+            Communicator._deliver(buf, data, nbytes)
+            in_t[rank, rnd] += cost
+            last_round[rank] = max(last_round[rank], rnd)
+
+        def run_step(r: int, st: _Step) -> None:
+            tctx = st.via if st.via is not None else inst.ctxs[r]
+            if st.round > last_round[r]:
+                last_round[r] = st.round
+            if st.kind == _COMPUTE:
+                st.fn()
+            elif st.kind == _OVERHEAD:
+                over_t[r, st.round] += sw
+            elif st.kind == _SEND:
+                buf = st.resolve_buf()
+                nbytes = nbytes_of(buf) if buf is not None else 0
+                cost = self._msg_cost(tctx.comm, tctx.rank, st.peer, nbytes)
+                out_t[r, st.round] += cost
+                key = (id(tctx.comm), tctx.rank, st.peer, st.tag)
+                arr = payload_array(buf)
+                waiters = parked.get(key)
+                if waiters:
+                    # A matched receiver is already parked: deliver
+                    # source → destination directly, no snapshot.
+                    rank2, rbuf, rnd2 = waiters.pop(0)
+                    if arr is not None:
+                        stats.payload_views += 1
+                    deliver_to(rank2, rbuf, rnd2, arr, nbytes, cost)
+                    states[rank2].finish(
+                        _parked_idx.pop((key, rank2, rnd2, id(rbuf)))
+                    )
+                else:
+                    if arr is not None:
+                        arr = arr.copy()
+                        stats.payload_copies += 1
+                    queues.setdefault(key, []).append((arr, nbytes, cost))
+            elif st.kind == _RECV:
+                key = (id(tctx.comm), st.peer, tctx.rank, st.tag)
+                buf = st.resolve_buf()
+                queue = queues.get(key)
+                if queue:
+                    data, nbytes, cost = queue.pop(0)
+                    deliver_to(r, buf, st.round, data, nbytes, cost)
+                else:
+                    parked.setdefault(key, []).append((r, buf, st.round))
+                    _parked_idx[(key, r, st.round, id(buf))] = st.idx
+                    return  # finished later, at delivery
+            else:  # pragma: no cover - defensive
+                raise MpiError(f"unknown step kind {st.kind!r}")
+            states[r].finish(st.idx)
+
+        # Round-robin cycles, fully deterministic: first every rank
+        # parks (or drains) all its ready receives, then each rank runs
+        # one other ready step.  Posting receives first means a send
+        # almost always finds its peer's buffer parked and delivers
+        # directly — the zero-copy path — instead of snapshotting into
+        # a queue; one non-receive step per rank per cycle bounds
+        # run-ahead so the lockstep holds.
+        _parked_idx: Dict[Tuple, int] = {}
+        total = sum(len(s.steps) for s in states)
+        done_total = 0
+        while done_total < total:
+            progressed = False
+            for r in range(size):
+                state = states[r]
+                while state.ready_recv:
+                    idx = heapq.heappop(state.ready_recv)
+                    run_step(r, state.steps[idx])
+                    progressed = True
+            for r in range(size):
+                state = states[r]
+                if state.ready:
+                    idx = heapq.heappop(state.ready)
+                    run_step(r, state.steps[idx])
+                    progressed = True
+                while state.ready_recv:
+                    idx = heapq.heappop(state.ready_recv)
+                    run_step(r, state.steps[idx])
+            done_total = sum(s.done for s in states)
+            if not progressed and done_total < total:
+                stuck = {
+                    r: len(s.steps) - s.done
+                    for r, s in enumerate(states)
+                    if s.done < len(s.steps)
+                }
+                raise MpiError(
+                    "fast-path schedule stalled (cyclic or unmatched "
+                    f"wire steps); pending steps per rank: {stuck}"
+                )

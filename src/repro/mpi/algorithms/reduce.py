@@ -71,8 +71,10 @@ def append_reduce_binomial(
         while mask < size:
             if vrank & mask:
                 dst = ((vrank & ~mask) + root) % size
+                # alias_ok: acc is rebound, and this rank's tree role
+                # ends at this send — nothing writes acc afterwards.
                 deps = [sched.send(lambda: st["acc"], dst, tag,
-                                   after=deps, round=rnd)]
+                                   after=deps, round=rnd, alias_ok=True)]
                 break
             partner_v = vrank | mask
             if partner_v < size:
@@ -159,8 +161,9 @@ def build_reduce_rabenseifner(
     # combines it and carries both contributions forward.
     if rem:
         if vr >= pof2:
+            # alias_ok: acc is collective-private and this rank is done.
             sched.send(acc, real(vr - pof2), tag + 6, after=deps,
-                       round=rnd)
+                       round=rnd, alias_ok=True)
             return sched
         if vr < rem:
             fold_src = real(vr + pof2)
@@ -190,8 +193,11 @@ def build_reduce_rabenseifner(
             keep_lo, keep_hi = mid, hi
             give_lo, give_hi = lo, mid
         tmp = np.empty_like(seg(keep_lo, keep_hi))
+        # alias_ok: acc is collective-private; the given-away half is
+        # next written only by a gather recv, causally behind the
+        # partner's delivery of this message.
         s = sched.send(seg(give_lo, give_hi), partner, tag + rnd % 2,
-                       after=deps, round=rnd)
+                       after=deps, round=rnd, alias_ok=True)
         r = sched.recv(tmp, partner, tag + rnd % 2, after=deps, round=rnd)
 
         def combine(tmp=tmp, klo=keep_lo, khi=keep_hi, partner=partner):
@@ -213,8 +219,10 @@ def build_reduce_rabenseifner(
     while mask < pof2:
         if vr & mask:
             dst = real(vr - mask)
+            # alias_ok: acc is collective-private and this rank's gather
+            # role ends here — nothing writes the sent range afterwards.
             deps = [sched.send(seg(own_lo, own_hi), dst, tag + 2 + rnd % 2,
-                               after=deps, round=rnd)]
+                               after=deps, round=rnd, alias_ok=True)]
             break
         partner_v = vr + mask
         if partner_v < pof2:

@@ -104,6 +104,11 @@ class _Step:
     #: and ``tag`` are then that communicator's).  ``None`` = the
     #: executing rank's own context.
     via: Optional[MpiContext] = None
+    #: Send steps: the payload is a fresh builder-local staging array
+    #: (or a rebound accumulator) that provably cannot be mutated
+    #: between injection and delivery, so the defensive send-time
+    #: ``np.copy`` may be elided.  Never set on user-owned buffers.
+    alias_ok: bool = False
 
     def resolve_buf(self) -> Payload:
         return self.buf() if callable(self.buf) else self.buf
@@ -146,16 +151,20 @@ class Schedule:
         after: Sequence[int] = (),
         round: int = 0,
         via: Optional[MpiContext] = None,
+        alias_ok: bool = False,
     ) -> int:
         """Post a send of ``buf`` to ``peer`` once ``after`` completed.
 
         ``via`` routes the step through a derived communicator's
         context: ``peer`` and ``tag`` are then in *that* communicator's
-        rank and tag space.
+        rank and tag space.  ``alias_ok`` marks the payload as a fresh
+        builder-local array whose send-time defensive copy may be
+        elided (see :class:`_Step`).
         """
         return self._add(_Step(
             idx=len(self.steps), kind=_SEND, deps=tuple(after),
             round=round, peer=peer, tag=tag, buf=buf, via=via,
+            alias_ok=alias_ok,
         ))
 
     def recv(
@@ -228,10 +237,12 @@ class SubSchedule:
         self._sched = sched
         self.via = via
 
-    def send(self, buf, peer, tag, after=(), round=0, via=None) -> int:
+    def send(self, buf, peer, tag, after=(), round=0, via=None,
+             alias_ok=False) -> int:
         return self._sched.send(
             buf, peer, tag, after=after, round=round,
             via=via if via is not None else self.via,
+            alias_ok=alias_ok,
         )
 
     def recv(self, buf, peer, tag, after=(), round=0, via=None) -> int:
@@ -371,7 +382,8 @@ class ScheduleEngine:
         comm = tctx.comm
         if st.kind == _SEND:
             yield from comm._send_impl(
-                tctx.rank, st.peer, st.resolve_buf(), st.tag
+                tctx.rank, st.peer, st.resolve_buf(), st.tag,
+                copy=not st.alias_ok,
             )
         elif st.kind == _RECV:
             status = yield from comm._recv_impl(

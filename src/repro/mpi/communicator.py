@@ -129,9 +129,11 @@ class Communicator:
         parent: Optional["Communicator"] = None,
         world_ranks: Optional[Sequence[int]] = None,
         name: str = "world",
+        backend: str = "exact",
     ) -> None:
         from .algorithms import AlgorithmSelector
         from .algorithms.autotune import autotune_tuning
+        from .algorithms.fastpath import FastPathEngine
         from .algorithms.schedule import ScheduleEngine
 
         if not placement:
@@ -172,8 +174,24 @@ class Communicator:
             )
         #: Per-call collective algorithm selection (collectives.py asks).
         self.selector = AlgorithmSelector(self.tuning)
+        if backend not in ("exact", "analytic", "pricing"):
+            raise MpiError(
+                f"unknown execution backend {backend!r}; "
+                "use 'exact', 'analytic' or 'pricing'"
+            )
+        #: Collective execution backend: ``"exact"`` simulates every
+        #: packet; ``"analytic"`` prices whole schedules from the fabric
+        #: profile (:class:`~repro.mpi.algorithms.fastpath.FastPathEngine`)
+        #: while still moving data bit-exactly; ``"pricing"`` prices only
+        #: — collective receive buffers are left untouched, which is what
+        #: the large-P benchmark sweeps use.  Algorithm *selection* is
+        #: identical in all three.
+        self.backend = backend
         #: Nonblocking progress engine executing collective schedules.
-        self.engine = ScheduleEngine(self)
+        self.engine = (
+            ScheduleEngine(self) if backend == "exact"
+            else FastPathEngine(self, price_only=(backend == "pricing"))
+        )
         self._match: List[FilterStore] = [
             FilterStore(self.sim, name=f"mpi.match[{name}:{r}]")
             for r in range(self.size)
@@ -340,6 +358,7 @@ class Communicator:
             parent=self,
             world_ranks=world_ranks,
             name=name,
+            backend=self.backend,
         )
 
     def split(
@@ -509,13 +528,14 @@ class Communicator:
     def _win_deposit(self, seq: int, rank: int, buf: Any) -> None:
         self._win_deposits.setdefault(seq, {})[rank] = buf
 
-    def _win_result(self, seq: int, rank: int) -> Any:
+    def _win_result(self, seq: int, rank: int, coalesce: bool = False) -> Any:
         """Per-rank pickup of a collective window creation.
 
         The first rank whose size exchange completes constructs the
         shared :class:`~repro.mpi.rma.Window` from the deposited
         buffers (every rank deposited before entering the exchange);
         later ranks reuse it.  State is dropped once all have picked up.
+        ``coalesce`` must match across ranks (a collective argument).
         """
         entry = self._win_built.get(seq)
         if entry is None:
@@ -523,7 +543,7 @@ class Communicator:
 
             deposits = self._win_deposits.pop(seq)
             bufs = [deposits.get(r) for r in range(self.size)]
-            entry = (Window(self, bufs), self.size)
+            entry = (Window(self, bufs, coalesce=coalesce), self.size)
             self._win_built[seq] = entry
         win, remaining = entry
         remaining -= 1
@@ -583,13 +603,19 @@ class Communicator:
         dst: int,
         buf: Payload,
         tag: int,
+        copy: bool = True,
     ) -> Generator[Event, Any, None]:
         self._ensure_alive()
         self._inflight_ops += 1
         try:
             yield self._sw()
             nbytes = nbytes_of(buf) if buf is not None else 0
-            data = snapshot(buf)
+            data = snapshot(buf, copy=copy)
+            if data is not None:
+                if copy:
+                    self.sim.stats.payload_copies += 1
+                else:
+                    self.sim.stats.payload_views += 1
             self.sim.trace(
                 "mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes
             )
@@ -860,7 +886,7 @@ class MpiContext:
 
     # -- one-sided windows (implementations in .rma) -----------------------
     def win_create(
-        self, buf: Any
+        self, buf: Any, coalesce: bool = False
     ) -> Generator[Event, Any, "WinContext"]:
         """``MPI_Win_create``: collective; every rank exposes ``buf``
         (a NumPy array, :class:`~repro.hw.memory.HostBuffer`,
@@ -868,7 +894,10 @@ class MpiContext:
         zero-size window) and gets back its rank-bound
         :class:`~repro.mpi.rma.WinContext`.  The per-rank sizes travel
         over the wire (an allgather, as in a real registration
-        exchange); building the window object itself is free."""
+        exchange); building the window object itself is free.
+        ``coalesce`` (a collective argument: pass the same value on
+        every rank) enables small-put batching — see
+        :class:`~repro.mpi.rma.Window`."""
         comm = self.comm
         from . import collectives as c
 
@@ -879,18 +908,18 @@ class MpiContext:
         mine = np.array([nbytes], dtype=np.int64)
         recv = [np.empty(1, dtype=np.int64) for _ in range(comm.size)]
         yield from c.allgather(self, mine, recv)
-        win = comm._win_result(seq, self.rank)
+        win = comm._win_result(seq, self.rank, coalesce=coalesce)
         return win.ctx(self.rank)
 
     def win_allocate(
-        self, count: int, dtype=np.float64
+        self, count: int, dtype=np.float64, coalesce: bool = False
     ) -> Generator[Event, Any, "WinContext"]:
         """``MPI_Win_allocate``: collective; allocates ``count``
         elements of ``dtype`` in simulated host memory on this rank's
         node and exposes them as a window."""
         node = self.comm.cluster.nodes[self.node_id]
         buf = node.alloc(count, dtype=dtype, name=f"win.r{self.rank}")
-        wctx = yield from self.win_create(buf)
+        wctx = yield from self.win_create(buf, coalesce=coalesce)
         return wctx
 
     # -- blocking p2p ------------------------------------------------------

@@ -68,7 +68,16 @@ def payload_array(obj: Payload) -> Optional[np.ndarray]:
     raise TypeError(f"unsupported payload type {type(obj)}")
 
 
-def snapshot(obj: Payload) -> Optional[np.ndarray]:
-    """Copy payload contents at send time (MPI buffered semantics)."""
+def snapshot(obj: Payload, copy: bool = True) -> Optional[np.ndarray]:
+    """Copy payload contents at send time (MPI buffered semantics).
+
+    ``copy=False`` elides the defensive copy and ships the array
+    itself.  Only safe when the caller *proves* the buffer cannot be
+    mutated between injection and delivery — schedule steps marked
+    ``alias_ok`` (fresh builder-local staging arrays, rebound
+    accumulators) qualify; user-owned buffers never do.
+    """
     arr = payload_array(obj)
-    return None if arr is None else arr.copy()
+    if arr is None:
+        return None
+    return arr.copy() if copy else arr

@@ -68,6 +68,11 @@ class MpiJob:
 
     ``tuning`` (a :class:`repro.mpi.algorithms.CollectiveTuning`) adjusts
     the communicator's collective-algorithm selection thresholds.
+    ``backend`` selects the collective execution engine: ``"exact"``
+    (default, per-packet simulation), ``"analytic"`` (the fast-path
+    backend of :mod:`repro.mpi.algorithms.fastpath` — analytic timing,
+    bit-exact data), or ``"pricing"`` (analytic timing only; collective
+    receive buffers are left untouched — sweep mode).
     """
 
     def __init__(
@@ -75,10 +80,13 @@ class MpiJob:
         cluster: Cluster,
         placement: Sequence[int],
         tuning=None,
+        backend: str = "exact",
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
-        self.comm = Communicator(cluster, placement, tuning=tuning)
+        self.comm = Communicator(
+            cluster, placement, tuning=tuning, backend=backend
+        )
         self._procs: List[Process] = []
 
     @property

@@ -130,6 +130,7 @@ class Window:
         bufs: Sequence[Any],
         name: str = "",
         passive_all: bool = False,
+        coalesce: bool = False,
     ) -> None:
         comm._ensure_alive()
         if len(bufs) != comm.size:
@@ -171,6 +172,20 @@ class Window:
         self._eager_max = int(
             getattr(comm.tuning, "rma_eager_max_bytes", 8 * 1024)
         )
+        #: MVAPICH2-style put coalescing: consecutive small eager puts
+        #: to one target inside an epoch are buffered and ride a single
+        #: wire transfer (one header, one fabric latency) at the next
+        #: completion point or conflicting operation.  Off by default —
+        #: existing timings stay byte-stable.
+        self.coalesce = coalesce
+        #: origin → target → list of (payload snapshot, offset) puts
+        #: not yet on the wire, plus their byte total.
+        self._pending_puts: List[Dict[int, List[Tuple[np.ndarray, int]]]] = [
+            dict() for _ in range(size)
+        ]
+        self._pending_bytes: List[Dict[int, int]] = [
+            dict() for _ in range(size)
+        ]
         comm._windows.append(self)
         comm._count("win_create")
 
@@ -213,6 +228,7 @@ class Window:
         dtype=np.float64,
         name: str = "",
         passive_all: bool = False,
+        coalesce: bool = False,
     ) -> "Window":
         """Driver-level ``MPI_Win_allocate``: every rank gets ``count``
         fresh elements of ``dtype`` on its own node."""
@@ -222,7 +238,10 @@ class Window:
             )
             for r in range(comm.size)
         ]
-        return cls(comm, bufs, name=name, passive_all=passive_all)
+        return cls(
+            comm, bufs, name=name, passive_all=passive_all,
+            coalesce=coalesce,
+        )
 
     # -- introspection ------------------------------------------------------
     @property
@@ -248,6 +267,11 @@ class Window:
         would write through the released arrays) — complete them first
         (``flush`` / the collective :meth:`WinContext.free`)."""
         self._ensure_usable()
+        if any(pend for pend in self._pending_puts):
+            raise RmaError(
+                f"cannot free window {self.name!r} with coalesced puts "
+                "still buffered (flush first)"
+            )
         for lists in self._outgoing:
             for procs in lists.values():
                 if any(p.is_alive for p in procs):
@@ -259,6 +283,8 @@ class Window:
         self._arrays = []
         self._device = []
         self._outgoing = []
+        self._pending_puts = []
+        self._pending_bytes = []
         self._acc_tail.clear()
         if self in self.comm._windows:
             self.comm._windows.remove(self)
@@ -380,6 +406,46 @@ class Window:
             nbytes=nbytes,
         )
 
+    def _coalesced_put_proc(
+        self,
+        origin: int,
+        target: int,
+        ops: List[Tuple[np.ndarray, int]],
+        nbytes: int,
+    ) -> Generator[Event, Any, None]:
+        """One wire transfer carrying a batch of buffered small puts.
+
+        The batch pays a single header and a single fabric traversal —
+        the whole point of coalescing — then lands each constituent put
+        in issue order through the usual target-side staging copy."""
+        self.comm._count_unchecked("rma_put[coalesced_flush]")
+        yield from self._wire(origin, target, HEADER_BYTES + nbytes)
+        yield from self._bounce(target, nbytes)
+        pcie = self._pcie(target)
+        if pcie is not None:
+            yield from pcie.write(nbytes)
+        for data, offset in ops:
+            view = self._target_view(target, offset, data.size, "put")
+            view[...] = data
+        self.sim.trace(
+            "rma.put_coalesced", win=self.name, origin=origin,
+            target=target, nbytes=nbytes, n_ops=len(ops),
+        )
+
+    def _flush_pending_puts(self, origin: int, target: int) -> None:
+        """Materialize the buffered puts to ``target`` (if any) as one
+        tracked wire process.  Called from every completion point and
+        before any conflicting operation to the same target."""
+        ops = self._pending_puts[origin].pop(target, None)
+        if not ops:
+            return
+        nbytes = self._pending_bytes[origin].pop(target)
+        proc = self.sim.process(
+            self._coalesced_put_proc(origin, target, ops, nbytes),
+            name=f"{self.name}.cput(r{origin}->r{target})",
+        )
+        self._track(origin, target, proc)
+
     def _get_proc(
         self,
         origin: int,
@@ -460,12 +526,18 @@ class Window:
         data: Any,
         offset: int = 0,
         snapshot: bool = True,
-    ) -> Generator[Event, Any, Process]:
+        defer: bool = False,
+    ) -> Generator[Event, Any, Optional[Process]]:
         """Charge the origin setup and launch the put's wire process.
 
         ``snapshot=False`` skips the defensive payload copy when the
         caller already owns a private snapshot (the DCGN comm threads
         do — their requests snapshotted at kernel issue/harvest time).
+
+        ``defer=True`` (only honoured on a ``coalesce=True`` window,
+        for small eager payloads) buffers the put instead of launching
+        it and returns ``None``; the batch rides one wire transfer at
+        the next completion point or conflicting operation.
         """
         self._require_access(origin, target, "put")
         dtype = self._window_dtype(target, "put")
@@ -474,6 +546,20 @@ class Window:
             payload = payload.copy()
         self._target_view(target, offset, payload.size, "put")  # bounds
         self.comm._count("rma_put")
+        nbytes = int(payload.nbytes)
+        if defer and self.coalesce and nbytes <= self._eager_max:
+            self.comm._count_unchecked("rma_put[coalesced]")
+            self.sim.stats.rma_coalesced_puts += 1
+            yield self._setup()
+            pend = self._pending_puts[origin].setdefault(target, [])
+            pend.append((payload if snapshot else payload.copy(), offset))
+            total = self._pending_bytes[origin].get(target, 0) + nbytes
+            self._pending_bytes[origin][target] = total
+            if total > self._eager_max:
+                # Batch outgrew the eager path: put it on the wire now.
+                self._flush_pending_puts(origin, target)
+            return None
+        self._flush_pending_puts(origin, target)
         yield self._setup()
         proc = self.sim.process(
             self._put_proc(origin, target, payload, offset),
@@ -485,6 +571,9 @@ class Window:
         self, origin: int, target: int, recvbuf: Any, offset: int = 0
     ) -> Generator[Event, Any, Process]:
         self._require_access(origin, target, "get")
+        # A get must observe this origin's earlier puts (program order
+        # per origin-target pair): flush any buffered batch first.
+        self._flush_pending_puts(origin, target)
         dtype = self._window_dtype(target, "get")
         dst = self._as_elems(recvbuf, dtype, "get", writable=True)
         self._target_view(target, offset, dst.size, "get")  # bounds
@@ -508,6 +597,7 @@ class Window:
     ) -> Generator[Event, Any, Process]:
         what = "get_accumulate" if fetch_into is not None else "accumulate"
         self._require_access(origin, target, what)
+        self._flush_pending_puts(origin, target)
         op = ReduceOp(op)
         dtype = self._window_dtype(target, what)
         payload = self._as_elems(data, dtype, what)
@@ -542,6 +632,11 @@ class Window:
     ) -> Generator[Event, Any, None]:
         """Wait until this origin's operations (to ``target``, or all)
         have completed *remotely*."""
+        if target is not None:
+            self._flush_pending_puts(origin, target)
+        else:
+            for t in list(self._pending_puts[origin]):
+                self._flush_pending_puts(origin, t)
         lists = self._outgoing[origin]
         targets = [target] if target is not None else list(lists)
         for t in targets:
@@ -622,8 +717,12 @@ class WinContext:
         """One-sided write of ``data`` into ``target``'s window at
         element ``offset``.  Returns after the origin-side issue; the
         transfer completes at the next synchronization (or
-        :meth:`flush`)."""
-        yield from self.win.start_put(self.rank, target, data, offset)
+        :meth:`flush`).  On a ``coalesce=True`` window, small eager
+        puts are buffered and batched onto one wire transfer at that
+        completion point."""
+        yield from self.win.start_put(
+            self.rank, target, data, offset, defer=True
+        )
 
     def rput(
         self, target: int, data: Any, offset: int = 0

@@ -33,8 +33,10 @@ from .errors import (
     ScheduleError,
     SimulationError,
 )
+from .batch import EventBatch
 from .explore import ExploringSimulator, ScheduleChoice
 from .primitives import AllOf, AnyOf, all_of, any_of
+from .stats import SimStats
 from .resources import BandwidthChannel, Mutex, Resource, acquire
 from .rng import RngStreams, stable_hash
 from .stores import FilterStore, Store
@@ -59,6 +61,8 @@ __all__ = [
     "LivelockError",
     "ExploringSimulator",
     "ScheduleChoice",
+    "SimStats",
+    "EventBatch",
     "AnyOf",
     "AllOf",
     "any_of",

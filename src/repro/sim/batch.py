@@ -1,0 +1,106 @@
+"""Batched event completion: many logical events, one heap operation.
+
+The exact simulator pays one heap push + pop per completing event.  For
+the analytic fast path that cost dominates: a 1024-rank collective has
+one completion *per rank*, but they cluster on a handful of distinct
+completion times.  :class:`EventBatch` exploits the clustering — the
+completions are collected into a numpy structured array, grouped by
+unique time, and each distinct time gets exactly **one** carrier
+:class:`~repro.sim.core.Event` on the heap.  When the carrier pops, its
+callback marks every member event triggered-and-processed and runs the
+members' callbacks inline, so N completions cost ``unique_times`` heap
+operations instead of N.
+
+Members delivered this way are indistinguishable from normally
+processed events to waiters: ``triggered``/``processed``/``ok``/
+``value`` all read correctly, and callbacks run from the main loop at
+the member's exact simulated time (carriers are scheduled with NORMAL
+priority, like plain ``succeed()``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from .core import NORMAL, PENDING, Event, Simulator
+from .errors import ScheduleError
+
+__all__ = ["EventBatch"]
+
+#: Structured record for one pending completion: absolute fire time and
+#: an index into the side list of (event, value) pairs.  Kept as a
+#: numpy array so grouping by time is a vectorized sort, not Python
+#: tuple churn.
+_REC_DTYPE = np.dtype([("time", np.float64), ("slot", np.int64)])
+
+
+class EventBatch:
+    """Accumulates ``(time, event, value)`` completions, then commits
+    them with one heap push per distinct completion time."""
+
+    def __init__(self, sim: Simulator, name: str = "batch") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: List[Tuple[float, Event, Any]] = []
+
+    def add(self, time: float, event: Event, value: Any = None) -> None:
+        """Schedule ``event`` to complete successfully at absolute
+        simulated ``time`` (must be >= now)."""
+        if event.triggered:
+            raise ScheduleError(f"{event!r} already triggered")
+        if time < self.sim.now:
+            raise ScheduleError(
+                f"batch completion in the past: {time} < {self.sim.now}"
+            )
+        self._items.append((time, event, value))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def commit(self) -> int:
+        """Flush accumulated completions; returns the number of carrier
+        events pushed (== number of distinct completion times)."""
+        items = self._items
+        if not items:
+            return 0
+        self._items = []
+        recs = np.empty(len(items), dtype=_REC_DTYPE)
+        recs["time"] = [it[0] for it in items]
+        recs["slot"] = np.arange(len(items))
+        # Stable sort: members at one time fire in insertion order, the
+        # same FIFO tie-break the plain heap gives same-time events.
+        order = np.argsort(recs, order=("time", "slot"), kind="stable")
+        recs = recs[order]
+        times = recs["time"]
+        # Boundaries of runs of equal time.
+        starts = np.flatnonzero(np.concatenate(([True], times[1:] != times[:-1])))
+        ends = np.concatenate((starts[1:], [len(recs)]))
+        sim = self.sim
+        for lo, hi in zip(starts, ends):
+            t = float(times[lo])
+            members = [items[int(s)] for s in recs["slot"][lo:hi]]
+            carrier = Event(sim, name=f"{self.name}@{t:g}")
+            carrier._ok = True
+            carrier._value = None
+            carrier.callbacks.append(_make_drain(sim, members))
+            sim._schedule(carrier, delay=t - sim.now, priority=NORMAL)
+        return len(starts)
+
+
+def _make_drain(sim: Simulator, members: List[Tuple[float, Event, Any]]):
+    def drain(_carrier: Event) -> None:
+        stats = sim.stats
+        for _t, ev, value in members:
+            if ev._value is not PENDING:  # pragma: no cover - defensive
+                raise ScheduleError(f"batched {ev!r} triggered elsewhere")
+            ev._ok = True
+            ev._value = value
+            stats.batch_events += 1
+            callbacks, ev.callbacks = ev.callbacks, None
+            if callbacks:
+                for fn in callbacks:
+                    fn(ev)
+
+    return drain

@@ -36,6 +36,7 @@ from .errors import (
     SimulationError,
     StopSimulation,
 )
+from .stats import SimStats
 
 __all__ = [
     "PENDING",
@@ -334,6 +335,8 @@ class Simulator:
         self._current: Optional[Process] = None
         #: Optional tracer with a ``record(t, category, **fields)`` method.
         self.tracer: Any = None
+        #: Monotonic event-loop counters (:class:`~repro.sim.stats.SimStats`).
+        self.stats = SimStats()
 
     # -- time ------------------------------------------------------------
     @property
@@ -358,6 +361,7 @@ class Simulator:
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
         if delay < 0:
             raise ScheduleError(f"negative delay {delay!r}")
+        self.stats.heap_pushes += 1
         heapq.heappush(
             self._heap, (self._now + delay, priority, next(self._seq), event)
         )
@@ -387,6 +391,7 @@ class Simulator:
         if t < self._now - 1e-18:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = t
+        self.stats.events_popped += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for fn in callbacks:

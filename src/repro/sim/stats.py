@@ -1,0 +1,67 @@
+"""Lightweight simulator counters for performance diagnosis.
+
+Every :class:`~repro.sim.core.Simulator` owns a :class:`SimStats`
+(``sim.stats``).  The hot-path hooks are bare integer increments — no
+branching, no allocation — so the exact simulator's event timing and
+ordering are untouched.  Benchmarks print the counters next to their
+timings so a perf regression (e.g. a copy-elision path silently
+reverting to eager copies, or the fast path falling back to packet
+simulation) is visible in the bench JSON, not just in wall-clock noise.
+
+Counter glossary
+----------------
+``heap_pushes`` / ``events_popped``
+    Raw event-loop volume: entries pushed onto / popped off the heap.
+    The vectorized fast path shows up here first — pricing a collective
+    analytically replaces thousands of pops with a handful.
+``payload_copies`` / ``payload_views``
+    Defensive ``np.copy`` snapshots taken at send time vs. sends that
+    proved alias-safe and shipped a zero-copy view instead.
+``batch_events``
+    Completions delivered through an :class:`~repro.sim.batch.EventBatch`
+    carrier (many logical completions drained by one heap operation).
+``fastpath_collectives`` / ``fastpath_rounds``
+    Collectives executed by the analytic backend, and the total number
+    of schedule rounds it priced without enqueueing packets.
+``rma_coalesced_puts``
+    Small eager RMA puts absorbed into a combined wire transfer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimStats"]
+
+_FIELDS = (
+    "heap_pushes",
+    "events_popped",
+    "payload_copies",
+    "payload_views",
+    "batch_events",
+    "fastpath_collectives",
+    "fastpath_rounds",
+    "rma_coalesced_puts",
+)
+
+
+class SimStats:
+    """Monotonic event-loop counters (see module docstring)."""
+
+    __slots__ = _FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for f in _FIELDS:
+            setattr(self, f, 0)
+
+    def as_dict(self) -> dict:
+        return {f: getattr(self, f) for f in _FIELDS}
+
+    def summary(self) -> str:
+        """One-line rendering for benchmark output."""
+        d = self.as_dict()
+        return " ".join(f"{k}={v}" for k, v in d.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimStats({self.summary()})"
