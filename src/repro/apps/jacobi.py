@@ -237,15 +237,23 @@ def run_mpi(
     cfg: JacobiConfig,
     backend: str = "blocking",
     placement: Optional[List[int]] = None,
+    exec_backend: str = "exact",
 ) -> AppResult:
-    """Run the stencil under one of :data:`MPI_BACKENDS`."""
+    """Run the stencil under one of :data:`MPI_BACKENDS`.
+
+    ``exec_backend`` selects the simulator's timing engine
+    (``"exact"`` | ``"analytic"`` | ``"pricing"``): the analytic
+    backends price collectives and window epochs without per-op wire
+    processes, which is what makes 1024-rank halo sweeps interactive.
+    ``"pricing"`` moves no data, so verification is skipped.
+    """
     if backend not in MPI_BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; pick one of {MPI_BACKENDS}"
         )
     if placement is None:
         placement = block_placement(cfg.p, cluster.n_nodes)
-    job = MpiJob(cluster, placement)
+    job = MpiJob(cluster, placement, backend=exec_backend)
     field = _init_field(cfg)
     strips: Dict[int, np.ndarray] = {}
     marks: Dict[str, float] = {}
@@ -296,7 +304,9 @@ def run_mpi(
 
     job.start(worker)
     job.run()
-    result = _assemble(cfg, field, strips)
+    result = _assemble(
+        cfg, field, strips, verify=(exec_backend != "pricing")
+    )
     return AppResult(
         elapsed=marks["t1"] - marks["t0"],
         units=cfg.p,
@@ -306,7 +316,10 @@ def run_mpi(
 
 
 def _assemble(
-    cfg: JacobiConfig, field: np.ndarray, strips: Dict[int, np.ndarray]
+    cfg: JacobiConfig,
+    field: np.ndarray,
+    strips: Dict[int, np.ndarray],
+    verify: bool = True,
 ) -> np.ndarray:
     """Stitch the per-rank strips back together and (optionally) verify
     against the sequential reference."""
@@ -314,7 +327,7 @@ def _assemble(
     out = field.copy()
     for r, strip in strips.items():
         out[1 + r * k : 1 + (r + 1) * k] = strip[1 : k + 1]
-    if cfg.verify:
+    if cfg.verify and verify:
         ref = reference(cfg)
         if not np.allclose(out, ref, atol=1e-12):
             err = float(np.abs(out - ref).max())
@@ -328,7 +341,9 @@ def _assemble(
 # DCGN: GPU-kernel-driven one-sided halo exchange
 # ---------------------------------------------------------------------------
 
-def run_dcgn(cluster: Cluster, cfg: JacobiConfig) -> AppResult:
+def run_dcgn(
+    cluster: Cluster, cfg: JacobiConfig, backend: str = "exact"
+) -> AppResult:
     """GPU kernels push halos into the neighbors' window regions.
 
     One GPU slot per rank.  Each iteration the kernel ``put``s its
@@ -336,6 +351,11 @@ def run_dcgn(cluster: Cluster, cfg: JacobiConfig) -> AppResult:
     GPU-as-source idea, now with no matching receive anywhere), crosses
     a barrier, ``get``s its two refreshed ghost rows from its *own*
     region, and relaxes.
+
+    ``backend`` selects the node-level MPI timing engine the comm
+    threads ride (``"exact"`` | ``"analytic"`` | ``"pricing"``; see
+    :class:`~repro.dcgn.DcgnConfig`).  ``"pricing"`` moves no window
+    data, so verification is skipped.
     """
     from ..dcgn import DcgnConfig, DcgnRuntime, NodeConfig
     from ..gpusim.kernel import LaunchConfig
@@ -353,7 +373,9 @@ def run_dcgn(cluster: Cluster, cfg: JacobiConfig) -> AppResult:
     k, cols = cfg.rows_per_rank, cfg.cols
     rt = DcgnRuntime(
         cluster,
-        DcgnConfig(node_cfgs, windows={"halo": (k + 2) * cols}),
+        DcgnConfig(
+            node_cfgs, windows={"halo": (k + 2) * cols}, backend=backend
+        ),
     )
     field = _init_field(cfg)
     strips: Dict[int, np.ndarray] = {}
@@ -420,7 +442,7 @@ def run_dcgn(cluster: Cluster, cfg: JacobiConfig) -> AppResult:
 
     rt.launch_gpu(kernel, config=LaunchConfig(grid_blocks=1))
     rt.run(max_time=600.0)
-    result = _assemble(cfg, field, strips)
+    result = _assemble(cfg, field, strips, verify=(backend != "pricing"))
     return AppResult(
         elapsed=marks["t1"] - marks["t0"],
         units=cfg.p,

@@ -4,7 +4,8 @@ Each scenario is a self-contained concurrent program exercising one of
 the hand-rolled synchronization paths PRs 3-5 added to the runtime —
 passive-target lock grant queues, PSCW partial-group sync, fence
 epochs, split-during-collective sequencing, ``Comm_free`` drains, the
-DCGN comm-thread completer.  A scenario:
+DCGN comm-thread completer, and the columnar event core's batched
+same-instant drains.  A scenario:
 
 * builds its cluster/job on the :class:`~repro.sim.ExploringSimulator`
   it is given (so every event-heap tie is a scheduling choice),
@@ -408,6 +409,147 @@ def _run_dcgn_completer(sim: Simulator) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Structured-array event core: batched drains under the tie-break
+# ---------------------------------------------------------------------------
+
+def _run_batch_drain_storm(sim: Simulator) -> None:
+    """Same-instant :class:`~repro.sim.batch.EventBatch` carriers race
+    plain timeouts and zero-delay follow-ups on the columnar event
+    heap.  A deep background fill (> the merge threshold of distinct
+    completion times) forces the heap through its vectorized lexsort
+    merge while the exploring tie-break pops ready sets and re-inserts
+    the losers; two independently committed batches then drain members
+    at the *same* instants as three ticker timeouts, and waiters
+    resumed from inside a drain immediately re-enter the same instant.
+    Invariants are order-independent: every completion fires exactly
+    once with its value, delivery is time-monotone at the exact
+    scheduled instants, and each instant's tag *set* is the same no
+    matter which schedule the seed picked."""
+    from ..sim.batch import _MERGE_THRESHOLD, EventBatch
+    from ..sim.core import Event
+
+    log = []  # (time, tag) in delivery order
+    counts: Dict[str, int] = {}
+    values: Dict[str, Any] = {}
+
+    def record(tag):
+        def cb(ev: Event) -> None:
+            log.append((sim.now, tag))
+            counts[tag] = counts.get(tag, 0) + 1
+            values[tag] = ev.value
+
+        return cb
+
+    # Background fill: more distinct completion times than the merge
+    # threshold, so at least one columnar merge happens mid-schedule.
+    n_fill = _MERGE_THRESHOLD + 400
+    fill = EventBatch(sim, name="fill")
+    for i in range(n_fill):
+        ev = Event(sim, name=f"fill.{i}")
+        ev.callbacks.append(record(f"fill.{i}"))
+        fill.add(0.25 + i * 1e-6, ev, i)
+    fill.commit()
+
+    # Two independently committed batches with members at the SAME
+    # instants: two carriers per wave, co-scheduled with the tickers.
+    # Wave times are dyadic so process-relative delays reconstruct
+    # them exactly and the ready sets genuinely collide.
+    waves = [1.0, 1.0 + 2.0 ** -20, 2.0]
+    storm: Dict[str, Event] = {}
+    for b in range(2):
+        batch = EventBatch(sim, name=f"storm{b}")
+        for wi, t in enumerate(waves):
+            for m in range(4):
+                tag = f"storm{b}.w{wi}.m{m}"
+                ev = Event(sim, name=tag)
+                ev.callbacks.append(record(tag))
+                storm[tag] = ev
+                batch.add(t, ev, (b, wi, m))
+        batch.commit()
+
+    def ticker(name: str) -> Generator:
+        for t in waves:
+            yield sim.timeout(t - sim.now, name=name)
+            log.append((sim.now, name))
+
+    def waiter(tag: str, wave: float) -> Generator:
+        yield storm[tag]
+        _require(
+            sim.now == wave,
+            f"waiter on {tag} resumed at {sim.now!r}, want {wave!r}",
+        )
+        # Zero-delay follow-up: lands back in the instant's ready set.
+        yield sim.timeout(0.0, name=f"post.{tag}")
+        log.append((sim.now, f"post.{tag}"))
+
+    for k in range(3):
+        sim.process(ticker(f"tick{k}"), name=f"storm.tick{k}")
+    waited = [
+        ("storm0.w0.m0", waves[0]),
+        ("storm1.w0.m3", waves[0]),
+        ("storm0.w2.m1", waves[2]),
+    ]
+    for tag, wave in waited:
+        sim.process(waiter(tag, wave), name=f"storm.wait.{tag}")
+    sim.run()
+
+    # Exactly-once delivery with the right payloads.
+    n_storm = 2 * len(waves) * 4
+    _require(
+        len(values) == n_fill + n_storm,
+        f"{len(values)} distinct completions fired, "
+        f"want {n_fill + n_storm}",
+    )
+    dup = sorted(t for t, c in counts.items() if c != 1)
+    _require(not dup, f"double-fired completions: {dup[:5]}")
+    for i in range(n_fill):
+        _require(
+            values[f"fill.{i}"] == i,
+            f"fill.{i} delivered {values[f'fill.{i}']!r}",
+        )
+    for b in range(2):
+        for wi in range(len(waves)):
+            for m in range(4):
+                tag = f"storm{b}.w{wi}.m{m}"
+                _require(
+                    values[tag] == (b, wi, m),
+                    f"{tag} delivered {values[tag]!r}",
+                )
+
+    # Time-monotone delivery at the exact scheduled instants.
+    times = [t for t, _ in log]
+    _require(
+        all(a <= b2 for a, b2 in zip(times, times[1:])),
+        "delivery log is not time-monotone",
+    )
+    for wi, t in enumerate(waves):
+        want = {f"storm{b}.w{wi}.m{m}" for b in range(2) for m in range(4)}
+        want |= {f"tick{k}" for k in range(3)}
+        want |= {f"post.{tag}" for tag, wave in waited if wave == t}
+        got = {tag for tt, tag in log if tt == t}
+        _require(
+            got == want,
+            f"wave {wi} tag set {sorted(got ^ want)} out of place",
+        )
+
+    # The schedule actually exercised the new core: the columnar heap
+    # merged at least once, and the tie-break had real choices.
+    _require(
+        sim.stats.heap_merges >= 1,
+        f"columnar heap never merged ({sim.stats.heap_merges})",
+    )
+    _require(
+        sim.stats.batch_events == n_fill + n_storm,
+        f"batch_events {sim.stats.batch_events}, "
+        f"want {n_fill + n_storm}",
+    )
+    _require(
+        getattr(sim, "decisions", 1) > 0,
+        "no scheduling decisions: the storm never built a ready set",
+    )
+
+
+# ---------------------------------------------------------------------------
 # Detector fixtures: the checker must catch these
 # ---------------------------------------------------------------------------
 
@@ -497,6 +639,12 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             "dcgn-completer",
             _run_dcgn_completer,
             "comm-thread completer multiplexing CPU and GPU-slot traffic",
+        ),
+        ScenarioSpec(
+            "batch-drain-storm",
+            _run_batch_drain_storm,
+            "same-instant EventBatch drains vs timeouts on the "
+            "columnar heap",
         ),
         ScenarioSpec(
             "buggy-grant-queue",

@@ -429,7 +429,7 @@ class CommThread:
                 raise DcgnError(f"{req!r} has no payload snapshot")
             payload = np.ascontiguousarray(req.data.reshape(-1)[:count])
             proc = yield from win.win.start_put(
-                me, tnode, payload, woff, snapshot=False
+                me, tnode, payload, woff, snapshot=False, want_event=True
             )
 
             def finish(req=req, n=int(payload.nbytes)):
@@ -441,14 +441,17 @@ class CommThread:
             payload = np.ascontiguousarray(req.data.reshape(-1)[:count])
             op = req.extra.get("reduce_op", "sum")
             proc = yield from win.win.start_accumulate(
-                me, tnode, payload, op=op, offset=woff, snapshot=False
+                me, tnode, payload, op=op, offset=woff, snapshot=False,
+                want_event=True,
             )
 
             def finish(req=req, n=int(payload.nbytes)):
                 req.complete(CommStatus(source=req.src_vrank, nbytes=n))
 
         elif req.op == "rma_get":
-            recv = np.empty(count, dtype=win.dtype)
+            # zeros, not empty: under the pricing backend the wire op
+            # moves no data, and garbage would make runs irreproducible.
+            recv = np.zeros(count, dtype=win.dtype)
             proc = yield from win.win.start_get(me, tnode, recv, woff)
 
             def finish(req=req, recv=recv):

@@ -109,12 +109,20 @@ class DcgnConfig:
     virtual rank gets a registered region, and kernels move data into
     any other rank's region matching-free (CPU ``ctx.put(...)``, GPU
     ``ctx.comm.put(slot, ...)``; see :mod:`repro.dcgn.windows`).
+
+    ``backend`` selects the timing engine of the node-level MPI layer
+    the comm threads drive: ``"exact"`` (per-op wire processes, the
+    default), ``"analytic"`` (fast-path pricing of staged collectives
+    and window operations — same algorithm selection, same data, far
+    fewer simulator events) or ``"pricing"`` (analytic timing with no
+    data movement, for pure scaling sweeps).
     """
 
     nodes: tuple
     tuning: Optional[CollectiveTuning] = None
     slot_groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
     windows: Tuple[Tuple[str, Tuple[int, str]], ...] = ()
+    backend: str = "exact"
 
     def __init__(
         self,
@@ -122,11 +130,13 @@ class DcgnConfig:
         tuning: Optional[CollectiveTuning] = None,
         slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
         windows: Optional[Mapping[str, object]] = None,
+        backend: str = "exact",
     ) -> None:
         if not nodes:
             raise DcgnConfigError("job needs at least one node")
         object.__setattr__(self, "nodes", tuple(nodes))
         object.__setattr__(self, "tuning", tuning)
+        object.__setattr__(self, "backend", str(backend))
         groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
         if slot_groups:
             groups = tuple(
@@ -154,6 +164,7 @@ class DcgnConfig:
         tuning: Optional[CollectiveTuning] = None,
         slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
         windows: Optional[Mapping[str, object]] = None,
+        backend: str = "exact",
     ) -> "DcgnConfig":
         """Same configuration on every node (the paper's usual setup)."""
         return cls(
@@ -168,6 +179,7 @@ class DcgnConfig:
             tuning=tuning,
             slot_groups=slot_groups,
             windows=windows,
+            backend=backend,
         )
 
     @property

@@ -50,11 +50,14 @@ class DcgnRuntime:
         self.rankmap = RankMap(config)
         # One MPI rank per participating node (the DCGN process).  The
         # job's collective tuning steers this communicator's algorithm
-        # selection, so DCGN-layer collectives ride the same engine.
+        # selection, so DCGN-layer collectives ride the same engine —
+        # and its backend decides whether staged collectives and window
+        # operations run exact wire processes or the analytic pricer.
         self.node_comm = Communicator(
             cluster,
             placement=list(range(config.n_nodes)),
             tuning=config.tuning,
+            backend=config.backend,
         )
         #: Slot-group registry: the world group, every group declared in
         #: ``config.slot_groups`` (each backed by its own node-level MPI

@@ -29,7 +29,7 @@ from typing import List
 
 import numpy as np
 
-from ..datatypes import Payload, ReduceOp, payload_array
+from ..datatypes import AdoptBuf, Payload, ReduceOp, payload_array
 from ..errors import MpiError
 from .base import hier_ok as _hier_ok, largest_pof2, next_tag
 from .schedule import Schedule
@@ -121,18 +121,18 @@ def build_allreduce_recursive_doubling(
     # Fold-in (tag offset 4): even ranks below 2·rem contribute and sit out.
     if rank < 2 * rem:
         if rank % 2 == 0:
-            # alias_ok: acc is rebound, never mutated, and the fold-out
+            # donate: acc is rebound, never mutated, and the fold-out
             # recv that overwrites it is causally behind the partner's
-            # delivery of this message.
+            # fold-in, which is the last read of the donated array.
             deps = [sched.send(lambda: st["acc"], rank + 1, tag + 4,
-                               alias_ok=True)]
+                               donate=True)]
             newrank = -1
         else:
-            tmp0 = np.empty_like(st["acc"])
+            tmp0 = AdoptBuf(st["acc"])
             r = sched.recv(tmp0, rank - 1, tag + 4)
 
             def fold_in(tmp0=tmp0):
-                st["acc"] = op.combine(tmp0, st["acc"])
+                st["acc"] = op.combine(tmp0.arr, st["acc"])
 
             deps = [sched.compute(fold_in, after=(r,))]
             newrank = rank // 2
@@ -147,18 +147,19 @@ def build_allreduce_recursive_doubling(
                 partner_new * 2 + 1 if partner_new < rem
                 else partner_new + rem
             )
-            tmp = np.empty_like(st["acc"])
-            # alias_ok: acc is rebound (never mutated), so the in-flight
-            # view can never observe a later write.
+            tmp = AdoptBuf(st["acc"])
+            # donate: acc is rebound (never mutated), so the in-flight
+            # array can never observe a later write — the partner may
+            # adopt it as its combine input.
             s = sched.send(lambda: st["acc"], partner, tag,
-                           after=deps, round=rnd, alias_ok=True)
+                           after=deps, round=rnd, donate=True)
             r = sched.recv(tmp, partner, tag, after=deps, round=rnd)
 
             def combine(tmp=tmp, partner=partner):
                 st["acc"] = (
-                    op.combine(tmp, st["acc"])
+                    op.combine(tmp.arr, st["acc"])
                     if partner < rank
-                    else op.combine(st["acc"], tmp)
+                    else op.combine(st["acc"], tmp.arr)
                 )
 
             deps = [sched.compute(combine, after=(s, r), round=rnd)]
@@ -167,8 +168,8 @@ def build_allreduce_recursive_doubling(
     if rank < 2 * rem:
         rnd += 1
         if rank % 2 == 1:
-            # alias_ok: acc holds this rank's final result; nothing
-            # writes it after this send.
+            # alias_ok (not donate): acc holds this rank's final result
+            # and is still read by the trailing out-copy below.
             deps = [sched.send(lambda: st["acc"], rank - 1, tag + 5,
                                after=deps, round=rnd, alias_ok=True)]
         else:
@@ -220,17 +221,18 @@ def append_ring_reduce_scatter(
     for step in range(size - 1):
         send_c = chunk(rank - step)
         recv_c = chunk(rank - step - 1)
-        tmp = np.empty_like(recv_c)
+        tmp = AdoptBuf(recv_c)
         rnd = round0 + step
-        # alias_ok: acc is collective-private and the sent chunk is next
-        # written only in the allgather phase, causally behind the right
-        # neighbor's delivery of this message.
+        # donate: acc is collective-private and the sent chunk is next
+        # written only in the allgather phase, which is causally behind
+        # the right neighbor's combine — the last read of the adopted
+        # chunk view.
         s = sched.send(send_c, right, tag + step % 4, after=deps, round=rnd,
-                       alias_ok=True)
+                       donate=True)
         r = sched.recv(tmp, left, tag + step % 4, after=deps, round=rnd)
 
         def combine(tmp=tmp, recv_c=recv_c):
-            recv_c[...] = op.combine(tmp, recv_c)
+            recv_c[...] = op.combine(tmp.arr, recv_c)
 
         deps = [sched.compute(combine, after=(s, r), round=rnd)]
     return deps

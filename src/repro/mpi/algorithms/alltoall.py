@@ -24,7 +24,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..datatypes import Payload, payload_array
+from ..datatypes import AdoptBuf, Payload, payload_array
 from ..errors import MpiError
 from .base import is_pof2, next_tag
 from .schedule import Schedule
@@ -145,17 +145,20 @@ def build_alltoall_bruck(
         idxs = [i for i in range(size) if i & step]
         dst = (rank + step) % size
         src = (rank - step) % size
-        recvpack = np.empty(len(idxs) * block, dtype=np.uint8)
-        # alias_ok: the payload is a fresh concatenation of the slots.
+        recvpack = AdoptBuf(len(idxs) * block)
+        # donate: the payload is a fresh concatenation of the slots
+        # (np.concatenate copies even for a single input), which the
+        # sender never touches again.
         s = sched.send(
             lambda idxs=idxs: np.concatenate([slots[i] for i in idxs]),
-            dst, tag + rnd % 2, after=deps, round=rnd, alias_ok=True,
+            dst, tag + rnd % 2, after=deps, round=rnd, donate=True,
         )
         r = sched.recv(recvpack, src, tag + rnd % 2, after=deps, round=rnd)
 
         def unpack(buf=recvpack, idxs=idxs):
+            arr = buf.arr
             for j, i in enumerate(idxs):
-                slots[i] = buf[j * block : (j + 1) * block]
+                slots[i] = arr[j * block : (j + 1) * block]
 
         deps = [s, sched.compute(unpack, after=(r,), round=rnd)]
         step <<= 1

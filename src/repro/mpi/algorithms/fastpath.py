@@ -10,47 +10,50 @@ schedules (same builders, same selector decisions, same tag claims, same
 1. **Collect** — every rank's ``execute`` deposits its per-rank schedule
    into a shared per-collective *instance*; the last-arriving rank
    triggers completion (collectives are synchronizing, so nothing can
-   legally complete before the last rank shows up).
+   legally complete before the last rank shows up).  Each rank's issue
+   time is recorded at deposit, so skewed arrivals propagate into the
+   timing exactly as they do in the exact engine.
 2. **Interpret** — the per-rank DAGs run as a deterministic dataflow:
    computes run inline, sends deliver payloads straight into matched
    receive buffers (rank-0-first round-robin, one step per rank per
    cycle; per-key FIFO message queues mirror the matcher's
    non-overtaking order).  Data results are therefore *bit-identical* to
    the exact simulator.
-3. **Price** — wire steps are logged as per-(rank, round) cost records;
-   the per-message cost comes from the topology's static
-   :meth:`~repro.hw.topology.base.Topology.wire_time` through an
-   interned ``(src_node, dst_node, nbytes)`` cache, mirroring the
-   eager/rendezvous protocol shapes of ``_send_impl``.  A round costs
-   the maximum over ranks of each rank's busier direction, and rank *r*
-   completes at ``max(arrival) + Σ round costs`` through its last
-   active round — the same per-round critical-path model the autotuner
-   (:mod:`~repro.mpi.algorithms.autotune`) already prices selections
-   with, now promoted to an execution backend.
+3. **Price** — completion times come from a per-step critical-path
+   resolution over the very same DAGs: the k-th send on a
+   ``(comm, src, dst, tag)`` key pairs with the k-th receive (the
+   matcher is non-overtaking per key), and each paired wire step is
+   priced with the protocol shape of ``_send_impl``/``_recv_impl`` —
+   eager (``sw`` + one wire trip, receive finishing at
+   ``max(recv_ready + sw, send_finish)``) or rendezvous (RTS → CTS →
+   payload, both sides finishing together).  Per-message wire times are
+   interned in a ``(src_node, dst_node, nbytes)`` cache (hits/misses
+   surface as ``sim.stats.wire_cost_hits``/``wire_cost_misses``).
+   Because the resolution follows dependencies, not round labels,
+   transfers in different rounds overlap exactly as the spawned wire
+   processes of the exact engine do — non-power-of-two binomial trees,
+   whose straggler subtrees fire early, price tight instead of paying a
+   per-round barrier.  What the model still ignores is channel
+   *contention* (concurrent transfers sharing a NIC or spine link
+   serialize in the exact engine, never here) — enforced within
+   tolerance at P ≤ 16 by ``tests/test_fastpath.py``.
 4. **Commit** — all per-rank completions go through one
    :class:`~repro.sim.batch.EventBatch`, so 1024 rank completions cost
    a handful of heap operations instead of thousands.
 
 What stays exact: point-to-point (``send``/``recv``/``isend``/...),
-``gather``/``scatter`` (linear, not schedule-based), and all RMA — only
-schedule-compiled collectives take the fast path.  Timings are
-approximate (no contention, no skew inside a collective) but agree with
-the exact simulator within tolerance at small P — enforced by
-``tests/test_fastpath.py`` — while selection thresholds, being driven
-by the same tuning, match exactly.  One documented conservatism: the
-per-round barrier model prices every labeled round in full, so trees
-whose straggler leaves fire early and overlap rounds in the exact
-engine (non-power-of-two binomial reduce) are overestimated by up to
-one round's cost.
+``gather``/``scatter`` (linear, not schedule-based), and host-memory
+RMA epochs take their own analytic path in :mod:`repro.mpi.rma` — only
+schedule-compiled collectives take *this* one.  Selection thresholds,
+being driven by the same tuning, match the exact backend exactly.
 
 **Pricing-only mode** (``backend="pricing"``): skips the dataflow
-interpretation entirely and prices each rank's schedule straight off
-its step list — same per-round cost model, same simulated times, but
-receive buffers are left untouched (compute steps never run).  This is
-the sweep mode: a 1024-rank collective costs one pass over the steps
-plus a handful of numpy reductions, which is what makes the
-``BENCH_scale.json`` sweeps interactive.  Never use it when the
-program consumes the data it communicates.
+interpretation entirely and resolves times straight off the step lists
+— same critical-path model, bit-identical simulated times, but receive
+buffers are left untouched (compute steps never run).  This is the
+sweep mode: a 1024-rank collective costs one pass over the steps, which
+is what makes the ``BENCH_scale.json`` sweeps interactive.  Never use
+it when the program consumes the data it communicates.
 """
 
 from __future__ import annotations
@@ -58,12 +61,10 @@ from __future__ import annotations
 import heapq
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-import numpy as np
-
 from ...hw.memory import nbytes_of
 from ...sim.batch import EventBatch
 from ...sim.core import Event, us
-from ..datatypes import payload_array
+from ..datatypes import AdoptBuf, payload_array
 from ..errors import MpiError
 from .schedule import ScheduleEngine, Schedule, _Step
 
@@ -79,16 +80,26 @@ class _Instance:
     """One collective call site: per-rank schedules awaiting the last
     arrival."""
 
-    __slots__ = ("ctxs", "scheds", "dones", "arrived")
+    __slots__ = (
+        "ctxs", "scheds", "dones", "arrivals", "arrived",
+        "lazy_key", "lazy_builder",
+    )
 
     def __init__(self, size: int) -> None:
         self.ctxs: List[Any] = [None] * size
         self.scheds: List[Optional[Schedule]] = [None] * size
         self.dones: List[Optional[Event]] = [None] * size
+        self.arrivals: List[float] = [0.0] * size
         self.arrived = 0
+        #: Set when deposits defer their DAG build (``execute_barrier``):
+        #: the intern key stands in for the schedules, and the builder
+        #: materializes them only on a fin-cache miss.
+        self.lazy_key: Optional[Tuple] = None
+        self.lazy_builder: Optional[Any] = None
 
-    def deposit(self, rank: int, ctx, sched: Schedule, done: Event) -> None:
-        if self.scheds[rank] is not None:
+    def deposit(self, rank: int, ctx, sched: Optional[Schedule],
+                done: Event) -> None:
+        if self.dones[rank] is not None or self.scheds[rank] is not None:
             raise MpiError(
                 f"rank {rank} deposited twice into one collective "
                 "instance — collectives issued out of order?"
@@ -96,6 +107,8 @@ class _Instance:
         self.ctxs[rank] = ctx
         self.scheds[rank] = sched
         self.dones[rank] = done
+        if ctx is not None:
+            self.arrivals[rank] = ctx.sim.now
         self.arrived += 1
 
 
@@ -157,8 +170,14 @@ class FastPathEngine(ScheduleEngine):
         super().__init__(comm)
         self._claims = [0] * comm.size
         self._instances: Dict[int, _Instance] = {}
-        #: Interned per-message costs: (src_node, dst_node, nbytes) → s.
+        #: Interned wire times: (src_node, dst_node, nbytes) → seconds.
         self._wire_cache: Dict[Tuple[int, int, int], float] = {}
+        #: Interned completion offsets for data-free schedules
+        #: (``Schedule.intern_key``): (key, relative arrivals) →
+        #: per-rank ``fin - base``.  Critical-path resolution is
+        #: time-translation-invariant, so a repeat instance with the
+        #: same arrival skew prices identically.
+        self._fin_cache: Dict[Tuple, List[float]] = {}
         #: Skip the dataflow interpreter: price timings only, leave
         #: receive buffers untouched (see module doc).
         self.price_only = price_only
@@ -172,8 +191,27 @@ class FastPathEngine(ScheduleEngine):
         self._claims[ctx.rank] += 1
         return self._run(ctx, sched, seq)
 
+    def execute_barrier(
+        self, ctx
+    ) -> Generator[Event, Any, None]:
+        """Barrier with a deferred DAG build: the dissemination
+        schedule is a pure function of size and moves no data, so when
+        this instance's arrival skew is already interned nobody ever
+        builds it (a Jacobi run fences every iteration)."""
+        from .barrier import build_barrier_dissemination
+
+        self.comm._ensure_alive()
+        seq = self._claims[ctx.rank]
+        self._claims[ctx.rank] += 1
+        return self._run(
+            ctx, None, seq,
+            lazy_key=("barrier_dissemination", ctx.size),
+            lazy_builder=build_barrier_dissemination,
+        )
+
     def _run(
-        self, ctx, sched: Schedule, seq: int
+        self, ctx, sched: Optional[Schedule], seq: int,
+        lazy_key: Optional[Tuple] = None, lazy_builder=None,
     ) -> Generator[Event, Any, None]:
         self.active += 1
         try:
@@ -183,6 +221,9 @@ class FastPathEngine(ScheduleEngine):
                 self._instances[seq] = inst
             done = ctx.sim.event(name=f"fastpath(r{ctx.rank}#{seq})")
             inst.deposit(ctx.rank, ctx, sched, done)
+            if lazy_key is not None:
+                inst.lazy_key = lazy_key
+                inst.lazy_builder = lazy_builder
             if inst.arrived == self.comm.size:
                 del self._instances[seq]
                 self._complete(inst)
@@ -191,105 +232,286 @@ class FastPathEngine(ScheduleEngine):
             self.active -= 1
 
     # -- pricing ------------------------------------------------------------
-    def _msg_cost(self, comm, src_rank: int, dst_rank: int,
-                  nbytes: int) -> float:
-        src = comm.placement[src_rank]
-        dst = comm.placement[dst_rank]
-        key = (src, dst, nbytes)
+    def _wt(self, src_node: int, dst_node: int, nbytes: int) -> float:
+        """Interned uncontended wire time for one transfer leg."""
+        key = (src_node, dst_node, nbytes)
         cost = self._wire_cache.get(key)
+        stats = self.comm.sim.stats
         if cost is None:
-            from ..communicator import HEADER_BYTES
-
-            ib = self.comm._ib
-            sw = us(ib.sw_overhead_us)
-            wt = self.comm.cluster.interconnect.wire_time
-            if nbytes <= ib.eager_threshold:
-                cost = sw + wt(src, dst, nbytes + HEADER_BYTES)
-            else:
-                # RTS → CTS → payload, as in _send_impl.
-                cost = (
-                    sw
-                    + wt(src, dst, HEADER_BYTES)
-                    + wt(dst, src, HEADER_BYTES)
-                    + wt(src, dst, nbytes)
-                )
+            stats.wire_cost_misses += 1
+            cost = self.comm.cluster.interconnect.wire_time(
+                src_node, dst_node, nbytes
+            )
             self._wire_cache[key] = cost
+        else:
+            stats.wire_cost_hits += 1
         return cost
 
     # -- completion ---------------------------------------------------------
     def _complete(self, inst: _Instance) -> None:
-        """Interpret the dataflow (exact data), price the rounds
-        (analytic time), and batch-commit the per-rank completions."""
+        """Interpret the dataflow (exact data), resolve the per-step
+        critical path (analytic time), and batch-commit the per-rank
+        completions."""
         comm = self.comm
         sim = comm.sim
         stats = sim.stats
         size = comm.size
-        sw = us(comm._ib.sw_overhead_us)
+
+        # Data-free schedules (intern_key set by the builder, identical
+        # across ranks, or a deferred-build barrier) skip interpretation
+        # outright — there is no payload to move — and intern their
+        # resolved completion offsets keyed by arrival skew, so the
+        # fence-per-iteration hot path resolves (and, when deferred,
+        # builds) its dissemination DAG once, not once per epoch.
+        ikey = inst.lazy_key
+        if ikey is None and inst.scheds[0] is not None:
+            ikey = inst.scheds[0].intern_key
+            if ikey is not None:
+                for r in range(1, size):
+                    sched_r = inst.scheds[r]
+                    if sched_r is None or sched_r.intern_key != ikey:
+                        ikey = None
+                        break
+        if ikey is not None:
+            base = inst.arrivals[0]
+            ckey = (ikey, tuple(a - base for a in inst.arrivals))
+            cached = self._fin_cache.get(ckey)
+            if cached is not None:
+                offsets, n_rounds = cached
+                stats.fastpath_sched_cache_hits += 1
+                stats.fastpath_collectives += 1
+                stats.fastpath_rounds += n_rounds
+                batch = EventBatch(sim, name="fastpath")
+                now = sim.now
+                for r in range(size):
+                    batch.add(max(base + offsets[r], now),
+                              inst.dones[r], None)
+                batch.commit()
+                return
+            if inst.lazy_builder is not None:
+                for r in range(size):
+                    if inst.scheds[r] is None:
+                        inst.scheds[r] = inst.lazy_builder(inst.ctxs[r])
+
+        #: Per-rank map of send-step idx → resolved payload size; the
+        #: paired receive is priced with the *send's* size, exactly as
+        #: the wire message carries it.
+        send_bytes: List[Dict[int, int]] = [dict() for _ in range(size)]
+        recv_bytes: List[Dict[int, int]] = [dict() for _ in range(size)]
+        if self.price_only or ikey is not None:
+            # Computes never run in pricing mode, so a lazy send buffer
+            # built from staged data (e.g. the Bruck working vector) can
+            # under-resolve; the posted receive buffer is statically the
+            # right size, so each pair is priced with the larger of the
+            # two resolved sizes — which equals the interpreted send
+            # size, keeping pricing bit-identical to analytic.
+            for r in range(size):
+                for st in inst.scheds[r].steps:
+                    if st.kind == _SEND or st.kind == _RECV:
+                        buf = st.resolve_buf()
+                        tgt = send_bytes if st.kind == _SEND else recv_bytes
+                        tgt[r][st.idx] = (
+                            nbytes_of(buf) if buf is not None else 0
+                        )
+        else:
+            self._interpret(inst, send_bytes)
+
+        fins = self._resolve_times(inst, send_bytes, recv_bytes)
 
         n_rounds = max(
             (inst.scheds[r].n_rounds for r in range(size)), default=0
         )
-        # Per-(rank, round) accumulated wire time, by direction.
-        out_t = np.zeros((size, max(1, n_rounds)))
-        in_t = np.zeros((size, max(1, n_rounds)))
-        over_t = np.zeros((size, max(1, n_rounds)))
-        last_round = np.full(size, -1, dtype=np.int64)
-
-        if self.price_only:
-            self._price_steps(inst, out_t, in_t, over_t, last_round, sw)
-        else:
-            self._interpret(inst, out_t, in_t, over_t, last_round, sw)
-
-        # Price: a round costs the busiest rank's busier direction;
-        # rank r completes after its last active round.
-        per_rank_round = np.maximum(out_t, in_t) + over_t
-        round_cost = per_rank_round.max(axis=0)
-        elapsed = np.concatenate(([0.0], np.cumsum(round_cost)))
-        t0 = sim.now
+        if ikey is not None:
+            self._fin_cache[ckey] = (
+                [f - base for f in fins], int(n_rounds)
+            )
         stats.fastpath_collectives += 1
         stats.fastpath_rounds += int(n_rounds)
 
         batch = EventBatch(sim, name="fastpath")
+        now = sim.now
         for r in range(size):
-            t_r = t0 + float(elapsed[int(last_round[r]) + 1])
-            batch.add(t_r, inst.dones[r], None)
+            # A rank whose steps all finish before the last arrival
+            # (e.g. an eager-only bcast root) resumes immediately: the
+            # instance only resolves once every rank has shown up.
+            batch.add(max(fins[r], now), inst.dones[r], None)
         batch.commit()
 
-    def _price_steps(self, inst: _Instance, out_t, in_t, over_t,
-                     last_round, sw: float) -> None:
-        """Pricing-only pass: accumulate wire costs straight off each
-        rank's step list.  Dependencies never reorder which round a
-        cost lands in (steps carry their round), so no dataflow run is
-        needed; computes are skipped outright, so payloads stay
-        whatever they were."""
-        for r in range(len(inst.scheds)):
+    def _resolve_times(
+        self,
+        inst: _Instance,
+        send_bytes: List[Dict[int, int]],
+        recv_bytes: List[Dict[int, int]],
+    ) -> List[float]:
+        """Per-step critical-path resolution over all ranks' DAGs.
+
+        Mirrors the exact engine's concurrency structure: every step
+        starts the moment its dependencies finish (wire steps are
+        spawned processes there, so independent steps overlap freely),
+        and each wire pair is priced with the protocol of
+        ``_send_impl``/``_recv_impl``:
+
+        * compute — finishes at its ready time (inline, zero cost);
+        * overhead — ready + ``sw``;
+        * eager send — ready + ``sw`` + wire(n + header); the paired
+          receive finishes at ``max(recv_ready + sw, send_finish)``;
+        * rendezvous pair — ``m = max(recv_ready + sw,
+          send_ready + sw + wire(hdr))`` (the RTS meets the posted
+          receive), then both sides finish at
+          ``m + wire(cts) + wire(payload)``.
+
+        Returns each rank's completion time (max over its steps).
+        """
+        from ..communicator import HEADER_BYTES
+
+        comm = self.comm
+        ib = comm._ib
+        sw = us(ib.sw_overhead_us)
+        eager_max = ib.eager_threshold
+        size = comm.size
+        wt = self._wt
+
+        steps_of = [inst.scheds[r].steps for r in range(size)]
+
+        # LIGHT pairing: k-th send on a (comm, src, dst, tag) key pairs
+        # with the k-th receive, both in step-index order — the
+        # matcher's per-key FIFO guarantees non-overtaking, and every
+        # schedule builder issues same-key wire steps dep-ordered.
+        sends: Dict[Tuple, List[Tuple[int, int]]] = {}
+        recvs: Dict[Tuple, List[Tuple[int, int]]] = {}
+        for r in range(size):
             ctx_r = inst.ctxs[r]
-            for st in inst.scheds[r].steps:
-                if st.round > last_round[r]:
-                    last_round[r] = st.round
+            for st in steps_of[r]:
                 if st.kind == _SEND:
                     tctx = st.via if st.via is not None else ctx_r
-                    buf = st.resolve_buf()
-                    nbytes = nbytes_of(buf) if buf is not None else 0
-                    out_t[r, st.round] += self._msg_cost(
-                        tctx.comm, tctx.rank, st.peer, nbytes
-                    )
+                    sends.setdefault(
+                        (id(tctx.comm), tctx.rank, st.peer, st.tag), []
+                    ).append((r, st.idx))
                 elif st.kind == _RECV:
-                    # The matching send's size equals the posted
-                    # buffer's (schedule-compiled recvs are exact-size),
-                    # so the wire cost is computable locally.
                     tctx = st.via if st.via is not None else ctx_r
-                    buf = st.resolve_buf()
-                    nbytes = nbytes_of(buf) if buf is not None else 0
-                    in_t[r, st.round] += self._msg_cost(
-                        tctx.comm, st.peer, tctx.rank, nbytes
-                    )
-                elif st.kind == _OVERHEAD:
-                    over_t[r, st.round] += sw
+                    recvs.setdefault(
+                        (id(tctx.comm), st.peer, tctx.rank, st.tag), []
+                    ).append((r, st.idx))
+        pair: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for key, ss in sends.items():
+            for s_ref, r_ref in zip(ss, recvs.get(key, ())):
+                pair[s_ref] = r_ref
+                pair[r_ref] = s_ref
 
-    def _interpret(self, inst: _Instance, out_t, in_t, over_t,
-                   last_round, sw: float) -> None:
-        """Dataflow interpretation: exact data movement + pricing."""
+        arrivals = inst.arrivals
+        fin: List[List[Optional[float]]] = [
+            [None] * len(steps_of[r]) for r in range(size)
+        ]
+        ready_t: List[List[Optional[float]]] = [
+            [None] * len(steps_of[r]) for r in range(size)
+        ]
+        missing = [
+            [len(st.deps) for st in steps_of[r]] for r in range(size)
+        ]
+        dependents: List[List[List[int]]] = [
+            [[] for _ in steps_of[r]] for r in range(size)
+        ]
+        for r in range(size):
+            for st in steps_of[r]:
+                for d in st.deps:
+                    dependents[r][d].append(st.idx)
+
+        work: List[Tuple[int, int]] = []
+        for r in range(size):
+            for i, m in enumerate(missing[r]):
+                if m == 0:
+                    work.append((r, i))
+
+        resolved = 0
+
+        def finish(r: int, idx: int, t: float) -> None:
+            nonlocal resolved
+            fin[r][idx] = t
+            resolved += 1
+            for j in dependents[r][idx]:
+                missing[r][j] -= 1
+                if missing[r][j] == 0:
+                    work.append((r, j))
+
+        def wire_nodes(r: int, st: _Step) -> Tuple[int, int]:
+            tctx = st.via if st.via is not None else inst.ctxs[r]
+            placement = tctx.comm.placement
+            return placement[tctx.rank], placement[st.peer]
+
+        while work:
+            r, idx = work.pop()
+            st = steps_of[r][idx]
+            t = arrivals[r]
+            for d in st.deps:
+                fd = fin[r][d]
+                if fd > t:
+                    t = fd
+            if st.kind == _COMPUTE:
+                finish(r, idx, t)
+                continue
+            if st.kind == _OVERHEAD:
+                finish(r, idx, t + sw)
+                continue
+            ready_t[r][idx] = t
+            other = pair.get((r, idx))
+            if other is None:
+                continue  # unmatched — reported as a stall below
+            ro, oidx = other
+            if st.kind == _SEND:
+                src, dst = wire_nodes(r, st)
+                n = max(send_bytes[r][idx], recv_bytes[ro].get(oidx, 0))
+                if n <= eager_max:
+                    f = t + sw + wt(src, dst, n + HEADER_BYTES)
+                    finish(r, idx, f)
+                    t_recv = ready_t[ro][oidx]
+                    if t_recv is not None:
+                        finish(ro, oidx, max(t_recv + sw, f))
+                else:
+                    t_recv = ready_t[ro][oidx]
+                    if t_recv is not None:
+                        m = max(t_recv + sw, t + sw + wt(src, dst, HEADER_BYTES))
+                        f = m + wt(dst, src, HEADER_BYTES) + wt(src, dst, n)
+                        finish(r, idx, f)
+                        finish(ro, oidx, f)
+                    # else: parked; the receive side resolves the pair.
+            else:  # _RECV
+                t_send = ready_t[ro][oidx]
+                if t_send is None:
+                    continue  # parked; the send side resolves the pair
+                sst = steps_of[ro][oidx]
+                src, dst = wire_nodes(ro, sst)
+                n = max(send_bytes[ro][oidx], recv_bytes[r].get(idx, 0))
+                if n <= eager_max:
+                    finish(r, idx, max(t + sw, fin[ro][oidx]))
+                else:
+                    m = max(t + sw, t_send + sw + wt(src, dst, HEADER_BYTES))
+                    f = m + wt(dst, src, HEADER_BYTES) + wt(src, dst, n)
+                    finish(ro, oidx, f)
+                    finish(r, idx, f)
+
+        total = sum(len(s) for s in steps_of)
+        if resolved < total:
+            stuck = {
+                r: sum(1 for f in fin[r] if f is None)
+                for r in range(size)
+                if any(f is None for f in fin[r])
+            }
+            raise MpiError(
+                "fast-path schedule stalled (cyclic or unmatched "
+                f"wire steps); pending steps per rank: {stuck}"
+            )
+
+        return [
+            max((f for f in fin[r] if f is not None), default=arrivals[r])
+            for r in range(size)
+        ]
+
+    def _interpret(
+        self, inst: _Instance, send_bytes: List[Dict[int, int]]
+    ) -> None:
+        """Dataflow interpretation: exact data movement (timing is
+        resolved separately; sends record their resolved payload sizes
+        into ``send_bytes`` for the pricer)."""
         from ..communicator import Communicator
 
         comm = self.comm
@@ -297,58 +519,71 @@ class FastPathEngine(ScheduleEngine):
         size = comm.size
 
         states = [_RankState(inst.scheds[r]) for r in range(size)]
-        #: (comm id, src, dst, tag) → FIFO of (payload, nbytes, cost).
+        #: (comm id, src, dst, tag) → FIFO of (payload, nbytes).
         queues: Dict[Tuple, List] = {}
-        #: same key → FIFO of (rank, recv buffer, round) still waiting.
+        #: same key → FIFO of (rank, recv buffer, step idx) still waiting.
         parked: Dict[Tuple, List] = {}
 
-        def deliver_to(rank: int, buf, rnd: int, data, nbytes: int,
-                       cost: float) -> None:
-            Communicator._deliver(buf, data, nbytes)
-            in_t[rank, rnd] += cost
-            last_round[rank] = max(last_round[rank], rnd)
+        def deliver_to(rank: int, buf, data, nbytes: int,
+                       private: bool = True) -> None:
+            # Mirror the matcher's adoption path: a private payload
+            # (queue snapshot, or a donated direct delivery) may be
+            # taken over by an AdoptBuf receive outright.
+            if (
+                private
+                and isinstance(buf, AdoptBuf)
+                and data is not None
+                and buf.adopt(data)
+            ):
+                stats.payload_adopted += 1
+            else:
+                Communicator._deliver(buf, data, nbytes)
 
         def run_step(r: int, st: _Step) -> None:
             tctx = st.via if st.via is not None else inst.ctxs[r]
-            if st.round > last_round[r]:
-                last_round[r] = st.round
             if st.kind == _COMPUTE:
                 st.fn()
             elif st.kind == _OVERHEAD:
-                over_t[r, st.round] += sw
+                pass  # timing-only; priced in _resolve_times
             elif st.kind == _SEND:
                 buf = st.resolve_buf()
                 nbytes = nbytes_of(buf) if buf is not None else 0
-                cost = self._msg_cost(tctx.comm, tctx.rank, st.peer, nbytes)
-                out_t[r, st.round] += cost
+                send_bytes[r][st.idx] = nbytes
                 key = (id(tctx.comm), tctx.rank, st.peer, st.tag)
                 arr = payload_array(buf)
                 waiters = parked.get(key)
                 if waiters:
                     # A matched receiver is already parked: deliver
-                    # source → destination directly, no snapshot.
-                    rank2, rbuf, rnd2 = waiters.pop(0)
+                    # source → destination directly, no snapshot.  Only
+                    # a donated payload is private here (the live array
+                    # is otherwise still the sender's).
+                    rank2, rbuf, ridx = waiters.pop(0)
                     if arr is not None:
                         stats.payload_views += 1
-                    deliver_to(rank2, rbuf, rnd2, arr, nbytes, cost)
-                    states[rank2].finish(
-                        _parked_idx.pop((key, rank2, rnd2, id(rbuf)))
-                    )
+                    deliver_to(rank2, rbuf, arr, nbytes,
+                               private=st.donate)
+                    states[rank2].finish(ridx)
                 else:
                     if arr is not None:
-                        arr = arr.copy()
-                        stats.payload_copies += 1
-                    queues.setdefault(key, []).append((arr, nbytes, cost))
+                        if st.donate:
+                            # Donated: nothing writes the array again,
+                            # so it can sit in the queue un-snapshotted.
+                            stats.payload_views += 1
+                        else:
+                            arr = arr.copy()
+                            stats.payload_copies += 1
+                    # Queue entries are private either way (donated or
+                    # freshly snapshotted) — adoptable at the recv.
+                    queues.setdefault(key, []).append((arr, nbytes))
             elif st.kind == _RECV:
                 key = (id(tctx.comm), st.peer, tctx.rank, st.tag)
                 buf = st.resolve_buf()
                 queue = queues.get(key)
                 if queue:
-                    data, nbytes, cost = queue.pop(0)
-                    deliver_to(r, buf, st.round, data, nbytes, cost)
+                    data, nbytes = queue.pop(0)
+                    deliver_to(r, buf, data, nbytes)
                 else:
-                    parked.setdefault(key, []).append((r, buf, st.round))
-                    _parked_idx[(key, r, st.round, id(buf))] = st.idx
+                    parked.setdefault(key, []).append((r, buf, st.idx))
                     return  # finished later, at delivery
             else:  # pragma: no cover - defensive
                 raise MpiError(f"unknown step kind {st.kind!r}")
@@ -361,7 +596,6 @@ class FastPathEngine(ScheduleEngine):
         # directly — the zero-copy path — instead of snapshotting into
         # a queue; one non-receive step per rank per cycle bounds
         # run-ahead so the lockstep holds.
-        _parked_idx: Dict[Tuple, int] = {}
         total = sum(len(s.steps) for s in states)
         done_total = 0
         while done_total < total:

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..datatypes import Payload, ReduceOp, payload_array
+from ..datatypes import AdoptBuf, Payload, ReduceOp, payload_array
 from ..errors import MpiError
 from .base import largest_pof2, next_tag
 from .schedule import Schedule
@@ -71,19 +71,19 @@ def append_reduce_binomial(
         while mask < size:
             if vrank & mask:
                 dst = ((vrank & ~mask) + root) % size
-                # alias_ok: acc is rebound, and this rank's tree role
-                # ends at this send — nothing writes acc afterwards.
+                # donate: acc is rebound, and this rank's tree role
+                # ends at this send — nothing touches acc afterwards.
                 deps = [sched.send(lambda: st["acc"], dst, tag,
-                                   after=deps, round=rnd, alias_ok=True)]
+                                   after=deps, round=rnd, donate=True)]
                 break
             partner_v = vrank | mask
             if partner_v < size:
-                tmp = np.empty_like(st["acc"])
+                tmp = AdoptBuf(st["acc"])
                 partner = (partner_v + root) % size
                 r = sched.recv(tmp, partner, tag, after=deps, round=rnd)
 
                 def combine(tmp=tmp):
-                    st["acc"] = op.combine(st["acc"], tmp)
+                    st["acc"] = op.combine(st["acc"], tmp.arr)
 
                 deps = [sched.compute(combine, after=(r,), round=rnd)]
             mask <<= 1
@@ -161,19 +161,19 @@ def build_reduce_rabenseifner(
     # combines it and carries both contributions forward.
     if rem:
         if vr >= pof2:
-            # alias_ok: acc is collective-private and this rank is done.
+            # donate: acc is collective-private and this rank is done.
             sched.send(acc, real(vr - pof2), tag + 6, after=deps,
-                       round=rnd, alias_ok=True)
+                       round=rnd, donate=True)
             return sched
         if vr < rem:
             fold_src = real(vr + pof2)
-            tmp0 = np.empty_like(acc)
+            tmp0 = AdoptBuf(acc)
             r = sched.recv(tmp0, fold_src, tag + 6, after=deps, round=rnd)
 
             def fold_in(tmp0=tmp0, fold_src=fold_src):
                 acc[...] = (
-                    op.combine(tmp0, acc) if fold_src < rank
-                    else op.combine(acc, tmp0)
+                    op.combine(tmp0.arr, acc) if fold_src < rank
+                    else op.combine(acc, tmp0.arr)
                 )
 
             deps = [sched.compute(fold_in, after=(r,), round=rnd)]
@@ -192,19 +192,19 @@ def build_reduce_rabenseifner(
         else:
             keep_lo, keep_hi = mid, hi
             give_lo, give_hi = lo, mid
-        tmp = np.empty_like(seg(keep_lo, keep_hi))
-        # alias_ok: acc is collective-private; the given-away half is
+        tmp = AdoptBuf(seg(keep_lo, keep_hi))
+        # donate: acc is collective-private; the given-away half is
         # next written only by a gather recv, causally behind the
-        # partner's delivery of this message.
+        # partner's combine — the last read of the adopted view.
         s = sched.send(seg(give_lo, give_hi), partner, tag + rnd % 2,
-                       after=deps, round=rnd, alias_ok=True)
+                       after=deps, round=rnd, donate=True)
         r = sched.recv(tmp, partner, tag + rnd % 2, after=deps, round=rnd)
 
         def combine(tmp=tmp, klo=keep_lo, khi=keep_hi, partner=partner):
             mine = seg(klo, khi)
             mine[...] = (
-                op.combine(tmp, mine) if partner < rank
-                else op.combine(mine, tmp)
+                op.combine(tmp.arr, mine) if partner < rank
+                else op.combine(mine, tmp.arr)
             )
 
         deps = [sched.compute(combine, after=(s, r), round=rnd)]

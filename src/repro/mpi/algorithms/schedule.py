@@ -109,6 +109,12 @@ class _Step:
     #: between injection and delivery, so the defensive send-time
     #: ``np.copy`` may be elided.  Never set on user-owned buffers.
     alias_ok: bool = False
+    #: Send steps: the payload is *donated* — the sender never writes
+    #: the array again before every receiver has consumed it, so a
+    #: matching :class:`~repro.mpi.datatypes.AdoptBuf` receive may take
+    #: ownership of the in-flight array instead of copying out of it.
+    #: Strictly stronger than ``alias_ok`` (implies it at the wire).
+    donate: bool = False
 
     def resolve_buf(self) -> Payload:
         return self.buf() if callable(self.buf) else self.buf
@@ -119,6 +125,14 @@ class Schedule:
 
     def __init__(self) -> None:
         self.steps: List[_Step] = []
+        #: Set by builders whose DAG is a pure function of this key and
+        #: whose wire steps carry **no payload** (e.g. the dissemination
+        #: barrier).  The fast-path engine may then skip dataflow
+        #: interpretation and intern the resolved completion offsets
+        #: across repeat instances (a Jacobi run fences every
+        #: iteration with the identical DAG).  Leave ``None`` for any
+        #: schedule that moves data or depends on buffer contents.
+        self.intern_key: Optional[Tuple] = None
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -152,6 +166,7 @@ class Schedule:
         round: int = 0,
         via: Optional[MpiContext] = None,
         alias_ok: bool = False,
+        donate: bool = False,
     ) -> int:
         """Post a send of ``buf`` to ``peer`` once ``after`` completed.
 
@@ -159,12 +174,14 @@ class Schedule:
         context: ``peer`` and ``tag`` are then in *that* communicator's
         rank and tag space.  ``alias_ok`` marks the payload as a fresh
         builder-local array whose send-time defensive copy may be
-        elided (see :class:`_Step`).
+        elided; ``donate`` additionally gives the array away, letting
+        an :class:`~repro.mpi.datatypes.AdoptBuf` receive adopt it
+        (see :class:`_Step`).
         """
         return self._add(_Step(
             idx=len(self.steps), kind=_SEND, deps=tuple(after),
             round=round, peer=peer, tag=tag, buf=buf, via=via,
-            alias_ok=alias_ok,
+            alias_ok=alias_ok or donate, donate=donate,
         ))
 
     def recv(
@@ -238,11 +255,11 @@ class SubSchedule:
         self.via = via
 
     def send(self, buf, peer, tag, after=(), round=0, via=None,
-             alias_ok=False) -> int:
+             alias_ok=False, donate=False) -> int:
         return self._sched.send(
             buf, peer, tag, after=after, round=round,
             via=via if via is not None else self.via,
-            alias_ok=alias_ok,
+            alias_ok=alias_ok, donate=donate,
         )
 
     def recv(self, buf, peer, tag, after=(), round=0, via=None) -> int:
@@ -293,6 +310,16 @@ class ScheduleEngine:
         self.active = 0
 
     # -- public entry points ------------------------------------------------
+    def execute_barrier(
+        self, ctx: MpiContext
+    ) -> Generator[Event, Any, None]:
+        """Build and run the dissemination barrier.  The fast-path
+        engine overrides this to defer the DAG build until completion,
+        so repeat barriers with interned arrival skew skip it."""
+        from .barrier import build_barrier_dissemination
+
+        return self.execute(ctx, build_barrier_dissemination(ctx))
+
     def start(self, ctx: MpiContext, sched: Schedule, name: str = "") -> Request:
         """Run ``sched`` in its own process; return a :class:`Request`."""
         proc = ctx.sim.process(
@@ -383,7 +410,7 @@ class ScheduleEngine:
         if st.kind == _SEND:
             yield from comm._send_impl(
                 tctx.rank, st.peer, st.resolve_buf(), st.tag,
-                copy=not st.alias_ok,
+                copy=not st.alias_ok, donate=st.donate,
             )
         elif st.kind == _RECV:
             status = yield from comm._recv_impl(

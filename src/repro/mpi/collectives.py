@@ -171,8 +171,9 @@ def _build_alltoall(
 # ---------------------------------------------------------------------------
 
 def barrier(ctx: MpiContext) -> Generator[Event, Any, None]:
-    """Dissemination barrier."""
-    yield from ctx.comm.engine.execute(ctx, _build_barrier(ctx))
+    """Dissemination barrier (the engine may defer the DAG build)."""
+    ctx.comm._count("barrier")
+    yield from ctx.comm.engine.execute_barrier(ctx)
 
 
 def bcast(

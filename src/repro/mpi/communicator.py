@@ -41,7 +41,7 @@ from ..hw.cluster import Cluster
 from ..hw.memory import HostBuffer, nbytes_of
 from ..sim.core import Event, Process, Simulator, us
 from ..sim.stores import FilterStore
-from .datatypes import Payload, ReduceOp, payload_array, snapshot
+from .datatypes import AdoptBuf, Payload, ReduceOp, payload_array, snapshot
 from .errors import MpiError, RankError, TagError, TruncationError
 from .group import Group, UNDEFINED
 from .status import ANY_SOURCE, ANY_TAG, Status
@@ -80,12 +80,20 @@ class _WireMsg:
     cts: Optional[Event] = None
     #: rendezvous: sender fires this (with the data) after the payload lands.
     payload_arrived: Optional[Event] = None
+    #: the payload array is private to the wire (defensive copy or a
+    #: donated builder-local array) — the receiver may adopt it outright.
+    private: bool = False
 
 
 class Request:
-    """Handle for a non-blocking operation."""
+    """Handle for a non-blocking operation.
 
-    def __init__(self, proc: Process) -> None:
+    Wraps the operation's completion — a spawned :class:`Process` on
+    the exact path, or a bare :class:`Event` scheduled by an analytic
+    pricer (one-sided fast path).
+    """
+
+    def __init__(self, proc: Event) -> None:
         self._proc = proc
 
     def wait(self) -> Generator[Event, Any, Any]:
@@ -95,7 +103,10 @@ class Request:
 
     def test(self) -> bool:
         """True once the operation has completed."""
-        return not self._proc.is_alive
+        ev = self._proc
+        if isinstance(ev, Process):
+            return not ev.is_alive
+        return ev.processed
 
     @property
     def event(self) -> Event:
@@ -604,6 +615,7 @@ class Communicator:
         buf: Payload,
         tag: int,
         copy: bool = True,
+        donate: bool = False,
     ) -> Generator[Event, Any, None]:
         self._ensure_alive()
         self._inflight_ops += 1
@@ -616,6 +628,12 @@ class Communicator:
                     self.sim.stats.payload_copies += 1
                 else:
                     self.sim.stats.payload_views += 1
+            # A defensive copy is private by construction; a donated
+            # zero-copy view is private by the builder's promise (the
+            # sender will never write the array again before the
+            # receiver consumes it).  Either way the receiver may adopt
+            # the array instead of memcpying it out.
+            private = copy or donate
             self.sim.trace(
                 "mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes
             )
@@ -623,7 +641,8 @@ class Communicator:
                 yield from self._wire(src, dst, nbytes + HEADER_BYTES)
                 self._match[dst].put(
                     _WireMsg(
-                        "eager", src=src, tag=tag, nbytes=nbytes, data=data
+                        "eager", src=src, tag=tag, nbytes=nbytes, data=data,
+                        private=private,
                     )
                 )
                 return
@@ -640,6 +659,7 @@ class Communicator:
                     data=data,
                     cts=cts,
                     payload_arrived=arrived,
+                    private=private,
                 )
             )
             yield cts
@@ -679,7 +699,16 @@ class Communicator:
                 data = yield msg.payload_arrived
             else:
                 data = msg.data
-            self._deliver(buf, data, msg.nbytes)
+            if (
+                isinstance(buf, AdoptBuf)
+                and msg.private
+                and data is not None
+                and buf.adopt(data)
+            ):
+                # Adopted the in-flight array outright: no delivery copy.
+                self.sim.stats.payload_adopted += 1
+            else:
+                self._deliver(buf, data, msg.nbytes)
             self.sim.trace(
                 "mpi.recv", me=me, src=msg.src, tag=msg.tag,
                 nbytes=msg.nbytes,

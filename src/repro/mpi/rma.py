@@ -49,6 +49,28 @@ Accumulates additionally honour MPI's per-(origin, target) ordering
 guarantee: they apply in program order even when their wire transfers
 would complete out of order, and each element applies atomically (one
 simulated instant).
+
+**Analytic fast path.**  On a communicator with ``backend="analytic"``
+or ``"pricing"``, host-window operations stop spawning per-op wire
+processes: each op is priced at issue time against per-node *cursors*
+(the origin's NIC injection path and the target's staging channel, the
+two serialization points of the exact model), with every wire leg's
+end-to-end time interned in a ``(src, dst, nbytes)`` cache
+(``sim.stats.wire_cost_hits``/``wire_cost_misses``).  The resulting
+epoch is a per-(origin, target) batch of finish times committed at the
+synchronization point — ``fence``/``complete``/``unlock``/``flush``
+wait for one computed instant per pair instead of joining a process
+per op, and a coalesced-put batch prices as the single transfer it
+rides.  Payload bytes are applied synchronously at issue (legal:
+epochs forbid conflicting access until the sync point; ``"pricing"``
+skips data application entirely), accumulate program order is
+preserved through the same per-pair chain the exact path uses, and
+ops needing an observable completion (``get``/``rput``/``rget``/
+``get_accumulate``) get a real event scheduled at their computed
+finish.  Device-memory windows keep the exact per-op path (the PCIe
+hop is a contended resource the cursors do not model), as does the
+lock machinery.  What the cursors ignore: receive-side occupancy
+queueing and spine contention — second-order on the modeled fabrics.
 """
 
 from __future__ import annotations
@@ -67,6 +89,7 @@ from typing import (
 import numpy as np
 
 from ..hw.memory import HostBuffer
+from ..sim.batch import EventBatch
 from ..sim.core import Event, Process, us
 from .communicator import Communicator, HEADER_BYTES, MpiContext, Request
 from .datatypes import ReduceOp
@@ -186,6 +209,32 @@ class Window:
         self._pending_bytes: List[Dict[int, int]] = [
             dict() for _ in range(size)
         ]
+        #: Analytic fast path (see module doc): price host-window ops
+        #: against per-node cursors instead of spawning wire processes.
+        self._an = comm.backend != "exact"
+        self._price_only = comm.backend == "pricing"
+        if self._an:
+            prof = comm.cluster.interconnect.topology.profile()
+            #: NIC injection-path occupancy model: alpha/2 + nbytes*beta
+            #: — the tx channel's exact hold time on the modeled fabrics
+            #: (the latency's other half rides the receiver's ejection
+            #: channel, which the pricer folds into the wire time).
+            self._alpha_inj = float(prof.alpha_s) / 2.0
+            self._beta = float(prof.beta_s_per_B)
+            #: node → time its NIC injection path frees up.
+            self._tx_free: Dict[int, float] = {}
+            #: node → time its host staging (shm) channel frees up.
+            self._shm_free: Dict[int, float] = {}
+            #: (origin, target) → finish time of the last accumulate
+            #: (the analytic twin of ``_acc_tail``).
+            self._acc_free: Dict[Tuple[int, int], float] = {}
+            #: origin → target → latest analytic op finish time.
+            self._an_fins: List[Dict[int, float]] = [
+                dict() for _ in range(size)
+            ]
+            #: Interned end-to-end wire times (src, dst, nbytes) → s.
+            self._wt_cache: Dict[Tuple[int, int, int], float] = {}
+            self._an_max_fin = 0.0
         comm._windows.append(self)
         comm._count("win_create")
 
@@ -279,6 +328,11 @@ class Window:
                         f"cannot free window {self.name!r} with "
                         "operations in flight (flush first)"
                     )
+        if self._an and any(fins for fins in self._an_fins):
+            raise RmaError(
+                f"cannot free window {self.name!r} with analytic "
+                "operations unflushed (flush first)"
+            )
         self._freed = True
         self._arrays = []
         self._device = []
@@ -371,6 +425,117 @@ class Window:
         node = self.comm.cluster.nodes[self.comm.placement[target]]
         return node.gpus[dev.device_id].pcie
 
+    # -- analytic pricers (fast-path backends; see module doc) -------------
+    def _an_usable(self, target: int) -> bool:
+        """Host-window targets price analytically; device windows keep
+        the exact per-op path (PCIe contention)."""
+        return self._an and self._device[target] is None
+
+    def _wt(self, src_node: int, dst_node: int, nbytes: int) -> float:
+        """Interned uncontended end-to-end wire time of one leg."""
+        key = (src_node, dst_node, nbytes)
+        cost = self._wt_cache.get(key)
+        stats = self.sim.stats
+        if cost is None:
+            stats.wire_cost_misses += 1
+            cost = self.comm.cluster.interconnect.wire_time(
+                src_node, dst_node, nbytes
+            )
+            self._wt_cache[key] = cost
+        else:
+            stats.wire_cost_hits += 1
+        return cost
+
+    def _leg(self, src_node: int, dst_node: int, nbytes: int,
+             t: float) -> float:
+        """One wire leg starting no earlier than ``t``: serializes on
+        the source's injection path, returns the arrival time."""
+        if src_node == dst_node:
+            # Same-node leg rides the staging channel outright.
+            return self._bounce_leg(src_node, nbytes, t)
+        free = self._tx_free.get(src_node, 0.0)
+        s = t if t >= free else free
+        self._tx_free[src_node] = s + self._alpha_inj + nbytes * self._beta
+        return s + self._wt(src_node, dst_node, nbytes)
+
+    def _bounce_leg(self, node: int, nbytes: int, t: float) -> float:
+        """Target-host staging copy: serializes on the shm channel."""
+        free = self._shm_free.get(node, 0.0)
+        s = t if t >= free else free
+        fin = s + self._wt(node, node, nbytes)
+        self._shm_free[node] = fin
+        return fin
+
+    def _an_record(self, origin: int, target: int, fin: float) -> float:
+        """Book an analytic op's finish into the epoch batch."""
+        fins = self._an_fins[origin]
+        prev = fins.get(target, 0.0)
+        if fin > prev:
+            fins[target] = fin
+        if fin > self._an_max_fin:
+            self._an_max_fin = fin
+        self.sim.stats.fastpath_rma_ops += 1
+        return fin
+
+    def _an_event(self, fin: float, name: str) -> Event:
+        """A real event firing at the computed finish (rput/rget/...)."""
+        ev = self.sim.event(name=name)
+        batch = EventBatch(self.sim, name="rma")
+        batch.add(fin, ev, None)
+        batch.commit()
+        return ev
+
+    def _an_put(self, origin: int, target: int, nbytes: int,
+                t: float) -> float:
+        o_n = self.comm.placement[origin]
+        t_n = self.comm.placement[target]
+        if nbytes <= self._eager_max:
+            self.comm._count_unchecked("rma_put[eager]")
+            a = self._leg(o_n, t_n, HEADER_BYTES + nbytes, t)
+            return self._bounce_leg(t_n, nbytes, a)
+        self.comm._count_unchecked("rma_put[rendezvous]")
+        # rkey/validation round-trip, then the zero-copy RDMA write.
+        # The CTS reply is a response leg: pure wire time, no cursor
+        # (a future booking on the target's cursor would delay traffic
+        # the target issues *now* — a start-time inversion the exact
+        # FIFO channels never exhibit).
+        a = self._leg(o_n, t_n, HEADER_BYTES, t)
+        a += self._wt(t_n, o_n, HEADER_BYTES)
+        return self._leg(o_n, t_n, HEADER_BYTES + nbytes, a)
+
+    def _an_get(self, origin: int, target: int, nbytes: int,
+                t: float) -> float:
+        o_n = self.comm.placement[origin]
+        t_n = self.comm.placement[target]
+        a = self._leg(o_n, t_n, HEADER_BYTES, t)
+        # Payload return: response leg (see _an_put) — its own
+        # serialization is inside the wire time; only its queueing
+        # effect on the target's other traffic is dropped.
+        return a + self._wt(t_n, o_n, HEADER_BYTES + nbytes)
+
+    def _an_acc(self, origin: int, target: int, nbytes: int, t: float,
+                fetch: bool) -> float:
+        o_n = self.comm.placement[origin]
+        t_n = self.comm.placement[target]
+        if nbytes <= self._eager_max:
+            self.comm._count_unchecked("rma_accumulate[eager]")
+            a = self._leg(o_n, t_n, HEADER_BYTES + nbytes, t)
+        else:
+            self.comm._count_unchecked("rma_accumulate[rendezvous]")
+            a = self._leg(o_n, t_n, HEADER_BYTES, t)
+            a += self._wt(t_n, o_n, HEADER_BYTES)
+            a = self._leg(o_n, t_n, HEADER_BYTES + nbytes, a)
+        # Same-pair program order: the RMW applies behind the previous
+        # accumulate of this (origin, target) pair.
+        prev = self._acc_free.get((origin, target), 0.0)
+        if prev > a:
+            a = prev
+        fin = self._bounce_leg(t_n, nbytes, a)
+        self._acc_free[(origin, target)] = fin
+        if fetch:
+            fin += self._wt(t_n, o_n, HEADER_BYTES + nbytes)
+        return fin
+
     def _track(self, origin: int, target: int, proc: Process) -> Process:
         lists = self._outgoing[origin]
         procs = lists.setdefault(target, [])
@@ -435,11 +600,28 @@ class Window:
     def _flush_pending_puts(self, origin: int, target: int) -> None:
         """Materialize the buffered puts to ``target`` (if any) as one
         tracked wire process.  Called from every completion point and
-        before any conflicting operation to the same target."""
+        before any conflicting operation to the same target.
+
+        On the analytic path the batch prices as the single eager-shaped
+        transfer it rides (one header, one fabric traversal, one staging
+        copy of the byte total); the constituent puts already landed at
+        issue time."""
         ops = self._pending_puts[origin].pop(target, None)
         if not ops:
             return
         nbytes = self._pending_bytes[origin].pop(target)
+        if self._an_usable(target):
+            self.comm._count_unchecked("rma_put[coalesced_flush]")
+            o_n = self.comm.placement[origin]
+            t_n = self.comm.placement[target]
+            a = self._leg(o_n, t_n, HEADER_BYTES + nbytes, self.sim.now)
+            fin = self._bounce_leg(t_n, nbytes, a)
+            self._an_record(origin, target, fin)
+            self.sim.trace(
+                "rma.put_coalesced", win=self.name, origin=origin,
+                target=target, nbytes=nbytes, n_ops=len(ops),
+            )
+            return
         proc = self.sim.process(
             self._coalesced_put_proc(origin, target, ops, nbytes),
             name=f"{self.name}.cput(r{origin}->r{target})",
@@ -527,7 +709,8 @@ class Window:
         offset: int = 0,
         snapshot: bool = True,
         defer: bool = False,
-    ) -> Generator[Event, Any, Optional[Process]]:
+        want_event: bool = False,
+    ) -> Generator[Event, Any, Optional[Event]]:
         """Charge the origin setup and launch the put's wire process.
 
         ``snapshot=False`` skips the defensive payload copy when the
@@ -538,11 +721,18 @@ class Window:
         for small eager payloads) buffers the put instead of launching
         it and returns ``None``; the batch rides one wire transfer at
         the next completion point or conflicting operation.
+
+        ``want_event=True`` asks for a waitable completion (``rput``);
+        without it the analytic path books only the finish time — no
+        per-op event, no heap entry.
         """
         self._require_access(origin, target, "put")
+        an = self._an_usable(target)
         dtype = self._window_dtype(target, "put")
         payload = self._as_elems(data, dtype, "put")
-        if snapshot:
+        if snapshot and not an:
+            # Analytic never copies: the bytes land synchronously at
+            # issue (epochs forbid conflicting access until the sync).
             payload = payload.copy()
         self._target_view(target, offset, payload.size, "put")  # bounds
         self.comm._count("rma_put")
@@ -551,8 +741,19 @@ class Window:
             self.comm._count_unchecked("rma_put[coalesced]")
             self.sim.stats.rma_coalesced_puts += 1
             yield self._setup()
-            pend = self._pending_puts[origin].setdefault(target, [])
-            pend.append((payload if snapshot else payload.copy(), offset))
+            if an:
+                if not self._price_only:
+                    view = self._target_view(
+                        target, offset, payload.size, "put"
+                    )
+                    view[...] = payload
+                pend = self._pending_puts[origin].setdefault(target, [])
+                pend.append((None, offset))
+            else:
+                pend = self._pending_puts[origin].setdefault(target, [])
+                pend.append(
+                    (payload if snapshot else payload.copy(), offset)
+                )
             total = self._pending_bytes[origin].get(target, 0) + nbytes
             self._pending_bytes[origin][target] = total
             if total > self._eager_max:
@@ -561,6 +762,21 @@ class Window:
             return None
         self._flush_pending_puts(origin, target)
         yield self._setup()
+        if an:
+            fin = self._an_put(origin, target, nbytes, self.sim.now)
+            self._an_record(origin, target, fin)
+            if not self._price_only:
+                view = self._target_view(target, offset, payload.size, "put")
+                view[...] = payload
+            self.sim.trace(
+                "rma.put", win=self.name, origin=origin, target=target,
+                nbytes=nbytes,
+            )
+            if want_event:
+                return self._an_event(
+                    fin, f"{self.name}.put(r{origin}->r{target})"
+                )
+            return None
         proc = self.sim.process(
             self._put_proc(origin, target, payload, offset),
             name=f"{self.name}.put(r{origin}->r{target})",
@@ -569,7 +785,7 @@ class Window:
 
     def start_get(
         self, origin: int, target: int, recvbuf: Any, offset: int = 0
-    ) -> Generator[Event, Any, Process]:
+    ) -> Generator[Event, Any, Event]:
         self._require_access(origin, target, "get")
         # A get must observe this origin's earlier puts (program order
         # per origin-target pair): flush any buffered batch first.
@@ -579,6 +795,22 @@ class Window:
         self._target_view(target, offset, dst.size, "get")  # bounds
         self.comm._count("rma_get")
         yield self._setup()
+        if self._an_usable(target):
+            nbytes = int(dst.nbytes)
+            fin = self._an_get(origin, target, nbytes, self.sim.now)
+            self._an_record(origin, target, fin)
+            if not self._price_only:
+                # Snapshot now = snapshot at NIC read: epoch discipline
+                # means no conflicting write can land in between.
+                dst[...] = self._target_view(target, offset, dst.size, "get")
+            self.sim.trace(
+                "rma.get", win=self.name, origin=origin, target=target,
+                nbytes=nbytes,
+            )
+            # A get always has an observable completion (the data).
+            return self._an_event(
+                fin, f"{self.name}.get(r{origin}<-r{target})"
+            )
         proc = self.sim.process(
             self._get_proc(origin, target, dst, offset),
             name=f"{self.name}.get(r{origin}<-r{target})",
@@ -594,18 +826,43 @@ class Window:
         offset: int = 0,
         fetch_into: Optional[np.ndarray] = None,
         snapshot: bool = True,
-    ) -> Generator[Event, Any, Process]:
+        want_event: bool = False,
+    ) -> Generator[Event, Any, Optional[Event]]:
         what = "get_accumulate" if fetch_into is not None else "accumulate"
         self._require_access(origin, target, what)
+        an = self._an_usable(target)
         self._flush_pending_puts(origin, target)
         op = ReduceOp(op)
         dtype = self._window_dtype(target, what)
         payload = self._as_elems(data, dtype, what)
-        if snapshot:
+        if snapshot and not an:
             payload = payload.copy()
         self._target_view(target, offset, payload.size, what)  # bounds
         self.comm._count("rma_accumulate")
         yield self._setup()
+        if an:
+            fin = self._an_acc(
+                origin, target, int(payload.nbytes), self.sim.now,
+                fetch_into is not None,
+            )
+            self._an_record(origin, target, fin)
+            if not self._price_only:
+                # Issue order per (origin, target) IS program order, so
+                # applying synchronously preserves the MPI accumulate
+                # ordering guarantee by construction.
+                view = self._target_view(target, offset, payload.size, what)
+                if fetch_into is not None:
+                    fetch_into[...] = view
+                view[...] = op.combine(view, payload)
+            self.sim.trace(
+                "rma.accumulate", win=self.name, origin=origin,
+                target=target, nbytes=int(payload.nbytes), op=op.value,
+            )
+            if want_event or fetch_into is not None:
+                return self._an_event(
+                    fin, f"{self.name}.acc(r{origin}->r{target})"
+                )
+            return None
         prev = self._acc_tail.get((origin, target))
         done = self.sim.event(name=f"{self.name}.accdone")
         self._acc_tail[(origin, target)] = done
@@ -631,7 +888,12 @@ class Window:
         self, origin: int, target: Optional[int] = None
     ) -> Generator[Event, Any, None]:
         """Wait until this origin's operations (to ``target``, or all)
-        have completed *remotely*."""
+        have completed *remotely*.
+
+        Analytic ops resolve to one computed instant per (origin,
+        target) pair — the wait is a single timeout to the latest
+        finish, not a per-op process join.  Device-window ops (exact
+        even on a fast-path backend) still join their processes."""
         if target is not None:
             self._flush_pending_puts(origin, target)
         else:
@@ -644,6 +906,16 @@ class Window:
                 if proc.is_alive:
                     yield proc
             lists[t] = []
+        if self._an:
+            fins = self._an_fins[origin]
+            if target is not None:
+                t_max = fins.pop(target, 0.0)
+            else:
+                t_max = max(fins.values(), default=0.0)
+                fins.clear()
+            now = self.sim.now
+            if t_max > now:
+                yield self.sim.timeout(t_max - now)
 
     # -- passive-target lock machinery (NIC-side state) --------------------
     def _acquire(
@@ -730,7 +1002,9 @@ class WinContext:
         """Request-based put (``req = yield from w.rput(...)``):
         ``req.wait()`` guarantees *remote* completion — the bytes are
         visible in the target window."""
-        proc = yield from self.win.start_put(self.rank, target, data, offset)
+        proc = yield from self.win.start_put(
+            self.rank, target, data, offset, want_event=True
+        )
         return Request(proc)
 
     def get(

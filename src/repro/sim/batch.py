@@ -1,25 +1,46 @@
-"""Batched event completion: many logical events, one heap operation.
+"""Batched event completion and the structured-array event heap.
 
-The exact simulator pays one heap push + pop per completing event.  For
-the analytic fast path that cost dominates: a 1024-rank collective has
-one completion *per rank*, but they cluster on a handful of distinct
-completion times.  :class:`EventBatch` exploits the clustering — the
-completions are collected into a numpy structured array, grouped by
-unique time, and each distinct time gets exactly **one** carrier
-:class:`~repro.sim.core.Event` on the heap.  When the carrier pops, its
-callback marks every member event triggered-and-processed and runs the
-members' callbacks inline, so N completions cost ``unique_times`` heap
-operations instead of N.
+Two complementary attacks on per-event Python overhead live here:
 
-Members delivered this way are indistinguishable from normally
-processed events to waiters: ``triggered``/``processed``/``ok``/
-``value`` all read correctly, and callbacks run from the main loop at
-the member's exact simulated time (carriers are scheduled with NORMAL
-priority, like plain ``succeed()``).
+* :class:`EventBatch` — many logical completions, one heap operation.
+  The analytic fast path uses it: a 1024-rank collective has one
+  completion *per rank*, but they cluster on a handful of distinct
+  completion times.  The completions are collected into a numpy
+  structured array, grouped by unique time, and each distinct time gets
+  exactly **one** carrier :class:`~repro.sim.core.Event` on the heap.
+  When the carrier pops, its callback marks every member event
+  triggered-and-processed and runs the members' callbacks inline, so N
+  completions cost ``unique_times`` heap operations instead of N.
+
+  Members delivered this way are indistinguishable from normally
+  processed events to waiters: ``triggered``/``processed``/``ok``/
+  ``value`` all read correctly, and callbacks run from the main loop at
+  the member's exact simulated time (carriers are scheduled with NORMAL
+  priority, like plain ``succeed()``).
+
+* :class:`EventHeap` — the *exact* engine's pending-event store,
+  replacing the plain ``heapq`` of ``(time, priority, seq, event)``
+  tuples.  It is log-structured: fresh pushes land in a small binary
+  heap of those same 4-tuples (so the shallow-heap fast path costs
+  exactly what the plain heap cost), and once the buffer passes a
+  threshold it is merged with the surviving sorted run by one
+  vectorized ``np.lexsort`` over parallel ``float64``/``int64`` columns
+  (``priority << 48 | seq`` packed into one key, so run ordering is a
+  two-scalar compare that never reaches the event); the sorted columns
+  are rematerialized as flat Python lists so head reads never box a
+  numpy scalar.  Pops take the smaller of the run head
+  and the buffer head, so the order is the total order on
+  ``(time, priority, seq)`` — byte-for-byte the order the plain heap
+  produced, which keeps the exact engine byte-stable and keeps
+  :meth:`~repro.sim.core.Simulator._pop_next` (the pluggable tie-break
+  the :class:`~repro.sim.explore.ExploringSimulator` overrides) exactly
+  as expressive as before via :meth:`EventHeap.peek_matches` /
+  :meth:`EventHeap.push_entry`.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, List, Tuple
 
 import numpy as np
@@ -27,7 +48,145 @@ import numpy as np
 from .core import NORMAL, PENDING, Event, Simulator
 from .errors import ScheduleError
 
-__all__ = ["EventBatch"]
+__all__ = ["EventBatch", "EventHeap"]
+
+#: ``key = priority << _KEY_SHIFT | seq`` — one comparison covers the
+#: (priority, seq) tie-break.  48 bits of sequence space is ~2.8e14
+#: events, far beyond any simulated run.
+_KEY_SHIFT = 48
+_KEY_MASK = (1 << _KEY_SHIFT) - 1
+
+#: Minimum buffered pushes before a vectorized merge into the sorted
+#: run.  Merges are *geometric*: the buffer must also outgrow the
+#: surviving run tail, so every entry is rewritten O(log(N/threshold))
+#: times over its life instead of once per 1024 pushes — without this,
+#: deep heaps (256–1024-rank exact runs) would pay quadratic rewrite
+#: volume.
+_MERGE_THRESHOLD = 1024
+
+
+class EventHeap:
+    """Columnar pending-event store (see module docstring).
+
+    The public entry shape is the kernel's ``(time, priority, seq,
+    event)`` tuple.  Entries live either in ``_pend`` — a small
+    ``heapq`` of those very tuples, so the shallow-heap fast path costs
+    exactly what the plain heap cost — or in the sorted run
+    ``_run_t``/``_run_k``/``_run_e`` consumed from ``_head``, where
+    ``k`` packs ``priority << 48 | seq`` so one scalar pair compare
+    orders run entries against the pend head.
+    """
+
+    __slots__ = (
+        "_pend", "_run_t", "_run_k", "_run_e", "_head", "_run_len", "stats"
+    )
+
+    def __init__(self, stats=None) -> None:
+        self._pend: List[Tuple[float, int, int, Event]] = []
+        # The sorted run: produced columnar (one vectorized lexsort),
+        # then held as plain lists so per-pop head reads are native
+        # float/int indexing with no numpy-scalar boxing.
+        self._run_t: List[float] = []
+        self._run_k: List[int] = []
+        self._run_e: List[Any] = []
+        self._head = 0
+        self._run_len = 0
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self._pend) + (self._run_len - self._head)
+
+    def __bool__(self) -> bool:
+        return bool(self._pend) or self._head < self._run_len
+
+    # -- insertion -----------------------------------------------------
+    def push(self, time: float, priority: int, seq: int, event: Event) -> None:
+        pend = self._pend
+        heapq.heappush(pend, (time, priority, seq, event))
+        if len(pend) >= _MERGE_THRESHOLD and len(pend) >= (
+            self._run_len - self._head
+        ):
+            self._merge()
+
+    def push_entry(self, entry: Tuple[float, int, int, Event]) -> None:
+        """Re-insert an entry previously returned by :meth:`pop` (the
+        exploring tie-break pushes non-chosen ready entries back)."""
+        heapq.heappush(self._pend, entry)
+
+    def _merge(self) -> None:
+        """Fold the push buffer into the sorted run (vectorized)."""
+        pend = self._pend
+        head = self._head
+        n = self._run_len - head + len(pend)
+        t = np.array(
+            self._run_t[head:] + [e[0] for e in pend], dtype=np.float64
+        )
+        k = np.array(
+            self._run_k[head:]
+            + [(e[1] << _KEY_SHIFT) | e[2] for e in pend],
+            dtype=np.int64,
+        )
+        events = self._run_e[head:] + [e[3] for e in pend]
+        pend.clear()
+        # Keys are unique (seq is), so (time, key) is a total order and
+        # sort stability is irrelevant: the result is the exact heapq
+        # pop order regardless.
+        order = np.lexsort((k, t))
+        self._run_t = t[order].tolist()
+        self._run_k = k[order].tolist()
+        self._run_e = [events[i] for i in order.tolist()]
+        self._head = 0
+        self._run_len = n
+        if self.stats is not None:
+            self.stats.heap_merges += 1
+            self.stats.heap_merged_events += n
+
+    # -- consumption ---------------------------------------------------
+    def pop(self) -> Tuple[float, int, int, Event]:
+        """Remove and return the minimum entry as ``(time, priority,
+        seq, event)`` — the plain heap's exact pop order."""
+        head = self._head
+        if head < self._run_len:
+            pend = self._pend
+            rt = self._run_t[head]
+            rk = self._run_k[head]
+            if not pend or (rt, rk) <= (
+                pend[0][0], (pend[0][1] << _KEY_SHIFT) | pend[0][2]
+            ):
+                self._head = head + 1
+                ev = self._run_e[head]
+                self._run_e[head] = None  # drop the reference
+                return (rt, rk >> _KEY_SHIFT, rk & _KEY_MASK, ev)
+        return heapq.heappop(self._pend)
+
+    def peek_time(self) -> float:
+        """Time of the minimum entry (``inf`` when empty)."""
+        pend = self._pend
+        head = self._head
+        if head < self._run_len:
+            rt = self._run_t[head]
+            if pend and pend[0][0] < rt:
+                return pend[0][0]
+            return rt
+        return pend[0][0] if pend else float("inf")
+
+    def peek_matches(self, time: float, priority: int) -> bool:
+        """True when the minimum entry is co-scheduled at exactly
+        ``(time, priority)`` — the exploring simulator's ready-set
+        membership test."""
+        pend = self._pend
+        head = self._head
+        if head < self._run_len:
+            rt = self._run_t[head]
+            rk = self._run_k[head]
+            if pend and (
+                pend[0][0], (pend[0][1] << _KEY_SHIFT) | pend[0][2]
+            ) <= (rt, rk):
+                return pend[0][0] == time and pend[0][1] == priority
+            return rt == time and (rk >> _KEY_SHIFT) == priority
+        if pend:
+            return pend[0][0] == time and pend[0][1] == priority
+        return False
 
 #: Structured record for one pending completion: absolute fire time and
 #: an index into the side list of (event, value) pairs.  Kept as a

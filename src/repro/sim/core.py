@@ -25,7 +25,6 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -324,19 +323,27 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, priority, seq, event)."""
+    """The event loop: a priority queue of (time, priority, seq, event).
+
+    Pending events live in a structured-array
+    :class:`~repro.sim.batch.EventHeap` — columnar ``(time, key)``
+    storage with an object sidecar — whose pop order is byte-for-byte
+    the plain ``heapq`` order on ``(time, priority, seq)``.
+    """
 
     def __init__(self) -> None:
+        # Late import: batch.py imports Event/Simulator from this module.
+        from .batch import EventHeap
+
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self.stats = SimStats()
+        self._heap = EventHeap(stats=self.stats)
         self._seq = itertools.count()
         self._live: set[Process] = set()
         self._crashed: list[Process] = []
         self._current: Optional[Process] = None
         #: Optional tracer with a ``record(t, category, **fields)`` method.
         self.tracer: Any = None
-        #: Monotonic event-loop counters (:class:`~repro.sim.stats.SimStats`).
-        self.stats = SimStats()
 
     # -- time ------------------------------------------------------------
     @property
@@ -362,9 +369,7 @@ class Simulator:
         if delay < 0:
             raise ScheduleError(f"negative delay {delay!r}")
         self.stats.heap_pushes += 1
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), event)
-        )
+        self._heap.push(self._now + delay, priority, next(self._seq), event)
 
     def stop(self, value: Any = None) -> None:
         """Stop :meth:`run` at the current simulated time."""
@@ -381,7 +386,7 @@ class Simulator:
         overrides this to pick among the ready set under a seeded RNG —
         every seed then explores one distinct legal interleaving.
         """
-        return heapq.heappop(self._heap)
+        return self._heap.pop()
 
     def step(self) -> None:
         """Process exactly one event."""
@@ -421,7 +426,7 @@ class Simulator:
         """
         try:
             while self._heap:
-                if until is not None and self._heap[0][0] > until:
+                if until is not None and self._heap.peek_time() > until:
                     self._now = until
                     return self._now
                 self.step()
@@ -458,7 +463,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event (inf when empty)."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._heap.peek_time()
 
     def trace(self, category: str, **fields: Any) -> None:
         """Record a trace point if a tracer is installed (cheap when not)."""

@@ -31,7 +31,6 @@ advancing, :class:`~repro.sim.errors.LivelockError` is raised.
 
 from __future__ import annotations
 
-import heapq
 import random
 from typing import List, NamedTuple, Optional, Tuple
 
@@ -100,15 +99,15 @@ class ExploringSimulator(Simulator):
     # -- the exploring tie-break ----------------------------------------
     def _pop_next(self) -> tuple[float, int, int, Event]:
         heap = self._heap
-        first = heapq.heappop(heap)
-        if not heap or heap[0][0] != first[0] or heap[0][1] != first[1]:
+        first = heap.pop()
+        if not heap.peek_matches(first[0], first[1]):
             return first  # singleton ready set: no choice to make
         # Gather the full ready set: every entry co-scheduled at the
         # head (time, priority).  Entries keep their sequence numbers,
         # so the ones pushed back preserve their relative FIFO order.
         ready = [first]
-        while heap and heap[0][0] == first[0] and heap[0][1] == first[1]:
-            ready.append(heapq.heappop(heap))
+        while heap.peek_matches(first[0], first[1]):
+            ready.append(heap.pop())
         k = self._rng.randrange(len(ready))
         self.decisions += 1
         if self.capture_trace and len(self.schedule_trace) < self.max_trace:
@@ -124,7 +123,7 @@ class ExploringSimulator(Simulator):
             )
         chosen = ready.pop(k)
         for entry in ready:
-            heapq.heappush(heap, entry)
+            heap.push_entry(entry)
         return chosen
 
     # -- livelock detection ---------------------------------------------

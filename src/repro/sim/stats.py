@@ -23,8 +23,26 @@ Counter glossary
 ``fastpath_collectives`` / ``fastpath_rounds``
     Collectives executed by the analytic backend, and the total number
     of schedule rounds it priced without enqueueing packets.
+``fastpath_sched_cache_hits``
+    Repeat data-free collectives (interned DAGs — e.g. the fence
+    barrier every Jacobi iteration) whose per-rank completion offsets
+    were reused instead of re-resolved.
 ``rma_coalesced_puts``
     Small eager RMA puts absorbed into a combined wire transfer.
+``heap_merges`` / ``heap_merged_events``
+    Vectorized merges of the structured-array event heap's push buffer
+    into its sorted run, and the total entries those merges moved —
+    ``heap_merged_events / heap_merges`` is the mean merge batch size.
+``payload_adopted``
+    Receives that adopted the in-flight message array outright instead
+    of memcpying it into a staging buffer (schedule-internal receives
+    whose sender donated a private payload).
+``wire_cost_hits`` / ``wire_cost_misses``
+    Interned-wire-cost cache hits vs. analytic cost-model evaluations
+    in the fast-path backends (collectives and RMA pricing share the
+    cache) — the hit rate is the fast path's memoization health.
+``fastpath_rma_ops``
+    One-sided operations priced analytically instead of simulated.
 """
 
 from __future__ import annotations
@@ -36,9 +54,16 @@ _FIELDS = (
     "events_popped",
     "payload_copies",
     "payload_views",
+    "payload_adopted",
     "batch_events",
+    "heap_merges",
+    "heap_merged_events",
     "fastpath_collectives",
     "fastpath_rounds",
+    "fastpath_sched_cache_hits",
+    "fastpath_rma_ops",
+    "wire_cost_hits",
+    "wire_cost_misses",
     "rma_coalesced_puts",
 )
 
