@@ -177,6 +177,11 @@ def main() -> int:
     bench_sweep(records, violations, args.smoke)
     bench_coalescing(records, violations, args.smoke)
     bench_dcgn_point(records)
+    fence = [
+        r["rma_fence_s"] for r in records if r["series"] == "halo_sweep"
+    ]
+    if fence:
+        print(common.tail_line("halo-sweep fence-epoch times", fence))
     common.write_json(
         args.json, {"records": records, "violations": violations}
     )

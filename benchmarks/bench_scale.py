@@ -647,6 +647,12 @@ def main() -> int:
                                 exact_walls)
     bench_scale(records, violations, smoke)
     bench_jacobi(records, violations, smoke, exact_walls)
+    if exact_walls:
+        # Print-only spread of the exact-backend walls (the committed
+        # JSON schema stays untouched).
+        print(common.tail_line(
+            "exact-backend simulated walls", sorted(exact_walls.values())
+        ))
     check_regression(records, violations, exact_walls, calib_now,
                      base)
     record_heap(records, violations, tot_exact, calib_now, base,

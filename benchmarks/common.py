@@ -24,13 +24,20 @@ exit-code dance.  This module is that scaffolding, written once:
   into the per-process stats aggregate that :func:`finish` prints
   (events popped, heap pushes, payload copies elided, fast-path rounds
   priced — the observability counters of the vectorized event core).
+* :func:`percentiles` / :func:`tail_line` — the p50/p95/p99 block every
+  latency-reporting bench needs, delegated to the serving layer's
+  interpolating :func:`~repro.serve.workload.percentile` so benches and
+  the runtime agree on what "p99" means.
+* :func:`arrival_schedule` — seeded open-loop Poisson arrival instants
+  (:func:`~repro.serve.workload.open_loop_arrivals`), for any bench
+  that offers load instead of running closed-loop.
 """
 
 import argparse
 import json
 import os
 import sys
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.abspath(os.path.join(BENCH_DIR, ".."))
@@ -66,6 +73,33 @@ def stats_summary() -> Optional[str]:
         return None
     body = " ".join(f"{k}={v}" for k, v in _STATS_TOTALS.items())
     return f"sim.stats totals: {body}"
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` of ``values``."""
+    from repro.serve.workload import percentile
+
+    return {f"p{q:g}": percentile(values, q) for q in qs}
+
+
+def tail_line(label: str, values: Sequence[float]) -> str:
+    """One printable tail-latency summary line (seconds in, µs out)."""
+    p = percentiles(values)
+    return (
+        f"{label}: n={len(values)} p50={p['p50'] * 1e6:.1f}us "
+        f"p95={p['p95'] * 1e6:.1f}us p99={p['p99'] * 1e6:.1f}us"
+    )
+
+
+def arrival_schedule(
+    rate_hz: float, n_requests: int, seed: int = 0, start: float = 0.0
+) -> List[float]:
+    """Seeded open-loop Poisson arrival instants (ascending)."""
+    from repro.serve.workload import open_loop_arrivals
+
+    return open_loop_arrivals(rate_hz, n_requests, seed=seed, start=start)
 
 
 def json_path(name: str) -> str:

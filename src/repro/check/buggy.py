@@ -1,4 +1,4 @@
-"""A deliberately buggy fixture the sweep must catch.
+"""Deliberately buggy fixtures the sweep must catch.
 
 This module exists to prove the model checker has teeth: a checker that
 only ever reports "ok" is indistinguishable from one that checks
@@ -17,17 +17,31 @@ classify that deadlock (with the waits-for chain naming both mutexes)
 and replaying the reported seed must reproduce it — which is exactly
 what the ``buggy-grant-queue`` scenario requires.
 
-Nothing in the production runtime uses this class.
+:class:`BuggyReservingScheduler` plays the same role for the serving
+scheduler: it re-introduces the TOCTOU window the real
+:meth:`~repro.serve.scheduler.ClusterScheduler._start_placement`
+deliberately avoids.  The real scheduler selects nodes and reserves
+them *atomically* — no scheduling point in between.  The buggy variant
+defers selection into the placement process, with a zero-delay pause
+between reading the free set and marking ownership; a second job
+admitted inside that window reads the *stale* free set and both jobs
+reserve the same nodes — a classic double allocation.  Whether the
+window is hit depends on the same-instant tie-break, so only a seed
+sweep catches it reliably (the ``buggy-double-alloc`` scenario).
+
+Nothing in the production runtime uses these classes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, List, Tuple
 
+from ..serve.placement import select_nodes
+from ..serve.scheduler import PLACING, ClusterScheduler, Job
 from ..sim.core import Event, Simulator
 from ..sim.resources import Mutex
 
-__all__ = ["BuggyGrantQueue"]
+__all__ = ["BuggyGrantQueue", "BuggyReservingScheduler"]
 
 
 class BuggyGrantQueue:
@@ -68,3 +82,69 @@ class BuggyGrantQueue:
         yield self._pause()
         self._queue_lock.release()
         self._state_lock.release()
+
+
+class BuggyReservingScheduler(ClusterScheduler):
+    """Test-only scheduler with a select/reserve TOCTOU window (see
+    module doc).  Records every job's node-ownership interval in
+    ``history`` so a scenario can detect double allocation post hoc;
+    the inherited release-conflict guard is disabled for the same
+    reason (the fixture must *misbehave*, not crash)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: (job id, nodes, reserve time, release time or None).
+        self.history: List[Tuple[int, tuple, float, Any]] = []
+        self._hist_index = {}
+
+    def _start_placement(self, job: Job) -> None:
+        # BUG under test: selection is deferred into the placement
+        # process instead of happening atomically with reservation.
+        job.state = PLACING
+        job.place_t = self.sim.now
+        self.sim.process(
+            self._select_then_place(job),
+            name=f"serve.place.{job.name}",
+        )
+
+    def _select_then_place(self, job: Job) -> Generator[Event, Any, None]:
+        nodes = select_nodes(
+            self.policy,
+            self.topology,
+            self.free_nodes(),
+            job.spec.n_nodes,
+            self._rng,
+        )
+        # The TOCTOU window: another admission can run here and read
+        # the free set this selection was based on.
+        yield self.sim.timeout(0.0, name=f"serve.toctou.{job.name}")
+        for n in nodes:
+            self._owner[n] = job.id  # no conflict check — the bug
+        job.nodes = nodes
+        self._hist_index[job.id] = len(self.history)
+        self.history.append((job.id, tuple(nodes), self.sim.now, None))
+        yield from self._place(job)
+
+    def _release_nodes(self, job: Job) -> None:
+        assert job.nodes is not None
+        for n in job.nodes:
+            if self._owner[n] == job.id:
+                self._owner[n] = None
+        i = self._hist_index[job.id]
+        jid, nodes, t0, _ = self.history[i]
+        self.history[i] = (jid, nodes, t0, self.sim.now)
+
+    def overlaps(self) -> List[Tuple[int, int, int]]:
+        """(job a, job b, shared node) triples whose ownership
+        intervals genuinely overlapped — the double allocations."""
+        out = []
+        for i, (ja, na, a0, a1) in enumerate(self.history):
+            for jb, nb, b0, b1 in self.history[i + 1:]:
+                shared = set(na) & set(nb)
+                if not shared:
+                    continue
+                a_end = a1 if a1 is not None else float("inf")
+                b_end = b1 if b1 is not None else float("inf")
+                if a0 < b_end and b0 < a_end:
+                    out.append((ja, jb, min(shared)))
+        return out

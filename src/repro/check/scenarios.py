@@ -34,7 +34,7 @@ import numpy as np
 from ..hw import ClusterSpec, build_cluster, paper_cluster
 from ..mpi import MpiError, MpiJob
 from ..sim.core import Simulator
-from .buggy import BuggyGrantQueue
+from .buggy import BuggyGrantQueue, BuggyReservingScheduler
 from .errors import InvariantViolation
 
 __all__ = ["ScenarioSpec", "SCENARIOS", "scenario_names", "get_scenario"]
@@ -550,8 +550,194 @@ def _run_batch_drain_storm(sim: Simulator) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Serving scheduler: admission, cancellation and reservation races
+# ---------------------------------------------------------------------------
+
+def _scheduler(sim: Simulator, n_nodes: int):
+    from ..serve import ClusterScheduler
+
+    cluster = build_cluster(
+        sim, ClusterSpec(nodes=n_nodes, gpus_per_node=0)
+    )
+    return ClusterScheduler(cluster, policy="packed", seed=0)
+
+
+def _serve_prog_factory(duration_s: float = 0.0):
+    """A job program: allreduce (checks tag isolation) + optional work."""
+
+    def prog(ctx):
+        if duration_s > 0.0:
+            yield ctx.sim.timeout(duration_s)
+        out = np.zeros(16)
+        yield from ctx.allreduce(np.ones(16), out)
+        _require(
+            float(out[0]) == float(ctx.size),
+            f"job allreduce produced {out[0]}, want {ctx.size} — "
+            "traffic leaked between job communicators",
+        )
+
+    return prog
+
+
+def _check_serve_end_state(sched, jobs) -> None:
+    """Shared order-independent invariants after a scheduler run."""
+    from ..serve.scheduler import CANCELLED, DONE, TERMINAL
+
+    for job in jobs:
+        _require(
+            job.state in TERMINAL,
+            f"job {job.name!r} ended non-terminal: {job.state}",
+        )
+        if job.state == DONE:
+            _require(
+                job.comm is not None and job.comm._freed,
+                f"done job {job.name!r} left its communicator live",
+            )
+        if job.state == CANCELLED:
+            _require(
+                job.comm is None,
+                f"cancelled job {job.name!r} got a communicator",
+            )
+    _require(
+        sched.n_free == sched.cluster.n_nodes,
+        f"{sched.cluster.n_nodes - sched.n_free} nodes still owned "
+        "after every job ended",
+    )
+    # No two jobs whose node sets intersect may have overlapping
+    # ownership intervals (reservation at place_t, release at end_t).
+    placed = [j for j in jobs if j.nodes is not None and j.end_t is not None]
+    for i, a in enumerate(placed):
+        for b in placed[i + 1:]:
+            if not (set(a.nodes) & set(b.nodes)):
+                continue
+            _require(
+                not (a.place_t < b.end_t and b.place_t < a.end_t),
+                f"jobs {a.name!r} and {b.name!r} owned shared nodes "
+                "concurrently",
+            )
+
+
+def _run_sched_cancel_mid_placement(sim: Simulator) -> None:
+    """A cancel lands at the exact instant a job's placement delay
+    expires: the tie-break decides whether the job launches (the cancel
+    then raises — running jobs need preemption) or the reservation is
+    rolled back.  Both outcomes must leave the cluster clean."""
+    from ..serve import SchedulerError
+
+    sched = _scheduler(sim, 4)
+    job = sched.submit(
+        _job_spec("victim", 2, _serve_prog_factory(duration_s=1e-4))
+    )
+
+    def canceller() -> Generator:
+        # Sleep exactly the launch overhead: the cancel and the
+        # placement completion become a same-instant tie.
+        yield sim.timeout(sched._launch_overhead_s(2))
+        try:
+            sched.cancel(job)
+        except SchedulerError:
+            pass  # lost the race: the job is already running
+
+    sim.process(canceller(), name="serve.canceller")
+    sim.run()
+    _check_serve_end_state(sched, [job])
+    _require(
+        sched.stats["completed"] + sched.stats["cancelled"] == 1,
+        f"stats inconsistent: {sched.stats}",
+    )
+
+
+def _run_sched_free_race(sim: Simulator) -> None:
+    """A full-cluster job's completion (communicator free + node release
+    + synchronous re-admission) races fresh submissions: two jobs are
+    already queued when the release happens, and a third submission
+    rides the completion callback into the same instant."""
+    sched = _scheduler(sim, 4)
+    prog = _serve_prog_factory(duration_s=5e-5)
+    job_a = sched.submit(_job_spec("hog", 4, prog))
+    late = []
+
+    def submitter(name: str, n: int) -> Generator:
+        yield sim.timeout(1e-5)  # while the hog is still placing/running
+        late.append(sched.submit(_job_spec(name, n, prog)))
+
+    def on_done() -> Generator:
+        yield job_a.done  # same instant as the release + re-admission
+        late.append(sched.submit(_job_spec("tail", 1, prog)))
+
+    sim.process(submitter("mid", 2), name="serve.submit.mid")
+    sim.process(submitter("big", 3), name="serve.submit.big")
+    sim.process(on_done(), name="serve.submit.tail")
+    sim.run()
+    jobs = [job_a] + late
+    _require(len(jobs) == 4, f"only {len(jobs)} jobs submitted")
+    _check_serve_end_state(sched, jobs)
+    _require(
+        sched.stats["completed"] == 4,
+        f"completed {sched.stats['completed']} of 4 jobs",
+    )
+
+
+def _run_sched_last_nodes(sim: Simulator) -> None:
+    """Two 3-node jobs contend for 4 nodes: whichever submission wins
+    the same-instant tie runs first and the other must wait — they can
+    never hold nodes concurrently (pigeonhole: the sets must share at
+    least two nodes)."""
+    sched = _scheduler(sim, 4)
+    prog = _serve_prog_factory(duration_s=5e-5)
+    jobs = []
+
+    def submitter(name: str) -> Generator:
+        yield sim.timeout(0.0)
+        jobs.append(sched.submit(_job_spec(name, 3, prog)))
+
+    sim.process(submitter("left"), name="serve.submit.left")
+    sim.process(submitter("right"), name="serve.submit.right")
+    sim.run()
+    _require(len(jobs) == 2, f"only {len(jobs)} jobs submitted")
+    _check_serve_end_state(sched, jobs)
+    starts = sorted(j.place_t for j in jobs)
+    ends = sorted(j.end_t for j in jobs)
+    _require(
+        starts[1] >= ends[0],
+        "second 3-node job started before the first released",
+    )
+
+
+def _job_spec(name: str, n_nodes: int, prog):
+    from ..serve import JobSpec
+
+    return JobSpec(name=name, n_nodes=n_nodes, program=prog)
+
+
+# ---------------------------------------------------------------------------
 # Detector fixtures: the checker must catch these
 # ---------------------------------------------------------------------------
+
+def _run_buggy_double_alloc(sim: Simulator) -> None:
+    """The scheduler TOCTOU fixture (see :mod:`repro.check.buggy`): a
+    second admission lands inside the select/reserve window, reads the
+    stale free set, and both jobs reserve the same nodes.  The sweep
+    must observe the double allocation on at least one seed."""
+    cluster = build_cluster(sim, ClusterSpec(nodes=4, gpus_per_node=0))
+    sched = BuggyReservingScheduler(cluster, policy="packed", seed=0)
+    prog = _serve_prog_factory(duration_s=5e-5)
+    jobs = [sched.submit(_job_spec("first", 2, prog))]
+
+    def submitter() -> Generator:
+        # Races the first job's deferred reservation at instant 0.
+        yield sim.timeout(0.0)
+        jobs.append(sched.submit(_job_spec("second", 2, prog)))
+
+    sim.process(submitter(), name="serve.submit.second")
+    sim.run()
+    hits = sched.overlaps()
+    if hits:
+        ja, jb, node = hits[0]
+        raise InvariantViolation(
+            f"double allocation: jobs {ja} and {jb} both owned node "
+            f"{node}"
+        )
 
 def _run_buggy_grant_queue(sim: Simulator) -> None:
     """The lock-order-inversion fixture (see :mod:`repro.check.buggy`):
@@ -645,6 +831,29 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             _run_batch_drain_storm,
             "same-instant EventBatch drains vs timeouts on the "
             "columnar heap",
+        ),
+        ScenarioSpec(
+            "sched-cancel-mid-placement",
+            _run_sched_cancel_mid_placement,
+            "cancel racing the placement delay's expiry instant",
+        ),
+        ScenarioSpec(
+            "sched-free-race",
+            _run_sched_free_race,
+            "full-cluster job release racing queued + fresh admissions",
+        ),
+        ScenarioSpec(
+            "sched-last-nodes",
+            _run_sched_last_nodes,
+            "two 3-node jobs contending for 4 nodes; never concurrent",
+        ),
+        ScenarioSpec(
+            "buggy-double-alloc",
+            _run_buggy_double_alloc,
+            "KNOWN-BUGGY select/reserve TOCTOU; sweep must find the "
+            "double allocation",
+            expect=frozenset({"ok", "invariant-violation"}),
+            must_find="invariant-violation",
         ),
         ScenarioSpec(
             "buggy-grant-queue",

@@ -110,6 +110,12 @@ class DcgnConfig:
     any other rank's region matching-free (CPU ``ctx.put(...)``, GPU
     ``ctx.comm.put(slot, ...)``; see :mod:`repro.dcgn.windows`).
 
+    ``node_ids`` maps the job's local node indices onto *cluster* node
+    ids (``node_ids[i]`` hosts ``nodes[i]``).  Omitted, the job runs on
+    nodes ``0..n-1`` — the single-tenant default.  A scheduler placing
+    jobs on arbitrary node sets (:mod:`repro.serve`) passes the nodes
+    it reserved.
+
     ``backend`` selects the timing engine of the node-level MPI layer
     the comm threads drive: ``"exact"`` (per-op wire processes, the
     default), ``"analytic"`` (fast-path pricing of staged collectives
@@ -123,6 +129,7 @@ class DcgnConfig:
     slot_groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
     windows: Tuple[Tuple[str, Tuple[int, str]], ...] = ()
     backend: str = "exact"
+    node_ids: Optional[Tuple[int, ...]] = None
 
     def __init__(
         self,
@@ -131,12 +138,24 @@ class DcgnConfig:
         slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
         windows: Optional[Mapping[str, object]] = None,
         backend: str = "exact",
+        node_ids: Optional[Sequence[int]] = None,
     ) -> None:
         if not nodes:
             raise DcgnConfigError("job needs at least one node")
         object.__setattr__(self, "nodes", tuple(nodes))
         object.__setattr__(self, "tuning", tuning)
         object.__setattr__(self, "backend", str(backend))
+        ids: Optional[Tuple[int, ...]] = None
+        if node_ids is not None:
+            ids = tuple(int(n) for n in node_ids)
+            if len(ids) != len(nodes):
+                raise DcgnConfigError(
+                    f"node_ids names {len(ids)} nodes; config has "
+                    f"{len(nodes)}"
+                )
+            if len(set(ids)) != len(ids):
+                raise DcgnConfigError("node_ids contains duplicates")
+        object.__setattr__(self, "node_ids", ids)
         groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
         if slot_groups:
             groups = tuple(
@@ -165,6 +184,7 @@ class DcgnConfig:
         slot_groups: Optional[Mapping[str, Sequence[int]]] = None,
         windows: Optional[Mapping[str, object]] = None,
         backend: str = "exact",
+        node_ids: Optional[Sequence[int]] = None,
     ) -> "DcgnConfig":
         """Same configuration on every node (the paper's usual setup)."""
         return cls(
@@ -180,6 +200,7 @@ class DcgnConfig:
             slot_groups=slot_groups,
             windows=windows,
             backend=backend,
+            node_ids=node_ids,
         )
 
     @property
@@ -190,6 +211,12 @@ class DcgnConfig:
     def n_nodes(self) -> int:
         return len(self.nodes)
 
+    def cluster_node_ids(self) -> Tuple[int, ...]:
+        """Cluster node id hosting each local node index."""
+        if self.node_ids is not None:
+            return self.node_ids
+        return tuple(range(len(self.nodes)))
+
     def validate_against(self, cluster: Cluster) -> None:
         """Check the cluster can host this configuration."""
         if len(self.nodes) > cluster.n_nodes:
@@ -197,8 +224,14 @@ class DcgnConfig:
                 f"config names {len(self.nodes)} nodes; cluster has "
                 f"{cluster.n_nodes}"
             )
+        ids = self.cluster_node_ids()
+        for nid in ids:
+            if not (0 <= nid < cluster.n_nodes):
+                raise DcgnConfigError(
+                    f"node id {nid} out of range [0,{cluster.n_nodes})"
+                )
         for i, nc in enumerate(self.nodes):
-            node = cluster.nodes[i]
+            node = cluster.nodes[ids[i]]
             if nc.gpus > len(node.gpus):
                 raise DcgnConfigError(
                     f"node {i}: requested {nc.gpus} GPUs, has {len(node.gpus)}"

@@ -200,3 +200,14 @@ class GroupTable:
     def local_count(self, gid: int, node: int) -> int:
         """Group members resident on ``node`` (staging quorum)."""
         return len(self.info(gid).local_vranks(node))
+
+    def release(self) -> None:
+        """Free every group's derived sub-communicator (job teardown).
+
+        The world group's "sub-communicator" is the node communicator
+        itself — its owner releases it, not this table.
+        """
+        for info in self._infos.values():
+            sub = info.subcomm
+            if sub is not self._node_comm and not sub._freed:
+                sub.free(force=True)

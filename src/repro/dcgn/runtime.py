@@ -42,23 +42,39 @@ class DcgnRuntime:
         cluster: Cluster,
         config: DcgnConfig,
         policy_factory: Optional[Callable[[], PollPolicy]] = None,
+        node_comm: Optional[Communicator] = None,
     ) -> None:
         config.validate_against(cluster)
         self.cluster = cluster
         self.config = config
         self.sim: Simulator = cluster.sim
         self.rankmap = RankMap(config)
+        #: Cluster node hosting each local node index (identity unless
+        #: ``config.node_ids`` places the job elsewhere).
+        self.node_ids = config.cluster_node_ids()
         # One MPI rank per participating node (the DCGN process).  The
         # job's collective tuning steers this communicator's algorithm
         # selection, so DCGN-layer collectives ride the same engine —
         # and its backend decides whether staged collectives and window
         # operations run exact wire processes or the analytic pricer.
-        self.node_comm = Communicator(
-            cluster,
-            placement=list(range(config.n_nodes)),
-            tuning=config.tuning,
-            backend=config.backend,
-        )
+        # A scheduler (repro.serve) passes its own ``node_comm`` — the
+        # job's sub-communicator of the shared fabric — so tag spaces
+        # stay isolated per job; the runtime then does not own it.
+        self._owns_node_comm = node_comm is None
+        if node_comm is None:
+            node_comm = Communicator(
+                cluster,
+                placement=list(self.node_ids),
+                tuning=config.tuning,
+                backend=config.backend,
+            )
+        else:
+            if tuple(node_comm.placement) != self.node_ids:
+                raise DcgnConfigError(
+                    f"node_comm placement {tuple(node_comm.placement)} "
+                    f"does not match the job's nodes {self.node_ids}"
+                )
+        self.node_comm = node_comm
         #: Slot-group registry: the world group, every group declared in
         #: ``config.slot_groups`` (each backed by its own node-level MPI
         #: sub-communicator), and any groups kernels later form via the
@@ -80,7 +96,7 @@ class DcgnRuntime:
         self.comm_threads: List[CommThread] = [
             CommThread(
                 self.sim,
-                cluster.nodes[n],
+                cluster.nodes[self.node_ids[n]],
                 self.node_comm.ctx(n),
                 self.rankmap,
                 kick=self.kicks[n],
@@ -95,7 +111,7 @@ class DcgnRuntime:
                 self.gpu_threads[(n, g)] = GpuKernelThread(
                     self.sim,
                     self.comm_threads[n],
-                    cluster.nodes[n].gpus[g],
+                    cluster.nodes[self.node_ids[n]].gpus[g],
                     self.rankmap,
                     gpu_index=g,
                     slots=nc.slots_per_gpu,
@@ -213,6 +229,48 @@ class DcgnRuntime:
                 f"service threads did not drain: {', '.join(still)}"
             )
         return DcgnReport(self)
+
+    def drain(self) -> Generator[Event, Any, None]:
+        """In-simulation wind-down: join the kernels, then stop the
+        service threads (the co-tenant analogue of :meth:`run`'s
+        shutdown phase).
+
+        :meth:`run` drives the whole simulation itself, which only
+        works for a dedicated cluster.  A DCGN job *embedded* in a
+        larger simulation — placed by the serving scheduler next to
+        other jobs — yields from this instead (typically as the job's
+        ``finalize``), so the wind-down happens at the right simulated
+        time without monopolizing the event loop.
+        """
+        for p in self._kernel_procs + self._launchers:
+            yield p
+        for ct in self.comm_threads:
+            ct.shutdown()
+        for gt in self.gpu_threads.values():
+            gt.shutdown()
+        for ct in self.comm_threads:
+            if ct.proc.is_alive:
+                yield ct.proc
+        for gt in self.gpu_threads.values():
+            if gt.proc.is_alive:
+                yield gt.proc
+
+    def shutdown(self) -> None:
+        """Release the job's communicator state (driver-level; after
+        :meth:`run` or :meth:`drain`).
+
+        Frees every slot group's sub-communicator, severs the DCGN
+        windows' underlying MPI windows, and — when the runtime built
+        its own node communicator — releases it.  Without this, a
+        scheduler churning thousands of DCGN jobs on one cluster
+        accumulates matching stores and schedule engines without
+        bound.  A node communicator passed in by a scheduler is left
+        for its owner to free.
+        """
+        self.windows.release()
+        self.groups.release()
+        if self._owns_node_comm and not self.node_comm._freed:
+            self.node_comm.release(force=True)
 
     def _diagnose_hang(
         self, unfinished: List[Process], unfinished_launch: List[Process]

@@ -141,3 +141,13 @@ class DcgnWindowTable:
             return self._by_name[name]
         except KeyError:
             raise DcgnError(f"no window named {name!r}") from None
+
+    def release(self) -> None:
+        """Sever every window's underlying MPI window (job teardown).
+
+        DCGN windows live for the whole job — there is no collective
+        window free at the kernel level — so teardown marks them freed
+        the way a force-free of the node communicator would, letting
+        the communicator release cleanly afterwards."""
+        for win in self._by_name.values():
+            win.win._freed = True

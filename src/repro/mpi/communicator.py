@@ -308,6 +308,28 @@ class Communicator:
         self._ensure_alive()
         if self.parent is None:
             raise MpiError("cannot free a world communicator")
+        self._release_checked(force)
+
+    def release(self, force: bool = False) -> None:
+        """Driver-level teardown that — unlike :meth:`free` — is allowed
+        on **world** communicators.
+
+        ``MPI_Comm_free`` refusing the world communicator is the right
+        *rank-level* rule, but it left drivers that churn whole jobs
+        (the serving scheduler's per-job worlds, repeated
+        ``MpiJob``/``DcgnRuntime`` builds on one long-lived cluster)
+        with no way to drop a retired world's matching stores, schedule
+        engine and window bookkeeping — thousands of job churns grew
+        memory without bound.  ``release`` is the ``MPI_Finalize``
+        analogue: quiescence is required (no in-flight operations, and
+        live windows refuse unless ``force=True`` severs them, exactly
+        as in :meth:`free`), then the state drops.  Derived
+        communicators may also use it; it behaves like :meth:`free`.
+        """
+        self._ensure_alive()
+        self._release_checked(force)
+
+    def _release_checked(self, force: bool) -> None:
         live = self.live_windows()
         if live and not force:
             names = ", ".join(repr(w.name) for w in live)

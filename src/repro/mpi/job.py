@@ -120,3 +120,15 @@ class MpiJob:
             if p.is_alive:
                 raise MpiError(f"{p} still alive after run()")
         return [p.value for p in self._procs]
+
+    def shutdown(self) -> None:
+        """Release the job's COMM_WORLD (``MPI_Finalize`` analogue).
+
+        Call after :meth:`run` when many jobs churn on one long-lived
+        cluster — a serving scheduler, a parameter sweep — so each
+        retired world's matching stores and schedule engine drop
+        instead of accumulating.  The job is unusable afterwards.
+        """
+        if not self.comm._freed:
+            self.comm.release()
+        self._procs.clear()

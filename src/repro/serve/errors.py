@@ -1,0 +1,19 @@
+"""Errors of the serving layer."""
+
+from __future__ import annotations
+
+__all__ = ["ServeError", "SchedulerError", "PlacementError"]
+
+
+class ServeError(Exception):
+    """Base class for serving-layer errors."""
+
+
+class SchedulerError(ServeError):
+    """Invalid scheduler operation (bad submit, illegal cancel, a
+    reservation conflict — the latter indicates a scheduler bug)."""
+
+
+class PlacementError(ServeError):
+    """A placement request that cannot be satisfied (unknown policy,
+    more nodes requested than are free)."""

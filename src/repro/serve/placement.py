@@ -1,0 +1,183 @@
+"""Placement policies: which free nodes a job should get.
+
+The scheduler hands this module the set of currently free nodes and a
+size; the policy picks the job's node set.  Placement quality is a
+*locality* question — :meth:`~repro.hw.topology.base.Topology.locality_group`
+says which nodes share cheap links (a fat-tree pod, a torus row, the
+whole machine on a flat switch), and the
+:class:`~repro.hw.topology.base.FabricProfile` prices what a
+domain-crossing hop costs — so the policies and the score both work on
+those two views and nothing topology-specific:
+
+``packed``
+    Fill the locality domains with the most free nodes first, so a job
+    spans as few domains as possible (ties broken toward the lowest
+    domain id — deterministic).  On an oversubscribed fat tree this is
+    the placement whose collectives cross the fewest tapered uplinks —
+    zero, when a whole pod is free.
+``spread``
+    Round-robin one node per domain, deliberately maximizing the
+    domains spanned — the placement a throughput-hungry scheduler
+    produces when it "load-balances" pods, and the natural victim
+    placement for uplink contention.
+``random``
+    A seeded uniform sample of the free nodes — the baseline the
+    serving benchmark's placement gate compares against.
+
+Every policy returns a **sorted** node list: job ranks are assigned in
+node order, so the choice is a set, not a permutation, and derived
+communicators stay deterministic.
+
+Fragmented results need no special casing here: the job's
+sub-communicator recomputes ``locality_groups``/``fragmented`` from its
+own placement (:meth:`Communicator._init_locality`), and its autotuned
+tuning falls back to hierarchical schedules exactly as a hand-built
+fragmented job would (PR 2/PR 4 machinery).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..hw.topology.base import Topology
+from .errors import PlacementError
+
+__all__ = [
+    "POLICIES",
+    "select_nodes",
+    "placement_score",
+    "fragmentation",
+    "domains_of",
+]
+
+#: Valid policy names, in documentation order.
+POLICIES = ("packed", "spread", "random")
+
+#: Per-hop payload the score prices (a typical collective block: large
+#: enough that the beta term dominates, small enough to stay eager).
+SCORE_NBYTES = 64 * 1024
+
+
+def domains_of(
+    topo: Topology, nodes: Sequence[int]
+) -> Dict[int, List[int]]:
+    """Group ``nodes`` by locality domain (domain id -> sorted nodes)."""
+    by_dom: Dict[int, List[int]] = {}
+    for n in sorted(nodes):
+        by_dom.setdefault(topo.locality_group(n), []).append(n)
+    return by_dom
+
+
+def fragmentation(topo: Topology, nodes: Sequence[int]) -> Tuple[int, int]:
+    """(domains spanned, ring crossings) of a node set.
+
+    ``crossings`` counts domain boundaries along the sorted-node ring —
+    the neighbor-exchange pattern ring collectives follow.  A contiguous
+    placement crosses each spanned domain once; a scattered one crosses
+    nearly every hop.
+    """
+    ordered = sorted(nodes)
+    if not ordered:
+        raise PlacementError("fragmentation of an empty node set")
+    doms = [topo.locality_group(n) for n in ordered]
+    k = len(ordered)
+    crossings = sum(
+        1 for i in range(k) if doms[i] != doms[(i + 1) % k]
+    ) if k > 1 else 0
+    return len(set(doms)), crossings
+
+
+def placement_score(
+    topo: Topology, nodes: Sequence[int], nbytes: int = SCORE_NBYTES
+) -> float:
+    """Modelled seconds for one neighbor round on the sorted-node ring
+    (lower is better).
+
+    Each same-domain hop pays ``alpha + nbytes*beta``; each crossing
+    pays ``cross_alpha + nbytes*cross_load_beta`` — the *loaded*
+    crossing cost, because a ring round pushes every crossing through
+    the bottleneck at once.  This is the static analogue of what the
+    autotuner's cost model sweeps, cheap enough to score every
+    candidate placement.
+    """
+    ordered = sorted(nodes)
+    if not ordered:
+        raise PlacementError("placement_score of an empty node set")
+    if len(ordered) == 1:
+        return 0.0
+    prof = topo.profile()
+    doms = [topo.locality_group(n) for n in ordered]
+    k = len(ordered)
+    cost = 0.0
+    for i in range(k):
+        if doms[i] == doms[(i + 1) % k]:
+            cost += prof.alpha_s + nbytes * prof.beta_s_per_B
+        else:
+            cost += (
+                prof.cross_alpha_s + nbytes * prof.cross_load_beta_s_per_B
+            )
+    return cost
+
+
+def _packed(
+    topo: Topology, free: List[int], k: int
+) -> List[int]:
+    by_dom = domains_of(topo, free)
+    # Fullest domains first so the job spans as few as possible; the
+    # domain id breaks ties deterministically (and keeps equal-freedom
+    # machines filling pod 0 upward, which is what operators expect).
+    order = sorted(by_dom, key=lambda d: (-len(by_dom[d]), d))
+    picked: List[int] = []
+    for d in order:
+        take = min(k - len(picked), len(by_dom[d]))
+        picked.extend(by_dom[d][:take])
+        if len(picked) == k:
+            break
+    return sorted(picked)
+
+
+def _spread(
+    topo: Topology, free: List[int], k: int
+) -> List[int]:
+    by_dom = domains_of(topo, free)
+    order = sorted(by_dom)
+    picked: List[int] = []
+    i = 0
+    while len(picked) < k:
+        d = order[i % len(order)]
+        if by_dom[d]:
+            picked.append(by_dom[d].pop(0))
+        else:
+            # Domain exhausted: drop it from the rotation.
+            order.remove(d)
+            continue
+        i += 1
+    return sorted(picked)
+
+
+def select_nodes(
+    policy: str,
+    topo: Topology,
+    free: Sequence[int],
+    k: int,
+    rng: random.Random,
+) -> List[int]:
+    """Pick ``k`` of the ``free`` nodes under ``policy`` (sorted)."""
+    if policy not in POLICIES:
+        raise PlacementError(
+            f"unknown placement policy {policy!r}; valid: "
+            + ", ".join(POLICIES)
+        )
+    if k < 1:
+        raise PlacementError(f"placement needs >= 1 node, got {k}")
+    free_list = sorted(free)
+    if k > len(free_list):
+        raise PlacementError(
+            f"placement needs {k} nodes; only {len(free_list)} free"
+        )
+    if policy == "packed":
+        return _packed(topo, free_list, k)
+    if policy == "spread":
+        return _spread(topo, free_list, k)
+    return sorted(rng.sample(free_list, k))

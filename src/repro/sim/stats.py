@@ -43,6 +43,10 @@ Counter glossary
     cache) — the hit rate is the fast path's memoization health.
 ``fastpath_rma_ops``
     One-sided operations priced analytically instead of simulated.
+``serve_jobs`` / ``serve_backfills`` / ``serve_requests``
+    Serving layer (:mod:`repro.serve`): jobs submitted to a cluster
+    scheduler, admissions that jumped a blocked FIFO head (backfill),
+    and open-loop requests offered to request services.
 """
 
 from __future__ import annotations
@@ -65,6 +69,9 @@ _FIELDS = (
     "wire_cost_hits",
     "wire_cost_misses",
     "rma_coalesced_puts",
+    "serve_jobs",
+    "serve_backfills",
+    "serve_requests",
 )
 
 
