@@ -59,20 +59,39 @@ add_src_to_path()
 _STATS_TOTALS: Dict[str, int] = {}
 
 
-def track(sim):
+def track(sim, since: Optional[Dict[str, int]] = None):
     """Fold ``sim.stats`` into the process-wide aggregate (call after
-    the run finishes); returns ``sim`` so call sites can chain."""
-    for key, value in sim.stats.as_dict().items():
+    the run finishes); returns ``sim`` so call sites can chain.
+
+    Pass ``since`` (a prior ``sim.stats.snapshot()``) to fold in only
+    the growth since that point — for benches that reuse one simulator
+    across phases and want each phase booked separately.
+    """
+    d = (
+        sim.stats.delta(since) if since is not None
+        else sim.stats.snapshot()
+    )
+    for key, value in d.items():
         _STATS_TOTALS[key] = _STATS_TOTALS.get(key, 0) + value
     return sim
 
 
 def stats_summary() -> Optional[str]:
-    """One line of aggregated counters, or ``None`` if nothing ran."""
+    """One line of aggregated counters, or ``None`` if nothing ran.
+
+    Nonzero counters only (``SimStats.summary(compact=True)``): the
+    field list keeps growing and a bench that never touched RMA or
+    serving shouldn't print a page of zeros.
+    """
     if not _STATS_TOTALS:
         return None
-    body = " ".join(f"{k}={v}" for k, v in _STATS_TOTALS.items())
-    return f"sim.stats totals: {body}"
+    from repro.sim.stats import SimStats
+
+    agg = SimStats()
+    for key, value in _STATS_TOTALS.items():
+        setattr(agg, key, value)
+    body = agg.summary(compact=True)
+    return f"sim.stats totals: {body}" if body else None
 
 
 def percentiles(

@@ -185,6 +185,13 @@ class CommThread:
             yield self.sim.timeout(phase)
         self._post_header_irecv()
         while True:
+            spans = self.sim.spans
+            if spans is not None:
+                # One marker per poll cycle (grid-quantized wakeup).
+                spans.instant(
+                    self.sim.now, "poll", "dcgn.poll", self.name,
+                    attrs={"node": self.node.node_id},
+                )
             made_progress = True
             while made_progress:
                 made_progress = False
@@ -331,6 +338,13 @@ class CommThread:
         req.stamp("picked", self.sim.now)
         if self.captured is not None:
             self.captured.append(req)
+        spans = self.sim.spans
+        sp = None
+        if spans is not None:
+            sp = spans.begin(
+                self.sim.now, req.op, "dcgn.slot", self.name,
+                attrs={"vrank": req.src_vrank},
+            )
         if req.op == "send":
             yield from self._handle_send(req)
         elif req.op == "recv":
@@ -341,6 +355,8 @@ class CommThread:
             self._stage_collective(req)
         else:
             raise DcgnError(f"unknown op {req.op!r}")
+        if spans is not None:
+            spans.end(self.sim.now, sp)
 
     def _handle_send(self, req: CommRequest) -> Generator[Event, Any, None]:
         dst = req.peer

@@ -78,3 +78,20 @@ class Interconnect:
     def nic_utilization(self, node: int) -> float:
         """Busy-seconds of the node's injection path (for reports)."""
         return self.topology.nic_utilization(node)
+
+    def channels(self):
+        """All fabric channels (see :meth:`Topology.channels`)."""
+        return self.topology.channels()
+
+    @property
+    def accounting(self) -> bool:
+        """Whether analytic backends book priced transfers on channels."""
+        return self.topology.accounting
+
+    @accounting.setter
+    def accounting(self, on: bool) -> None:
+        self.topology.accounting = on
+
+    def account(self, src: int, dst: int, nbytes: int) -> None:
+        """Book one priced transfer (see :meth:`Topology.account`)."""
+        self.topology.account(src, dst, nbytes)

@@ -87,6 +87,12 @@ class Topology(ABC):
         self.sim = sim
         self.n_nodes = n_nodes
         self.params = params
+        #: When True, analytic backends charge their priced transfers
+        #: onto the routed channel path via :meth:`account`, so the
+        #: link-utilization report works even when nothing simulates
+        #: channel occupancy.  Off by default (one extra branch per
+        #: priced wire leg when on).
+        self.accounting = False
         self._shm: List[BandwidthChannel] = [
             BandwidthChannel(
                 sim,
@@ -141,6 +147,47 @@ class Topology(ABC):
     @abstractmethod
     def nic_utilization(self, node: int) -> float:
         """Busy-seconds of the node's injection path (for reports)."""
+
+    # -- observability -----------------------------------------------------
+    def channels(self) -> List[BandwidthChannel]:
+        """Every fabric channel, deterministically ordered.
+
+        The utilization report (:mod:`repro.obs.links`) iterates this:
+        per-node shared-memory channels first, then the subclass's
+        fabric channels (NIC pairs, pod up/down links, rails).
+        """
+        return list(self._shm) + self._fabric_channels()
+
+    def _fabric_channels(self) -> List[BandwidthChannel]:
+        """Subclass hook: the inter-node channels, in report order."""
+        return []
+
+    def account(self, src: int, dst: int, nbytes: int) -> None:
+        """Charge one priced transfer onto the routed channel path.
+
+        The analytic backends never occupy channels — they price wire
+        legs with :meth:`wire_time` and commit completions directly —
+        so without this hook a fast-path run reports an idle fabric.
+        ``account`` books the *uncontended* service demand (bytes and
+        busy seconds, no queueing) onto exactly the channels
+        :meth:`transfer` would have traversed.  Demand booked this way
+        can exceed the wall clock on an oversubscribed link: that
+        over-commit is the congestion signal the report exists to show.
+        Timing-passive — never called from the exact path, never
+        affects simulated time.
+        """
+        self._check(src)
+        self._check(dst)
+        self.sim.stats.chan_bytes += nbytes
+        if src == dst:
+            ch = self._shm[src]
+            ch.bytes_moved += nbytes
+            ch.busy_s += ch.transfer_time(nbytes)
+            return
+        self._account_route(src, dst, nbytes)
+
+    def _account_route(self, src: int, dst: int, nbytes: int) -> None:
+        """Subclass hook: book ``nbytes`` on the inter-node path."""
 
     # -- static view (autotune-facing) -------------------------------------
     def locality_group(self, node: int) -> int:

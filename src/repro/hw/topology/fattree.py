@@ -101,6 +101,16 @@ class FatTree(FlatSwitch):
         self._check(node)
         return self.pod(node)
 
+    def _fabric_channels(self) -> List[BandwidthChannel]:
+        return super()._fabric_channels() + list(self._up) + list(self._down)
+
+    def _account_route(self, src: int, dst: int, nbytes: int) -> None:
+        super()._account_route(src, dst, nbytes)
+        if self.pod(src) != self.pod(dst):
+            for ch in (self._up[self.pod(src)], self._down[self.pod(dst)]):
+                ch.bytes_moved += nbytes
+                ch.busy_s += ch.transfer_time(nbytes)
+
     def profile(self) -> FabricProfile:
         beta = 1.0 / (self.params.bw_GBps * 1e9)
         alpha = us(self.params.lat_us)

@@ -63,6 +63,15 @@ class FlatSwitch(Topology):
         self._check(node)
         return self._tx[node].busy_s
 
+    def _fabric_channels(self) -> List[BandwidthChannel]:
+        return list(self._tx) + list(self._rx)
+
+    def _account_route(self, src: int, dst: int, nbytes: int) -> None:
+        tx = self._tx[src]
+        tx.bytes_moved += nbytes
+        tx.busy_s += tx.transfer_time(nbytes)
+        self._rx[dst].busy_s += us(self.params.lat_us) / 2.0
+
     def profile(self) -> FabricProfile:
         beta = 1.0 / (self.params.bw_GBps * 1e9)
         alpha = us(self.params.lat_us)

@@ -99,6 +99,23 @@ class MultiRail(Topology):
         self._check(node)
         return sum(ch.busy_s for ch in self._tx[node])
 
+    def _fabric_channels(self) -> List[BandwidthChannel]:
+        return [ch for node in self._tx for ch in node] + [
+            ch for node in self._rx for ch in node
+        ]
+
+    def _account_route(self, src: int, dst: int, nbytes: int) -> None:
+        bounds = [(r * nbytes) // self.rails for r in range(self.rails + 1)]
+        half_lat = us(self.params.lat_us) / 2.0
+        for r in range(self.rails):
+            slice_bytes = bounds[r + 1] - bounds[r]
+            if slice_bytes == 0 and r > 0:
+                continue
+            tx = self._tx[src][r]
+            tx.bytes_moved += slice_bytes
+            tx.busy_s += tx.transfer_time(slice_bytes)
+            self._rx[dst][r].busy_s += half_lat
+
     def profile(self) -> FabricProfile:
         beta = 1.0 / (self.rails * self.params.bw_GBps * 1e9)
         alpha = us(self.params.lat_us)

@@ -66,7 +66,7 @@ from ...sim.batch import EventBatch
 from ...sim.core import Event, us
 from ..datatypes import AdoptBuf, payload_array
 from ..errors import MpiError
-from .schedule import ScheduleEngine, Schedule, _Step
+from .schedule import ScheduleEngine, Schedule, _Step, _round_name
 
 __all__ = ["FastPathEngine"]
 
@@ -174,10 +174,12 @@ class FastPathEngine(ScheduleEngine):
         self._wire_cache: Dict[Tuple[int, int, int], float] = {}
         #: Interned completion offsets for data-free schedules
         #: (``Schedule.intern_key``): (key, relative arrivals) →
-        #: per-rank ``fin - base``.  Critical-path resolution is
-        #: time-translation-invariant, so a repeat instance with the
-        #: same arrival skew prices identically.
-        self._fin_cache: Dict[Tuple, List[float]] = {}
+        #: (per-rank ``fin - base``, n_rounds, span skeleton or None).
+        #: Critical-path resolution is time-translation-invariant, so
+        #: a repeat instance with the same arrival skew prices
+        #: identically; the skeleton (built on the first traced
+        #: resolve) lets traced cache hits replay the span tree too.
+        self._fin_cache: Dict[Tuple, Tuple] = {}
         #: Skip the dataflow interpreter: price timings only, leave
         #: receive buffers untouched (see module doc).
         self.price_only = price_only
@@ -256,6 +258,14 @@ class FastPathEngine(ScheduleEngine):
         sim = comm.sim
         stats = sim.stats
         size = comm.size
+        # With a recorder enabled, skip the interned-offsets shortcut so
+        # every instance resolves (and emits) its full span tree.  The
+        # resolution is deterministic and translation-invariant, so the
+        # committed completion times are bit-identical either way — only
+        # the cache-hit counters differ under tracing.
+        spans = sim.spans
+        if spans is not None and not spans.enabled:
+            spans = None
 
         # Data-free schedules (intern_key set by the builder, identical
         # across ranks, or a deferred-build barrier) skip interpretation
@@ -276,11 +286,17 @@ class FastPathEngine(ScheduleEngine):
             base = inst.arrivals[0]
             ckey = (ikey, tuple(a - base for a in inst.arrivals))
             cached = self._fin_cache.get(ckey)
+            if cached is not None and spans is not None and cached[2] is None:
+                # First traced pass resolves in full so the span
+                # skeleton gets built and cached for later hits.
+                cached = None
             if cached is not None:
-                offsets, n_rounds = cached
+                offsets, n_rounds, skel = cached
                 stats.fastpath_sched_cache_hits += 1
                 stats.fastpath_collectives += 1
                 stats.fastpath_rounds += n_rounds
+                if spans is not None:
+                    self._replay_spans(inst, base, offsets, skel, spans)
                 batch = EventBatch(sim, name="fastpath")
                 now = sim.now
                 for r in range(size):
@@ -316,17 +332,20 @@ class FastPathEngine(ScheduleEngine):
         else:
             self._interpret(inst, send_bytes)
 
-        fins = self._resolve_times(inst, send_bytes, recv_bytes)
+        fins, fin_detail = self._resolve_times(inst, send_bytes, recv_bytes)
 
         n_rounds = max(
             (inst.scheds[r].n_rounds for r in range(size)), default=0
         )
-        if ikey is not None:
-            self._fin_cache[ckey] = (
-                [f - base for f in fins], int(n_rounds)
-            )
         stats.fastpath_collectives += 1
         stats.fastpath_rounds += int(n_rounds)
+        skel = None
+        if spans is not None:
+            skel = self._record_spans(inst, fins, fin_detail, ikey, spans)
+        if ikey is not None:
+            self._fin_cache[ckey] = (
+                [f - base for f in fins], int(n_rounds), skel
+            )
 
         batch = EventBatch(sim, name="fastpath")
         now = sim.now
@@ -337,12 +356,158 @@ class FastPathEngine(ScheduleEngine):
             batch.add(max(fins[r], now), inst.dones[r], None)
         batch.commit()
 
+    def _record_spans(
+        self,
+        inst: _Instance,
+        fins: List[float],
+        fin: List[List[Optional[float]]],
+        ikey: Optional[Tuple],
+        spans,
+    ) -> Optional[Tuple]:
+        """Emit the same span skeleton the exact engine records — one
+        collective span per rank with per-round children — plus the
+        pricer's own stage markers.  All timestamps come from the
+        resolved critical path, so the tree carries priced durations.
+
+        For internable instances (``ikey`` set) the emitted tree is
+        also returned as a base-relative skeleton, cached next to the
+        fin offsets so later cache hits replay it via
+        :meth:`_replay_spans` instead of re-resolving the DAG — the
+        cache key pins the exact arrival skew, so the resolved times
+        are identical up to the base shift."""
+        comm = self.comm
+        sim = comm.sim
+        size = comm.size
+        meta = None
+        for r in range(size):
+            if inst.scheds[r] is not None and inst.scheds[r].meta:
+                meta = inst.scheds[r].meta
+                break
+        if meta is None and ikey is not None:
+            meta = {"op": "barrier", "algo": "dissemination", "nbytes": 0}
+        meta = meta or {}
+        name = meta.get("op", "collective")
+        if meta.get("algo"):
+            name = f"{name}[{meta['algo']}]"
+        arrivals = inst.arrivals
+        now = sim.now
+        ftrack = f"{comm.root_comm.name}.fastpath"
+        spans.complete(
+            min(arrivals), max(arrivals), name, "fastpath.collect", ftrack,
+            attrs={"n_ranks": size},
+        )
+        spans.instant(now, name, "fastpath.interpret", ftrack,
+                      attrs={"priced": self.price_only or ikey is not None})
+        backend = comm.backend
+        nbytes_meta = meta.get("nbytes", 0)
+        base = arrivals[0]
+        skel_ranks: Optional[List[Tuple]] = [] if ikey is not None else None
+        for r in range(size):
+            sched = inst.scheds[r]
+            steps = sched.steps
+            n_rounds = sched.n_rounds  # O(steps) property — hoist
+            rtrack = comm.span_track(r)
+            psid = spans.complete(
+                arrivals[r], fins[r], name, "collective", rtrack,
+                None, None,
+                {"backend": backend, "nbytes": nbytes_meta,
+                 "n_rounds": n_rounds, "n_steps": len(steps)},
+            )
+            if psid is None:
+                # Recorder paused mid-collective: the tree is partial,
+                # so don't cache a skeleton of it.
+                skel_ranks = None
+                continue
+            # Round ids live in [0, n_rounds), so flat lists beat
+            # dicts here; None marks rounds this rank never runs.
+            rstart: List[Optional[float]] = [None] * n_rounds
+            rend: List[Optional[float]] = [None] * n_rounds
+            arr = arrivals[r]
+            fin_r = fin[r]
+            for st in steps:
+                t0 = arr
+                for d in st.deps:
+                    fd = fin_r[d]
+                    if fd is not None and fd > t0:
+                        t0 = fd
+                t1 = fin_r[st.idx]
+                if t1 is None:
+                    t1 = t0
+                rd = st.round
+                s = rstart[rd]
+                if s is None or t0 < s:
+                    rstart[rd] = t0
+                e = rend[rd]
+                if e is None or t1 > e:
+                    rend[rd] = t1
+            rounds_off = []
+            for rd in range(n_rounds):
+                t0 = rstart[rd]
+                if t0 is None:
+                    continue
+                t1 = rend[rd]
+                spans.complete(t0, t1, _round_name(rd), "round",
+                               rtrack, psid)
+                if skel_ranks is not None:
+                    rounds_off.append((rd, t0 - base, t1 - base))
+            if skel_ranks is not None:
+                skel_ranks.append(
+                    (n_rounds, len(steps), tuple(rounds_off))
+                )
+        spans.instant(now, name, "fastpath.commit", ftrack,
+                      attrs={"n_ranks": size})
+        if skel_ranks is None:
+            return None
+        return (name, nbytes_meta, tuple(skel_ranks))
+
+    def _replay_spans(
+        self,
+        inst: _Instance,
+        base: float,
+        offsets: List[float],
+        skel: Tuple,
+        spans,
+    ) -> None:
+        """Re-emit a cached span skeleton, shifted to this instance's
+        base arrival — byte-identical to what :meth:`_record_spans`
+        would have produced had the DAG been re-resolved."""
+        comm = self.comm
+        sim = comm.sim
+        size = comm.size
+        name, nbytes_meta, skel_ranks = skel
+        arrivals = inst.arrivals
+        now = sim.now
+        ftrack = f"{comm.root_comm.name}.fastpath"
+        spans.complete(
+            min(arrivals), max(arrivals), name, "fastpath.collect", ftrack,
+            attrs={"n_ranks": size},
+        )
+        spans.instant(now, name, "fastpath.interpret", ftrack,
+                      attrs={"priced": True})
+        backend = comm.backend
+        for r in range(size):
+            n_rounds, n_steps, rounds_off = skel_ranks[r]
+            rtrack = comm.span_track(r)
+            psid = spans.complete(
+                arrivals[r], base + offsets[r], name, "collective", rtrack,
+                None, None,
+                {"backend": backend, "nbytes": nbytes_meta,
+                 "n_rounds": n_rounds, "n_steps": n_steps},
+            )
+            if psid is None:
+                continue
+            for rd, t0, t1 in rounds_off:
+                spans.complete(base + t0, base + t1, _round_name(rd),
+                               "round", rtrack, psid)
+        spans.instant(now, name, "fastpath.commit", ftrack,
+                      attrs={"n_ranks": size})
+
     def _resolve_times(
         self,
         inst: _Instance,
         send_bytes: List[Dict[int, int]],
         recv_bytes: List[Dict[int, int]],
-    ) -> List[float]:
+    ) -> Tuple[List[float], List[List[Optional[float]]]]:
         """Per-step critical-path resolution over all ranks' DAGs.
 
         Mirrors the exact engine's concurrency structure: every step
@@ -360,7 +525,14 @@ class FastPathEngine(ScheduleEngine):
           receive), then both sides finish at
           ``m + wire(cts) + wire(payload)``.
 
-        Returns each rank's completion time (max over its steps).
+        Returns ``(fins, fin)``: each rank's completion time (max over
+        its steps) and the full per-step finish matrix (observability —
+        the span recorder derives round boundaries from it).
+
+        When the topology's ``accounting`` flag is on, every priced
+        wire leg is additionally booked onto the routed channel path
+        (:meth:`Topology.account`), so the link-utilization report sees
+        analytic traffic the pricer never simulates.
         """
         from ..communicator import HEADER_BYTES
 
@@ -369,7 +541,16 @@ class FastPathEngine(ScheduleEngine):
         sw = us(ib.sw_overhead_us)
         eager_max = ib.eager_threshold
         size = comm.size
-        wt = self._wt
+        interconnect = comm.cluster.interconnect
+        if interconnect.accounting:
+            acct = interconnect.account
+            _wt = self._wt
+
+            def wt(src: int, dst: int, n: int) -> float:
+                acct(src, dst, n)
+                return _wt(src, dst, n)
+        else:
+            wt = self._wt
 
         steps_of = [inst.scheds[r].steps for r in range(size)]
 
@@ -504,7 +685,7 @@ class FastPathEngine(ScheduleEngine):
         return [
             max((f for f in fin[r] if f is not None), default=arrivals[r])
             for r in range(size)
-        ]
+        ], fin
 
     def _interpret(
         self, inst: _Instance, send_bytes: List[Dict[int, int]]

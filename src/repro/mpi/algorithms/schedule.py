@@ -81,6 +81,18 @@ _RECV = "recv"
 _COMPUTE = "compute"
 _OVERHEAD = "overhead"
 
+#: Interned per-round span names ("round0", "round1", ...) — every
+#: traced collective emits one span per round, so the f-string is paid
+#: once per distinct round index, not once per span.
+_ROUND_NAMES: List[str] = []
+
+
+def _round_name(rd: int) -> str:
+    names = _ROUND_NAMES
+    while len(names) <= rd:
+        names.append(f"round{len(names)}")
+    return names[rd]
+
 
 @dataclass
 class _Step:
@@ -125,6 +137,12 @@ class Schedule:
 
     def __init__(self) -> None:
         self.steps: List[_Step] = []
+        #: Collective identity for observability: the dispatch layer
+        #: stamps ``{"op", "algo", "nbytes"}`` here so the engines can
+        #: label the span they emit per execution.  ``None`` (e.g. a
+        #: builder invoked directly in tests) falls back to a generic
+        #: label; execution is identical either way.
+        self.meta: Optional[dict] = None
         #: Set by builders whose DAG is a pure function of this key and
         #: whose wire steps carry **no payload** (e.g. the dissemination
         #: barrier).  The fast-path engine may then skip dataflow
@@ -318,7 +336,9 @@ class ScheduleEngine:
         so repeat barriers with interned arrival skew skip it."""
         from .barrier import build_barrier_dissemination
 
-        return self.execute(ctx, build_barrier_dissemination(ctx))
+        sched = build_barrier_dissemination(ctx)
+        sched.meta = {"op": "barrier", "algo": "dissemination", "nbytes": 0}
+        return self.execute(ctx, sched)
 
     def start(self, ctx: MpiContext, sched: Schedule, name: str = "") -> Request:
         """Run ``sched`` in its own process; return a :class:`Request`."""
@@ -349,6 +369,28 @@ class ScheduleEngine:
         n = len(steps)
         if n == 0:
             return
+        # Span bookkeeping is timing-passive: it only reads sim.now at
+        # points the engine already visits, never yields or schedules.
+        spans = ctx.sim.spans
+        if spans is not None and not spans.enabled:
+            spans = None
+        sp_coll = None
+        rstart: dict = {}
+        rend: dict = {}
+        if spans is not None:
+            meta = sched.meta or {}
+            track = ctx.comm.span_track(ctx.rank)
+            name = meta.get("op", "collective")
+            if meta.get("algo"):
+                name = f"{name}[{meta['algo']}]"
+            sp_coll = spans.begin(
+                ctx.sim.now, name, "collective", track,
+                attrs={
+                    "backend": ctx.comm.backend,
+                    "nbytes": meta.get("nbytes", 0),
+                    "n_rounds": sched.n_rounds, "n_steps": n,
+                },
+            )
         missing = [len(s.deps) for s in steps]
         dependents: List[List[int]] = [[] for _ in steps]
         for s in steps:
@@ -372,9 +414,13 @@ class ScheduleEngine:
             while ready:
                 idx = heapq.heappop(ready)
                 st = steps[idx]
+                if spans is not None and st.round not in rstart:
+                    rstart[st.round] = ctx.sim._now
                 if st.kind == _COMPUTE:
                     st.fn()
                     done += 1
+                    if spans is not None:
+                        rend[st.round] = ctx.sim._now
                     finish(idx)
                     continue
                 proc = ctx.sim.process(
@@ -393,10 +439,24 @@ class ScheduleEngine:
                 (p for p in running if p.triggered),
                 key=lambda p: running[p],
             )
+            if spans is not None:
+                # sim.now is monotonic, so every wave overwrites its
+                # rounds' end stamps with the latest completion time.
+                now = ctx.sim._now
+                for p in finished:
+                    rend[steps[running[p]].round] = now
             for p in finished:
                 idx = running.pop(p)
                 done += 1
                 finish(idx)
+        if sp_coll is not None:
+            now = ctx.sim.now
+            for r in sorted(rstart):
+                spans.complete(
+                    rstart[r], rend.get(r, now), _round_name(r), "round",
+                    sp_coll.track, sp_coll.sid,
+                )
+            spans.end(now, sp_coll)
 
     # -- step drivers -------------------------------------------------------
     def _wire_op(

@@ -72,9 +72,18 @@ from .communicator import MpiContext, Request
 # Schedule-building dispatch helpers (shared by blocking and nonblocking)
 # ---------------------------------------------------------------------------
 
+def _with_meta(sched, op: str, algo: str, nbytes: int):
+    """Stamp collective identity on a built schedule (observability:
+    the engines label the span they emit with it)."""
+    sched.meta = {"op": op, "algo": algo, "nbytes": nbytes}
+    return sched
+
+
 def _build_barrier(ctx: MpiContext):
     ctx.comm._count("barrier")
-    return build_barrier_dissemination(ctx)
+    return _with_meta(
+        build_barrier_dissemination(ctx), "barrier", "dissemination", 0
+    )
 
 
 def _build_bcast(ctx: MpiContext, buf: Payload, root: int):
@@ -83,7 +92,9 @@ def _build_bcast(ctx: MpiContext, buf: Payload, root: int):
     nbytes = nbytes_of(buf) if buf is not None else 0
     algo = ctx.comm.selector.bcast(nbytes, ctx.size, hier_ok=_hier_ok(ctx))
     ctx.comm._count(f"bcast[{algo}]")
-    return SCHEDULES["bcast"][algo](ctx, buf, root=root)
+    return _with_meta(
+        SCHEDULES["bcast"][algo](ctx, buf, root=root), "bcast", algo, nbytes
+    )
 
 
 def _check_reduce_op(op: ReduceOp, what: str) -> None:
@@ -110,7 +121,10 @@ def _build_reduce(
     nbytes = nbytes_of(sendbuf) if sendbuf is not None else 0
     algo = ctx.comm.selector.reduce(nbytes, ctx.size)
     ctx.comm._count(f"reduce[{algo}]")
-    return SCHEDULES["reduce"][algo](ctx, sendbuf, recvbuf, op=op, root=root)
+    return _with_meta(
+        SCHEDULES["reduce"][algo](ctx, sendbuf, recvbuf, op=op, root=root),
+        "reduce", algo, nbytes,
+    )
 
 
 def _build_allreduce(
@@ -125,7 +139,10 @@ def _build_allreduce(
         nbytes, ctx.size, hier_ok=_hier_ok(ctx)
     )
     ctx.comm._count(f"allreduce[{algo}]")
-    return SCHEDULES["allreduce"][algo](ctx, sendbuf, recvbuf, op)
+    return _with_meta(
+        SCHEDULES["allreduce"][algo](ctx, sendbuf, recvbuf, op),
+        "allreduce", algo, nbytes,
+    )
 
 
 def _build_allgather(
@@ -142,7 +159,10 @@ def _build_allgather(
         block, ctx.size, uniform=uniform, hier_ok=_hier_ok(ctx)
     )
     ctx.comm._count(f"allgather[{algo}]")
-    return SCHEDULES["allgather"][algo](ctx, sendbuf, recvbufs)
+    return _with_meta(
+        SCHEDULES["allgather"][algo](ctx, sendbuf, recvbufs),
+        "allgather", algo, block * ctx.size,
+    )
 
 
 def _build_alltoall(
@@ -163,7 +183,10 @@ def _build_alltoall(
         block, ctx.size, uniform=uniform, hier_ok=_hier_ok(ctx)
     )
     ctx.comm._count(f"alltoall[{algo}]")
-    return SCHEDULES["alltoall"][algo](ctx, sendbufs, recvbufs)
+    return _with_meta(
+        SCHEDULES["alltoall"][algo](ctx, sendbufs, recvbufs),
+        "alltoall", algo, block * ctx.size,
+    )
 
 
 # ---------------------------------------------------------------------------

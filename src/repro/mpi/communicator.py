@@ -83,6 +83,9 @@ class _WireMsg:
     #: the payload array is private to the wire (defensive copy or a
     #: donated builder-local array) — the receiver may adopt it outright.
     private: bool = False
+    #: observability: sid of the sender's span, so the receiver's wait
+    #: span can link to it (critical-path edge across tracks).
+    span: Optional[int] = None
 
 
 class Request:
@@ -210,6 +213,17 @@ class Communicator:
         self._coll_seq = [0] * self.size
         #: Per-rank counters sequencing collective ``split`` calls.
         self._split_seq = [0] * self.size
+        #: Lazily-built rank → span-track cache (:meth:`span_track` is on
+        #: the traced p2p hot path; formatting the name once per rank
+        #: instead of once per message keeps tracing cheap).
+        self._span_tracks: Dict[int, str] = {}
+        #: Peer → interned span-name caches for the traced p2p wire
+        #: protocol ("send->7", "recv<-3", ...) — same rationale as
+        #: ``_span_tracks``: pay the f-string once per peer, not once
+        #: per message.
+        self._send_names: Dict[int, str] = {}
+        self._recv_names: Dict[int, str] = {}
+        self._rndv_names: Dict[Tuple[str, int], str] = {}
         #: split seq → (per-rank sub-communicators, retrievals left).
         self._split_built: Dict[int, Tuple[List, int]] = {}
         self._hier: Optional[_HierComms] = None
@@ -620,6 +634,28 @@ class Communicator:
         """Per-call software overhead."""
         return self.sim.timeout(us(self._ib.sw_overhead_us))
 
+    def span_track(self, rank: int) -> str:
+        """Observability track for a local rank.
+
+        Tracks live in the *root* communicator's rank space so a
+        hierarchical collective's sub-communicator traffic lands on the
+        owning rank's track rather than scattering per derived
+        communicator.
+        """
+        track = self._span_tracks.get(rank)
+        if track is None:
+            track = f"{self.root_comm.name}.r{self.world_ranks[rank]}"
+            self._span_tracks[rank] = track
+        return track
+
+    def _rndv_name(self, prefix: str, peer: int) -> str:
+        """Interned span name for a rendezvous protocol leg."""
+        key = (prefix, peer)
+        name = self._rndv_names.get(key)
+        if name is None:
+            name = self._rndv_names[key] = prefix + str(peer)
+        return name
+
     # -- wire primitives -----------------------------------------------------
     def _wire(
         self, src_rank: int, dst_rank: int, nbytes: int
@@ -641,8 +677,21 @@ class Communicator:
     ) -> Generator[Event, Any, None]:
         self._ensure_alive()
         self._inflight_ops += 1
+        spans = self.sim.spans
+        # Inlined span_track cache hit — one dict probe instead of a
+        # method call on every traced message.
+        track = "" if spans is None else (
+            self._span_tracks.get(src) or self.span_track(src)
+        )
         try:
-            yield self._sw()
+            if spans is not None:
+                # Traced branches read the slot directly: the ``now``
+                # property costs real time at this call rate.
+                t0 = self.sim._now
+                yield self._sw()
+                spans.complete(t0, self.sim._now, "sw", "overhead", track)
+            else:
+                yield self._sw()
             nbytes = nbytes_of(buf) if buf is not None else 0
             data = snapshot(buf, copy=copy)
             if data is not None:
@@ -660,33 +709,81 @@ class Communicator:
                 "mpi.send", src=src, dst=dst, tag=tag, nbytes=nbytes
             )
             if nbytes <= self._ib.eager_threshold:
-                yield from self._wire(src, dst, nbytes + HEADER_BYTES)
-                self._match[dst].put(
-                    _WireMsg(
-                        "eager", src=src, tag=tag, nbytes=nbytes, data=data,
-                        private=private,
+                if spans is not None:
+                    # The sid is stamped into the wire message (the
+                    # receiver's wait span links to it), so reserve it
+                    # up front and record the span retrospectively.
+                    sid = spans.alloc_sid()
+                    t0 = self.sim._now
+                    yield from self._wire(src, dst, nbytes + HEADER_BYTES)
+                    self._match[dst].put(
+                        _WireMsg(
+                            "eager", src=src, tag=tag, nbytes=nbytes,
+                            data=data, private=private, span=sid,
+                        )
                     )
-                )
+                    name = self._send_names.get(dst)
+                    if name is None:
+                        name = self._send_names[dst] = f"send->{dst}"
+                    spans.complete(
+                        t0, self.sim._now, name, "p2p.send", track,
+                        None, None,
+                        {"nbytes": nbytes, "tag": tag, "proto": "eager"},
+                        sid,
+                    )
+                else:
+                    yield from self._wire(src, dst, nbytes + HEADER_BYTES)
+                    self._match[dst].put(
+                        _WireMsg(
+                            "eager", src=src, tag=tag, nbytes=nbytes,
+                            data=data, private=private,
+                        )
+                    )
                 return
             # Rendezvous: RTS -> (receiver matches, sends CTS) -> payload.
             cts = self.sim.event(name=f"cts({src}->{dst})")
             arrived = self.sim.event(name=f"payload({src}->{dst})")
-            yield from self._wire(src, dst, HEADER_BYTES)
-            self._match[dst].put(
-                _WireMsg(
-                    "rts",
-                    src=src,
-                    tag=tag,
-                    nbytes=nbytes,
-                    data=data,
-                    cts=cts,
-                    payload_arrived=arrived,
-                    private=private,
+            if spans is not None:
+                sid = spans.alloc_sid()
+                t0 = self.sim._now
+                yield from self._wire(src, dst, HEADER_BYTES)
+                self._match[dst].put(
+                    _WireMsg(
+                        "rts", src=src, tag=tag, nbytes=nbytes, data=data,
+                        cts=cts, payload_arrived=arrived, private=private,
+                        span=sid,
+                    )
                 )
-            )
-            yield cts
-            yield from self._wire(src, dst, nbytes)
-            arrived.succeed(data)
+                spans.complete(
+                    t0, self.sim._now, self._rndv_name("rts->", dst),
+                    "p2p.send", track, None, None,
+                    {"nbytes": nbytes, "tag": tag, "proto": "rndv"}, sid,
+                )
+                t0 = self.sim._now
+                yield cts
+                spans.complete(
+                    t0, self.sim._now, self._rndv_name("cts<-", dst),
+                    "p2p.wait", track,
+                )
+                t0 = self.sim._now
+                yield from self._wire(src, dst, nbytes)
+                arrived.succeed(data)
+                spans.complete(
+                    t0, self.sim._now, self._rndv_name("payload->", dst),
+                    "p2p.send", track, None, None,
+                    {"nbytes": nbytes, "proto": "rndv"},
+                )
+            else:
+                yield from self._wire(src, dst, HEADER_BYTES)
+                self._match[dst].put(
+                    _WireMsg(
+                        "rts", src=src, tag=tag, nbytes=nbytes, data=data,
+                        cts=cts, payload_arrived=arrived, private=private,
+                    )
+                )
+                yield cts
+                yield from self._wire(src, dst, nbytes)
+                arrived.succeed(data)
         finally:
             self._inflight_ops -= 1
 
@@ -699,8 +796,19 @@ class Communicator:
     ) -> Generator[Event, Any, Status]:
         self._ensure_alive()
         self._inflight_ops += 1
+        spans = self.sim.spans
+        track = "" if spans is None else (
+            self._span_tracks.get(me) or self.span_track(me)
+        )
         try:
-            yield self._sw()
+            if spans is not None:
+                # Traced branches read the slot directly: the ``now``
+                # property costs real time at this call rate.
+                t0 = self.sim._now
+                yield self._sw()
+                spans.complete(t0, self.sim._now, "sw", "overhead", track)
+            else:
+                yield self._sw()
 
             def matches(m: _WireMsg) -> bool:
                 if src != ANY_SOURCE and m.src != src:
@@ -713,12 +821,41 @@ class Communicator:
                     return m.tag < INTERNAL_TAG_BASE
                 return m.tag == tag
 
-            msg: _WireMsg = yield self._match[me].get(matches)
+            if spans is not None:
+                t0 = self.sim._now
+                msg: _WireMsg = yield self._match[me].get(matches)
+                name = self._recv_names.get(src)
+                if name is None:
+                    name = self._recv_names[src] = f"recv<-{src}"
+                spans.complete(
+                    t0, self.sim._now, name, "p2p.wait", track,
+                    None, msg.span, {"tag": tag},
+                )
+            else:
+                msg = yield self._match[me].get(matches)
             if msg.kind == "rts":
                 # Grant the clear-to-send, then wait for the payload.
-                yield from self._wire(me, msg.src, HEADER_BYTES)
-                msg.cts.succeed(None)
-                data = yield msg.payload_arrived
+                if spans is not None:
+                    t0 = self.sim._now
+                    yield from self._wire(me, msg.src, HEADER_BYTES)
+                    msg.cts.succeed(None)
+                    spans.complete(
+                        t0, self.sim._now, self._rndv_name("cts->", msg.src),
+                        "p2p.send", track, None, None,
+                        {"nbytes": HEADER_BYTES},
+                    )
+                    t0 = self.sim._now
+                    data = yield msg.payload_arrived
+                    spans.complete(
+                        t0, self.sim._now,
+                        self._rndv_name("payload<-", msg.src),
+                        "p2p.wait", track, None, msg.span,
+                        {"nbytes": msg.nbytes},
+                    )
+                else:
+                    yield from self._wire(me, msg.src, HEADER_BYTES)
+                    msg.cts.succeed(None)
+                    data = yield msg.payload_arrived
             else:
                 data = msg.data
             if (

@@ -410,6 +410,24 @@ class Window:
         """Origin-side WQE/doorbell charge of one one-sided op."""
         return self.sim.timeout(us(self._ib.rma_setup_us))
 
+    def _op_span(
+        self, t0: float, t1: float, origin: int, target: int,
+        name: str, nbytes: int, **attrs: Any,
+    ) -> None:
+        """Record one one-sided op as a span on the origin's track.
+
+        Exact procs call this with their own lifetime; analytic issue
+        points call it with ``[now, priced fin]`` — the span carries
+        the priced duration even though nothing simulates it.
+        """
+        spans = self.sim.spans
+        if spans is not None:
+            spans.complete(
+                t0, t1, f"{name}->r{target}", "rma.op",
+                self.comm.span_track(origin),
+                attrs={"nbytes": nbytes, "win": self.name, **attrs},
+            )
+
     def _wire(self, src: int, dst: int, nbytes: int):
         yield from self.comm._wire(src, dst, nbytes)
 
@@ -453,6 +471,9 @@ class Window:
         if src_node == dst_node:
             # Same-node leg rides the staging channel outright.
             return self._bounce_leg(src_node, nbytes, t)
+        interconnect = self.comm.cluster.interconnect
+        if interconnect.accounting:
+            interconnect.account(src_node, dst_node, nbytes)
         free = self._tx_free.get(src_node, 0.0)
         s = t if t >= free else free
         self._tx_free[src_node] = s + self._alpha_inj + nbytes * self._beta
@@ -460,6 +481,9 @@ class Window:
 
     def _bounce_leg(self, node: int, nbytes: int, t: float) -> float:
         """Target-host staging copy: serializes on the shm channel."""
+        interconnect = self.comm.cluster.interconnect
+        if interconnect.accounting:
+            interconnect.account(node, node, nbytes)
         free = self._shm_free.get(node, 0.0)
         s = t if t >= free else free
         fin = s + self._wt(node, node, nbytes)
@@ -550,12 +574,15 @@ class Window:
         self, origin: int, target: int, data: np.ndarray, offset: int
     ) -> Generator[Event, Any, None]:
         nbytes = int(data.nbytes)
+        t0 = self.sim.now
         if nbytes <= self._eager_max:
             self.comm._count_unchecked("rma_put[eager]")
+            proto = "eager"
             yield from self._wire(origin, target, HEADER_BYTES + nbytes)
             yield from self._bounce(target, nbytes)
         else:
             self.comm._count_unchecked("rma_put[rendezvous]")
+            proto = "rndv"
             # rkey/validation round-trip, then a direct RDMA write into
             # the registered region — no target-side copy.
             yield from self._wire(origin, target, HEADER_BYTES)
@@ -570,6 +597,8 @@ class Window:
             "rma.put", win=self.name, origin=origin, target=target,
             nbytes=nbytes,
         )
+        self._op_span(t0, self.sim.now, origin, target, "put", nbytes,
+                      proto=proto)
 
     def _coalesced_put_proc(
         self,
@@ -584,6 +613,7 @@ class Window:
         the whole point of coalescing — then lands each constituent put
         in issue order through the usual target-side staging copy."""
         self.comm._count_unchecked("rma_put[coalesced_flush]")
+        t0 = self.sim.now
         yield from self._wire(origin, target, HEADER_BYTES + nbytes)
         yield from self._bounce(target, nbytes)
         pcie = self._pcie(target)
@@ -596,6 +626,8 @@ class Window:
             "rma.put_coalesced", win=self.name, origin=origin,
             target=target, nbytes=nbytes, n_ops=len(ops),
         )
+        self._op_span(t0, self.sim.now, origin, target, "put_coalesced",
+                      nbytes, n_ops=len(ops))
 
     def _flush_pending_puts(self, origin: int, target: int) -> None:
         """Materialize the buffered puts to ``target`` (if any) as one
@@ -621,6 +653,8 @@ class Window:
                 "rma.put_coalesced", win=self.name, origin=origin,
                 target=target, nbytes=nbytes, n_ops=len(ops),
             )
+            self._op_span(self.sim.now, fin, origin, target,
+                          "put_coalesced", nbytes, n_ops=len(ops))
             return
         proc = self.sim.process(
             self._coalesced_put_proc(origin, target, ops, nbytes),
@@ -638,6 +672,7 @@ class Window:
         count = recvbuf.size
         view = self._target_view(target, offset, count, "get")
         nbytes = int(view.nbytes)
+        t0 = self.sim.now
         yield from self._wire(origin, target, HEADER_BYTES)
         pcie = self._pcie(target)
         if pcie is not None:
@@ -652,6 +687,7 @@ class Window:
             "rma.get", win=self.name, origin=origin, target=target,
             nbytes=nbytes,
         )
+        self._op_span(t0, self.sim.now, origin, target, "get", nbytes)
 
     def _acc_proc(
         self,
@@ -665,6 +701,7 @@ class Window:
         fetch_into: Optional[np.ndarray] = None,
     ) -> Generator[Event, Any, None]:
         nbytes = int(data.nbytes)
+        t0 = self.sim.now
         try:
             if nbytes <= self._eager_max:
                 self.comm._count_unchecked("rma_accumulate[eager]")
@@ -697,6 +734,8 @@ class Window:
                 "rma.accumulate", win=self.name, origin=origin,
                 target=target, nbytes=nbytes, op=op.value,
             )
+            self._op_span(t0, self.sim.now, origin, target, "accumulate",
+                          nbytes, op=op.value)
         finally:
             done.succeed(None)
 
@@ -772,6 +811,8 @@ class Window:
                 "rma.put", win=self.name, origin=origin, target=target,
                 nbytes=nbytes,
             )
+            self._op_span(self.sim.now, fin, origin, target, "put", nbytes,
+                          proto="analytic")
             if want_event:
                 return self._an_event(
                     fin, f"{self.name}.put(r{origin}->r{target})"
@@ -807,6 +848,8 @@ class Window:
                 "rma.get", win=self.name, origin=origin, target=target,
                 nbytes=nbytes,
             )
+            self._op_span(self.sim.now, fin, origin, target, "get", nbytes,
+                          proto="analytic")
             # A get always has an observable completion (the data).
             return self._an_event(
                 fin, f"{self.name}.get(r{origin}<-r{target})"
@@ -858,6 +901,9 @@ class Window:
                 "rma.accumulate", win=self.name, origin=origin,
                 target=target, nbytes=int(payload.nbytes), op=op.value,
             )
+            self._op_span(self.sim.now, fin, origin, target, "accumulate",
+                          int(payload.nbytes), proto="analytic",
+                          op=op.value)
             if want_event or fetch_into is not None:
                 return self._an_event(
                     fin, f"{self.name}.acc(r{origin}->r{target})"
@@ -1076,6 +1122,22 @@ class WinContext:
             target, value, result, op=op, offset=offset
         )
 
+    # -- observability ------------------------------------------------------
+    def _espan(self, name: str):
+        """Open an ``rma.epoch`` span on this rank's track (or None)."""
+        spans = self.sim.spans
+        if spans is None:
+            return None
+        return spans.begin(
+            self.sim.now, name, "rma.epoch",
+            self.comm.span_track(self.rank),
+            attrs={"win": self.win.name},
+        )
+
+    def _espan_end(self, sp) -> None:
+        if sp is not None and self.sim.spans is not None:
+            self.sim.spans.end(self.sim.now, sp)
+
     # -- active-target synchronization: fence ------------------------------
     def fence(self, end: bool = False) -> Generator[Event, Any, None]:
         """Collective fence: completes every operation this rank issued
@@ -1092,9 +1154,11 @@ class WinContext:
         self.comm._count("rma_fence")
         from . import collectives as c
 
+        sp = self._espan("fence")
         yield from self.win.flush_ops(self.rank)
         yield from c.barrier(self._mpi_ctx())
         self.win._mode[self.rank] = None if end else "fence"
+        self._espan_end(sp)
 
     # -- active-target synchronization: PSCW -------------------------------
     def post(self, origins: Sequence[int]) -> Generator[Event, Any, None]:
@@ -1115,12 +1179,14 @@ class WinContext:
         win._exposure[self.rank] = origins
         self.comm._count("rma_post")
         tag = RMA_TAG_BASE + win.wid * _TAG_STRIDE + _TAG_POST
+        sp = self._espan("post")
         yield self.sim.timeout(us(win._ib.rma_setup_us))
         for o in origins:
             self.sim.process(
                 self.comm._send_impl(self.rank, o, None, tag),
                 name=f"{win.name}.post(r{self.rank}->r{o})",
             )
+        self._espan_end(sp)
 
     def start(self, targets: Sequence[int]) -> Generator[Event, Any, None]:
         """Open an access epoch to ``targets`` (MPI_Win_start): waits
@@ -1134,9 +1200,11 @@ class WinContext:
             )
         targets = tuple(sorted(set(int(t) for t in targets)))
         tag = RMA_TAG_BASE + win.wid * _TAG_STRIDE + _TAG_POST
+        sp = self._espan("start")
         for t in targets:
             self.comm._check_rank(t)
             yield from self.comm._recv_impl(self.rank, t, None, tag)
+        self._espan_end(sp)
         win._mode[self.rank] = "pscw"
         win._start_group[self.rank] = frozenset(targets)
         self.comm._count("rma_start")
@@ -1151,6 +1219,7 @@ class WinContext:
                 f"rank {self.rank} has no PSCW access epoch to complete"
             )
         group = win._start_group[self.rank] or frozenset()
+        sp = self._espan("complete")
         yield from win.flush_ops(self.rank)
         tag = RMA_TAG_BASE + win.wid * _TAG_STRIDE + _TAG_COMPLETE
         for t in sorted(group):
@@ -1158,6 +1227,7 @@ class WinContext:
                 self.comm._send_impl(self.rank, t, None, tag),
                 name=f"{win.name}.complete(r{self.rank}->r{t})",
             )
+        self._espan_end(sp)
         win._mode[self.rank] = None
         win._start_group[self.rank] = None
         self.comm._count("rma_complete")
@@ -1174,8 +1244,10 @@ class WinContext:
                 f"rank {self.rank} has no exposure epoch to wait on"
             )
         tag = RMA_TAG_BASE + win.wid * _TAG_STRIDE + _TAG_COMPLETE
+        sp = self._espan("wait")
         for o in origins:
             yield from self.comm._recv_impl(self.rank, o, None, tag)
+        self._espan_end(sp)
         win._exposure[self.rank] = None
         self.comm._count("rma_wait")
 
@@ -1195,10 +1267,12 @@ class WinContext:
                 f"rank {self.rank} already holds a lock on rank {target}"
             )
         self.comm._count("rma_lock")
+        sp = self._espan("lock")
         yield self.sim.timeout(us(win._ib.rma_setup_us))
         yield from win._wire(self.rank, target, HEADER_BYTES)
         yield from win._acquire(self.rank, target, exclusive)
         yield from win._wire(target, self.rank, HEADER_BYTES)
+        self._espan_end(sp)
         win._locks_held[self.rank][target] = exclusive
 
     def unlock(self, target: int) -> Generator[Event, Any, None]:
@@ -1210,8 +1284,10 @@ class WinContext:
             raise RmaError(
                 f"rank {self.rank} holds no lock on rank {target}"
             )
+        sp = self._espan("unlock")
         yield from win.flush_ops(self.rank, target)
         yield from win._wire(self.rank, target, HEADER_BYTES)
+        self._espan_end(sp)
         del win._locks_held[self.rank][target]
         win._release(self.rank, target)
         self.comm._count("rma_unlock")
@@ -1228,9 +1304,11 @@ class WinContext:
                 f"rank {self.rank} already holds window locks"
             )
         self.comm._count("rma_lock_all")
+        sp = self._espan("lock_all")
         yield self.sim.timeout(us(win._ib.rma_setup_us))
         for t in range(win.size):
             yield from win._acquire(self.rank, t, False)
+        self._espan_end(sp)
         win._lock_all[self.rank] = True
 
     def unlock_all(self) -> Generator[Event, Any, None]:
@@ -1239,10 +1317,12 @@ class WinContext:
         win._ensure_usable()
         if not win._lock_all[self.rank]:
             raise RmaError(f"rank {self.rank} holds no lock_all")
+        sp = self._espan("unlock_all")
         yield from win.flush_ops(self.rank)
         yield self.sim.timeout(us(win._ib.rma_setup_us))
         for t in range(win.size):
             win._release(self.rank, t)
+        self._espan_end(sp)
         win._lock_all[self.rank] = False
         self.comm._count("rma_unlock_all")
 
@@ -1250,13 +1330,17 @@ class WinContext:
         """Complete (remotely) every pending operation to ``target``."""
         self.win._ensure_usable()
         self.comm._count("rma_flush")
+        sp = self._espan("flush")
         yield from self.win.flush_ops(self.rank, target)
+        self._espan_end(sp)
 
     def flush_all(self) -> Generator[Event, Any, None]:
         """Complete (remotely) every pending operation of this rank."""
         self.win._ensure_usable()
         self.comm._count("rma_flush")
+        sp = self._espan("flush_all")
         yield from self.win.flush_ops(self.rank)
+        self._espan_end(sp)
 
     # -- lifetime -----------------------------------------------------------
     def free(self) -> Generator[Event, Any, None]:

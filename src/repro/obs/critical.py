@@ -1,0 +1,203 @@
+"""Critical-path attribution over a recorded span buffer.
+
+:func:`critical_path` answers "where did the wall clock go?" by
+walking backward from the last thing that finished, always jumping to
+the *last blocker*: the span's cross-track ``link`` (a receive's wait
+span links to the matching send) when it has one, otherwise the latest
+earlier span on the same track.  Every instant of the walk is
+attributed to exactly one class —
+
+* ``wire``      — payload transit (p2p sends, RMA ops, schedule rounds);
+* ``overhead``  — software send/receive overhead, fast-path pricer
+  stages, DCGN slot servicing;
+* ``compute``   — compute steps and request service time;
+* ``queueing``  — blocked waiting for a match or a service slot;
+* ``idle``      — nothing on the critical path was running;
+
+— so the per-class totals sum to the simulated wall clock *exactly*
+(floating-point addition aside).  Container spans (a collective span
+whose rounds are recorded separately, RMA epochs, serving job phases)
+and channel-track ``wire`` spans (already represented by the rank-side
+send spans) are excluded from the walk to avoid double counting.
+
+:func:`collective_profile` is the complementary top-down view: total
+and mean duration per collective (op + algorithm), straight from the
+``collective`` spans.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional
+
+from .spans import Span
+
+__all__ = ["critical_path", "collective_profile", "CLASSES"]
+
+#: Attribution classes, report order.
+CLASSES = ("wire", "overhead", "compute", "queueing", "idle")
+
+#: span category -> attribution class for walkable (leaf) spans.
+_CLASS = {
+    "p2p.send": "wire",
+    "rma.op": "wire",
+    "round": "wire",
+    "overhead": "overhead",
+    "fastpath.collect": "overhead",
+    "fastpath.interpret": "overhead",
+    "fastpath.commit": "overhead",
+    "dcgn.slot": "overhead",
+    "compute": "compute",
+    "serve.request": "compute",
+    "p2p.wait": "queueing",
+    "serve.wait": "queueing",
+}
+
+#: Categories whose time is recorded again at finer grain elsewhere.
+_CONTAINERS = frozenset(
+    {"collective", "rma.epoch", "serve.job", "wire", "dcgn.poll"}
+)
+
+
+def _walkable(spans) -> List[Span]:
+    out = []
+    for s in spans:
+        if s.t1 is None or s.category in _CONTAINERS:
+            continue
+        if s.t1 <= s.t0:
+            continue  # instants carry no time
+        out.append(s)
+    return out
+
+
+def critical_path(recorder: Any) -> Dict[str, Any]:
+    """Attribute the simulated wall clock to the classes in ``CLASSES``.
+
+    Returns ``{"wall_s", "by_class": {cls: seconds}, "n_steps",
+    "path"}`` where ``path`` is the walked span chain, latest first
+    (sids).  An empty or instant-only buffer yields an all-idle wall.
+    """
+    wall = recorder.wall()
+    by_class = {c: 0.0 for c in CLASSES}
+    leaves = _walkable(recorder.spans)
+    if not leaves or wall <= 0.0:
+        by_class["idle"] = wall
+        return {
+            "wall_s": wall, "by_class": by_class, "n_steps": 0, "path": [],
+        }
+    by_sid = {s.sid: s for s in leaves}
+    # Per-track spans ordered by end time, for last-blocker lookups.
+    per_track: Dict[str, List[Span]] = {}
+    for s in leaves:
+        per_track.setdefault(s.track, []).append(s)
+    ends: Dict[str, List[float]] = {}
+    for track, lst in per_track.items():
+        lst.sort(key=lambda s: (s.t1, s.sid))
+        ends[track] = [s.t1 for s in lst]
+
+    def last_on_track_before(track: str, t: float) -> Optional[Span]:
+        lst = per_track.get(track)
+        if not lst:
+            return None
+        i = bisect_right(ends[track], t) - 1
+        return lst[i] if i >= 0 else None
+
+    cur = max(leaves, key=lambda s: (s.t1, s.sid))
+    cursor = wall
+    if wall > cur.t1:
+        by_class["idle"] += wall - cur.t1
+        cursor = cur.t1
+    path: List[int] = []
+    visited = set()
+    while cur is not None and cursor > 0.0:
+        if cur.sid in visited:  # pragma: no cover - defensive
+            break
+        visited.add(cur.sid)
+        path.append(cur.sid)
+        hi = min(cur.t1, cursor)
+        lo = min(cur.t0, hi)
+        if hi > lo:
+            by_class[_CLASS.get(cur.category, "overhead")] += hi - lo
+        cursor = lo
+        nxt: Optional[Span] = None
+        if cur.link is not None:
+            nxt = by_sid.get(cur.link)
+        if nxt is None:
+            nxt = last_on_track_before(cur.track, cursor)
+        if nxt is None:
+            break
+        if nxt.t1 < cursor:
+            by_class["idle"] += cursor - nxt.t1
+            cursor = nxt.t1
+        cur = nxt
+    if cursor > 0.0:
+        by_class["idle"] += cursor
+    return {
+        "wall_s": wall,
+        "by_class": by_class,
+        "n_steps": len(path),
+        "path": path,
+    }
+
+
+def format_critical_path(report: Dict[str, Any]) -> str:
+    """One line per class: seconds and share of wall."""
+    wall = report["wall_s"] or 1e-300
+    lines = [f"wall {report['wall_s'] * 1e3:.3f} ms "
+             f"({report['n_steps']} spans on the path)"]
+    for cls in CLASSES:
+        t = report["by_class"][cls]
+        lines.append(f"  {cls:<9} {t * 1e3:>12.3f} ms  {100 * t / wall:>5.1f}%")
+    return "\n".join(lines)
+
+
+def collective_profile(
+    recorder: Any, top: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Aggregate ``collective`` spans by name (op + algorithm).
+
+    Rows: name, count (rank-spans), total_s, mean_s, max_s, nbytes —
+    sorted by total time descending.  Note ``count`` counts per-rank
+    spans: one N-rank allreduce contributes N.
+    """
+    agg: Dict[str, Dict[str, Any]] = {}
+    for s in recorder.spans:
+        if s.category != "collective" or s.t1 is None:
+            continue
+        row = agg.get(s.name)
+        if row is None:
+            row = agg[s.name] = {
+                "name": s.name, "count": 0, "total_s": 0.0,
+                "max_s": 0.0, "nbytes": 0,
+            }
+        d = s.t1 - s.t0
+        row["count"] += 1
+        row["total_s"] += d
+        row["max_s"] = max(row["max_s"], d)
+        row["nbytes"] += int((s.attrs or {}).get("nbytes", 0))
+    rows = sorted(
+        agg.values(), key=lambda r: (-r["total_s"], r["name"])
+    )
+    for r in rows:
+        r["mean_s"] = r["total_s"] / r["count"]
+    if top is not None:
+        rows = rows[:top]
+    return rows
+
+
+def format_collective_profile(rows: List[Dict[str, Any]]) -> str:
+    """Fixed-width table of ``collective_profile`` rows."""
+    if not rows:
+        return "(no collectives recorded)"
+    w = max(len(r["name"]) for r in rows)
+    lines = [
+        f"{'collective':<{w}}  {'spans':>7}  {'total_ms':>10}  "
+        f"{'mean_ms':>9}  {'max_ms':>9}  {'bytes':>13}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<{w}}  {r['count']:>7}  "
+            f"{r['total_s'] * 1e3:>10.3f}  {r['mean_s'] * 1e3:>9.3f}  "
+            f"{r['max_s'] * 1e3:>9.3f}  {r['nbytes']:>13,}"
+        )
+    return "\n".join(lines)

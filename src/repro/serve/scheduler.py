@@ -359,6 +359,12 @@ class ClusterScheduler:
         job.nodes = nodes
         job.state = PLACING
         job.place_t = self.sim.now
+        spans = self.sim.spans
+        if spans is not None:
+            spans.complete(
+                job.submit_t, job.place_t, "queued", "serve.job",
+                f"job.{job.name}", attrs={"job_id": job.id},
+            )
         self.sim.trace("serve.place", job=job.name, nodes=tuple(nodes))
         self.sim.process(
             self._place(job), name=f"serve.place.{job.name}"
@@ -383,6 +389,13 @@ class ClusterScheduler:
         job.comm = self.fabric.create(Group(job.nodes))
         job.state = RUNNING
         job.start_t = self.sim.now
+        spans = self.sim.spans
+        if spans is not None:
+            spans.complete(
+                job.place_t, job.start_t, "placing", "serve.job",
+                f"job.{job.name}",
+                attrs={"job_id": job.id, "n_nodes": len(job.nodes)},
+            )
         self.sim.trace("serve.start", job=job.name)
         if job.spec.launch is not None:
             job._procs = list(job.spec.launch(job))
@@ -426,6 +439,25 @@ class ClusterScheduler:
             self._owner[n] = None
 
     def _finish(self, job: Job, state: str) -> None:
+        spans = self.sim.spans
+        if spans is not None:
+            # Close out whatever phase the job was in when it ended.
+            track = f"job.{job.name}"
+            if job.state == RUNNING:
+                spans.complete(
+                    job.start_t, self.sim.now, "running", "serve.job",
+                    track, attrs={"job_id": job.id, "outcome": state},
+                )
+            elif job.state == PLACING:
+                spans.complete(
+                    job.place_t, self.sim.now, "placing", "serve.job",
+                    track, attrs={"job_id": job.id, "outcome": state},
+                )
+            elif job.state == QUEUED:
+                spans.complete(
+                    job.submit_t, self.sim.now, "queued", "serve.job",
+                    track, attrs={"job_id": job.id, "outcome": state},
+                )
         job.state = state
         job.end_t = self.sim.now
         if state == CANCELLED:

@@ -112,8 +112,10 @@ class Request:
 class RequestLog:
     """Arrival/start/completion stamps for a stream of requests."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, name: str = "requests") -> None:
         self.sim = sim
+        #: Span track this log's request spans land on.
+        self.name = name
         self.requests: List[Request] = []
         self.n_dropped = 0
 
@@ -129,6 +131,24 @@ class RequestLog:
 
     def completed(self, req: Request) -> None:
         req.done_t = self.sim.now
+        spans = self.sim.spans
+        if spans is not None:
+            # Retrospective spans straight from the request stamps, so
+            # trace and log can never disagree.
+            if req.start_t is not None:
+                spans.complete(
+                    req.arrival_t, req.start_t,
+                    f"req{req.req_id}.wait", "serve.wait", self.name,
+                    attrs={"req_id": req.req_id},
+                )
+            start = (
+                req.start_t if req.start_t is not None else req.arrival_t
+            )
+            spans.complete(
+                start, req.done_t,
+                f"req{req.req_id}", "serve.request", self.name,
+                attrs={"req_id": req.req_id},
+            )
 
     def dropped(self, req: Request) -> None:
         self.n_dropped += 1

@@ -344,6 +344,9 @@ class Simulator:
         self._current: Optional[Process] = None
         #: Optional tracer with a ``record(t, category, **fields)`` method.
         self.tracer: Any = None
+        #: Optional :class:`~repro.obs.spans.SpanRecorder`; ``None``
+        #: keeps every instrumentation point to one attribute check.
+        self.spans: Any = None
 
     # -- time ------------------------------------------------------------
     @property
@@ -469,3 +472,21 @@ class Simulator:
         """Record a trace point if a tracer is installed (cheap when not)."""
         if self.tracer is not None:
             self.tracer.record(self._now, category, **fields)
+
+    def attach_spans(self, recorder: Any = None) -> Any:
+        """Install (and return) a span recorder as ``self.spans``.
+
+        With no argument, creates a fresh
+        :class:`~repro.obs.spans.SpanRecorder`.  The recorder's
+        ``stats`` is pointed at ``self.stats`` so closed spans show up
+        in the ``spans`` counter.  Recording is timing-passive: the
+        simulation's event order and payloads are identical with or
+        without a recorder attached.
+        """
+        if recorder is None:
+            from ..obs.spans import SpanRecorder
+
+            recorder = SpanRecorder()
+        recorder.stats = self.stats
+        self.spans = recorder
+        return recorder

@@ -134,6 +134,12 @@ class BandwidthChannel:
             yield self.sim.timeout(t)
             self.bytes_moved += nbytes
             self.busy_s += t
+            self.sim.stats.chan_bytes += nbytes
+            spans = self.sim.spans
+            if spans is not None:
+                now = self.sim._now
+                spans.complete(now - t, now, "xfer", "wire", self.name,
+                               None, None, {"nbytes": nbytes})
             return t
         finally:
             self._res.release()

@@ -47,6 +47,17 @@ Counter glossary
     Serving layer (:mod:`repro.serve`): jobs submitted to a cluster
     scheduler, admissions that jumped a blocked FIFO head (backfill),
     and open-loop requests offered to request services.
+``chan_bytes``
+    Payload bytes charged to fabric channels — every
+    :meth:`~repro.sim.resources.BandwidthChannel.transfer` plus the
+    bytes the analytic fast path accounts onto routed channels when
+    :attr:`~repro.hw.topology.base.Topology.accounting` is on.  The
+    per-channel link-utilization report (:mod:`repro.obs.links`) sums
+    to exactly this counter.
+``spans``
+    Spans closed by an attached :class:`~repro.obs.spans.SpanRecorder`
+    (zero when no recorder is attached — the observability layer's own
+    footprint, so traced benches can report what tracing itself cost).
 """
 
 from __future__ import annotations
@@ -72,6 +83,8 @@ _FIELDS = (
     "serve_jobs",
     "serve_backfills",
     "serve_requests",
+    "chan_bytes",
+    "spans",
 )
 
 
@@ -90,9 +103,28 @@ class SimStats:
     def as_dict(self) -> dict:
         return {f: getattr(self, f) for f in _FIELDS}
 
-    def summary(self) -> str:
-        """One-line rendering for benchmark output."""
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (for :meth:`delta`)."""
+        return self.as_dict()
+
+    def delta(self, prev: dict) -> dict:
+        """Per-counter difference since a :meth:`snapshot`.
+
+        Counters absent from ``prev`` (an older snapshot taken before a
+        counter existed) are treated as zero.
+        """
+        return {f: getattr(self, f) - prev.get(f, 0) for f in _FIELDS}
+
+    def summary(self, compact: bool = False) -> str:
+        """One-line rendering for benchmark output.
+
+        ``compact=True`` drops zero counters — sweeps that print a
+        stats line per point stay readable instead of repeating a
+        screenful of irrelevant zeros.
+        """
         d = self.as_dict()
+        if compact:
+            d = {k: v for k, v in d.items() if v}
         return " ".join(f"{k}={v}" for k, v in d.items())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -5,14 +5,45 @@ A :class:`Tracer` attached to :attr:`Simulator.tracer` collects
 (e.g. "the comm thread saw the GPU request only after a poll tick") and
 by the benchmark harness to derive utilization statistics such as CPU
 polling load (ablation A1).
+
+:class:`RecordingControl` is the shared enabled/paused switch: both
+:class:`Tracer` and the span recorder (:mod:`repro.obs.spans`) inherit
+it so every observation sink answers "should I record?" the same way,
+and instrumented call sites can gate on one boolean.  Recorders are
+bounded by an optional ``maxlen`` ring buffer so long serving runs
+cannot grow memory without bound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["RecordingControl", "TraceRecord", "Tracer"]
+
+
+class RecordingControl:
+    """Shared on/off switch for observation sinks.
+
+    ``enabled`` starts ``True``; :meth:`pause`/:meth:`resume` toggle it
+    (e.g. to skip a warmup phase).  Subclasses check ``self.enabled``
+    at the top of their record hooks — the only cost when paused is one
+    attribute load and branch.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+    def pause(self) -> None:
+        """Stop recording until :meth:`resume` (records are kept)."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        """Re-enable recording after :meth:`pause`."""
+        self.enabled = True
 
 
 @dataclass(frozen=True)
@@ -27,15 +58,34 @@ class TraceRecord:
         return self.fields[key]
 
 
-class Tracer:
-    """Collects trace records, optionally filtered by category."""
+class Tracer(RecordingControl):
+    """Collects trace records, optionally filtered by category.
 
-    def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
-        self.records: List[TraceRecord] = []
+    ``maxlen`` bounds the buffer: when set, only the most recent
+    ``maxlen`` records are kept (older ones are silently dropped), so a
+    tracer can stay attached across an arbitrarily long serving run.
+    """
+
+    __slots__ = ("records", "_categories")
+
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        maxlen: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.records: Deque[TraceRecord] = deque(maxlen=maxlen)
         self._categories = set(categories) if categories is not None else None
+
+    @property
+    def maxlen(self) -> Optional[int]:
+        """Ring-buffer bound (``None`` = unbounded)."""
+        return self.records.maxlen
 
     def record(self, t: float, category: str, **fields: Any) -> None:
         """Store one record (filtered by category if a filter was given)."""
+        if not self.enabled:
+            return
         if self._categories is not None and category not in self._categories:
             return
         self.records.append(TraceRecord(t, category, fields))
@@ -46,7 +96,7 @@ class Tracer:
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
     ) -> List[TraceRecord]:
         """Return records matching ``category`` and ``predicate``."""
-        out = self.records
+        out: Iterable[TraceRecord] = self.records
         if category is not None:
             out = [r for r in out if r.category == category]
         if predicate is not None:

@@ -39,8 +39,12 @@ def traced_run():
             "comm.wire_arrival",
             "mpi.send",
             "mpi.recv",
-        }
+        },
+        # Bounded ring buffer: far above this run's record count, so
+        # nothing drops — exercises the maxlen path on a real workload.
+        maxlen=100_000,
     )
+    assert sim.tracer.maxlen == 100_000
     cluster = build_cluster(sim, paper_cluster(nodes=2))
     rt = DcgnRuntime(
         cluster, DcgnConfig.homogeneous(2, gpus=1, slots_per_gpu=1)

@@ -397,4 +397,22 @@ class TestTracer:
         tr = Tracer()
         tr.record(0.0, "a")
         tr.clear()
-        assert tr.records == []
+        assert len(tr.records) == 0
+
+    def test_maxlen_ring_buffer(self):
+        tr = Tracer(maxlen=3)
+        for i in range(10):
+            tr.record(float(i), "tick", i=i)
+        assert tr.maxlen == 3
+        assert len(tr.records) == 3
+        assert [r["i"] for r in tr.records] == [7, 8, 9]
+
+    def test_pause_resume(self):
+        tr = Tracer()
+        tr.record(0.0, "kept")
+        tr.pause()
+        tr.record(1.0, "dropped")
+        tr.resume()
+        tr.record(2.0, "kept")
+        assert tr.count("kept") == 2
+        assert tr.count("dropped") == 0

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Aggregate the committed ``BENCH_*.json`` artifacts into one table.
+
+Every gated benchmark writes a repo-root ``BENCH_<name>.json`` (see
+``benchmarks/common.py``); this script folds all of them into a single
+markdown trajectory report — one row per benchmark with its record
+count, gate status, and headline metric — plus a per-benchmark detail
+section.  CI runs it after the smoke benches and uploads the result as
+an artifact, so every PR carries a capsule view of where the numbers
+stand.
+
+Usage::
+
+    python tools/bench_report.py [--out BENCH_REPORT.md] [--json ...]
+
+Exits 0 even when gates were violated (the benches themselves gate);
+the report *records* violations, it does not re-enforce them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+)
+
+
+def load_artifacts(root: str = REPO_ROOT) -> Dict[str, Dict[str, Any]]:
+    """``{name: parsed json}`` for every ``BENCH_*.json`` under root."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        with open(path, encoding="utf-8") as fh:
+            out[name] = json.load(fh)
+    return out
+
+
+def _records(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return doc.get("records") or doc.get("points") or []
+
+
+def _headline(name: str, doc: Dict[str, Any]) -> str:
+    """One representative number per benchmark (best-effort)."""
+    recs = _records(doc)
+    speedups = [
+        r["speedup"] for r in recs
+        if isinstance(r.get("speedup"), (int, float))
+    ]
+    if speedups:
+        return f"max speedup {max(speedups):.2f}x over {len(speedups)} pts"
+    p99s = [
+        r["p99_s"] for r in recs
+        if isinstance(r.get("p99_s"), (int, float))
+    ]
+    if p99s:
+        return f"p99 {min(p99s) * 1e6:.0f}-{max(p99s) * 1e6:.0f}us"
+    acc = doc.get("acceptance")
+    if isinstance(acc, dict):
+        body = ", ".join(f"{k}={v}" for k, v in list(acc.items())[:3])
+        return body[:70]
+    return "-"
+
+
+def build_report(artifacts: Dict[str, Dict[str, Any]]) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Aggregated from the committed `BENCH_*.json` artifacts "
+        f"({len(artifacts)} benchmarks).",
+        "",
+        "| benchmark | mode | records | gates | headline |",
+        "|---|---|---:|---|---|",
+    ]
+    for name, doc in artifacts.items():
+        recs = _records(doc)
+        violations = doc.get("violations", [])
+        gates = "PASS" if not violations else f"{len(violations)} VIOLATED"
+        mode = doc.get("mode", "-")
+        lines.append(
+            f"| {name} | {mode} | {len(recs)} | {gates} | "
+            f"{_headline(name, doc)} |"
+        )
+    lines.append("")
+    for name, doc in artifacts.items():
+        violations = doc.get("violations", [])
+        if violations:
+            lines.append(f"## {name}: gate violations")
+            lines.extend(f"- {v}" for v in violations)
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_REPORT.md"),
+        help="markdown output path (default repo-root BENCH_REPORT.md)",
+    )
+    parser.add_argument(
+        "--root", default=REPO_ROOT,
+        help="directory holding the BENCH_*.json artifacts",
+    )
+    args = parser.parse_args(argv)
+    artifacts = load_artifacts(args.root)
+    if not artifacts:
+        print("no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    report = build_report(artifacts)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(report)
+    print(f"wrote {args.out}: {len(artifacts)} benchmarks")
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

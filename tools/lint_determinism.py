@@ -64,6 +64,9 @@ DEFAULT_PATHS = [
     "src/repro/gas",
     "src/repro/gpusim",
     "src/repro/hw",
+    "src/repro/obs",
+    "src/repro/serve",
+    "src/repro/trace",
 ]
 
 #: ``random.<name>`` module-level calls that consult the global RNG.
